@@ -1,0 +1,35 @@
+//! Criterion benchmarks for the reduction transformations (F3a–d).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ursa_core::{allocate, UrsaConfig};
+use ursa_ir::ddg::DependenceDag;
+use ursa_machine::Machine;
+use ursa_workloads::paper::figure2_block;
+
+/// F3: the full allocation loop on the paper's example, per target
+/// machine from Figures 3(a)–(d).
+fn bench_fig3_transforms(c: &mut Criterion) {
+    let program = figure2_block();
+    let mut group = c.benchmark_group("fig3_transforms");
+    for (name, fus, regs) in [
+        ("a_fu_4to3", 3u32, 16u32),
+        ("b_regseq_5to4", 8, 4),
+        ("c_spill_5to3", 8, 3),
+        ("d_combined_2fu3reg", 2, 3),
+    ] {
+        let machine = Machine::homogeneous(fus, regs);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                allocate(
+                    DependenceDag::from_entry_block(&program),
+                    &machine,
+                    &UrsaConfig::default(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3_transforms);
+criterion_main!(benches);

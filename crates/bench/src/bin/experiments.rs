@@ -1,0 +1,77 @@
+//! Command-line front end of the experiment harness.
+//!
+//! ```text
+//! experiments fig2                # F2: Figure 2 measurements
+//! experiments fig3                # F3a-d: the three transformations
+//! experiments sweep-regs          # T1: cycles vs. register count
+//! experiments sweep-fus           # T2: cycles vs. FU count
+//! experiments spills              # T3: spill behavior under pressure
+//! experiments scaling             # T4: compile-time scaling
+//! experiments ablation-driver     # T5: integrated vs. phased orders
+//! experiments ablation-kill       # T6: Kill() selection policies
+//! experiments ablation-matching   # T7: staged vs. plain matching
+//! experiments validate            # V1: equivalence grid
+//! experiments all                 # everything above
+//! ```
+
+use ursa_bench::tables;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let run = |name: &str| -> bool { what == "all" || what == name };
+
+    let mut ran_any = false;
+    if run("fig2") {
+        ran_any = true;
+        println!("{}", tables::fig2_report());
+    }
+    if run("fig3") {
+        ran_any = true;
+        println!("{}", tables::fig3_report());
+    }
+    if run("sweep-regs") {
+        ran_any = true;
+        println!("T1: schedule length vs. registers (4 universal FUs)");
+        let rows = tables::sweep_regs(&[4, 6, 8, 12, 16]);
+        println!("{}", tables::render_sweep(&rows, "regs"));
+    }
+    if run("sweep-fus") {
+        ran_any = true;
+        println!("T2: schedule length vs. functional units (16 registers)");
+        let rows = tables::sweep_fus(&[1, 2, 4, 8]);
+        println!("{}", tables::render_sweep(&rows, "fus"));
+    }
+    if run("spills") {
+        ran_any = true;
+        println!("{}", tables::spill_table());
+    }
+    if run("scaling") {
+        ran_any = true;
+        println!("{}", tables::scaling_table(&[32, 64, 128, 256]));
+    }
+    if run("ablation-driver") {
+        ran_any = true;
+        println!("{}", tables::ablation_driver());
+    }
+    if run("ablation-kill") {
+        ran_any = true;
+        println!("{}", tables::ablation_kill());
+    }
+    if run("ablation-matching") {
+        ran_any = true;
+        println!("{}", tables::ablation_matching());
+    }
+    if run("validate") {
+        ran_any = true;
+        println!("{}", tables::validation_table());
+    }
+    if !ran_any {
+        eprintln!(
+            "unknown experiment '{what}'; expected one of: fig2 fig3 sweep-regs \
+             sweep-fus spills scaling ablation-driver ablation-kill \
+             ablation-matching validate all"
+        );
+        std::process::exit(2);
+    }
+}

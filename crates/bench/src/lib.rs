@@ -1,0 +1,10 @@
+//! Experiment harness for the URSA reproduction: runners that
+//! regenerate every paper figure and the constructed evaluation tables.
+//! See `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
+//! recorded results. The `experiments` binary prints any table:
+//!
+//! ```sh
+//! cargo run --release -p ursa-bench --bin experiments -- all
+//! ```
+
+pub mod tables;

@@ -1,0 +1,234 @@
+//! Selection of the `Kill()` function for register measurement
+//! (paper §3.2).
+//!
+//! A register holds a value from its defining instruction until the last
+//! use executes. URSA does not assume a schedule, so for the worst-case
+//! measurement it must pick, for every value, the use that *would*
+//! maximize simultaneous register demand. Only *maximal* uses (not
+//! ancestors of other uses of the same value) can be last in any
+//! schedule. When several values share candidate killers, choosing a
+//! minimum-sized set of killers maximizes the number of other dependents
+//! that can execute while their ancestors' values are still live —
+//! defining `Kill()` optimally is NP-complete by reduction from Minimum
+//! Cover (Theorem 2), so a greedy set-cover heuristic is used.
+
+use crate::ctx::AllocCtx;
+use ursa_graph::dag::NodeId;
+
+/// How `Kill()` is chosen for values with several candidate killers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum KillMode {
+    /// The paper's heuristic: greedy minimum cover, maximizing measured
+    /// worst-case pressure.
+    #[default]
+    MinCover,
+    /// Ablation baseline: each value independently takes its first
+    /// maximal use, ignoring sharing. May under-measure pressure.
+    Naive,
+}
+
+/// The chosen killer for every value-producing node.
+#[derive(Clone, Debug)]
+pub struct KillMap {
+    kill: Vec<Option<NodeId>>,
+}
+
+impl KillMap {
+    /// The node selected to kill `n`'s value (`None` if `n` produces no
+    /// value).
+    pub fn kill_of(&self, n: NodeId) -> Option<NodeId> {
+        self.kill.get(n.index()).copied().flatten()
+    }
+
+    /// Number of distinct killer nodes across all values.
+    pub fn distinct_killers(&self) -> usize {
+        let mut killers: Vec<NodeId> = self.kill.iter().flatten().copied().collect();
+        killers.sort_unstable();
+        killers.dedup();
+        killers.len()
+    }
+}
+
+/// Computes `Kill()` for every producer in the DAG.
+pub fn select_kills(ctx: &AllocCtx<'_>, mode: KillMode) -> KillMap {
+    let ddg = ctx.ddg();
+    let reach = ctx.reach();
+    let n = ddg.dag().node_count();
+    let mut kill: Vec<Option<NodeId>> = vec![None; n];
+    // Producers whose kill is still open, with their maximal uses.
+    let mut pending: Vec<(NodeId, Vec<NodeId>)> = Vec::new();
+
+    for p in ddg.value_nodes() {
+        if ddg.is_live_out(p) {
+            // A live-out value survives to the trace exit no matter the
+            // schedule; the exit node is its kill.
+            kill[p.index()] = Some(ddg.exit());
+            continue;
+        }
+        let uses = ddg.uses_of(p);
+        if uses.is_empty() {
+            kill[p.index()] = Some(ddg.exit());
+            continue;
+        }
+        // Only uses that are not ancestors of other uses of the same
+        // value can execute last in some schedule.
+        let maximal: Vec<NodeId> = uses
+            .iter()
+            .copied()
+            .filter(|&u| !uses.iter().any(|&v| v != u && reach.reaches(u, v)))
+            .collect();
+        debug_assert!(!maximal.is_empty(), "a nonempty use set has a maximal element");
+        if let [only] = maximal[..] {
+            kill[p.index()] = Some(only);
+        } else {
+            pending.push((p, maximal));
+        }
+    }
+
+    match mode {
+        KillMode::Naive => {
+            for (p, mut maximal) in pending {
+                maximal.sort_unstable();
+                kill[p.index()] = Some(maximal[0]);
+            }
+        }
+        KillMode::MinCover => {
+            // Greedy minimum cover: repeatedly pick the use node that
+            // kills the most still-uncovered values.
+            while !pending.is_empty() {
+                let mut counts: Vec<(NodeId, usize)> = Vec::new();
+                for (_, cands) in &pending {
+                    for &u in cands {
+                        match counts.iter_mut().find(|(c, _)| *c == u) {
+                            Some((_, k)) => *k += 1,
+                            None => counts.push((u, 1)),
+                        }
+                    }
+                }
+                let &(best, _) = counts
+                    .iter()
+                    .max_by_key(|&&(u, k)| (k, std::cmp::Reverse(u)))
+                    .expect("pending entries have candidates");
+                pending.retain(|(p, cands)| {
+                    if cands.contains(&best) {
+                        kill[p.index()] = Some(best);
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
+    }
+    KillMap { kill }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_ir::ddg::DependenceDag;
+    use ursa_ir::parser::parse;
+    use ursa_machine::Machine;
+
+    fn ctx_of(src: &str) -> AllocCtx<'static> {
+        let p = parse(src).unwrap();
+        let ddg = DependenceDag::from_entry_block(&p);
+        let m: &'static Machine = Box::leak(Box::new(Machine::homogeneous(4, 8)));
+        AllocCtx::new(ddg, m)
+    }
+
+    /// The paper's hard case: sub-DAG {B, C, E, F} where B and C are each
+    /// used by both E and F. Minimum cover picks the same killer for B
+    /// and C, so the other use can execute while both values live.
+    #[test]
+    fn shared_killer_chosen_by_min_cover() {
+        let ctx = ctx_of(
+            "v0 = const 1\n\
+             v1 = const 2\n\
+             v2 = add v0, v1\n\
+             v3 = mul v0, v1\n\
+             store a[0], v2\n\
+             store a[1], v3\n",
+        );
+        let kills = select_kills(&ctx, KillMode::MinCover);
+        let b = ctx.ddg().dag().node(2); // v0
+        let c = ctx.ddg().dag().node(3); // v1
+        assert_eq!(
+            kills.kill_of(b),
+            kills.kill_of(c),
+            "min cover shares one killer between B and C"
+        );
+    }
+
+    #[test]
+    fn naive_mode_picks_first_maximal_use() {
+        let ctx = ctx_of(
+            "v0 = const 1\n\
+             v1 = const 2\n\
+             v2 = add v0, v1\n\
+             v3 = mul v0, v1\n\
+             store a[0], v2\n\
+             store a[1], v3\n",
+        );
+        let kills = select_kills(&ctx, KillMode::Naive);
+        let b = ctx.ddg().dag().node(2);
+        let e = ctx.ddg().dag().node(4);
+        assert_eq!(kills.kill_of(b), Some(e), "lowest-id maximal use");
+    }
+
+    #[test]
+    fn single_use_is_the_kill() {
+        let ctx = ctx_of("v0 = const 1\nv1 = neg v0\nstore a[0], v1\n");
+        let kills = select_kills(&ctx, KillMode::MinCover);
+        let def = ctx.ddg().dag().node(2);
+        let neg = ctx.ddg().dag().node(3);
+        assert_eq!(kills.kill_of(def), Some(neg));
+    }
+
+    #[test]
+    fn non_maximal_uses_cannot_kill() {
+        // v0 used by v1 (= add) and by the store of v1's result chain:
+        // the store is a descendant of the add, so only the store can be
+        // last.
+        let ctx = ctx_of("v0 = const 1\nv1 = add v0, 2\nstore a[v0], v1\n");
+        let kills = select_kills(&ctx, KillMode::MinCover);
+        let def = ctx.ddg().dag().node(2);
+        let store = ctx.ddg().dag().node(4);
+        assert_eq!(kills.kill_of(def), Some(store));
+    }
+
+    #[test]
+    fn unused_value_killed_at_exit() {
+        let ctx = ctx_of("v0 = const 1\n");
+        let kills = select_kills(&ctx, KillMode::MinCover);
+        let def = ctx.ddg().dag().node(2);
+        assert_eq!(kills.kill_of(def), Some(ctx.ddg().exit()));
+    }
+
+    #[test]
+    fn non_producers_have_no_kill() {
+        let ctx = ctx_of("v0 = const 1\nstore a[0], v0\n");
+        let kills = select_kills(&ctx, KillMode::MinCover);
+        let store = ctx.ddg().dag().node(3);
+        assert_eq!(kills.kill_of(store), None);
+        assert_eq!(kills.kill_of(ctx.ddg().entry()), None);
+    }
+
+    #[test]
+    fn min_cover_never_uses_more_killers_than_naive() {
+        let ctx = ctx_of(
+            "v0 = const 1\n\
+             v1 = const 2\n\
+             v2 = const 3\n\
+             v3 = add v0, v1\n\
+             v4 = mul v1, v2\n\
+             v5 = add v0, v2\n\
+             store a[0], v3\n\
+             store a[1], v4\n\
+             store a[2], v5\n",
+        );
+        let cover = select_kills(&ctx, KillMode::MinCover);
+        let naive = select_kills(&ctx, KillMode::Naive);
+        assert!(cover.distinct_killers() <= naive.distinct_killers());
+    }
+}

@@ -1,0 +1,59 @@
+//! URSA — Unified ReSource Allocation for registers and functional units
+//! (Berson, Gupta, Soffa; 1993).
+//!
+//! URSA re-partitions instruction scheduling and register allocation into
+//! an **allocation** phase (this crate) followed by an **assignment**
+//! phase (`ursa-sched`). Allocation never fixes a schedule; it transforms
+//! the dependence DAG until *no legal schedule* can demand more resources
+//! than the target machine provides:
+//!
+//! 1. [`measure`] — per-resource `CanReuse` relations, minimum chain
+//!    decompositions (Dilworth/Ford–Fulkerson with hammock-priority
+//!    matching), worst-case requirements.
+//! 2. [`excess`] — excessive chain sets located in hammocks.
+//! 3. [`transform`] — the three reduction transformations (FU
+//!    sequentialization, register sequentialization, spilling).
+//! 4. [`driver`] — the integrated / phased application loop.
+//!
+//! # Examples
+//!
+//! ```
+//! use ursa_core::{allocate, UrsaConfig};
+//! use ursa_ir::ddg::DependenceDag;
+//! use ursa_ir::parser::parse;
+//! use ursa_machine::Machine;
+//!
+//! // A block with more parallelism than the machine can host.
+//! let program = parse(
+//!     "v0 = load a[0]\n\
+//!      v1 = mul v0, 2\n\
+//!      v2 = mul v0, 3\n\
+//!      v3 = add v1, v2\n\
+//!      store a[1], v3\n",
+//! ).unwrap();
+//! let ddg = DependenceDag::from_entry_block(&program);
+//! let machine = Machine::homogeneous(1, 2);
+//! let outcome = allocate(ddg, &machine, &UrsaConfig::default());
+//! assert_eq!(outcome.residual_excess, 0);
+//! assert!(outcome.final_measurement.fits(&machine));
+//! ```
+
+pub mod ctx;
+pub mod driver;
+pub mod excess;
+pub mod kill;
+pub mod measure;
+pub mod resource;
+pub mod reuse;
+pub mod transform;
+
+pub use ctx::AllocCtx;
+pub use driver::{allocate, AllocationOutcome, Step, StepKind, Strategy, UrsaConfig};
+pub use excess::{find_excessive, ExcessiveChainSet};
+pub use kill::{select_kills, KillMap, KillMode};
+pub use measure::{
+    measure, measure_resource, MeasureOptions, Measurement, MeasurementSummary, ResourceMeasure,
+};
+pub use resource::{Requirement, ResourceKind};
+pub use reuse::{reuse_dag, ReuseDag};
+pub use transform::{TransformError, TransformReport};

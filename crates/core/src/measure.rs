@@ -1,0 +1,373 @@
+//! Measurement of resource requirements (paper §3).
+//!
+//! For each resource kind a `CanReuse` relation is built over the nodes
+//! competing for it; the minimum chain decomposition of that relation
+//! (computed by bipartite matching, with the paper's hammock-priority
+//! staging) gives the worst-case requirement over *all* legal schedules.
+//!
+//! For functional units the bound is exact. For registers it inherits
+//! the `Kill()` heuristic's approximation (Theorem 2): when a value has
+//! several mutually independent maximal uses, the single chosen killer
+//! may not be the one some schedule runs last, and the measurement can
+//! be off by a small amount in either direction — the paper's §2 hands
+//! any leftover excess to the assignment phase.
+
+use crate::ctx::AllocCtx;
+use crate::kill::{select_kills, KillMap, KillMode};
+use crate::resource::{Requirement, ResourceKind};
+use std::fmt;
+use ursa_graph::chains::{decompose_prioritized, ChainDecomposition};
+use ursa_graph::dag::NodeId;
+
+/// Options controlling measurement.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MeasureOptions {
+    /// How `Kill()` is selected for register measurement.
+    pub kill_mode: KillMode,
+    /// Use the paper's hammock-nesting-prioritized matching so the
+    /// decomposition is minimal for every nested hammock (§3.1). When
+    /// `false`, a plain maximum matching is used (ablation T7).
+    pub plain_matching: bool,
+}
+
+/// The measured requirement and decomposition for one resource.
+#[derive(Clone, Debug)]
+pub struct ResourceMeasure {
+    /// Requirement vs. capacity.
+    pub requirement: Requirement,
+    /// The minimum chain decomposition that witnessed the requirement.
+    pub decomposition: ChainDecomposition,
+}
+
+/// Requirements for every resource of the machine.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Per-resource measures, in [`ResourceKind::all_for`] order.
+    pub resources: Vec<ResourceMeasure>,
+    /// The kill map used for register measurement (reused by
+    /// transformations).
+    pub kills: KillMap,
+}
+
+impl Measurement {
+    /// Sum of excesses across resources (0 = everything fits).
+    pub fn total_excess(&self) -> u32 {
+        self.resources.iter().map(|r| r.requirement.excess()).sum()
+    }
+
+    /// `true` when no legal schedule can exceed any capacity.
+    pub fn fits(&self) -> bool {
+        self.resources.iter().all(|r| r.requirement.fits())
+    }
+
+    /// The measure for one resource kind.
+    pub fn of(&self, kind: ResourceKind) -> Option<&ResourceMeasure> {
+        self.resources
+            .iter()
+            .find(|r| r.requirement.resource == kind)
+    }
+
+    /// A compact copy of the requirements (no decompositions).
+    pub fn summary(&self) -> MeasurementSummary {
+        MeasurementSummary {
+            requirements: self.resources.iter().map(|r| r.requirement).collect(),
+        }
+    }
+}
+
+/// Requirements only — cheap to store in reports.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MeasurementSummary {
+    /// One entry per machine resource.
+    pub requirements: Vec<Requirement>,
+}
+
+impl MeasurementSummary {
+    /// `true` when every requirement is within its capacity.
+    pub fn fits(&self, machine: &ursa_machine::Machine) -> bool {
+        self.requirements
+            .iter()
+            .all(|r| r.required <= r.resource.capacity(machine))
+    }
+
+    /// The requirement for one resource kind.
+    pub fn of(&self, kind: ResourceKind) -> Option<Requirement> {
+        self.requirements
+            .iter()
+            .copied()
+            .find(|r| r.resource == kind)
+    }
+
+    /// Sum of excesses across resources.
+    pub fn total_excess(&self) -> u32 {
+        self.requirements.iter().map(Requirement::excess).sum()
+    }
+}
+
+impl fmt::Display for MeasurementSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.requirements.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The register `CanReuse` relation (paper §3.2): `b` may take over
+/// `a`'s register exactly when `b` is the chosen kill of `a`'s value or
+/// a descendant of it.
+pub fn can_reuse_reg(ctx: &AllocCtx<'_>, kills: &KillMap, a: NodeId, b: NodeId) -> bool {
+    match kills.kill_of(a) {
+        Some(k) => b == k || ctx.reach().reaches(k, b),
+        None => false,
+    }
+}
+
+/// The functional-unit `CanReuse` relation (paper §3.2): with
+/// non-pipelined units, a dependent instruction can always reuse its
+/// ancestor's unit.
+pub fn can_reuse_fu(ctx: &AllocCtx<'_>, a: NodeId, b: NodeId) -> bool {
+    ctx.reach().reaches(a, b)
+}
+
+/// Measures one resource kind.
+pub fn measure_resource(
+    ctx: &mut AllocCtx<'_>,
+    kills: &KillMap,
+    resource: ResourceKind,
+    options: MeasureOptions,
+) -> ResourceMeasure {
+    let nodes = ctx.resource_nodes(resource);
+    let capacity = resource.capacity(ctx.machine());
+    // Hammock priorities need the (lazily computed) hammock analysis;
+    // compute it before borrowing ctx immutably for the relation.
+    if !options.plain_matching {
+        let _ = ctx.hammocks();
+    }
+    let decomposition = {
+        let ctx_ref: &AllocCtx<'_> = ctx;
+        let mut relation = |a: NodeId, b: NodeId| match resource {
+            ResourceKind::Fu(_) => can_reuse_fu(ctx_ref, a, b),
+            ResourceKind::Registers => can_reuse_reg(ctx_ref, kills, a, b),
+        };
+        if options.plain_matching {
+            decompose_prioritized(&nodes, &mut relation, |_, _| 0)
+        } else {
+            let hammocks = ctx_ref
+                .hammocks_ref()
+                .expect("hammocks computed above");
+            decompose_prioritized(&nodes, &mut relation, |a, b| hammocks.edge_priority(a, b))
+        }
+    };
+    let required = decomposition.num_chains() as u32;
+    ResourceMeasure {
+        requirement: Requirement {
+            resource,
+            capacity,
+            required,
+        },
+        decomposition,
+    }
+}
+
+/// Computes only the requirement *count* of one resource, with a plain
+/// Hopcroft–Karp matching and no hammock analysis. Every maximum
+/// matching has the same cardinality, so the count equals the staged
+/// measurement's; transformations use this for cheap tentative scoring
+/// (§5's "tentatively applied, and the resource requirements … are
+/// measured").
+pub fn requirement_only(
+    ctx: &AllocCtx<'_>,
+    kills: &KillMap,
+    resource: ResourceKind,
+) -> u32 {
+    let nodes = ctx.resource_nodes(resource);
+    let k = nodes.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &a) in nodes.iter().enumerate() {
+        for (j, &b) in nodes.iter().enumerate() {
+            let related = i != j
+                && match resource {
+                    ResourceKind::Fu(_) => can_reuse_fu(ctx, a, b),
+                    ResourceKind::Registers => can_reuse_reg(ctx, kills, a, b),
+                };
+            if related {
+                adj[i].push(j);
+            }
+        }
+    }
+    let m = ursa_graph::matching::hopcroft_karp(k, k, &adj);
+    (k - m.len()) as u32
+}
+
+/// Cheap requirement counts for every machine resource (see
+/// [`requirement_only`]).
+pub fn summary_fast(ctx: &AllocCtx<'_>, kill_mode: KillMode) -> MeasurementSummary {
+    let kills = select_kills(ctx, kill_mode);
+    let requirements = ResourceKind::all_for(ctx.machine())
+        .into_iter()
+        .map(|resource| Requirement {
+            resource,
+            capacity: resource.capacity(ctx.machine()),
+            required: requirement_only(ctx, &kills, resource),
+        })
+        .collect();
+    MeasurementSummary { requirements }
+}
+
+/// Measures every resource of the machine (paper Figure 1, step
+/// "Measure the requirements for both functional units and registers").
+pub fn measure(ctx: &mut AllocCtx<'_>, options: MeasureOptions) -> Measurement {
+    let kills = select_kills(ctx, options.kill_mode);
+    let resources = ResourceKind::all_for(ctx.machine())
+        .into_iter()
+        .map(|r| measure_resource(ctx, &kills, r, options))
+        .collect();
+    Measurement { resources, kills }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_ir::ddg::DependenceDag;
+    use ursa_ir::parser::parse;
+    use ursa_machine::{FuClass, Machine};
+
+    /// The paper's Figure 2 basic block.
+    pub(crate) const FIG2: &str = "\
+        v0 = load a[0]\n\
+        v1 = mul v0, 2\n\
+        v2 = mul v0, 3\n\
+        v3 = add v0, 5\n\
+        v4 = add v1, v2\n\
+        v5 = mul v1, v2\n\
+        v6 = mul v3, 2\n\
+        v7 = div v3, 3\n\
+        v8 = div v4, v5\n\
+        v9 = add v6, v7\n\
+        v10 = add v8, v9\n";
+
+    fn ctx_of(src: &str, machine: Machine) -> AllocCtx<'static> {
+        let p = parse(src).unwrap();
+        let ddg = DependenceDag::from_entry_block(&p);
+        let m: &'static Machine = Box::leak(Box::new(machine));
+        AllocCtx::new(ddg, m)
+    }
+
+    #[test]
+    fn figure2_fu_requirement_is_four() {
+        let mut ctx = ctx_of(FIG2, Machine::homogeneous(8, 16));
+        let m = measure(&mut ctx, MeasureOptions::default());
+        let fu = m.of(ResourceKind::Fu(FuClass::Universal)).unwrap();
+        assert_eq!(fu.requirement.required, 4, "paper: 4 FUs needed");
+        assert!(fu.requirement.fits());
+    }
+
+    #[test]
+    fn figure2_register_requirement_is_five() {
+        let mut ctx = ctx_of(FIG2, Machine::homogeneous(8, 16));
+        let m = measure(&mut ctx, MeasureOptions::default());
+        let regs = m.of(ResourceKind::Registers).unwrap();
+        assert_eq!(
+            regs.requirement.required, 5,
+            "paper: values of B, C, E, G, H alive simultaneously"
+        );
+    }
+
+    #[test]
+    fn figure2_excess_against_small_machine() {
+        let mut ctx = ctx_of(FIG2, Machine::homogeneous(3, 3));
+        let m = measure(&mut ctx, MeasureOptions::default());
+        assert!(!m.fits());
+        assert_eq!(
+            m.of(ResourceKind::Fu(FuClass::Universal))
+                .unwrap()
+                .requirement
+                .excess(),
+            1
+        );
+        assert_eq!(
+            m.of(ResourceKind::Registers).unwrap().requirement.excess(),
+            2
+        );
+        assert_eq!(m.total_excess(), 3);
+    }
+
+    #[test]
+    fn naive_kill_measures_no_more_than_min_cover() {
+        let mut ctx = ctx_of(FIG2, Machine::homogeneous(8, 16));
+        let cover = measure(
+            &mut ctx,
+            MeasureOptions {
+                kill_mode: KillMode::MinCover,
+                plain_matching: false,
+            },
+        );
+        let naive = measure(
+            &mut ctx,
+            MeasureOptions {
+                kill_mode: KillMode::Naive,
+                plain_matching: false,
+            },
+        );
+        let c = cover.of(ResourceKind::Registers).unwrap().requirement.required;
+        let n = naive.of(ResourceKind::Registers).unwrap().requirement.required;
+        assert!(n <= c, "naive {n} must not exceed min-cover {c}");
+    }
+
+    #[test]
+    fn plain_matching_same_global_requirement() {
+        let mut ctx = ctx_of(FIG2, Machine::homogeneous(8, 16));
+        let staged = measure(&mut ctx, MeasureOptions::default());
+        let plain = measure(
+            &mut ctx,
+            MeasureOptions {
+                kill_mode: KillMode::MinCover,
+                plain_matching: true,
+            },
+        );
+        assert_eq!(
+            staged.summary().requirements.iter().map(|r| r.required).collect::<Vec<_>>(),
+            plain.summary().requirements.iter().map(|r| r.required).collect::<Vec<_>>(),
+            "both matchings are maximum, so global requirements agree"
+        );
+    }
+
+    #[test]
+    fn classed_machine_measures_per_class() {
+        let mut ctx = ctx_of(FIG2, Machine::classic_vliw());
+        let m = measure(&mut ctx, MeasureOptions::default());
+        // 4 muls in Figure 2; B, C independent; F, G independent of each
+        // other and of B, C only partially — requirement ≥ 2.
+        let mul = m.of(ResourceKind::Fu(FuClass::Mul)).unwrap();
+        assert!(mul.requirement.required >= 2);
+        let div = m.of(ResourceKind::Fu(FuClass::Div)).unwrap();
+        assert_eq!(div.requirement.required, 2, "H and I are independent");
+        assert_eq!(div.requirement.capacity, 1);
+        assert!(!div.requirement.fits());
+    }
+
+    #[test]
+    fn summary_round_trip() {
+        let machine = Machine::homogeneous(4, 4);
+        let mut ctx = ctx_of(FIG2, machine);
+        let m = measure(&mut ctx, MeasureOptions::default());
+        let s = m.summary();
+        assert_eq!(s.total_excess(), m.total_excess());
+        assert!(!s.fits(ctx.machine()));
+        assert!(s.of(ResourceKind::Registers).is_some());
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn chains_partition_the_producers() {
+        let mut ctx = ctx_of(FIG2, Machine::homogeneous(8, 16));
+        let m = measure(&mut ctx, MeasureOptions::default());
+        let regs = m.of(ResourceKind::Registers).unwrap();
+        let producer_count = ctx.resource_nodes(ResourceKind::Registers).len();
+        assert_eq!(regs.decomposition.node_count(), producer_count);
+    }
+}

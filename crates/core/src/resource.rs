@@ -1,0 +1,134 @@
+//! Resource kinds and measured requirements.
+
+use std::fmt;
+use ursa_machine::{FuClass, Machine};
+
+/// A resource class URSA allocates (paper §2: registers and functional
+/// units are treated uniformly; §5 extends to several classes of each).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ResourceKind {
+    /// Functional units of one class.
+    Fu(FuClass),
+    /// The (single-class) register file.
+    Registers,
+}
+
+impl ResourceKind {
+    /// The number of instances the machine provides.
+    pub fn capacity(self, machine: &Machine) -> u32 {
+        match self {
+            ResourceKind::Fu(class) => machine.fu_count(class),
+            ResourceKind::Registers => machine.registers(),
+        }
+    }
+
+    /// Every resource kind `machine` exposes: one per functional-unit
+    /// class, plus registers.
+    pub fn all_for(machine: &Machine) -> Vec<ResourceKind> {
+        let mut out: Vec<ResourceKind> = machine
+            .fu_classes()
+            .iter()
+            .map(|&(c, _)| ResourceKind::Fu(c))
+            .collect();
+        out.push(ResourceKind::Registers);
+        out
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceKind::Fu(c) => write!(f, "fu:{c}"),
+            ResourceKind::Registers => write!(f, "registers"),
+        }
+    }
+}
+
+/// The measured requirement of one resource kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Requirement {
+    /// The resource measured.
+    pub resource: ResourceKind,
+    /// Instances the machine provides.
+    pub capacity: u32,
+    /// Worst-case instances any legal schedule of the DAG can demand
+    /// (the chain count of the minimum decomposition, Theorem 1).
+    pub required: u32,
+}
+
+impl Requirement {
+    /// Requirement above capacity (0 when the resource fits).
+    pub fn excess(&self) -> u32 {
+        self.required.saturating_sub(self.capacity)
+    }
+
+    /// `true` if no legal schedule can exceed the machine's capacity.
+    pub fn fits(&self) -> bool {
+        self.required <= self.capacity
+    }
+}
+
+impl fmt::Display for Requirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: required {} of {} available",
+            self.resource, self.required, self.capacity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_from_machine() {
+        let m = Machine::homogeneous(4, 8);
+        assert_eq!(ResourceKind::Fu(FuClass::Universal).capacity(&m), 4);
+        assert_eq!(ResourceKind::Registers.capacity(&m), 8);
+        assert_eq!(ResourceKind::Fu(FuClass::Mul).capacity(&m), 0);
+    }
+
+    #[test]
+    fn all_for_lists_every_class_plus_registers() {
+        let m = Machine::classic_vliw();
+        let all = ResourceKind::all_for(&m);
+        assert_eq!(all.len(), 6); // 5 FU classes + registers
+        assert!(all.contains(&ResourceKind::Registers));
+        assert!(all.contains(&ResourceKind::Fu(FuClass::Mem)));
+
+        let h = Machine::homogeneous(2, 4);
+        assert_eq!(ResourceKind::all_for(&h).len(), 2);
+    }
+
+    #[test]
+    fn excess_and_fits() {
+        let r = Requirement {
+            resource: ResourceKind::Registers,
+            capacity: 4,
+            required: 6,
+        };
+        assert_eq!(r.excess(), 2);
+        assert!(!r.fits());
+        let ok = Requirement {
+            resource: ResourceKind::Registers,
+            capacity: 6,
+            required: 4,
+        };
+        assert_eq!(ok.excess(), 0);
+        assert!(ok.fits());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = Requirement {
+            resource: ResourceKind::Fu(FuClass::Alu),
+            capacity: 2,
+            required: 5,
+        };
+        let s = r.to_string();
+        assert!(s.contains("fu:alu"));
+        assert!(s.contains('5'));
+    }
+}

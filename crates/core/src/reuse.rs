@@ -1,0 +1,203 @@
+//! Explicit Reuse DAGs (paper §3, Definition 4).
+//!
+//! The measurement pipeline works directly on the `CanReuse` relation
+//! (the matching is over *all* related pairs, per [FoF65]); this module
+//! materializes the paper's presentation artifact — the Reuse_R DAG,
+//! i.e. the transitive reduction of `CanReuse_R` — for inspection,
+//! visualization and tests. Definition 4's second condition ("eliminates
+//! transitive edges … simplifies later discussions") is exactly a
+//! transitive reduction, which is unique for DAGs.
+
+use crate::ctx::AllocCtx;
+use crate::kill::KillMap;
+use crate::measure::{can_reuse_fu, can_reuse_reg};
+use crate::resource::ResourceKind;
+use ursa_graph::dag::{Dag, EdgeKind, NodeId};
+
+/// The Reuse DAG of one resource: nodes are the resource's consumers
+/// (indexed locally), edges are the non-transitive `CanReuse` pairs.
+#[derive(Clone, Debug)]
+pub struct ReuseDag {
+    /// The resource this DAG describes.
+    pub resource: ResourceKind,
+    /// The reduced graph over local indices `0..nodes.len()`.
+    pub graph: Dag,
+    /// Maps local indices back to dependence-DAG nodes.
+    pub nodes: Vec<NodeId>,
+}
+
+impl ReuseDag {
+    /// The dependence-DAG node behind local index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn original(&self, i: usize) -> NodeId {
+        self.nodes[i]
+    }
+
+    /// Renders the Reuse DAG in Graphviz DOT syntax, labeling nodes with
+    /// a caller-provided printer (e.g. [`ursa_ir::ddg::DependenceDag::describe`]).
+    pub fn to_dot(&self, name: &str, mut label: impl FnMut(NodeId) -> String) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        writeln!(out, "digraph {name} {{").expect("write to string");
+        writeln!(out, "  node [shape=box, fontname=\"monospace\"];").expect("write");
+        for (i, &n) in self.nodes.iter().enumerate() {
+            writeln!(out, "  r{i} [label=\"{}\"];", label(n).replace('"', "'")).expect("write");
+        }
+        for e in self.graph.edges() {
+            writeln!(out, "  r{} -> r{};", e.from.0, e.to.0).expect("write");
+        }
+        writeln!(out, "}}").expect("write");
+        out
+    }
+}
+
+/// Builds the Reuse DAG of `resource` for the current context, using the
+/// given kill map for registers (paper Definition 4: edges are the
+/// `CanReuse` pairs minus transitive ones).
+pub fn reuse_dag(ctx: &AllocCtx<'_>, kills: &KillMap, resource: ResourceKind) -> ReuseDag {
+    let nodes = ctx.resource_nodes(resource);
+    let k = nodes.len();
+    let related = |a: NodeId, b: NodeId| match resource {
+        ResourceKind::Fu(_) => can_reuse_fu(ctx, a, b),
+        ResourceKind::Registers => can_reuse_reg(ctx, kills, a, b),
+    };
+    let mut graph = Dag::new(k);
+    for i in 0..k {
+        for j in 0..k {
+            if i == j || !related(nodes[i], nodes[j]) {
+                continue;
+            }
+            // Condition 2 of Definition 4: drop (i, j) when some c with
+            // CanReuse(i, c) and CanReuse(c, j) exists. CanReuse is
+            // transitive, so this is the standard transitive reduction.
+            let transitive = (0..k).any(|c| {
+                c != i && c != j && related(nodes[i], nodes[c]) && related(nodes[c], nodes[j])
+            });
+            if !transitive {
+                graph.add_edge(NodeId::from(i), NodeId::from(j), EdgeKind::Data);
+            }
+        }
+    }
+    ReuseDag {
+        resource,
+        graph,
+        nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kill::{select_kills, KillMode};
+    use ursa_graph::reach::Reachability;
+    use ursa_ir::ddg::DependenceDag;
+    use ursa_ir::parser::parse;
+    use ursa_machine::{FuClass, Machine};
+
+    const FIG2: &str = "\
+        v0 = load a[0]\n\
+        v1 = mul v0, 2\n\
+        v2 = mul v0, 3\n\
+        v3 = add v0, 5\n\
+        v4 = add v1, v2\n\
+        v5 = mul v1, v2\n\
+        v6 = mul v3, 2\n\
+        v7 = div v3, 3\n\
+        v8 = div v4, v5\n\
+        v9 = add v6, v7\n\
+        v10 = add v8, v9\n";
+
+    fn ctx_of(src: &str) -> AllocCtx<'static> {
+        let p = parse(src).unwrap();
+        let ddg = DependenceDag::from_entry_block(&p);
+        let m: &'static Machine = Box::leak(Box::new(Machine::homogeneous(8, 16)));
+        AllocCtx::new(ddg, m)
+    }
+
+    /// "The DAG in Figure 2(b) is both a program DAG and a Reuse_FU
+    /// DAG" — the FU Reuse DAG of the example has exactly the program's
+    /// data edges.
+    #[test]
+    fn figure2_fu_reuse_dag_is_the_program_dag() {
+        let ctx = ctx_of(FIG2);
+        let kills = select_kills(&ctx, KillMode::MinCover);
+        let r = reuse_dag(&ctx, &kills, ResourceKind::Fu(FuClass::Universal));
+        assert_eq!(r.nodes.len(), 11);
+        // The program DAG has 15 data edges among A..K.
+        assert_eq!(r.graph.edge_count(), 15);
+        // Spot checks: A -> B and E -> I present, A -> E (transitive)
+        // absent. Local index = node id - 2 here (A..K are nodes 2..12).
+        let idx = |letter: u8| (letter - b'A') as usize;
+        assert!(r.graph.has_edge(
+            NodeId::from(idx(b'A')),
+            NodeId::from(idx(b'B'))
+        ));
+        assert!(r.graph.has_edge(
+            NodeId::from(idx(b'E')),
+            NodeId::from(idx(b'I'))
+        ));
+        assert!(!r.graph.has_edge(
+            NodeId::from(idx(b'A')),
+            NodeId::from(idx(b'E'))
+        ));
+    }
+
+    /// The reduction preserves reachability: the Reuse DAG's closure
+    /// equals the original CanReuse relation.
+    #[test]
+    fn reduction_preserves_the_relation() {
+        let ctx = ctx_of(FIG2);
+        let kills = select_kills(&ctx, KillMode::MinCover);
+        for resource in [ResourceKind::Fu(FuClass::Universal), ResourceKind::Registers] {
+            let r = reuse_dag(&ctx, &kills, resource);
+            let closure = Reachability::of(&r.graph);
+            for (i, &a) in r.nodes.iter().enumerate() {
+                for (j, &b) in r.nodes.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let related = match resource {
+                        ResourceKind::Fu(_) => can_reuse_fu(&ctx, a, b),
+                        ResourceKind::Registers => can_reuse_reg(&ctx, &kills, a, b),
+                    };
+                    assert_eq!(
+                        closure.reaches(NodeId::from(i), NodeId::from(j)),
+                        related,
+                        "{resource}: pair ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn register_reuse_dag_chains_match_measurement() {
+        use crate::measure::{measure, MeasureOptions};
+        let mut ctx = ctx_of(FIG2);
+        let m = measure(&mut ctx, MeasureOptions::default());
+        let r = reuse_dag(&ctx, &m.kills, ResourceKind::Registers);
+        // Width of the Reuse DAG = measured requirement (Theorem 1).
+        let closure = Reachability::of(&r.graph);
+        let locals: Vec<NodeId> = r.graph.nodes().collect();
+        let anti =
+            ursa_graph::chains::max_antichain(&locals, |a, b| closure.reaches(a, b));
+        assert_eq!(
+            anti.len() as u32,
+            m.of(ResourceKind::Registers).unwrap().requirement.required
+        );
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let ctx = ctx_of(FIG2);
+        let kills = select_kills(&ctx, KillMode::MinCover);
+        let r = reuse_dag(&ctx, &kills, ResourceKind::Fu(FuClass::Universal));
+        let dot = r.to_dot("reuse_fu", |n| ctx.ddg().describe(n));
+        assert!(dot.starts_with("digraph reuse_fu {"));
+        assert!(dot.contains("load"));
+        assert_eq!(dot.matches(" -> ").count(), r.graph.edge_count());
+    }
+}

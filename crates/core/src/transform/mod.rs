@@ -1,0 +1,54 @@
+//! Resource-requirement reduction transformations (paper §4).
+//!
+//! All three transformations operate on the same DAG and can be applied
+//! in any order or in an integrated manner (§5):
+//!
+//! * [`fu_seq`] — adds sequence edges between independent chains to
+//!   remove excess instruction parallelism (§4.1).
+//! * [`reg_seq`] — delays a nonsupporting sub-DAG until the values of
+//!   another sub-DAG die, splitting the hammock into stages (§4.2).
+//! * [`spill`] — stores a value early and reloads it once registers are
+//!   available again; always applicable (§4.3).
+
+pub mod fu_seq;
+pub mod reg_seq;
+pub mod spill;
+
+use std::fmt;
+use ursa_graph::dag::NodeId;
+
+/// Why a transformation could not be applied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransformError {
+    /// No legal source/sink pair (or victim) exists for this excessive
+    /// set; the caller should try another transformation.
+    NoCandidate(&'static str),
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::NoCandidate(what) => {
+                write!(f, "no applicable candidate: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// What a transformation did to the DAG.
+#[derive(Clone, Debug, Default)]
+pub struct TransformReport {
+    /// Sequence edges inserted.
+    pub edges_added: Vec<(NodeId, NodeId)>,
+    /// Spilled values with their store/reload node pairs.
+    pub spills: Vec<(NodeId, ursa_ir::ddg::SpillPair)>,
+}
+
+impl TransformReport {
+    /// `true` if the transformation changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.edges_added.is_empty() && self.spills.is_empty()
+    }
+}

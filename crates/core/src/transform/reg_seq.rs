@@ -1,0 +1,367 @@
+//! Register sequentialization (paper §4.2).
+//!
+//! Unlike a functional unit, a register stays busy from its value's
+//! definition until the kill executes, so delaying instructions only
+//! helps if the *values* of the first stage die before the second stage
+//! starts — "values which are alive during the execution of instructions
+//! that are not delayed contribute to the resource requirements". In the
+//! worked example, delaying G and H until after I (the kill of E and F)
+//! reduces the requirement from five to four, while delaying F (a killer
+//! of B and C) would merely extend B's and C's lifetimes.
+//!
+//! The implementation therefore anchors the stage split at a *kill
+//! point*: for every candidate kill node `s` of the excessive set's
+//! values, the chains whose heads can legally move after `s` form SD2;
+//! the split is tentatively applied and re-measured, and the best
+//! candidate (fewest registers, then shortest critical path) is kept —
+//! the tentative-evaluation discipline §5 prescribes.
+
+use crate::ctx::AllocCtx;
+use crate::excess::ExcessiveChainSet;
+use crate::kill::{select_kills, KillMap};
+use crate::measure::{requirement_only, MeasureOptions};
+use crate::resource::ResourceKind;
+use crate::transform::{TransformError, TransformReport};
+use ursa_graph::bitset::BitSet;
+use ursa_graph::dag::NodeId;
+
+/// Upper bound on stage-boundary candidates evaluated per application
+/// (each costs a tentative re-measurement).
+pub(crate) const MAX_BOUNDARIES: usize = 8;
+
+/// Keeps the `MAX_BOUNDARIES` most promising boundaries: those chosen
+/// as the kill of the most excessive-set values.
+pub(crate) fn cap_boundaries(
+    _ctx: &AllocCtx<'_>,
+    kills: &KillMap,
+    excess_set: &ExcessiveChainSet,
+    boundaries: &mut Vec<NodeId>,
+) {
+    if boundaries.len() <= MAX_BOUNDARIES {
+        return;
+    }
+    let mut scored: Vec<(usize, NodeId)> = boundaries
+        .iter()
+        .map(|&b| {
+            let ends = excess_set
+                .nodes()
+                .filter(|&n| kills.kill_of(n) == Some(b))
+                .count();
+            (ends, b)
+        })
+        .collect();
+    scored.sort_by_key(|&(ends, b)| (std::cmp::Reverse(ends), b));
+    *boundaries = scored
+        .into_iter()
+        .take(MAX_BOUNDARIES)
+        .map(|(_, b)| b)
+        .collect();
+}
+
+/// The stage split produced by a register sequentialization
+/// (Definition 8).
+#[derive(Clone, Debug)]
+pub struct Stages {
+    /// Ancestors of SD2's roots (including SD1 and everything feeding it).
+    pub stage1: BitSet,
+    /// SD2's roots and all their descendants.
+    pub stage2: BitSet,
+}
+
+/// Computes the Definition 8 stages for a set of delayed roots.
+pub fn stages(ctx: &AllocCtx<'_>, sd2_roots: &[NodeId]) -> Stages {
+    let n = ctx.ddg().dag().node_count();
+    let mut stage1 = BitSet::new(n);
+    let mut stage2 = BitSet::new(n);
+    for &r in sd2_roots {
+        stage1.union_with(&ctx.reach().ancestors(r));
+        stage2.insert(r.index());
+        stage2.union_with(&ctx.reach().descendants(r));
+    }
+    Stages { stage1, stage2 }
+}
+
+/// Delays a nonsupporting sub-DAG of `excess_set` behind the kill point
+/// that best reduces the register requirement.
+///
+/// # Errors
+///
+/// [`TransformError::NoCandidate`] when no stage boundary reduces the
+/// requirement — e.g. every kill point is the exit node, or every legal
+/// delay merely extends other live ranges. The caller should fall back
+/// to [`crate::transform::spill`], which is always applicable (§4.3).
+pub fn sequentialize_registers(
+    ctx: &mut AllocCtx<'_>,
+    excess_set: &ExcessiveChainSet,
+    kills: &KillMap,
+    options: MeasureOptions,
+) -> Result<TransformReport, TransformError> {
+    let capacity = excess_set.resource.capacity(ctx.machine());
+    if excess_set.excess_over(capacity) == 0 {
+        return Err(TransformError::NoCandidate("no excess to remove"));
+    }
+    let required_before = excess_set.chains.len() as u32;
+    let exit = ctx.ddg().exit();
+
+    // Candidate stage boundaries: the kill points of the excessive
+    // set's values (head and tail of each subchain), except the exit.
+    let mut boundaries: Vec<NodeId> = Vec::new();
+    for chain in &excess_set.chains {
+        for node in [chain[0], *chain.last().expect("nonempty")] {
+            if let Some(k) = kills.kill_of(node) {
+                if k != exit && !boundaries.contains(&k) {
+                    boundaries.push(k);
+                }
+            }
+        }
+    }
+    if boundaries.is_empty() {
+        return Err(TransformError::NoCandidate(
+            "every value of the excessive set lives to the exit",
+        ));
+    }
+    // Cap the candidate boundaries (each costs a tentative re-measure);
+    // kill points that end the most chains come first.
+    cap_boundaries(ctx, kills, excess_set, &mut boundaries);
+
+    let heads: Vec<NodeId> = excess_set.heads();
+    let mut best: Option<(u32, u64, Vec<(NodeId, NodeId)>)> = None;
+    for &s in &boundaries {
+        // SD2: chains whose heads can execute after `s`.
+        let delayed: Vec<NodeId> = heads
+            .iter()
+            .copied()
+            .filter(|&h| h != s && !ctx.reach().reaches(h, s))
+            .collect();
+        if delayed.is_empty() || delayed.len() == heads.len() {
+            continue; // both stages must be nonempty
+        }
+        let edges: Vec<(NodeId, NodeId)> = delayed
+            .iter()
+            .copied()
+            .filter(|&h| !ctx.reach().reaches(s, h))
+            .map(|h| (s, h))
+            .collect();
+        if edges.is_empty() {
+            continue; // split already implied; no schedule removed
+        }
+        // Tentatively apply and re-measure registers only (fast
+        // matching — only the count matters for scoring).
+        let mut trial = ctx.clone();
+        for &(a, b) in &edges {
+            trial.add_sequence_edge(a, b);
+        }
+        let trial_kills = select_kills(&trial, options.kill_mode);
+        let required = requirement_only(&trial, &trial_kills, ResourceKind::Registers);
+        let cp = trial.critical_path();
+        // Reducing below capacity buys nothing; don't pay critical path
+        // for it.
+        if best
+            .as_ref()
+            .map_or(true, |&(br, bcp, _)| (required.max(capacity), cp) < (br.max(capacity), bcp))
+        {
+            best = Some((required, cp, edges));
+        }
+    }
+
+    match best {
+        Some((required_after, _, edges)) if required_after < required_before => {
+            let mut report = TransformReport::default();
+            for (a, b) in edges {
+                ctx.add_sequence_edge(a, b);
+                report.edges_added.push((a, b));
+            }
+            Ok(report)
+        }
+        // No boundary split helps (already-serialized DAGs, interleaved
+        // kills): fall back to direct lifetime staggering.
+        _ => stagger_lifetimes(ctx, excess_set, kills, options),
+    }
+}
+
+/// Last-resort register sequencing: pick pairs `(u, v)` of excessive
+/// values and sequence `kill(u) → v`, so `v`'s value can take over
+/// `u`'s register — the pairwise core of the paper's transformation,
+/// applied without requiring a whole nonsupporting sub-DAG. The round
+/// is applied tentatively and kept only if the measured requirement
+/// falls.
+fn stagger_lifetimes(
+    ctx: &mut AllocCtx<'_>,
+    excess_set: &ExcessiveChainSet,
+    kills: &KillMap,
+    options: MeasureOptions,
+) -> Result<TransformReport, TransformError> {
+    let capacity = excess_set.resource.capacity(ctx.machine());
+    let required_before = excess_set.chains.len() as u32;
+    let x = excess_set.excess_over(capacity) as usize;
+    let exit = ctx.ddg().exit();
+
+    let members: Vec<NodeId> = excess_set.heads();
+    let mut trial = ctx.clone();
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut used_source = Vec::new();
+    let mut used_target = Vec::new();
+    for _ in 0..x.max(1) {
+        let mut best: Option<(u64, NodeId, NodeId, NodeId)> = None; // (cost, k, u, v)
+        for &u in &members {
+            if used_source.contains(&u) {
+                continue;
+            }
+            let Some(k) = kills.kill_of(u) else { continue };
+            if k == exit {
+                continue;
+            }
+            for &v in &members {
+                if v == u
+                    || used_target.contains(&v)
+                    || trial.reach().reaches(k, v)
+                    || trial.would_cycle(k, v)
+                {
+                    continue;
+                }
+                let cost = trial.levels().asap(k)
+                    + trial.latency(k)
+                    + (trial.critical_path() - trial.levels().alap(v));
+                if best.map_or(true, |b| (b.0, b.1, b.2) > (cost, k, v)) {
+                    best = Some((cost, k, u, v));
+                }
+            }
+        }
+        let Some((_, k, u, v)) = best else { break };
+        trial.add_sequence_edge(k, v);
+        edges.push((k, v));
+        used_source.push(u);
+        used_target.push(v);
+    }
+    if edges.is_empty() {
+        return Err(TransformError::NoCandidate(
+            "no lifetime pair can be staggered",
+        ));
+    }
+    let trial_kills = select_kills(&trial, options.kill_mode);
+    let required_after = requirement_only(&trial, &trial_kills, ResourceKind::Registers);
+    if required_after >= required_before {
+        return Err(TransformError::NoCandidate(
+            "staggering does not reduce the requirement either",
+        ));
+    }
+    let mut report = TransformReport::default();
+    report.edges_added = edges;
+    *ctx = trial;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::excess::find_excessive;
+    use crate::measure::{measure, MeasureOptions};
+    use crate::resource::ResourceKind;
+    use ursa_ir::ddg::DependenceDag;
+    use ursa_ir::parser::parse;
+    use ursa_machine::Machine;
+
+    const FIG2: &str = "\
+        v0 = load a[0]\n\
+        v1 = mul v0, 2\n\
+        v2 = mul v0, 3\n\
+        v3 = add v0, 5\n\
+        v4 = add v1, v2\n\
+        v5 = mul v1, v2\n\
+        v6 = mul v3, 2\n\
+        v7 = div v3, 3\n\
+        v8 = div v4, v5\n\
+        v9 = add v6, v7\n\
+        v10 = add v8, v9\n";
+
+    fn ctx_of(src: &str, machine: Machine) -> AllocCtx<'static> {
+        let p = parse(src).unwrap();
+        let ddg = DependenceDag::from_entry_block(&p);
+        let m: &'static Machine = Box::leak(Box::new(machine));
+        AllocCtx::new(ddg, m)
+    }
+
+    fn reg_requirement(ctx: &mut AllocCtx<'_>) -> u32 {
+        let m = measure(ctx, MeasureOptions::default());
+        m.of(ResourceKind::Registers).unwrap().requirement.required
+    }
+
+    /// Figure 3(b): delaying the late sub-DAG reduces registers 5 → 4.
+    #[test]
+    fn figure3b_five_to_four() {
+        let mut ctx = ctx_of(FIG2, Machine::homogeneous(8, 4));
+        assert_eq!(reg_requirement(&mut ctx), 5);
+        let m = measure(&mut ctx, MeasureOptions::default());
+        let regs = m.of(ResourceKind::Registers).unwrap().clone();
+        let ex = find_excessive(&mut ctx, &regs, &m.kills).unwrap();
+        let report =
+            sequentialize_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default()).unwrap();
+        assert!(!report.edges_added.is_empty());
+        assert_eq!(reg_requirement(&mut ctx), 4, "paper: exactly 5 → 4");
+        assert!(ctx.ddg().dag().is_acyclic());
+    }
+
+    #[test]
+    fn stages_partition_around_roots() {
+        let mut ctx = ctx_of(FIG2, Machine::homogeneous(8, 4));
+        let m = measure(&mut ctx, MeasureOptions::default());
+        let regs = m.of(ResourceKind::Registers).unwrap().clone();
+        let ex = find_excessive(&mut ctx, &regs, &m.kills).unwrap();
+        let report =
+            sequentialize_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default()).unwrap();
+        let roots: Vec<NodeId> = report.edges_added.iter().map(|&(_, r)| r).collect();
+        let st = stages(&ctx, &roots);
+        for &r in &roots {
+            assert!(st.stage2.contains(r.index()));
+            assert!(!st.stage1.contains(r.index()));
+        }
+        assert!(st.stage2.contains(ctx.ddg().exit().index()));
+        assert!(st.stage1.contains(ctx.ddg().entry().index()));
+    }
+
+    #[test]
+    fn all_edges_share_one_boundary_source() {
+        let mut ctx = ctx_of(FIG2, Machine::homogeneous(8, 4));
+        let m = measure(&mut ctx, MeasureOptions::default());
+        let regs = m.of(ResourceKind::Registers).unwrap().clone();
+        let ex = find_excessive(&mut ctx, &regs, &m.kills).unwrap();
+        let report =
+            sequentialize_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default()).unwrap();
+        let sources: Vec<NodeId> = report.edges_added.iter().map(|&(s, _)| s).collect();
+        assert!(
+            sources.windows(2).all(|w| w[0] == w[1]),
+            "one kill point anchors the split: {sources:?}"
+        );
+    }
+
+    #[test]
+    fn live_to_exit_values_cannot_be_sequenced() {
+        // Values never used: all killed at the exit → no boundary.
+        let mut ctx = ctx_of(
+            "v0 = const 1\nv1 = const 2\nv2 = const 3\n",
+            Machine::homogeneous(8, 2),
+        );
+        let m = measure(&mut ctx, MeasureOptions::default());
+        let regs = m.of(ResourceKind::Registers).unwrap().clone();
+        let ex = find_excessive(&mut ctx, &regs, &m.kills).unwrap();
+        let err = sequentialize_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, TransformError::NoCandidate(_)));
+    }
+
+    #[test]
+    fn rejects_splits_that_do_not_reduce() {
+        // Two values consumed by one shared use: width 2 cannot drop to
+        // 1 by sequencing (both feed the same instruction).
+        let mut ctx = ctx_of(
+            "v0 = const 1\nv1 = const 2\nv2 = add v0, v1\nstore a[0], v2\n",
+            Machine::homogeneous(8, 1),
+        );
+        let m = measure(&mut ctx, MeasureOptions::default());
+        let regs = m.of(ResourceKind::Registers).unwrap().clone();
+        if let Some(ex) = find_excessive(&mut ctx, &regs, &m.kills) {
+            let r = sequentialize_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default());
+            assert!(r.is_err(), "both operands must be live together: {r:?}");
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Dominators, postdominators and hammock (single-entry/single-exit
+//! region) analysis.
+//!
+//! URSA localizes excessive resource requirements to *hammocks* (paper
+//! §3.1): regions with a unique entry and exit such that no instruction
+//! outside the region matters when transforming it. Because the trace DAG
+//! is given a synthetic single root and leaf, the whole DAG is itself a
+//! hammock, and nested hammocks form a hierarchy. The paper's modified
+//! matching algorithm prioritizes bipartite edges by the difference in
+//! hammock nesting level between their endpoints so the chain
+//! decomposition is minimal for *every* nested hammock, not only the
+//! outermost one.
+
+use crate::bitset::{BitMatrix, BitSet};
+use crate::dag::{Dag, NodeId};
+use std::fmt;
+
+/// Errors from [`HammockAnalysis::analyze`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalyzeHammockError {
+    /// The graph does not have exactly one root (entry) node.
+    RootNotUnique(usize),
+    /// The graph does not have exactly one leaf (exit) node.
+    LeafNotUnique(usize),
+    /// The graph contains a cycle.
+    Cyclic,
+}
+
+impl fmt::Display for AnalyzeHammockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeHammockError::RootNotUnique(n) => {
+                write!(f, "hammock analysis requires exactly one root, found {n}")
+            }
+            AnalyzeHammockError::LeafNotUnique(n) => {
+                write!(f, "hammock analysis requires exactly one leaf, found {n}")
+            }
+            AnalyzeHammockError::Cyclic => write!(f, "graph contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeHammockError {}
+
+/// Immediate-dominator computation (Cooper–Harvey–Kennedy iterative
+/// scheme) for a rooted DAG. Returns `idom[v]`, with `idom[root] = root`.
+/// Unreachable nodes get `None`.
+pub fn immediate_dominators(g: &Dag, root: NodeId) -> Vec<Option<NodeId>> {
+    let n = g.node_count();
+    // Reverse postorder from root.
+    let mut rpo = Vec::with_capacity(n);
+    let mut visited = BitSet::new(n);
+    // Iterative post-order DFS.
+    let mut stack = vec![(root, false)];
+    while let Some((v, processed)) = stack.pop() {
+        if processed {
+            rpo.push(v);
+            continue;
+        }
+        if !visited.insert(v.index()) {
+            continue;
+        }
+        stack.push((v, true));
+        for s in g.succs(v) {
+            if !visited.contains(s.index()) {
+                stack.push((s, false));
+            }
+        }
+    }
+    rpo.reverse();
+    let mut rpo_number = vec![usize::MAX; n];
+    for (i, &v) in rpo.iter().enumerate() {
+        rpo_number[v.index()] = i;
+    }
+
+    let mut idom: Vec<Option<NodeId>> = vec![None; n];
+    idom[root.index()] = Some(root);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &v in &rpo {
+            if v == root {
+                continue;
+            }
+            let mut new_idom: Option<NodeId> = None;
+            for p in g.preds(v) {
+                if idom[p.index()].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(cur, p, &idom, &rpo_number),
+                });
+            }
+            if new_idom != idom[v.index()] {
+                idom[v.index()] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+fn intersect(
+    mut a: NodeId,
+    mut b: NodeId,
+    idom: &[Option<NodeId>],
+    rpo_number: &[usize],
+) -> NodeId {
+    while a != b {
+        while rpo_number[a.index()] > rpo_number[b.index()] {
+            a = idom[a.index()].expect("walk stays within dominated region");
+        }
+        while rpo_number[b.index()] > rpo_number[a.index()] {
+            b = idom[b.index()].expect("walk stays within dominated region");
+        }
+    }
+    a
+}
+
+/// Hammock structure of a single-root, single-leaf DAG.
+///
+/// # Examples
+///
+/// ```
+/// use ursa_graph::dag::{Dag, EdgeKind, NodeId};
+/// use ursa_graph::hammock::HammockAnalysis;
+///
+/// // entry(0) -> {1, 2} -> join(3) -> exit(4): the diamond 0..=3 and the
+/// // whole graph are hammocks.
+/// let mut g = Dag::new(5);
+/// for (a, b) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)] {
+///     g.add_edge(NodeId(a), NodeId(b), EdgeKind::Data);
+/// }
+/// let h = HammockAnalysis::analyze(&g).unwrap();
+/// assert!(h.pairs().contains(&(NodeId(0), NodeId(3))));
+/// assert!(h.nesting(NodeId(1)) > h.nesting(NodeId(4)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct HammockAnalysis {
+    root: NodeId,
+    leaf: NodeId,
+    /// `dom.get(x, u)` ⇔ `u` dominates `x` (reflexive).
+    dom: BitMatrix,
+    /// `pdom.get(x, v)` ⇔ `v` postdominates `x` (reflexive).
+    pdom: BitMatrix,
+    nesting: Vec<u32>,
+    pairs: Vec<(NodeId, NodeId)>,
+}
+
+impl HammockAnalysis {
+    /// Analyzes `g`, which must be acyclic with exactly one root and one
+    /// leaf.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AnalyzeHammockError`] when the shape requirements are
+    /// not met.
+    pub fn analyze(g: &Dag) -> Result<Self, AnalyzeHammockError> {
+        if !g.is_acyclic() {
+            return Err(AnalyzeHammockError::Cyclic);
+        }
+        let roots = g.roots();
+        let [root] = roots[..] else {
+            return Err(AnalyzeHammockError::RootNotUnique(roots.len()));
+        };
+        let leaves = g.leaves();
+        let [leaf] = leaves[..] else {
+            return Err(AnalyzeHammockError::LeafNotUnique(leaves.len()));
+        };
+        let n = g.node_count();
+
+        let idom = immediate_dominators(g, root);
+        let reversed = reverse(g);
+        let ipdom = immediate_dominators(&reversed, leaf);
+
+        let dom = dominance_matrix(&idom, n);
+        let pdom = dominance_matrix(&ipdom, n);
+
+        // Hammock (entry, exit) pairs: entry dominates exit and exit
+        // postdominates entry (and both are reachable / co-reachable,
+        // which single root+leaf guarantees here).
+        let mut pairs = Vec::new();
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && dom.get(v, u) && pdom.get(u, v) {
+                    pairs.push((NodeId::from(u), NodeId::from(v)));
+                }
+            }
+        }
+
+        // Nesting level of x = number of hammock regions strictly
+        // containing x as an interior node.
+        let mut nesting = vec![0u32; n];
+        for &(u, v) in &pairs {
+            for x in 0..n {
+                if x != u.index() && x != v.index() && dom.get(x, u.index()) && pdom.get(x, v.index())
+                {
+                    nesting[x] += 1;
+                }
+            }
+        }
+
+        Ok(HammockAnalysis {
+            root,
+            leaf,
+            dom,
+            pdom,
+            nesting,
+            pairs,
+        })
+    }
+
+    /// The unique entry node of the DAG.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The unique exit node of the DAG.
+    pub fn leaf(&self) -> NodeId {
+        self.leaf
+    }
+
+    /// `true` if `u` dominates `x` (reflexively).
+    pub fn dominates(&self, u: NodeId, x: NodeId) -> bool {
+        self.dom.get(x.index(), u.index())
+    }
+
+    /// `true` if `v` postdominates `x` (reflexively).
+    pub fn postdominates(&self, v: NodeId, x: NodeId) -> bool {
+        self.pdom.get(x.index(), v.index())
+    }
+
+    /// Hammock nesting level of `x` (0 = only inside the whole-DAG
+    /// hammock's boundary or outside every proper region).
+    pub fn nesting(&self, x: NodeId) -> u32 {
+        self.nesting[x.index()]
+    }
+
+    /// The paper's bipartite edge priority: the difference in nesting
+    /// level between the endpoints (0 = the edge does not cross a
+    /// hammock boundary).
+    pub fn edge_priority(&self, a: NodeId, b: NodeId) -> u32 {
+        self.nesting(a).abs_diff(self.nesting(b))
+    }
+
+    /// All hammock `(entry, exit)` pairs, including the whole DAG.
+    pub fn pairs(&self) -> &[(NodeId, NodeId)] {
+        &self.pairs
+    }
+
+    /// Every node of the hammock `(entry, exit)`, boundary included.
+    pub fn region(&self, entry: NodeId, exit: NodeId) -> BitSet {
+        let n = self.nesting.len();
+        let mut out = BitSet::new(n);
+        for x in 0..n {
+            if self.dom.get(x, entry.index()) && self.pdom.get(x, exit.index()) {
+                out.insert(x);
+            }
+        }
+        out
+    }
+
+    /// The smallest hammock whose region contains every node of `nodes`;
+    /// falls back to the whole-DAG hammock. Returns the pair and region.
+    pub fn innermost_containing(&self, nodes: &BitSet) -> ((NodeId, NodeId), BitSet) {
+        let mut best: Option<((NodeId, NodeId), BitSet)> = None;
+        for &(u, v) in &self.pairs {
+            let region = self.region(u, v);
+            if nodes.is_subset(&region) {
+                let better = match &best {
+                    None => true,
+                    Some((_, r)) => region.len() < r.len(),
+                };
+                if better {
+                    best = Some(((u, v), region));
+                }
+            }
+        }
+        best.unwrap_or_else(|| {
+            let region = self.region(self.root, self.leaf);
+            ((self.root, self.leaf), region)
+        })
+    }
+}
+
+fn reverse(g: &Dag) -> Dag {
+    let mut r = Dag::new(g.node_count());
+    for e in g.edges() {
+        r.add_edge(e.to, e.from, e.kind);
+    }
+    r
+}
+
+fn dominance_matrix(idom: &[Option<NodeId>], n: usize) -> BitMatrix {
+    // dom.get(x, u) = u dominates x; computed by walking the idom chain.
+    let mut dom = BitMatrix::new(n);
+    for x in 0..n {
+        let mut cur = NodeId::from(x);
+        loop {
+            dom.set(x, cur.index());
+            match idom[cur.index()] {
+                Some(p) if p != cur => cur = p,
+                _ => break,
+            }
+        }
+    }
+    dom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::EdgeKind;
+
+    fn build(n: usize, edges: &[(u32, u32)]) -> Dag {
+        let mut g = Dag::new(n);
+        for &(a, b) in edges {
+            g.add_edge(NodeId(a), NodeId(b), EdgeKind::Data);
+        }
+        g
+    }
+
+    /// entry(0) -> inner diamond (1..=4) -> exit(5), with an outer
+    /// diamond 0 -> 6 -> 5 bypass.
+    fn nested() -> Dag {
+        build(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (1, 3),
+                (2, 4),
+                (3, 4),
+                (4, 5),
+                (0, 6),
+                (6, 5),
+            ],
+        )
+    }
+
+    #[test]
+    fn idom_of_diamond() {
+        let g = build(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let idom = immediate_dominators(&g, NodeId(0));
+        assert_eq!(idom[0], Some(NodeId(0)));
+        assert_eq!(idom[1], Some(NodeId(0)));
+        assert_eq!(idom[2], Some(NodeId(0)));
+        assert_eq!(idom[3], Some(NodeId(0)), "join dominated by fork, not arms");
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_idom() {
+        let mut g = build(2, &[(0, 1)]);
+        let _island = g.add_node();
+        let idom = immediate_dominators(&g, NodeId(0));
+        assert_eq!(idom[2], None);
+    }
+
+    #[test]
+    fn whole_dag_is_a_hammock() {
+        let g = build(3, &[(0, 1), (1, 2)]);
+        let h = HammockAnalysis::analyze(&g).unwrap();
+        assert!(h.pairs().contains(&(NodeId(0), NodeId(2))));
+        assert_eq!(h.root(), NodeId(0));
+        assert_eq!(h.leaf(), NodeId(2));
+    }
+
+    #[test]
+    fn nested_hammock_detected_and_nesting_increases() {
+        let g = nested();
+        let h = HammockAnalysis::analyze(&g).unwrap();
+        // Inner diamond 1..4 is a hammock.
+        assert!(h.pairs().contains(&(NodeId(1), NodeId(4))));
+        // Arms of the inner diamond are more deeply nested than node 6.
+        assert!(h.nesting(NodeId(2)) > h.nesting(NodeId(6)));
+        // Edge inside the inner diamond has priority 0.
+        assert_eq!(h.edge_priority(NodeId(2), NodeId(3)), 0);
+        // Edge from deep inside to the exit crosses boundaries.
+        assert!(h.edge_priority(NodeId(2), NodeId(5)) > 0);
+    }
+
+    #[test]
+    fn region_of_inner_hammock() {
+        let g = nested();
+        let h = HammockAnalysis::analyze(&g).unwrap();
+        let region = h.region(NodeId(1), NodeId(4));
+        assert_eq!(region.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn innermost_containing_picks_smallest() {
+        let g = nested();
+        let h = HammockAnalysis::analyze(&g).unwrap();
+        let mut nodes = BitSet::new(7);
+        nodes.insert(2);
+        nodes.insert(3);
+        let ((entry, exit), region) = h.innermost_containing(&nodes);
+        assert_eq!((entry, exit), (NodeId(1), NodeId(4)));
+        assert_eq!(region.len(), 4);
+    }
+
+    #[test]
+    fn multi_root_rejected() {
+        let g = build(3, &[(0, 2), (1, 2)]);
+        assert_eq!(
+            HammockAnalysis::analyze(&g).err(),
+            Some(AnalyzeHammockError::RootNotUnique(2))
+        );
+    }
+
+    #[test]
+    fn multi_leaf_rejected() {
+        let g = build(3, &[(0, 1), (0, 2)]);
+        assert_eq!(
+            HammockAnalysis::analyze(&g).err(),
+            Some(AnalyzeHammockError::LeafNotUnique(2))
+        );
+    }
+
+    #[test]
+    fn dominance_queries() {
+        let g = nested();
+        let h = HammockAnalysis::analyze(&g).unwrap();
+        assert!(h.dominates(NodeId(1), NodeId(4)));
+        assert!(h.dominates(NodeId(4), NodeId(4)), "dominance is reflexive");
+        assert!(!h.dominates(NodeId(2), NodeId(4)));
+        assert!(h.postdominates(NodeId(4), NodeId(1)));
+        assert!(!h.postdominates(NodeId(2), NodeId(1)));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = AnalyzeHammockError::RootNotUnique(3);
+        assert!(e.to_string().contains("exactly one root"));
+    }
+}

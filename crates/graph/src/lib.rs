@@ -1,0 +1,50 @@
+//! Graph substrate for the URSA reproduction.
+//!
+//! Everything URSA does happens on a dependence DAG and its derived
+//! structures. This crate holds the program-agnostic machinery:
+//!
+//! * [`bitset`] — dense bit sets and bit matrices.
+//! * [`dag`] — DAGs with typed edges (data / memory / control / sequence).
+//! * [`reach`] — materialized transitive closure with incremental update.
+//! * [`order`] — ASAP/ALAP levels and critical-path length.
+//! * [`matching`] — maximum bipartite matching (Hopcroft–Karp and the
+//!   paper's staged, priority-tiered Kuhn variant).
+//! * [`chains`] — minimum chain decomposition via Dilworth's theorem.
+//! * [`hammock`] — dominators, postdominators, and single-entry /
+//!   single-exit (hammock) region structure with nesting levels.
+//!
+//! # Examples
+//!
+//! Measuring the width (maximum parallelism) of a small DAG:
+//!
+//! ```
+//! use ursa_graph::chains::decompose;
+//! use ursa_graph::dag::{Dag, EdgeKind, NodeId};
+//! use ursa_graph::reach::Reachability;
+//!
+//! let mut g = Dag::new(4);
+//! g.add_edge(NodeId(0), NodeId(1), EdgeKind::Data);
+//! g.add_edge(NodeId(0), NodeId(2), EdgeKind::Data);
+//! g.add_edge(NodeId(1), NodeId(3), EdgeKind::Data);
+//! g.add_edge(NodeId(2), NodeId(3), EdgeKind::Data);
+//! let reach = Reachability::of(&g);
+//! let nodes: Vec<NodeId> = g.nodes().collect();
+//! let decomposition = decompose(&nodes, |a, b| reach.reaches(a, b));
+//! assert_eq!(decomposition.num_chains(), 2); // the two diamond arms
+//! ```
+
+pub mod bitset;
+pub mod chains;
+pub mod dag;
+pub mod hammock;
+pub mod matching;
+pub mod order;
+pub mod reach;
+
+pub use bitset::{BitMatrix, BitSet};
+pub use chains::ChainDecomposition;
+pub use dag::{Dag, Edge, EdgeKind, NodeId};
+pub use hammock::HammockAnalysis;
+pub use matching::Matching;
+pub use order::Levels;
+pub use reach::Reachability;

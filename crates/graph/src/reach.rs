@@ -1,0 +1,248 @@
+//! Reachability (transitive closure) over a DAG.
+//!
+//! URSA's partial order ≤ is the reachability relation of the trace DAG
+//! (paper §3): two nodes are *independent* — may execute in parallel —
+//! exactly when neither reaches the other. Measurement, excessive chain
+//! set trimming, and every transformation all query this relation, so we
+//! materialize it as a pair of bit matrices (descendants and ancestors)
+//! and update it incrementally when sequence edges are added.
+
+use crate::bitset::{BitMatrix, BitSet};
+use crate::dag::{Dag, NodeId};
+
+/// Materialized transitive closure of a [`Dag`].
+///
+/// # Examples
+///
+/// ```
+/// use ursa_graph::dag::{Dag, EdgeKind, NodeId};
+/// use ursa_graph::reach::Reachability;
+///
+/// let mut g = Dag::new(3);
+/// g.add_edge(NodeId(0), NodeId(1), EdgeKind::Data);
+/// g.add_edge(NodeId(1), NodeId(2), EdgeKind::Data);
+/// let r = Reachability::of(&g);
+/// assert!(r.reaches(NodeId(0), NodeId(2)));
+/// assert!(!r.reaches(NodeId(2), NodeId(0)));
+/// assert!(!r.independent(NodeId(0), NodeId(2)));
+/// ```
+#[derive(Clone)]
+pub struct Reachability {
+    /// `desc.get(a, b)` ⇔ there is a nonempty path a → b.
+    desc: BitMatrix,
+    /// `anc.get(b, a)` ⇔ there is a nonempty path a → b (transpose of `desc`).
+    anc: BitMatrix,
+}
+
+impl Reachability {
+    /// Computes the closure of `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has a cycle.
+    pub fn of(g: &Dag) -> Self {
+        let n = g.node_count();
+        let order = g.topo_order().expect("reachability requires an acyclic graph");
+        let mut desc = BitMatrix::new(n);
+        // Reverse topological order: successors are finished first.
+        for &v in order.iter().rev() {
+            // Collect successor indices first to avoid borrowing issues.
+            let succs: Vec<usize> = g.succs(v).map(NodeId::index).collect();
+            for s in succs {
+                desc.set(v.index(), s);
+                desc.or_row_into(s, v.index());
+            }
+        }
+        let mut anc = BitMatrix::new(n);
+        for i in 0..n {
+            for j in desc.row_iter(i) {
+                anc.set(j, i);
+            }
+        }
+        Reachability { desc, anc }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.desc.len()
+    }
+
+    /// `true` for a zero-node graph.
+    pub fn is_empty(&self) -> bool {
+        self.desc.is_empty()
+    }
+
+    /// `true` if there is a nonempty path `a → b`.
+    pub fn reaches(&self, a: NodeId, b: NodeId) -> bool {
+        self.desc.get(a.index(), b.index())
+    }
+
+    /// `true` if the nodes are unrelated in the partial order — i.e. they
+    /// may execute concurrently (paper §3, after Definition 2).
+    pub fn independent(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && !self.reaches(a, b) && !self.reaches(b, a)
+    }
+
+    /// The strict descendants of `v` as a [`BitSet`] of node indices.
+    pub fn descendants(&self, v: NodeId) -> BitSet {
+        self.desc.row_bitset(v.index())
+    }
+
+    /// The strict ancestors of `v` as a [`BitSet`] of node indices.
+    pub fn ancestors(&self, v: NodeId) -> BitSet {
+        self.anc.row_bitset(v.index())
+    }
+
+    /// Iterates over the strict descendants of `v`.
+    pub fn descendants_iter(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.desc.row_iter(v.index()).map(NodeId::from)
+    }
+
+    /// Iterates over the strict ancestors of `v`.
+    pub fn ancestors_iter(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.anc.row_iter(v.index()).map(NodeId::from)
+    }
+
+    /// Number of strict descendants of `v`.
+    pub fn descendant_count(&self, v: NodeId) -> usize {
+        self.desc.row_len(v.index())
+    }
+
+    /// `true` if adding the edge `a → b` would create a cycle (i.e. `b`
+    /// already reaches `a`, or `a == b`).
+    pub fn would_cycle(&self, a: NodeId, b: NodeId) -> bool {
+        a == b || self.reaches(b, a)
+    }
+
+    /// Incrementally accounts for a newly inserted edge `a → b`.
+    ///
+    /// Every ancestor of `a` (and `a` itself) gains `b` and `b`'s
+    /// descendants; the transpose is updated symmetrically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge would create a cycle (call
+    /// [`Reachability::would_cycle`] first).
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        assert!(
+            !self.would_cycle(a, b),
+            "edge {a} -> {b} would create a cycle"
+        );
+        if self.reaches(a, b) {
+            // Already implied; nothing changes.
+            return;
+        }
+        let gained: Vec<usize> = std::iter::once(b.index())
+            .chain(self.desc.row_iter(b.index()))
+            .collect();
+        let sources: Vec<usize> = std::iter::once(a.index())
+            .chain(self.anc.row_iter(a.index()))
+            .collect();
+        for &s in &sources {
+            for &d in &gained {
+                if s != d {
+                    self.desc.set(s, d);
+                    self.anc.set(d, s);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::EdgeKind;
+
+    fn chain(n: usize) -> Dag {
+        let mut g = Dag::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(NodeId::from(i), NodeId::from(i + 1), EdgeKind::Data);
+        }
+        g
+    }
+
+    #[test]
+    fn chain_closure_is_total_order() {
+        let g = chain(5);
+        let r = Reachability::of(&g);
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                assert_eq!(r.reaches(NodeId(i), NodeId(j)), i < j, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn independence_of_diamond_arms() {
+        let mut g = Dag::new(4);
+        g.add_edge(NodeId(0), NodeId(1), EdgeKind::Data);
+        g.add_edge(NodeId(0), NodeId(2), EdgeKind::Data);
+        g.add_edge(NodeId(1), NodeId(3), EdgeKind::Data);
+        g.add_edge(NodeId(2), NodeId(3), EdgeKind::Data);
+        let r = Reachability::of(&g);
+        assert!(r.independent(NodeId(1), NodeId(2)));
+        assert!(!r.independent(NodeId(0), NodeId(1)));
+        assert!(!r.independent(NodeId(1), NodeId(1)), "a node is related to itself");
+    }
+
+    #[test]
+    fn ancestors_are_transpose_of_descendants() {
+        let g = chain(4);
+        let r = Reachability::of(&g);
+        assert_eq!(r.descendants(NodeId(1)).iter().collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(r.ancestors(NodeId(1)).iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(r.descendant_count(NodeId(0)), 3);
+    }
+
+    #[test]
+    fn incremental_add_edge_matches_recompute() {
+        let mut g = Dag::new(6);
+        g.add_edge(NodeId(0), NodeId(1), EdgeKind::Data);
+        g.add_edge(NodeId(2), NodeId(3), EdgeKind::Data);
+        g.add_edge(NodeId(4), NodeId(5), EdgeKind::Data);
+        let mut r = Reachability::of(&g);
+
+        g.add_edge(NodeId(1), NodeId(2), EdgeKind::Sequence);
+        r.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(3), NodeId(4), EdgeKind::Sequence);
+        r.add_edge(NodeId(3), NodeId(4));
+
+        let fresh = Reachability::of(&g);
+        for i in 0..6u32 {
+            for j in 0..6u32 {
+                assert_eq!(
+                    r.reaches(NodeId(i), NodeId(j)),
+                    fresh.reaches(NodeId(i), NodeId(j)),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_implied_edge_is_noop() {
+        let g = chain(3);
+        let mut r = Reachability::of(&g);
+        r.add_edge(NodeId(0), NodeId(2));
+        assert!(r.reaches(NodeId(0), NodeId(2)));
+        assert!(!r.reaches(NodeId(2), NodeId(0)));
+    }
+
+    #[test]
+    fn would_cycle_detects_back_edge() {
+        let g = chain(3);
+        let r = Reachability::of(&g);
+        assert!(r.would_cycle(NodeId(2), NodeId(0)));
+        assert!(r.would_cycle(NodeId(1), NodeId(1)));
+        assert!(!r.would_cycle(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "would create a cycle")]
+    fn add_cycle_edge_panics() {
+        let g = chain(2);
+        let mut r = Reachability::of(&g);
+        r.add_edge(NodeId(1), NodeId(0));
+    }
+}

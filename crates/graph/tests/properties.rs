@@ -1,0 +1,170 @@
+//! Property-based tests for the graph substrate: the data structures
+//! must agree with simple reference models on arbitrary inputs.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use ursa_graph::bitset::BitSet;
+use ursa_graph::chains::{decompose, decompose_prioritized, max_antichain};
+use ursa_graph::dag::{Dag, EdgeKind, NodeId};
+use ursa_graph::matching::{hopcroft_karp, staged_matching};
+use ursa_graph::order::Levels;
+use ursa_graph::reach::Reachability;
+
+/// A random DAG given by upward edges `(i, j)` with `i < j`.
+fn arb_dag(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2..max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..n * 2).prop_map(move |raw| {
+            raw.into_iter()
+                .filter(|&(a, b)| a != b)
+                .map(|(a, b)| if a < b { (a, b) } else { (b, a) })
+                .collect::<Vec<_>>()
+        });
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(usize, usize)]) -> Dag {
+    let mut g = Dag::new(n);
+    for &(a, b) in edges {
+        g.add_edge(NodeId::from(a), NodeId::from(b), EdgeKind::Data);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BitSet agrees with a HashSet model under inserts and removes.
+    #[test]
+    fn bitset_models_hashset(ops in proptest::collection::vec((0usize..128, any::<bool>()), 0..200)) {
+        let mut bs = BitSet::new(128);
+        let mut hs: HashSet<usize> = HashSet::new();
+        for (v, insert) in ops {
+            if insert {
+                prop_assert_eq!(bs.insert(v), hs.insert(v));
+            } else {
+                prop_assert_eq!(bs.remove(v), hs.remove(&v));
+            }
+        }
+        prop_assert_eq!(bs.len(), hs.len());
+        let mut from_bs: Vec<usize> = bs.iter().collect();
+        let mut from_hs: Vec<usize> = hs.into_iter().collect();
+        from_bs.sort_unstable();
+        from_hs.sort_unstable();
+        prop_assert_eq!(from_bs, from_hs);
+    }
+
+    /// Incremental reachability after edge insertions equals a fresh
+    /// recomputation.
+    #[test]
+    fn incremental_reachability_is_exact(
+        (n, edges) in arb_dag(16),
+        extra in proptest::collection::vec((0usize..16, 0usize..16), 0..8),
+    ) {
+        let mut g = build(n, &edges);
+        let mut r = Reachability::of(&g);
+        for (a, b) in extra {
+            let (a, b) = (a % n, b % n);
+            if a == b {
+                continue;
+            }
+            let (u, v) = (NodeId::from(a.min(b)), NodeId::from(a.max(b)));
+            if !r.would_cycle(u, v) {
+                g.add_edge(u, v, EdgeKind::Sequence);
+                r.add_edge(u, v);
+            }
+        }
+        let fresh = Reachability::of(&g);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(
+                    r.reaches(NodeId::from(i), NodeId::from(j)),
+                    fresh.reaches(NodeId::from(i), NodeId::from(j)),
+                    "({}, {})", i, j
+                );
+            }
+        }
+    }
+
+    /// Dilworth: minimum chain count equals maximum antichain size, and
+    /// both staged and plain matchings agree on it.
+    #[test]
+    fn dilworth_equality_and_matching_agreement((n, edges) in arb_dag(12)) {
+        let g = build(n, &edges);
+        let r = Reachability::of(&g);
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        let d = decompose(&nodes, |a, b| r.reaches(a, b));
+        let mut rel = |a: NodeId, b: NodeId| r.reaches(a, b);
+        let dp = decompose_prioritized(&nodes, &mut rel, |a, b| (a.0 + b.0) % 3);
+        let anti = max_antichain(&nodes, |a, b| r.reaches(a, b));
+        prop_assert_eq!(d.num_chains(), anti.len());
+        prop_assert_eq!(dp.num_chains(), anti.len());
+        prop_assert!(d.is_valid_under(|a, b| r.reaches(a, b)));
+        prop_assert!(dp.is_valid_under(|a, b| r.reaches(a, b)));
+        // Chains partition the nodes.
+        prop_assert_eq!(d.node_count(), n);
+    }
+
+    /// Staged matching cardinality equals Hopcroft–Karp's for any
+    /// priority assignment.
+    #[test]
+    fn staged_matching_is_maximum(
+        n_left in 1usize..8,
+        n_right in 1usize..8,
+        raw in proptest::collection::vec((0usize..8, 0usize..8, 0u32..4), 0..24),
+    ) {
+        let edges: Vec<(usize, usize, u32)> = raw
+            .into_iter()
+            .map(|(l, r, p)| (l % n_left, r % n_right, p))
+            .collect();
+        let staged = staged_matching(n_left, n_right, &edges);
+        let mut adj = vec![Vec::new(); n_left];
+        for &(l, r, _) in &edges {
+            if !adj[l].contains(&r) {
+                adj[l].push(r);
+            }
+        }
+        let hk = hopcroft_karp(n_left, n_right, &adj);
+        prop_assert_eq!(staged.len(), hk.len());
+        prop_assert!(staged.is_consistent());
+    }
+
+    /// ASAP ≤ ALAP everywhere, critical nodes exist, and slack is
+    /// consistent with the critical path.
+    #[test]
+    fn levels_invariants((n, edges) in arb_dag(14), weights in proptest::collection::vec(1u64..5, 14)) {
+        let g = build(n, &edges);
+        let w = &weights[..n];
+        let levels = Levels::weighted(&g, w);
+        let mut found_critical = false;
+        for v in g.nodes() {
+            prop_assert!(levels.asap(v) <= levels.alap(v));
+            prop_assert!(levels.alap(v) + w[v.index()] <= levels.critical_path());
+            found_critical |= levels.is_critical(v);
+        }
+        prop_assert!(found_critical || n == 0);
+    }
+
+    /// The transitive closure is, in fact, transitive and antisymmetric.
+    #[test]
+    fn closure_is_a_strict_partial_order((n, edges) in arb_dag(12)) {
+        let g = build(n, &edges);
+        let r = Reachability::of(&g);
+        for i in 0..n {
+            let a = NodeId::from(i);
+            prop_assert!(!r.reaches(a, a), "irreflexive");
+            for j in 0..n {
+                let b = NodeId::from(j);
+                if r.reaches(a, b) {
+                    prop_assert!(!r.reaches(b, a), "antisymmetric");
+                    for k in 0..n {
+                        let c = NodeId::from(k);
+                        if r.reaches(b, c) {
+                            prop_assert!(r.reaches(a, c), "transitive");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,493 @@
+//! Instructions of the three-address IR.
+
+use crate::value::{MemRef, Operand, VirtualReg};
+use std::fmt;
+
+/// Binary arithmetic/logic operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division (rounds toward zero; division by zero traps in
+    /// the simulator).
+    Div,
+    /// Integer remainder.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (modulo 64).
+    Shl,
+    /// Arithmetic right shift (modulo 64).
+    Shr,
+    /// 1 if equal else 0.
+    CmpEq,
+    /// 1 if strictly less else 0 (signed).
+    CmpLt,
+    /// 1 if less-or-equal else 0 (signed).
+    CmpLe,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+}
+
+impl BinOp {
+    /// Evaluates the operator on concrete values (wrapping semantics).
+    ///
+    /// Division and remainder by zero return `None`.
+    pub fn eval(self, a: i64, b: i64) -> Option<i64> {
+        Some(match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_div(b)
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_rem(b)
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl(b as u32),
+            BinOp::Shr => a.wrapping_shr(b as u32),
+            BinOp::CmpEq => i64::from(a == b),
+            BinOp::CmpLt => i64::from(a < b),
+            BinOp::CmpLe => i64::from(a <= b),
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+        })
+    }
+
+    /// The textual mnemonic used by the parser and printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::CmpEq => "cmpeq",
+            BinOp::CmpLt => "cmplt",
+            BinOp::CmpLe => "cmple",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        }
+    }
+
+    /// All binary operators, for table-driven parsing and fuzzing.
+    pub const ALL: [BinOp; 15] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Rem,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::Shr,
+        BinOp::CmpEq,
+        BinOp::CmpLt,
+        BinOp::CmpLe,
+        BinOp::Min,
+        BinOp::Max,
+    ];
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement.
+    Not,
+    /// Identity move.
+    Copy,
+}
+
+impl UnOp {
+    /// Evaluates the operator on a concrete value.
+    pub fn eval(self, a: i64) -> i64 {
+        match self {
+            UnOp::Neg => a.wrapping_neg(),
+            UnOp::Not => !a,
+            UnOp::Copy => a,
+        }
+    }
+
+    /// The textual mnemonic used by the parser and printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+            UnOp::Copy => "copy",
+        }
+    }
+}
+
+/// A non-terminator three-address instruction.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Instr {
+    /// `dst = imm`.
+    Const {
+        /// Destination register.
+        dst: VirtualReg,
+        /// The constant materialized.
+        value: i64,
+    },
+    /// `dst = a <op> b`.
+    Bin {
+        /// The operator.
+        op: BinOp,
+        /// Destination register.
+        dst: VirtualReg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = <op> a`.
+    Un {
+        /// The operator.
+        op: UnOp,
+        /// Destination register.
+        dst: VirtualReg,
+        /// Operand.
+        a: Operand,
+    },
+    /// `dst = load base[index]`.
+    Load {
+        /// Destination register.
+        dst: VirtualReg,
+        /// Address read.
+        mem: MemRef,
+    },
+    /// `store base[index], src`.
+    Store {
+        /// Address written.
+        mem: MemRef,
+        /// Value stored.
+        src: Operand,
+    },
+}
+
+impl Instr {
+    /// The register defined by this instruction, if any.
+    pub fn def(&self) -> Option<VirtualReg> {
+        match *self {
+            Instr::Const { dst, .. }
+            | Instr::Bin { dst, .. }
+            | Instr::Un { dst, .. }
+            | Instr::Load { dst, .. } => Some(dst),
+            Instr::Store { .. } => None,
+        }
+    }
+
+    /// The registers read by this instruction, in operand order.
+    pub fn uses(&self) -> Vec<VirtualReg> {
+        let mut out = Vec::new();
+        let mut push = |o: Operand| {
+            if let Operand::Reg(r) = o {
+                out.push(r);
+            }
+        };
+        match *self {
+            Instr::Const { .. } => {}
+            Instr::Bin { a, b, .. } => {
+                push(a);
+                push(b);
+            }
+            Instr::Un { a, .. } => push(a),
+            Instr::Load { mem, .. } => push(mem.index),
+            Instr::Store { mem, src } => {
+                push(mem.index);
+                push(src);
+            }
+        }
+        out
+    }
+
+    /// The memory reference read by this instruction, if it is a load.
+    pub fn mem_read(&self) -> Option<MemRef> {
+        match *self {
+            Instr::Load { mem, .. } => Some(mem),
+            _ => None,
+        }
+    }
+
+    /// The memory reference written by this instruction, if it is a store.
+    pub fn mem_write(&self) -> Option<MemRef> {
+        match *self {
+            Instr::Store { mem, .. } => Some(mem),
+            _ => None,
+        }
+    }
+
+    /// `true` for instructions with a side effect beyond defining a
+    /// register (currently only stores).
+    pub fn has_side_effect(&self) -> bool {
+        matches!(self, Instr::Store { .. })
+    }
+
+    /// Rewrites every read of register `from` into a read of `to`.
+    /// The definition is left untouched.
+    pub fn replace_uses(&mut self, from: VirtualReg, to: VirtualReg) {
+        let fix = |o: &mut Operand| {
+            if *o == Operand::Reg(from) {
+                *o = Operand::Reg(to);
+            }
+        };
+        match self {
+            Instr::Const { .. } => {}
+            Instr::Bin { a, b, .. } => {
+                fix(a);
+                fix(b);
+            }
+            Instr::Un { a, .. } => fix(a),
+            Instr::Load { mem, .. } => fix(&mut mem.index),
+            Instr::Store { mem, src } => {
+                fix(&mut mem.index);
+                fix(src);
+            }
+        }
+    }
+
+    /// Rewrites every register (definition and uses) through `f`
+    /// simultaneously — safe even when the mapping's range overlaps its
+    /// domain (e.g. renaming virtual registers onto physical ones).
+    pub fn map_registers(&mut self, mut f: impl FnMut(VirtualReg) -> VirtualReg) {
+        let mut fix = |o: &mut Operand| {
+            if let Operand::Reg(r) = o {
+                *r = f(*r);
+            }
+        };
+        match self {
+            Instr::Const { dst, .. } => *dst = f(*dst),
+            Instr::Bin { dst, a, b, .. } => {
+                fix(a);
+                fix(b);
+                *dst = f(*dst);
+            }
+            Instr::Un { dst, a, .. } => {
+                fix(a);
+                *dst = f(*dst);
+            }
+            Instr::Load { dst, mem } => {
+                fix(&mut mem.index);
+                *dst = f(*dst);
+            }
+            Instr::Store { mem, src } => {
+                fix(&mut mem.index);
+                fix(src);
+            }
+        }
+    }
+
+    /// Rewrites the defined register, if any.
+    pub fn replace_def(&mut self, to: VirtualReg) {
+        match self {
+            Instr::Const { dst, .. }
+            | Instr::Bin { dst, .. }
+            | Instr::Un { dst, .. }
+            | Instr::Load { dst, .. } => *dst = to,
+            Instr::Store { .. } => {}
+        }
+    }
+}
+
+/// A block terminator.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Terminator {
+    /// Unconditional jump to a block (by index into the program).
+    Jump(usize),
+    /// Conditional branch: nonzero `cond` goes to `then_block`, zero to
+    /// `else_block`.
+    Branch {
+        /// Condition register.
+        cond: Operand,
+        /// Successor on nonzero.
+        then_block: usize,
+        /// Successor on zero.
+        else_block: usize,
+    },
+    /// Function return.
+    Ret,
+}
+
+impl Terminator {
+    /// Successor block indices in branch order.
+    pub fn successors(&self) -> Vec<usize> {
+        match *self {
+            Terminator::Jump(b) => vec![b],
+            Terminator::Branch {
+                then_block,
+                else_block,
+                ..
+            } => vec![then_block, else_block],
+            Terminator::Ret => Vec::new(),
+        }
+    }
+
+    /// Registers read by the terminator.
+    pub fn uses(&self) -> Vec<VirtualReg> {
+        match *self {
+            Terminator::Branch {
+                cond: Operand::Reg(r),
+                ..
+            } => vec![r],
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Const { dst, value } => write!(f, "{dst} = const {value}"),
+            Instr::Bin { op, dst, a, b } => {
+                write!(f, "{dst} = {} {a}, {b}", op.mnemonic())
+            }
+            Instr::Un { op, dst, a } => write!(f, "{dst} = {} {a}", op.mnemonic()),
+            Instr::Load { dst, mem } => {
+                write!(f, "{dst} = load {:?}[{}]", mem.base, mem.index)
+            }
+            Instr::Store { mem, src } => {
+                write!(f, "store {:?}[{}], {src}", mem.base, mem.index)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::SymbolId;
+
+    #[test]
+    fn binop_eval_basics() {
+        assert_eq!(BinOp::Add.eval(2, 3), Some(5));
+        assert_eq!(BinOp::Sub.eval(2, 3), Some(-1));
+        assert_eq!(BinOp::Mul.eval(4, 3), Some(12));
+        assert_eq!(BinOp::Div.eval(7, 2), Some(3));
+        assert_eq!(BinOp::Div.eval(7, 0), None);
+        assert_eq!(BinOp::Rem.eval(7, 0), None);
+        assert_eq!(BinOp::CmpLt.eval(1, 2), Some(1));
+        assert_eq!(BinOp::CmpEq.eval(2, 2), Some(1));
+        assert_eq!(BinOp::Min.eval(-1, 4), Some(-1));
+        assert_eq!(BinOp::Max.eval(-1, 4), Some(4));
+    }
+
+    #[test]
+    fn binop_eval_wraps() {
+        assert_eq!(BinOp::Add.eval(i64::MAX, 1), Some(i64::MIN));
+        assert_eq!(BinOp::Mul.eval(i64::MAX, 2), Some(-2));
+    }
+
+    #[test]
+    fn unop_eval() {
+        assert_eq!(UnOp::Neg.eval(5), -5);
+        assert_eq!(UnOp::Not.eval(0), -1);
+        assert_eq!(UnOp::Copy.eval(42), 42);
+    }
+
+    #[test]
+    fn def_and_uses() {
+        let i = Instr::Bin {
+            op: BinOp::Add,
+            dst: VirtualReg(2),
+            a: Operand::Reg(VirtualReg(0)),
+            b: Operand::Imm(1),
+        };
+        assert_eq!(i.def(), Some(VirtualReg(2)));
+        assert_eq!(i.uses(), vec![VirtualReg(0)]);
+
+        let s = Instr::Store {
+            mem: MemRef::new(SymbolId(0), VirtualReg(3)),
+            src: Operand::Reg(VirtualReg(4)),
+        };
+        assert_eq!(s.def(), None);
+        assert_eq!(s.uses(), vec![VirtualReg(3), VirtualReg(4)]);
+        assert!(s.has_side_effect());
+    }
+
+    #[test]
+    fn replace_uses_rewrites_all_positions() {
+        let mut i = Instr::Bin {
+            op: BinOp::Mul,
+            dst: VirtualReg(9),
+            a: Operand::Reg(VirtualReg(1)),
+            b: Operand::Reg(VirtualReg(1)),
+        };
+        i.replace_uses(VirtualReg(1), VirtualReg(7));
+        assert_eq!(i.uses(), vec![VirtualReg(7), VirtualReg(7)]);
+        assert_eq!(i.def(), Some(VirtualReg(9)), "def untouched");
+    }
+
+    #[test]
+    fn replace_def_on_store_is_noop() {
+        let mut s = Instr::Store {
+            mem: MemRef::new(SymbolId(0), 0i64),
+            src: Operand::Imm(1),
+        };
+        s.replace_def(VirtualReg(5));
+        assert_eq!(s.def(), None);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Jump(3).successors(), vec![3]);
+        assert_eq!(
+            Terminator::Branch {
+                cond: Operand::Reg(VirtualReg(0)),
+                then_block: 1,
+                else_block: 2
+            }
+            .successors(),
+            vec![1, 2]
+        );
+        assert!(Terminator::Ret.successors().is_empty());
+    }
+
+    #[test]
+    fn terminator_uses_cond_register() {
+        let t = Terminator::Branch {
+            cond: Operand::Reg(VirtualReg(8)),
+            then_block: 0,
+            else_block: 1,
+        };
+        assert_eq!(t.uses(), vec![VirtualReg(8)]);
+        assert!(Terminator::Ret.uses().is_empty());
+    }
+
+    #[test]
+    fn display_round_trips_mnemonics() {
+        for op in BinOp::ALL {
+            assert!(!op.mnemonic().is_empty());
+        }
+        let i = Instr::Const {
+            dst: VirtualReg(0),
+            value: -7,
+        };
+        assert_eq!(i.to_string(), "v0 = const -7");
+    }
+}

@@ -1,0 +1,51 @@
+//! Three-address IR, control flow, traces and dependence DAGs for URSA.
+//!
+//! The paper's prototype sat on top of an existing C front end that
+//! produced a Program Dependence Graph and per-trace dependence DAGs
+//! (paper §6). This crate is that substrate, rebuilt:
+//!
+//! * [`value`] / [`instr`] — a small load/store three-address code with
+//!   virtual registers, immediates and symbolic memory.
+//! * [`program`] — basic blocks, a CFG, profile weights, and a builder.
+//! * [`parser`] — a line-oriented textual syntax for writing programs.
+//! * [`trace`] — Fisher-style profile-guided trace selection and
+//!   register liveness.
+//! * [`ddg`] — dependence-DAG construction for a trace, with data,
+//!   memory and control edges, value renaming, live-in/live-out
+//!   bookkeeping, and the spill-insertion primitive URSA's
+//!   transformations use.
+//!
+//! # Examples
+//!
+//! ```
+//! use ursa_ir::parser::parse;
+//! use ursa_ir::ddg::DependenceDag;
+//!
+//! let program = parse(
+//!     "v0 = load a[0]\n\
+//!      v1 = mul v0, 2\n\
+//!      v2 = mul v0, 3\n\
+//!      store a[1], v1\n\
+//!      store a[2], v2\n",
+//! )?;
+//! let ddg = DependenceDag::from_entry_block(&program);
+//! assert!(ddg.dag().is_acyclic());
+//! # Ok::<(), ursa_ir::parser::ParseError>(())
+//! ```
+
+pub mod ddg;
+pub mod dot;
+pub mod instr;
+pub mod parser;
+pub mod program;
+pub mod trace;
+pub mod unroll;
+pub mod value;
+
+pub use ddg::{DdgOptions, DependenceDag, NodeKind, SpillPair};
+pub use instr::{BinOp, Instr, Terminator, UnOp};
+pub use parser::{parse, ParseError};
+pub use program::{BasicBlock, Program, ProgramBuilder};
+pub use trace::{liveness, select_traces, Liveness, Trace};
+pub use unroll::{find_self_loop, unroll_self_loop, UnrollError};
+pub use value::{MemRef, Operand, SymbolId, VirtualReg};

@@ -1,0 +1,450 @@
+//! A textual front end for the three-address IR.
+//!
+//! The paper's prototype consumed DAGs produced by an existing C
+//! compiler front end (§6). This reproduction substitutes a small
+//! textual IR so programs can be written, stored and round-tripped
+//! directly; the rest of the pipeline is unchanged.
+//!
+//! # Grammar (line oriented; `#` starts a comment)
+//!
+//! ```text
+//! block NAME:            block NAME @ WEIGHT:
+//! vN = const INT
+//! vN = <binop> OPND, OPND     binop ∈ add sub mul div rem and or xor shl
+//!                                      shr cmpeq cmplt cmple min max
+//! vN = <unop> OPND            unop ∈ neg not copy
+//! vN = load SYM[OPND]
+//! store SYM[OPND], OPND
+//! jmp LABEL
+//! br OPND, LABEL, LABEL
+//! ret
+//! ```
+//!
+//! An operand is `vN` or a signed integer. If the program does not open
+//! with a `block` header, an implicit `entry` block is created.
+
+use crate::instr::{BinOp, Instr, Terminator, UnOp};
+use crate::program::{BasicBlock, Program};
+use crate::value::{MemRef, Operand, SymbolId, VirtualReg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse failure, with the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a textual program.
+///
+/// # Examples
+///
+/// ```
+/// let src = "
+/// v0 = load a[0]
+/// v1 = mul v0, 2
+/// store a[1], v1
+/// ";
+/// let program = ursa_ir::parser::parse(src).unwrap();
+/// assert_eq!(program.blocks.len(), 1);
+/// assert_eq!(program.instr_count(), 3);
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first malformed line, an
+/// undefined label, or a structural violation.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    Parser::new().run(src)
+}
+
+#[derive(Debug)]
+enum PendingTerm {
+    Jump(String),
+    Branch(Operand, String, String),
+    Ret,
+    /// No explicit terminator written; defaults to `ret` (or a fall
+    ///-through would be ambiguous, so we keep the explicit default).
+    None,
+}
+
+struct Parser {
+    blocks: Vec<(BasicBlock, PendingTerm, usize)>,
+    symbols: Vec<String>,
+    symbol_ids: HashMap<String, SymbolId>,
+    max_vreg: u32,
+}
+
+impl Parser {
+    fn new() -> Self {
+        Parser {
+            blocks: Vec::new(),
+            symbols: Vec::new(),
+            symbol_ids: HashMap::new(),
+            max_vreg: 0,
+        }
+    }
+
+    fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line,
+            message: message.into(),
+        })
+    }
+
+    fn run(mut self, src: &str) -> Result<Program, ParseError> {
+        for (idx, raw) in src.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("block ") {
+                self.start_block(rest, line_no)?;
+                continue;
+            }
+            if self.blocks.is_empty() {
+                self.blocks
+                    .push((BasicBlock::new("entry"), PendingTerm::None, 0));
+            }
+            self.parse_line(line, line_no)?;
+        }
+        self.finish(src)
+    }
+
+    fn start_block(&mut self, rest: &str, line_no: usize) -> Result<(), ParseError> {
+        let rest = rest.trim();
+        let Some(rest) = rest.strip_suffix(':') else {
+            return Self::err(line_no, "block header must end with ':'");
+        };
+        let (name, weight) = match rest.split_once('@') {
+            Some((n, w)) => {
+                let weight: f64 = w
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError {
+                        line: line_no,
+                        message: format!("invalid block weight '{}'", w.trim()),
+                    })?;
+                (n.trim(), weight)
+            }
+            None => (rest.trim(), 1.0),
+        };
+        if name.is_empty() {
+            return Self::err(line_no, "empty block name");
+        }
+        if self.blocks.iter().any(|(b, _, _)| b.label == name) {
+            return Self::err(line_no, format!("duplicate block label '{name}'"));
+        }
+        let mut block = BasicBlock::new(name);
+        block.weight = weight;
+        self.blocks.push((block, PendingTerm::None, line_no));
+        Ok(())
+    }
+
+    fn parse_line(&mut self, line: &str, line_no: usize) -> Result<(), ParseError> {
+        let (_, term, _) = self.blocks.last().expect("block exists");
+        if !matches!(term, PendingTerm::None) {
+            return Self::err(line_no, "instruction after block terminator");
+        }
+        if line == "ret" {
+            self.blocks.last_mut().unwrap().1 = PendingTerm::Ret;
+            return Ok(());
+        }
+        if let Some(rest) = line.strip_prefix("jmp ") {
+            self.blocks.last_mut().unwrap().1 = PendingTerm::Jump(rest.trim().to_string());
+            return Ok(());
+        }
+        if let Some(rest) = line.strip_prefix("br ") {
+            let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+            let [cond, then_l, else_l] = parts[..] else {
+                return Self::err(line_no, "br expects 'br cond, then, else'");
+            };
+            let cond = self.operand(cond, line_no)?;
+            self.blocks.last_mut().unwrap().1 =
+                PendingTerm::Branch(cond, then_l.to_string(), else_l.to_string());
+            return Ok(());
+        }
+        if let Some(rest) = line.strip_prefix("store ") {
+            let Some((mem, src)) = rest.rsplit_once(',') else {
+                return Self::err(line_no, "store expects 'store sym[idx], src'");
+            };
+            let mem = self.memref(mem.trim(), line_no)?;
+            let src = self.operand(src.trim(), line_no)?;
+            self.emit(Instr::Store { mem, src });
+            return Ok(());
+        }
+        // Assignment forms: "vN = ...".
+        let Some((dst, rhs)) = line.split_once('=') else {
+            return Self::err(line_no, format!("unrecognized statement '{line}'"));
+        };
+        let dst = self.vreg(dst.trim(), line_no)?;
+        let rhs = rhs.trim();
+        if let Some(value) = rhs.strip_prefix("const ") {
+            let value: i64 = value.trim().parse().map_err(|_| ParseError {
+                line: line_no,
+                message: format!("invalid constant '{}'", value.trim()),
+            })?;
+            self.emit(Instr::Const { dst, value });
+            return Ok(());
+        }
+        if let Some(mem) = rhs.strip_prefix("load ") {
+            let mem = self.memref(mem.trim(), line_no)?;
+            self.emit(Instr::Load { dst, mem });
+            return Ok(());
+        }
+        let Some((mnemonic, args)) = rhs.split_once(' ') else {
+            return Self::err(line_no, format!("unrecognized expression '{rhs}'"));
+        };
+        let args: Vec<&str> = args.split(',').map(str::trim).collect();
+        if let Some(op) = BinOp::ALL.iter().find(|o| o.mnemonic() == mnemonic) {
+            let [a, b] = args[..] else {
+                return Self::err(line_no, format!("{mnemonic} expects two operands"));
+            };
+            let (a, b) = (self.operand(a, line_no)?, self.operand(b, line_no)?);
+            self.emit(Instr::Bin { op: *op, dst, a, b });
+            return Ok(());
+        }
+        for op in [UnOp::Neg, UnOp::Not, UnOp::Copy] {
+            if op.mnemonic() == mnemonic {
+                let [a] = args[..] else {
+                    return Self::err(line_no, format!("{mnemonic} expects one operand"));
+                };
+                let a = self.operand(a, line_no)?;
+                self.emit(Instr::Un { op, dst, a });
+                return Ok(());
+            }
+        }
+        Self::err(line_no, format!("unknown mnemonic '{mnemonic}'"))
+    }
+
+    fn emit(&mut self, instr: Instr) {
+        self.blocks.last_mut().unwrap().0.instrs.push(instr);
+    }
+
+    fn vreg(&mut self, text: &str, line_no: usize) -> Result<VirtualReg, ParseError> {
+        let Some(num) = text.strip_prefix('v') else {
+            return Self::err(line_no, format!("expected register 'vN', got '{text}'"));
+        };
+        let n: u32 = num.parse().map_err(|_| ParseError {
+            line: line_no,
+            message: format!("invalid register '{text}'"),
+        })?;
+        self.max_vreg = self.max_vreg.max(n + 1);
+        Ok(VirtualReg(n))
+    }
+
+    fn operand(&mut self, text: &str, line_no: usize) -> Result<Operand, ParseError> {
+        if text.starts_with('v') {
+            return Ok(Operand::Reg(self.vreg(text, line_no)?));
+        }
+        let value: i64 = text.parse().map_err(|_| ParseError {
+            line: line_no,
+            message: format!("invalid operand '{text}'"),
+        })?;
+        Ok(Operand::Imm(value))
+    }
+
+    fn memref(&mut self, text: &str, line_no: usize) -> Result<MemRef, ParseError> {
+        let Some((base, rest)) = text.split_once('[') else {
+            return Self::err(line_no, format!("expected 'sym[index]', got '{text}'"));
+        };
+        let Some(index) = rest.strip_suffix(']') else {
+            return Self::err(line_no, format!("missing ']' in '{text}'"));
+        };
+        let base = base.trim();
+        if base.is_empty() || base.starts_with('v') || base.chars().next().unwrap().is_ascii_digit()
+        {
+            return Self::err(line_no, format!("invalid symbol name '{base}'"));
+        }
+        let sym = self.intern(base);
+        let index = self.operand(index.trim(), line_no)?;
+        Ok(MemRef::new(sym, index))
+    }
+
+    fn intern(&mut self, name: &str) -> SymbolId {
+        if let Some(&id) = self.symbol_ids.get(name) {
+            return id;
+        }
+        let id = SymbolId(self.symbols.len() as u32);
+        self.symbols.push(name.to_string());
+        self.symbol_ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn finish(mut self, _src: &str) -> Result<Program, ParseError> {
+        if self.blocks.is_empty() {
+            // An empty source is a valid (empty) program.
+            self.blocks
+                .push((BasicBlock::new("entry"), PendingTerm::Ret, 0));
+        }
+        let labels: HashMap<String, usize> = self
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, (b, _, _))| (b.label.clone(), i))
+            .collect();
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for (mut block, term, line) in self.blocks {
+            let resolve = |l: &str| {
+                labels.get(l).copied().ok_or_else(|| ParseError {
+                    line,
+                    message: format!("undefined label '{l}'"),
+                })
+            };
+            block.term = match term {
+                PendingTerm::Ret | PendingTerm::None => Terminator::Ret,
+                PendingTerm::Jump(l) => Terminator::Jump(resolve(&l)?),
+                PendingTerm::Branch(cond, t, e) => Terminator::Branch {
+                    cond,
+                    then_block: resolve(&t)?,
+                    else_block: resolve(&e)?,
+                },
+            };
+            blocks.push(block);
+        }
+        let program = Program {
+            blocks,
+            symbols: self.symbols,
+            num_vregs: self.max_vreg,
+        };
+        program.validate().map_err(|message| ParseError {
+            line: 0,
+            message,
+        })?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::BinOp;
+
+    #[test]
+    fn parse_straight_line_block() {
+        let p = parse(
+            "v0 = load a[0]\n\
+             v1 = mul v0, 2\n\
+             v2 = add v1, v0\n\
+             store a[1], v2\n",
+        )
+        .unwrap();
+        assert_eq!(p.blocks.len(), 1);
+        assert_eq!(p.blocks[0].label, "entry");
+        assert_eq!(p.instr_count(), 4);
+        assert_eq!(p.num_vregs, 3);
+        assert_eq!(p.term(0), &Terminator::Ret);
+    }
+
+    impl Program {
+        fn term(&self, b: usize) -> &Terminator {
+            &self.blocks[b].term
+        }
+    }
+
+    #[test]
+    fn parse_cfg_with_weights() {
+        let p = parse(
+            "block entry:\n\
+             v0 = const 1\n\
+             br v0, hot, cold\n\
+             block hot @ 0.9:\n\
+             jmp out\n\
+             block cold @ 0.1:\n\
+             jmp out\n\
+             block out:\n\
+             ret\n",
+        )
+        .unwrap();
+        assert_eq!(p.blocks.len(), 4);
+        assert_eq!(p.blocks[1].weight, 0.9);
+        assert_eq!(p.successors(0), vec![1, 2]);
+        assert_eq!(p.successors(1), vec![3]);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let p = parse("# header\n\nv0 = const 1 # trailing\n").unwrap();
+        assert_eq!(p.instr_count(), 1);
+    }
+
+    #[test]
+    fn all_binops_parse() {
+        for op in BinOp::ALL {
+            let src = format!("v2 = {} v0, v1\n", op.mnemonic());
+            let p = parse(&src).unwrap();
+            assert_eq!(p.instr_count(), 1, "{}", op.mnemonic());
+        }
+    }
+
+    #[test]
+    fn unops_parse() {
+        let p = parse("v1 = neg v0\nv2 = not v1\nv3 = copy v2\n").unwrap();
+        assert_eq!(p.instr_count(), 3);
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let e = parse("jmp nowhere\n").unwrap_err();
+        assert!(e.message.contains("undefined label"));
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let e = parse("block a:\nret\nblock a:\nret\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn instruction_after_terminator_is_error() {
+        let e = parse("ret\nv0 = const 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("after block terminator"));
+    }
+
+    #[test]
+    fn bad_register_reports_line() {
+        let e = parse("v0 = const 1\nvX = const 2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn bad_memref_is_error() {
+        assert!(parse("v0 = load a[\n").is_err());
+        assert!(parse("v0 = load 3a[0]\n").is_err());
+        assert!(parse("v0 = load v1[0]\n").is_err());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let src = "block entry:\n\
+                   v0 = load a[0]\n\
+                   v1 = add v0, 1\n\
+                   store a[0], v1\n\
+                   br v1, entry, done\n\
+                   block done:\n\
+                   ret\n";
+        let p1 = parse(src).unwrap();
+        let printed = p1.to_string();
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(p1, p2, "print→parse is the identity\n{printed}");
+    }
+
+    #[test]
+    fn error_display_mentions_line() {
+        let e = parse("bogus line\n").unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+    }
+}

@@ -1,0 +1,434 @@
+//! Programs, basic blocks and a convenience builder.
+
+use crate::instr::{Instr, Terminator};
+use crate::value::{SymbolId, VirtualReg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Clone, PartialEq, Debug)]
+pub struct BasicBlock {
+    /// Human-readable label.
+    pub label: String,
+    /// The block body, in program order.
+    pub instrs: Vec<Instr>,
+    /// Control transfer out of the block.
+    pub term: Terminator,
+    /// Profile weight: expected executions per entry of the function.
+    /// Used by the trace selector; defaults to 1.0.
+    pub weight: f64,
+}
+
+impl BasicBlock {
+    /// Creates an empty block with the given label, terminated by `Ret`.
+    pub fn new(label: impl Into<String>) -> Self {
+        BasicBlock {
+            label: label.into(),
+            instrs: Vec::new(),
+            term: Terminator::Ret,
+            weight: 1.0,
+        }
+    }
+}
+
+/// A whole program: blocks (block 0 is the entry) and its symbol table.
+///
+/// # Examples
+///
+/// ```
+/// use ursa_ir::program::ProgramBuilder;
+/// use ursa_ir::instr::BinOp;
+///
+/// let mut b = ProgramBuilder::new();
+/// let arr = b.symbol("a");
+/// let v0 = b.load(arr, 0i64);
+/// let v1 = b.bin(BinOp::Add, v0, 1i64);
+/// b.store(arr, 0i64, v1);
+/// let program = b.finish();
+/// assert_eq!(program.blocks.len(), 1);
+/// assert_eq!(program.blocks[0].instrs.len(), 3);
+/// ```
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Program {
+    /// Basic blocks; index 0 is the entry block.
+    pub blocks: Vec<BasicBlock>,
+    /// Symbol names, indexed by [`SymbolId`].
+    pub symbols: Vec<String>,
+    /// Number of virtual registers used (all `VirtualReg` indices are
+    /// below this bound).
+    pub num_vregs: u32,
+}
+
+impl Program {
+    /// The name of a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` is not interned in this program.
+    pub fn symbol_name(&self, sym: SymbolId) -> &str {
+        &self.symbols[sym.index()]
+    }
+
+    /// Looks up a symbol by name.
+    pub fn find_symbol(&self, name: &str) -> Option<SymbolId> {
+        self.symbols
+            .iter()
+            .position(|s| s == name)
+            .map(|i| SymbolId(i as u32))
+    }
+
+    /// Looks up a block by label.
+    pub fn find_block(&self, label: &str) -> Option<usize> {
+        self.blocks.iter().position(|b| b.label == label)
+    }
+
+    /// CFG successor edges of block `b`.
+    pub fn successors(&self, b: usize) -> Vec<usize> {
+        self.blocks[b].term.successors()
+    }
+
+    /// CFG predecessor blocks of block `b` (computed on demand).
+    pub fn predecessors(&self, b: usize) -> Vec<usize> {
+        (0..self.blocks.len())
+            .filter(|&p| self.successors(p).contains(&b))
+            .collect()
+    }
+
+    /// Total instruction count across blocks (terminators excluded).
+    pub fn instr_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len()).sum()
+    }
+
+    /// Checks structural invariants: terminator targets in range, every
+    /// vreg below `num_vregs`. Returns a description of the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, b) in self.blocks.iter().enumerate() {
+            for t in b.term.successors() {
+                if t >= self.blocks.len() {
+                    return Err(format!(
+                        "block {i} ({}) jumps to out-of-range block {t}",
+                        b.label
+                    ));
+                }
+            }
+            for instr in &b.instrs {
+                for r in instr.uses().into_iter().chain(instr.def()) {
+                    if r.0 >= self.num_vregs {
+                        return Err(format!(
+                            "block {i} uses register {r} >= num_vregs {}",
+                            self.num_vregs
+                        ));
+                    }
+                }
+                if let Some(m) = instr.mem_read().or(instr.mem_write()) {
+                    if m.base.index() >= self.symbols.len() {
+                        return Err(format!("block {i} references unknown {:?}", m.base));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.blocks {
+            if b.weight == 1.0 {
+                writeln!(f, "block {}:", b.label)?;
+            } else {
+                writeln!(f, "block {} @ {}:", b.label, b.weight)?;
+            }
+            for i in &b.instrs {
+                match i {
+                    Instr::Load { dst, mem } => writeln!(
+                        f,
+                        "  {dst} = load {}[{}]",
+                        self.symbol_name(mem.base),
+                        mem.index
+                    )?,
+                    Instr::Store { mem, src } => writeln!(
+                        f,
+                        "  store {}[{}], {src}",
+                        self.symbol_name(mem.base),
+                        mem.index
+                    )?,
+                    other => writeln!(f, "  {other}")?,
+                }
+            }
+            match &b.term {
+                Terminator::Jump(t) => writeln!(f, "  jmp {}", self.blocks[*t].label)?,
+                Terminator::Branch {
+                    cond,
+                    then_block,
+                    else_block,
+                } => writeln!(
+                    f,
+                    "  br {cond}, {}, {}",
+                    self.blocks[*then_block].label, self.blocks[*else_block].label
+                )?,
+                Terminator::Ret => writeln!(f, "  ret")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental construction of a [`Program`], allocating registers and
+/// interning symbols automatically.
+#[derive(Clone, Debug)]
+pub struct ProgramBuilder {
+    blocks: Vec<BasicBlock>,
+    symbols: Vec<String>,
+    symbol_ids: HashMap<String, SymbolId>,
+    next_vreg: u32,
+    current: usize,
+}
+
+impl Default for ProgramBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProgramBuilder {
+    /// Starts a program with a single entry block labeled `entry`.
+    pub fn new() -> Self {
+        ProgramBuilder {
+            blocks: vec![BasicBlock::new("entry")],
+            symbols: Vec::new(),
+            symbol_ids: HashMap::new(),
+            next_vreg: 0,
+            current: 0,
+        }
+    }
+
+    /// Interns (or retrieves) a symbol by name.
+    pub fn symbol(&mut self, name: &str) -> SymbolId {
+        if let Some(&id) = self.symbol_ids.get(name) {
+            return id;
+        }
+        let id = SymbolId(self.symbols.len() as u32);
+        self.symbols.push(name.to_string());
+        self.symbol_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn fresh_reg(&mut self) -> VirtualReg {
+        let r = VirtualReg(self.next_vreg);
+        self.next_vreg += 1;
+        r
+    }
+
+    /// Appends a new block and returns its index. Emission continues in
+    /// the *current* block until [`ProgramBuilder::switch_to`] is called.
+    pub fn add_block(&mut self, label: impl Into<String>) -> usize {
+        self.blocks.push(BasicBlock::new(label));
+        self.blocks.len() - 1
+    }
+
+    /// Redirects emission to block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn switch_to(&mut self, b: usize) {
+        assert!(b < self.blocks.len(), "block {b} out of range");
+        self.current = b;
+    }
+
+    /// Index of the block currently being emitted into.
+    pub fn current_block(&self) -> usize {
+        self.current
+    }
+
+    /// Sets the profile weight of block `b`.
+    pub fn set_weight(&mut self, b: usize, weight: f64) {
+        self.blocks[b].weight = weight;
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, instr: Instr) {
+        self.blocks[self.current].instrs.push(instr);
+    }
+
+    /// Emits `dst = const value` into a fresh register.
+    pub fn constant(&mut self, value: i64) -> VirtualReg {
+        let dst = self.fresh_reg();
+        self.emit(Instr::Const { dst, value });
+        dst
+    }
+
+    /// Emits a binary operation into a fresh register.
+    pub fn bin(
+        &mut self,
+        op: crate::instr::BinOp,
+        a: impl Into<crate::value::Operand>,
+        b: impl Into<crate::value::Operand>,
+    ) -> VirtualReg {
+        let dst = self.fresh_reg();
+        self.emit(Instr::Bin {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+        dst
+    }
+
+    /// Emits a unary operation into a fresh register.
+    pub fn un(
+        &mut self,
+        op: crate::instr::UnOp,
+        a: impl Into<crate::value::Operand>,
+    ) -> VirtualReg {
+        let dst = self.fresh_reg();
+        self.emit(Instr::Un {
+            op,
+            dst,
+            a: a.into(),
+        });
+        dst
+    }
+
+    /// Emits `dst = load base[index]` into a fresh register.
+    pub fn load(
+        &mut self,
+        base: SymbolId,
+        index: impl Into<crate::value::Operand>,
+    ) -> VirtualReg {
+        let dst = self.fresh_reg();
+        self.emit(Instr::Load {
+            dst,
+            mem: crate::value::MemRef::new(base, index),
+        });
+        dst
+    }
+
+    /// Emits `store base[index], src`.
+    pub fn store(
+        &mut self,
+        base: SymbolId,
+        index: impl Into<crate::value::Operand>,
+        src: impl Into<crate::value::Operand>,
+    ) {
+        self.emit(Instr::Store {
+            mem: crate::value::MemRef::new(base, index),
+            src: src.into(),
+        });
+    }
+
+    /// Sets the current block's terminator.
+    pub fn terminate(&mut self, term: Terminator) {
+        self.blocks[self.current].term = term;
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the built program fails [`Program::validate`].
+    pub fn finish(self) -> Program {
+        let p = Program {
+            blocks: self.blocks,
+            symbols: self.symbols,
+            num_vregs: self.next_vreg,
+        };
+        if let Err(e) = p.validate() {
+            panic!("ProgramBuilder produced an invalid program: {e}");
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::BinOp;
+    use crate::value::Operand;
+
+    #[test]
+    fn builder_single_block() {
+        let mut b = ProgramBuilder::new();
+        let a = b.symbol("a");
+        let x = b.load(a, 0i64);
+        let y = b.bin(BinOp::Mul, x, 3i64);
+        b.store(a, 1i64, y);
+        let p = b.finish();
+        assert_eq!(p.num_vregs, 2);
+        assert_eq!(p.instr_count(), 3);
+        assert_eq!(p.symbol_name(a), "a");
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn symbols_are_interned_once() {
+        let mut b = ProgramBuilder::new();
+        let s1 = b.symbol("mem");
+        let s2 = b.symbol("mem");
+        assert_eq!(s1, s2);
+        let p = b.finish();
+        assert_eq!(p.symbols.len(), 1);
+        assert_eq!(p.find_symbol("mem"), Some(s1));
+        assert_eq!(p.find_symbol("nope"), None);
+    }
+
+    #[test]
+    fn cfg_edges() {
+        let mut b = ProgramBuilder::new();
+        let cond = b.constant(1);
+        let then_b = b.add_block("then");
+        let else_b = b.add_block("else");
+        let join = b.add_block("join");
+        b.terminate(Terminator::Branch {
+            cond: Operand::Reg(cond),
+            then_block: then_b,
+            else_block: else_b,
+        });
+        b.switch_to(then_b);
+        b.terminate(Terminator::Jump(join));
+        b.switch_to(else_b);
+        b.terminate(Terminator::Jump(join));
+        let p = b.finish();
+        assert_eq!(p.successors(0), vec![then_b, else_b]);
+        assert_eq!(p.predecessors(join), vec![then_b, else_b]);
+        assert_eq!(p.find_block("join"), Some(join));
+    }
+
+    #[test]
+    fn validate_rejects_bad_target() {
+        let mut p = Program {
+            blocks: vec![BasicBlock::new("entry")],
+            symbols: vec![],
+            num_vregs: 0,
+        };
+        p.blocks[0].term = Terminator::Jump(7);
+        assert!(p.validate().unwrap_err().contains("out-of-range"));
+    }
+
+    #[test]
+    fn validate_rejects_unbounded_vreg() {
+        let mut b = ProgramBuilder::new();
+        let x = b.constant(1);
+        let mut p = b.finish();
+        p.num_vregs = 0;
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("num_vregs"), "{err} mentions the bound (reg {x})");
+    }
+
+    #[test]
+    fn display_includes_labels_and_symbols() {
+        let mut b = ProgramBuilder::new();
+        let a = b.symbol("buf");
+        let x = b.load(a, 2i64);
+        b.store(a, 3i64, x);
+        let p = b.finish();
+        let text = p.to_string();
+        assert!(text.contains("block entry"));
+        assert!(text.contains("load buf[2]"));
+        assert!(text.contains("store buf[3], v0"));
+        assert!(text.contains("ret"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Trace selection and register liveness.
+//!
+//! URSA consumes dependence DAGs of *traces* — sequences of basic blocks
+//! along a likely execution path (paper §2, citing Fisher's trace
+//! scheduling [Fis81]). This module implements profile-guided trace
+//! selection ("mutual most likely" growing from the hottest unvisited
+//! seed) and the block-level register liveness needed to know which
+//! values escape a trace.
+
+use crate::program::Program;
+use crate::value::VirtualReg;
+use ursa_graph::bitset::BitSet;
+
+/// A trace: a cycle-free sequence of distinct block indices such that
+/// each block is a CFG successor of the previous one.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Trace {
+    /// Block indices in execution order.
+    pub blocks: Vec<usize>,
+}
+
+impl Trace {
+    /// A single-block trace.
+    pub fn single(block: usize) -> Self {
+        Trace {
+            blocks: vec![block],
+        }
+    }
+
+    /// Number of blocks on the trace.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` if the trace covers no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// Partitions all blocks of `program` into traces, hottest first.
+///
+/// Growing follows the highest-weight unvisited successor/predecessor,
+/// stopping at visited blocks (which also breaks loops). Every block ends
+/// up in exactly one trace.
+///
+/// # Examples
+///
+/// ```
+/// let src = "
+/// block entry:
+/// v0 = const 1
+/// br v0, hot, cold
+/// block hot @ 0.9:
+/// jmp out
+/// block cold @ 0.1:
+/// jmp out
+/// block out:
+/// ret
+/// ";
+/// let p = ursa_ir::parser::parse(src).unwrap();
+/// let traces = ursa_ir::trace::select_traces(&p);
+/// // entry -> hot -> out is the main trace; cold is left over.
+/// assert_eq!(traces[0].blocks, vec![0, 1, 3]);
+/// assert_eq!(traces[1].blocks, vec![2]);
+/// ```
+pub fn select_traces(program: &Program) -> Vec<Trace> {
+    let n = program.blocks.len();
+    let mut visited = vec![false; n];
+    let mut traces = Vec::new();
+    loop {
+        // Seed: hottest unvisited block (ties to the lowest index, which
+        // keeps the entry block first on equal weights).
+        let Some(seed) = (0..n)
+            .filter(|&b| !visited[b])
+            .max_by(|&a, &b| {
+                program.blocks[a]
+                    .weight
+                    .partial_cmp(&program.blocks[b].weight)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.cmp(&a))
+            })
+        else {
+            break;
+        };
+        visited[seed] = true;
+        let mut blocks = vec![seed];
+        // Grow forward.
+        loop {
+            let last = *blocks.last().expect("nonempty");
+            let Some(next) = best_neighbor(program, &visited, program.successors(last)) else {
+                break;
+            };
+            visited[next] = true;
+            blocks.push(next);
+        }
+        // Grow backward.
+        loop {
+            let first = blocks[0];
+            let Some(prev) = best_neighbor(program, &visited, program.predecessors(first))
+            else {
+                break;
+            };
+            visited[prev] = true;
+            blocks.insert(0, prev);
+        }
+        traces.push(Trace { blocks });
+    }
+    traces
+}
+
+fn best_neighbor(program: &Program, visited: &[bool], candidates: Vec<usize>) -> Option<usize> {
+    candidates
+        .into_iter()
+        .filter(|&b| !visited[b])
+        .max_by(|&a, &b| {
+            program.blocks[a]
+                .weight
+                .partial_cmp(&program.blocks[b].weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.cmp(&a))
+        })
+}
+
+/// Per-block liveness of virtual registers.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// `live_in[b]` — registers live on entry to block `b`.
+    pub live_in: Vec<BitSet>,
+    /// `live_out[b]` — registers live on exit from block `b`.
+    pub live_out: Vec<BitSet>,
+}
+
+impl Liveness {
+    /// `true` if `reg` is live on entry to block `b`.
+    pub fn live_into(&self, b: usize, reg: VirtualReg) -> bool {
+        self.live_in[b].contains(reg.index())
+    }
+
+    /// `true` if `reg` is live on exit from block `b`.
+    pub fn live_out_of(&self, b: usize, reg: VirtualReg) -> bool {
+        self.live_out[b].contains(reg.index())
+    }
+}
+
+/// Standard backward iterative liveness over the CFG.
+pub fn liveness(program: &Program) -> Liveness {
+    let n = program.blocks.len();
+    let nv = program.num_vregs as usize;
+    // Per-block gen (upward-exposed uses) and kill (defs).
+    let mut gen = vec![BitSet::new(nv); n];
+    let mut kill = vec![BitSet::new(nv); n];
+    for (b, block) in program.blocks.iter().enumerate() {
+        for instr in &block.instrs {
+            for u in instr.uses() {
+                if !kill[b].contains(u.index()) {
+                    gen[b].insert(u.index());
+                }
+            }
+            if let Some(d) = instr.def() {
+                kill[b].insert(d.index());
+            }
+        }
+        for u in block.term.uses() {
+            if !kill[b].contains(u.index()) {
+                gen[b].insert(u.index());
+            }
+        }
+    }
+    let mut live_in = vec![BitSet::new(nv); n];
+    let mut live_out = vec![BitSet::new(nv); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..n).rev() {
+            let mut out = BitSet::new(nv);
+            for s in program.successors(b) {
+                out.union_with(&live_in[s]);
+            }
+            let mut inn = out.clone();
+            inn.difference_with(&kill[b]);
+            inn.union_with(&gen[b]);
+            if out != live_out[b] || inn != live_in[b] {
+                live_out[b] = out;
+                live_in[b] = inn;
+                changed = true;
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn diamond() -> Program {
+        parse(
+            "block entry:\n\
+             v0 = load a[0]\n\
+             br v0, hot, cold\n\
+             block hot @ 0.8:\n\
+             v1 = add v0, 1\n\
+             jmp out\n\
+             block cold @ 0.2:\n\
+             v1 = sub v0, 1\n\
+             jmp out\n\
+             block out:\n\
+             store a[0], v1\n\
+             ret\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn traces_cover_all_blocks_once() {
+        let p = diamond();
+        let traces = select_traces(&p);
+        let mut seen: Vec<usize> = traces.iter().flat_map(|t| t.blocks.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn hottest_path_forms_main_trace() {
+        let p = diamond();
+        let traces = select_traces(&p);
+        assert_eq!(traces[0].blocks, vec![0, 1, 3], "entry→hot→out");
+        assert_eq!(traces[1].blocks, vec![2]);
+    }
+
+    #[test]
+    fn loop_does_not_trap_trace_growth() {
+        let p = parse(
+            "block head:\n\
+             v0 = const 1\n\
+             br v0, head, done\n\
+             block done:\n\
+             ret\n",
+        )
+        .unwrap();
+        let traces = select_traces(&p);
+        assert!(traces.iter().all(|t| {
+            let mut b = t.blocks.clone();
+            b.dedup();
+            b.len() == t.blocks.len()
+        }));
+    }
+
+    #[test]
+    fn single_block_trace_helper() {
+        let t = Trace::single(2);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert_eq!(t.blocks, vec![2]);
+    }
+
+    #[test]
+    fn liveness_through_diamond() {
+        let p = diamond();
+        let lv = liveness(&p);
+        // v0 (reg 0) is live into both arms; v1 (reg 1) live into `out`.
+        assert!(lv.live_into(1, VirtualReg(0)));
+        assert!(lv.live_into(2, VirtualReg(0)));
+        assert!(lv.live_into(3, VirtualReg(1)));
+        // v1 not live into entry.
+        assert!(!lv.live_into(0, VirtualReg(1)));
+        // Nothing is live out of the exit block.
+        assert!(lv.live_out[3].is_empty());
+        // v0 is live out of entry.
+        assert!(lv.live_out_of(0, VirtualReg(0)));
+    }
+
+    #[test]
+    fn liveness_kill_blocks_upward_exposure() {
+        // v0 defined then used in same block: not upward exposed.
+        let p = parse("v0 = const 1\nv1 = add v0, 1\nstore a[0], v1\n").unwrap();
+        let lv = liveness(&p);
+        assert!(lv.live_in[0].is_empty());
+    }
+
+    #[test]
+    fn branch_condition_is_live() {
+        let p = parse(
+            "block entry:\n\
+             br v5, a, b\n\
+             block a:\n\
+             ret\n\
+             block b:\n\
+             ret\n",
+        )
+        .unwrap();
+        let lv = liveness(&p);
+        assert!(lv.live_into(0, VirtualReg(5)));
+    }
+}

@@ -1,0 +1,327 @@
+//! Loop unrolling (paper §6: "the techniques are being combined with
+//! loop unrolling to create a new resource constrained software
+//! pipelining technique").
+//!
+//! URSA operates on straight-line traces, so the lever for loops is to
+//! unroll the body: a factor-`k` unroll turns one iteration's worth of
+//! parallelism into `k` iterations' worth inside a single block, and
+//! URSA's measurement then decides how much of it the machine can
+//! actually host — the "resource constrained" part of the §6 plan.
+//!
+//! The transformation handles *self-loops*: a block whose conditional
+//! terminator targets itself. The body (including the induction update
+//! and the exit test, whose intermediate copies become dead code) is
+//! replicated `k` times and the single exit test at the end is kept, so
+//! the loop must execute a multiple of `k` iterations — the classic
+//! restriction, which callers guarantee by choosing trip counts (or by
+//! peeling, which composes with this transformation).
+
+use crate::instr::Terminator;
+use crate::program::Program;
+use std::fmt;
+
+/// Why a block could not be unrolled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnrollError {
+    /// The block index is out of range.
+    NoSuchBlock(usize),
+    /// The block's terminator is not a conditional branch back to
+    /// itself.
+    NotASelfLoop(usize),
+    /// A factor of zero was requested.
+    ZeroFactor,
+}
+
+impl fmt::Display for UnrollError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnrollError::NoSuchBlock(b) => write!(f, "block {b} does not exist"),
+            UnrollError::NotASelfLoop(b) => {
+                write!(f, "block {b} is not a conditional self-loop")
+            }
+            UnrollError::ZeroFactor => write!(f, "unroll factor must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for UnrollError {}
+
+/// Returns a copy of `program` with the self-loop at `block` unrolled
+/// `factor` times.
+///
+/// The resulting loop executes `factor` source iterations per trip and
+/// tests the exit condition once per trip; the program is semantically
+/// identical whenever the original trip count is a (positive) multiple
+/// of `factor`.
+///
+/// # Errors
+///
+/// See [`UnrollError`].
+///
+/// # Examples
+///
+/// ```
+/// use ursa_ir::parser::parse;
+/// use ursa_ir::unroll::unroll_self_loop;
+///
+/// let p = parse(
+///     "block entry:\n\
+///      v0 = const 0\n\
+///      jmp head\n\
+///      block head:\n\
+///      v1 = load a[v0]\n\
+///      store b[v0], v1\n\
+///      v0 = add v0, 1\n\
+///      v2 = cmplt v0, 8\n\
+///      br v2, head, done\n\
+///      block done:\n\
+///      ret\n",
+/// ).unwrap();
+/// let u = unroll_self_loop(&p, 1, 4).unwrap();
+/// assert_eq!(u.blocks[1].instrs.len(), 4 * p.blocks[1].instrs.len());
+/// ```
+pub fn unroll_self_loop(
+    program: &Program,
+    block: usize,
+    factor: usize,
+) -> Result<Program, UnrollError> {
+    if factor == 0 {
+        return Err(UnrollError::ZeroFactor);
+    }
+    let Some(b) = program.blocks.get(block) else {
+        return Err(UnrollError::NoSuchBlock(block));
+    };
+    let is_self_loop = match b.term {
+        Terminator::Branch {
+            then_block,
+            else_block,
+            ..
+        } => then_block == block || else_block == block,
+        _ => false,
+    };
+    if !is_self_loop {
+        return Err(UnrollError::NotASelfLoop(block));
+    }
+    let mut out = program.clone();
+    let body = b.instrs.clone();
+    let mut unrolled = Vec::with_capacity(body.len() * factor);
+    for _ in 0..factor {
+        unrolled.extend(body.iter().cloned());
+    }
+    out.blocks[block].instrs = unrolled;
+    // Each trip now covers `factor` iterations.
+    out.blocks[block].weight = b.weight / factor as f64;
+    debug_assert!(out.validate().is_ok());
+    Ok(out)
+}
+
+/// Peels `count` iterations off the front of the self-loop at `block`:
+/// each peeled iteration is a fresh block containing one body copy with
+/// the *same* exit test, inserted between the loop's outside
+/// predecessors and the loop. Unlike unrolling, peeling is valid for
+/// any trip count ≥ `count`... in fact for any trip count at all, since
+/// every peeled copy keeps the conditional exit.
+///
+/// Combine with [`unroll_self_loop`] to handle non-dividing trip
+/// counts: peel `trip % factor` iterations, then unroll by `factor`.
+///
+/// # Errors
+///
+/// See [`UnrollError`] (a zero `count` is the identity, not an error).
+pub fn peel_self_loop(
+    program: &Program,
+    block: usize,
+    count: usize,
+) -> Result<Program, UnrollError> {
+    let Some(b) = program.blocks.get(block) else {
+        return Err(UnrollError::NoSuchBlock(block));
+    };
+    let Terminator::Branch {
+        cond,
+        then_block,
+        else_block,
+    } = b.term.clone()
+    else {
+        return Err(UnrollError::NotASelfLoop(block));
+    };
+    if then_block != block && else_block != block {
+        return Err(UnrollError::NotASelfLoop(block));
+    }
+    let mut out = program.clone();
+    let mut prev_peel: Option<usize> = None;
+    for peel_idx in 0..count {
+        // Each peeled copy keeps the loop's own exit test; its
+        // "continue" side falls into the original loop block.
+        let new_idx = out.blocks.len();
+        let mut peeled = out.blocks[block].clone();
+        peeled.label = format!("{}_peel{}", out.blocks[block].label, peel_idx);
+        peeled.weight = 1.0;
+        let (then_b, else_b) = if then_block == block {
+            (block, else_block)
+        } else {
+            (then_block, block)
+        };
+        peeled.term = Terminator::Branch {
+            cond,
+            then_block: then_b,
+            else_block: else_b,
+        };
+        out.blocks.push(peeled);
+        match prev_peel {
+            // First peel: every edge entering the loop from outside now
+            // enters the peeled copy instead.
+            None => {
+                for (i, blk) in out.blocks.iter_mut().enumerate() {
+                    if i != new_idx && i != block {
+                        redirect(&mut blk.term, block, new_idx);
+                    }
+                }
+            }
+            // Later peels: only the previous peel's continue edge moves.
+            Some(prev) => redirect(&mut out.blocks[prev].term, block, new_idx),
+        }
+        prev_peel = Some(new_idx);
+    }
+    debug_assert!(out.validate().is_ok());
+    Ok(out)
+}
+
+fn redirect(term: &mut Terminator, from: usize, to: usize) {
+    match term {
+        Terminator::Jump(t) => {
+            if *t == from {
+                *t = to;
+            }
+        }
+        Terminator::Branch {
+            then_block,
+            else_block,
+            ..
+        } => {
+            if *then_block == from {
+                *then_block = to;
+            }
+            if *else_block == from {
+                *else_block = to;
+            }
+        }
+        Terminator::Ret => {}
+    }
+}
+
+/// Finds the first self-loop block of `program`, if any — convenience
+/// for drivers that unroll "the loop" of a kernel.
+pub fn find_self_loop(program: &Program) -> Option<usize> {
+    (0..program.blocks.len()).find(|&b| {
+        matches!(
+            program.blocks[b].term,
+            Terminator::Branch {
+                then_block,
+                else_block,
+                ..
+            } if then_block == b || else_block == b
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn copy_loop(n: i64) -> Program {
+        parse(&format!(
+            "block entry:\n\
+             v0 = const 0\n\
+             jmp head\n\
+             block head:\n\
+             v1 = load a[v0]\n\
+             v2 = mul v1, 3\n\
+             store b[v0], v2\n\
+             v0 = add v0, 1\n\
+             v3 = cmplt v0, {n}\n\
+             br v3, head, done\n\
+             block done:\n\
+             ret\n"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_the_loop() {
+        let p = copy_loop(8);
+        assert_eq!(find_self_loop(&p), Some(1));
+        let straight = parse("v0 = const 1\n").unwrap();
+        assert_eq!(find_self_loop(&straight), None);
+    }
+
+    #[test]
+    fn body_is_replicated() {
+        let p = copy_loop(8);
+        let u = unroll_self_loop(&p, 1, 4).unwrap();
+        assert_eq!(u.blocks[1].instrs.len(), 5 * 4);
+        assert!(u.validate().is_ok());
+        // Terminator unchanged.
+        assert_eq!(u.blocks[1].term, p.blocks[1].term);
+    }
+
+    #[test]
+    fn factor_one_is_identity_on_instrs() {
+        let p = copy_loop(8);
+        let u = unroll_self_loop(&p, 1, 1).unwrap();
+        assert_eq!(u.blocks[1].instrs, p.blocks[1].instrs);
+    }
+
+    #[test]
+    fn rejects_non_loops_and_zero() {
+        let p = copy_loop(8);
+        assert_eq!(
+            unroll_self_loop(&p, 0, 2).unwrap_err(),
+            UnrollError::NotASelfLoop(0)
+        );
+        assert_eq!(
+            unroll_self_loop(&p, 9, 2).unwrap_err(),
+            UnrollError::NoSuchBlock(9)
+        );
+        assert_eq!(
+            unroll_self_loop(&p, 1, 0).unwrap_err(),
+            UnrollError::ZeroFactor
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(UnrollError::NotASelfLoop(3).to_string().contains("self-loop"));
+    }
+
+    #[test]
+    fn peel_then_unroll_composes() {
+        // Trip count 7, factor 4: peel 3, unroll 4 → structure is valid
+        // and the loop body quadruples.
+        let p = copy_loop(7);
+        let peeled = peel_self_loop(&p, 1, 3).unwrap();
+        let unrolled = unroll_self_loop(&peeled, 1, 4).unwrap();
+        assert!(unrolled.validate().is_ok());
+        assert_eq!(
+            unrolled.blocks[1].instrs.len(),
+            4 * p.blocks[1].instrs.len()
+        );
+        assert_eq!(unrolled.blocks.len(), p.blocks.len() + 3);
+    }
+
+    #[test]
+    fn peel_zero_is_identity() {
+        let p = copy_loop(4);
+        let q = peel_self_loop(&p, 1, 0).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn peel_rejects_non_loops() {
+        let p = copy_loop(4);
+        assert_eq!(
+            peel_self_loop(&p, 0, 1).unwrap_err(),
+            UnrollError::NotASelfLoop(0)
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Values and operands of the three-address IR.
+
+use std::fmt;
+
+/// A virtual register — an unbounded, compiler-assigned value name.
+///
+/// URSA operates before register assignment, so programs use an unlimited
+/// supply of virtual registers; the allocator's whole job is to guarantee
+/// that they can later be mapped onto the machine's finite register file.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtualReg(pub u32);
+
+impl VirtualReg {
+    /// Dense index for table addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VirtualReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VirtualReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A named memory object (array or scalar cell) referenced by loads and
+/// stores. Symbols are interned per [`crate::program::Program`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolId(pub u32);
+
+impl SymbolId {
+    /// Dense index for table addressing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym{}", self.0)
+    }
+}
+
+/// A source operand: a virtual register or an immediate constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// The value currently held by a virtual register.
+    Reg(VirtualReg),
+    /// A signed immediate constant.
+    Imm(i64),
+}
+
+impl Operand {
+    /// The register read by this operand, if it is not an immediate.
+    pub fn as_reg(self) -> Option<VirtualReg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl From<VirtualReg> for Operand {
+    fn from(r: VirtualReg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(i: i64) -> Self {
+        Operand::Imm(i)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// The address of a memory access: a base symbol plus an index operand.
+///
+/// Two references *may alias* when their bases match and their indices are
+/// not provably distinct constants; the dependence builder uses this
+/// conservative test.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MemRef {
+    /// The memory object accessed.
+    pub base: SymbolId,
+    /// Element index into the object.
+    pub index: Operand,
+}
+
+impl MemRef {
+    /// Creates a reference to `base[index]`.
+    pub fn new(base: SymbolId, index: impl Into<Operand>) -> Self {
+        MemRef {
+            base,
+            index: index.into(),
+        }
+    }
+
+    /// Conservative may-alias test: distinct bases never alias; equal
+    /// bases alias unless both indices are constants with different
+    /// values.
+    pub fn may_alias(&self, other: &MemRef) -> bool {
+        if self.base != other.base {
+            return false;
+        }
+        match (self.index, other.index) {
+            (Operand::Imm(a), Operand::Imm(b)) => a == b,
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_reg_extraction() {
+        assert_eq!(Operand::Reg(VirtualReg(3)).as_reg(), Some(VirtualReg(3)));
+        assert_eq!(Operand::Imm(7).as_reg(), None);
+    }
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(VirtualReg(1)), Operand::Reg(VirtualReg(1)));
+        assert_eq!(Operand::from(-9i64), Operand::Imm(-9));
+    }
+
+    #[test]
+    fn alias_same_base_unknown_index() {
+        let a = MemRef::new(SymbolId(0), VirtualReg(1));
+        let b = MemRef::new(SymbolId(0), 4i64);
+        assert!(a.may_alias(&b), "register index may equal any constant");
+    }
+
+    #[test]
+    fn alias_distinct_constants_disambiguated() {
+        let a = MemRef::new(SymbolId(0), 3i64);
+        let b = MemRef::new(SymbolId(0), 4i64);
+        assert!(!a.may_alias(&b));
+        assert!(a.may_alias(&a));
+    }
+
+    #[test]
+    fn alias_distinct_bases_never() {
+        let a = MemRef::new(SymbolId(0), VirtualReg(1));
+        let b = MemRef::new(SymbolId(1), VirtualReg(1));
+        assert!(!a.may_alias(&b));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VirtualReg(12).to_string(), "v12");
+        assert_eq!(Operand::Imm(-3).to_string(), "-3");
+        assert_eq!(Operand::Reg(VirtualReg(0)).to_string(), "v0");
+    }
+}

@@ -1,0 +1,69 @@
+//! Execution-level tests of loop peeling and unrolling (these live in
+//! the integration tree so the simulator and the IR share one crate
+//! universe — `ursa-vm` depends on `ursa-ir`, so unit tests inside
+//! `ursa-ir` would see two distinct `Program` types).
+
+use ursa_ir::parser::parse;
+use ursa_ir::program::Program;
+use ursa_ir::unroll::{peel_self_loop, unroll_self_loop};
+
+fn copy_loop(n: i64) -> Program {
+    parse(&format!(
+        "block entry:\n\
+         v0 = const 0\n\
+         jmp head\n\
+         block head:\n\
+         v1 = load a[v0]\n\
+         v2 = mul v1, 3\n\
+         store b[v0], v2\n\
+         v0 = add v0, 1\n\
+         v3 = cmplt v0, {n}\n\
+         br v3, head, done\n\
+         block done:\n\
+         ret\n"
+    ))
+    .unwrap()
+}
+
+#[test]
+fn peel_preserves_semantics_for_any_trip_count() {
+    use std::collections::HashMap;
+    for n in [1i64, 2, 3, 5, 7, 8] {
+        let p = copy_loop(n);
+        let memory = ursa_vm::equiv::seeded_memory(&p, 32, n as u64);
+        let reference =
+            ursa_vm::seq::run_sequential(&p, &memory, &HashMap::new(), 100_000).unwrap();
+        // Peeling is valid even when count exceeds the trip count:
+        // every peeled copy keeps the exit test.
+        for count in [0usize, 1, 2, 3] {
+            let peeled = peel_self_loop(&p, 1, count).unwrap();
+            assert!(peeled.validate().is_ok());
+            assert_eq!(peeled.blocks.len(), p.blocks.len() + count);
+            let got =
+                ursa_vm::seq::run_sequential(&peeled, &memory, &HashMap::new(), 100_000)
+                    .unwrap_or_else(|e| panic!("trip {n} peel {count}: {e}"));
+            assert_eq!(
+                reference.memory, got.memory,
+                "trip {n} peel {count} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn peel_then_unroll_preserves_semantics_for_non_dividing_trips() {
+    use std::collections::HashMap;
+    // Trip 7 with factor 4: peel 3, then the remaining 4 trips
+    // unroll exactly once around.
+    let p = copy_loop(7);
+    let memory = ursa_vm::equiv::seeded_memory(&p, 32, 7);
+    let reference =
+        ursa_vm::seq::run_sequential(&p, &memory, &HashMap::new(), 100_000).unwrap();
+    let transformed =
+        unroll_self_loop(&peel_self_loop(&p, 1, 3).unwrap(), 1, 4).unwrap();
+    let got =
+        ursa_vm::seq::run_sequential(&transformed, &memory, &HashMap::new(), 100_000)
+            .unwrap();
+    assert_eq!(reference.memory, got.memory);
+}
+

@@ -1,0 +1,606 @@
+//! VLIW machine descriptions.
+//!
+//! URSA needs to know, for each resource class, how many instances the
+//! target provides (paper §2: "levels supported by the target machine").
+//! Two machine shapes are modeled:
+//!
+//! * **Homogeneous** — the paper's running model: every instruction can
+//!   execute on any of `n` identical, non-pipelined functional units with
+//!   unit latency, and there is a single file of `r` registers. This is
+//!   the configuration the worked example (Figure 2/3) assumes.
+//! * **Classed** — functional units are partitioned into classes (ALU,
+//!   multiplier, divider, memory port, branch unit) with per-class
+//!   latencies, exercising the paper's §5 extension to "several classes
+//!   of a resource".
+//!
+//! Machine descriptions are plain data (serde-serializable) so
+//! experiment configurations can be stored alongside results.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A functional-unit class.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub enum FuClass {
+    /// Any operation (homogeneous machines).
+    Universal,
+    /// Add/sub/logic/compare/move.
+    Alu,
+    /// Multiplication.
+    Mul,
+    /// Division and remainder.
+    Div,
+    /// Loads and stores (memory port).
+    Mem,
+    /// Branches.
+    Branch,
+}
+
+impl FuClass {
+    /// All classes, for iteration.
+    pub const ALL: [FuClass; 6] = [
+        FuClass::Universal,
+        FuClass::Alu,
+        FuClass::Mul,
+        FuClass::Div,
+        FuClass::Mem,
+        FuClass::Branch,
+    ];
+}
+
+impl fmt::Display for FuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuClass::Universal => "universal",
+            FuClass::Alu => "alu",
+            FuClass::Mul => "mul",
+            FuClass::Div => "div",
+            FuClass::Mem => "mem",
+            FuClass::Branch => "branch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The coarse operation kinds a machine assigns classes and latencies to.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub enum OpKind {
+    /// Constant materialization, moves, add/sub/logic/compares.
+    Alu,
+    /// Multiplications.
+    Mul,
+    /// Divisions and remainders.
+    Div,
+    /// Loads.
+    Load,
+    /// Stores.
+    Store,
+    /// Branches.
+    Branch,
+}
+
+impl OpKind {
+    /// Classifies an IR instruction.
+    pub fn of_instr(instr: &ursa_ir::instr::Instr) -> OpKind {
+        use ursa_ir::instr::{BinOp, Instr};
+        match instr {
+            Instr::Const { .. } | Instr::Un { .. } => OpKind::Alu,
+            Instr::Bin { op, .. } => match op {
+                BinOp::Mul => OpKind::Mul,
+                BinOp::Div | BinOp::Rem => OpKind::Div,
+                _ => OpKind::Alu,
+            },
+            Instr::Load { .. } => OpKind::Load,
+            Instr::Store { .. } => OpKind::Store,
+        }
+    }
+}
+
+/// Per-kind instruction latencies in cycles (non-pipelined: the unit is
+/// busy for the whole latency, per the paper's §3.2 model).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// ALU operations.
+    pub alu: u64,
+    /// Multiplications.
+    pub mul: u64,
+    /// Divisions.
+    pub div: u64,
+    /// Loads.
+    pub load: u64,
+    /// Stores.
+    pub store: u64,
+    /// Branches.
+    pub branch: u64,
+}
+
+impl LatencyModel {
+    /// Every operation takes one cycle — the paper's model.
+    pub fn unit() -> Self {
+        LatencyModel {
+            alu: 1,
+            mul: 1,
+            div: 1,
+            load: 1,
+            store: 1,
+            branch: 1,
+        }
+    }
+
+    /// A representative early-90s VLIW timing: 1-cycle ALU, 3-cycle
+    /// multiply, 10-cycle divide, 2-cycle loads.
+    pub fn classic() -> Self {
+        LatencyModel {
+            alu: 1,
+            mul: 3,
+            div: 10,
+            load: 2,
+            store: 1,
+            branch: 1,
+        }
+    }
+
+    /// Latency of an operation kind.
+    pub fn of(&self, kind: OpKind) -> u64 {
+        match kind {
+            OpKind::Alu => self.alu,
+            OpKind::Mul => self.mul,
+            OpKind::Div => self.div,
+            OpKind::Load => self.load,
+            OpKind::Store => self.store,
+            OpKind::Branch => self.branch,
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::unit()
+    }
+}
+
+/// A VLIW target machine description.
+///
+/// # Examples
+///
+/// ```
+/// use ursa_machine::{FuClass, Machine};
+///
+/// let m = Machine::homogeneous(4, 8);
+/// assert_eq!(m.fu_count(FuClass::Universal), 4);
+/// assert_eq!(m.registers(), 8);
+/// assert_eq!(m.total_fus(), 4);
+///
+/// let c = Machine::classic_vliw();
+/// assert!(c.fu_count(FuClass::Alu) > 0);
+/// assert!(c.is_classed());
+/// ```
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Machine {
+    name: String,
+    /// `(class, count)` pairs; homogeneous machines have a single
+    /// `Universal` entry.
+    fus: Vec<(FuClass, u32)>,
+    registers: u32,
+    latencies: LatencyModel,
+    /// Pipelined functional units accept a new operation every cycle
+    /// even while earlier results are still in flight (the paper's §6
+    /// superscalar extension). Non-pipelined units (the paper's base
+    /// model) stay busy for the whole latency.
+    #[serde(default)]
+    pipelined: bool,
+}
+
+impl Machine {
+    /// The paper's machine model: `fus` identical functional units,
+    /// `registers` registers, unit latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn homogeneous(fus: u32, registers: u32) -> Self {
+        assert!(fus > 0, "a machine needs at least one functional unit");
+        assert!(registers > 0, "a machine needs at least one register");
+        Machine {
+            name: format!("vliw{fus}r{registers}"),
+            fus: vec![(FuClass::Universal, fus)],
+            registers,
+            latencies: LatencyModel::unit(),
+            pipelined: false,
+        }
+    }
+
+    /// A representative classed VLIW: 4 ALUs, 2 multipliers, 1 divider,
+    /// 2 memory ports, 1 branch unit, 16 registers, classic latencies.
+    pub fn classic_vliw() -> Self {
+        MachineBuilder::new("classic-vliw")
+            .fu(FuClass::Alu, 4)
+            .fu(FuClass::Mul, 2)
+            .fu(FuClass::Div, 1)
+            .fu(FuClass::Mem, 2)
+            .fu(FuClass::Branch, 1)
+            .registers(16)
+            .latencies(LatencyModel::classic())
+            .build()
+    }
+
+    /// Starts building a custom machine.
+    pub fn builder(name: impl Into<String>) -> MachineBuilder {
+        MachineBuilder::new(name)
+    }
+
+    /// The machine's name (used in experiment output).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `true` when functional units are split into classes.
+    pub fn is_classed(&self) -> bool {
+        !matches!(self.fus[..], [(FuClass::Universal, _)])
+    }
+
+    /// Number of functional units of `class` (0 if absent).
+    pub fn fu_count(&self, class: FuClass) -> u32 {
+        self.fus
+            .iter()
+            .find(|&&(c, _)| c == class)
+            .map_or(0, |&(_, n)| n)
+    }
+
+    /// Total functional units across classes.
+    pub fn total_fus(&self) -> u32 {
+        self.fus.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// The `(class, count)` pairs of this machine.
+    pub fn fu_classes(&self) -> &[(FuClass, u32)] {
+        &self.fus
+    }
+
+    /// Number of registers (single register class).
+    pub fn registers(&self) -> u32 {
+        self.registers
+    }
+
+    /// Returns a copy with a different register count — handy for
+    /// parameter sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `registers` is zero.
+    pub fn with_registers(&self, registers: u32) -> Machine {
+        assert!(registers > 0, "a machine needs at least one register");
+        let mut m = self.clone();
+        m.registers = registers;
+        m.name = format!("{}-r{registers}", self.name);
+        m
+    }
+
+    /// The latency model.
+    pub fn latencies(&self) -> &LatencyModel {
+        &self.latencies
+    }
+
+    /// Latency of an operation kind on this machine.
+    pub fn latency_of(&self, kind: OpKind) -> u64 {
+        self.latencies.of(kind)
+    }
+
+    /// `true` when units accept a new operation every cycle.
+    pub fn is_pipelined(&self) -> bool {
+        self.pipelined
+    }
+
+    /// Cycles a functional unit stays *occupied* by `kind`: the full
+    /// latency on the paper's non-pipelined model, one cycle on a
+    /// pipelined machine. The CanReuse_FU relation is unchanged either
+    /// way — a dependent instruction issues strictly later, so in the
+    /// worst case the simultaneous-issue width still equals the maximum
+    /// antichain.
+    pub fn occupancy_of(&self, kind: OpKind) -> u64 {
+        if self.pipelined {
+            1
+        } else {
+            self.latencies.of(kind)
+        }
+    }
+
+    /// Occupancy of a concrete IR instruction.
+    pub fn instr_occupancy(&self, instr: &ursa_ir::instr::Instr) -> u64 {
+        self.occupancy_of(OpKind::of_instr(instr))
+    }
+
+    /// Serializes the machine description to pretty JSON, suitable for
+    /// storing experiment configurations.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("machine descriptions always serialize")
+    }
+
+    /// Parses a machine description from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error for malformed input.
+    pub fn from_json(json: &str) -> Result<Machine, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// A pipelined variant of [`Machine::classic_vliw`].
+    pub fn pipelined_vliw() -> Machine {
+        MachineBuilder::new("pipelined-vliw")
+            .fu(FuClass::Alu, 4)
+            .fu(FuClass::Mul, 2)
+            .fu(FuClass::Div, 1)
+            .fu(FuClass::Mem, 2)
+            .fu(FuClass::Branch, 1)
+            .registers(16)
+            .latencies(LatencyModel::classic())
+            .pipelined(true)
+            .build()
+    }
+
+    /// Latency of a concrete IR instruction.
+    pub fn instr_latency(&self, instr: &ursa_ir::instr::Instr) -> u64 {
+        self.latencies.of(OpKind::of_instr(instr))
+    }
+
+    /// The functional-unit class executing `kind` on this machine.
+    pub fn class_of(&self, kind: OpKind) -> FuClass {
+        if !self.is_classed() {
+            return FuClass::Universal;
+        }
+        match kind {
+            OpKind::Alu => FuClass::Alu,
+            OpKind::Mul => FuClass::Mul,
+            OpKind::Div => FuClass::Div,
+            OpKind::Load | OpKind::Store => FuClass::Mem,
+            OpKind::Branch => FuClass::Branch,
+        }
+    }
+
+    /// The functional-unit class executing a concrete IR instruction.
+    pub fn instr_class(&self, instr: &ursa_ir::instr::Instr) -> FuClass {
+        self.class_of(OpKind::of_instr(instr))
+    }
+}
+
+impl fmt::Display for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (", self.name)?;
+        for (i, (c, n)) in self.fus.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}×{c}")?;
+        }
+        write!(f, ", {} regs)", self.registers)
+    }
+}
+
+/// Incremental construction of a classed [`Machine`].
+#[derive(Clone, Debug)]
+pub struct MachineBuilder {
+    name: String,
+    fus: Vec<(FuClass, u32)>,
+    registers: u32,
+    latencies: LatencyModel,
+    pipelined: bool,
+}
+
+impl MachineBuilder {
+    /// Starts a builder with no functional units and 16 registers.
+    pub fn new(name: impl Into<String>) -> Self {
+        MachineBuilder {
+            name: name.into(),
+            fus: Vec::new(),
+            registers: 16,
+            latencies: LatencyModel::unit(),
+            pipelined: false,
+        }
+    }
+
+    /// Adds `count` units of `class` (replaces an earlier entry for the
+    /// same class; a zero count removes the class).
+    pub fn fu(mut self, class: FuClass, count: u32) -> Self {
+        self.fus.retain(|&(c, _)| c != class);
+        if count > 0 {
+            self.fus.push((class, count));
+        }
+        self
+    }
+
+    /// Sets the register count.
+    pub fn registers(mut self, registers: u32) -> Self {
+        self.registers = registers;
+        self
+    }
+
+    /// Sets the latency model.
+    pub fn latencies(mut self, latencies: LatencyModel) -> Self {
+        self.latencies = latencies;
+        self
+    }
+
+    /// Makes the functional units pipelined (issue every cycle; results
+    /// arrive after the latency) — the paper's §6 superscalar extension.
+    pub fn pipelined(mut self, pipelined: bool) -> Self {
+        self.pipelined = pipelined;
+        self
+    }
+
+    /// Finalizes the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no functional units were declared or registers is zero.
+    pub fn build(self) -> Machine {
+        assert!(
+            !self.fus.is_empty(),
+            "a machine needs at least one functional unit"
+        );
+        assert!(self.registers > 0, "a machine needs at least one register");
+        Machine {
+            name: self.name,
+            fus: self.fus,
+            registers: self.registers,
+            latencies: self.latencies,
+            pipelined: self.pipelined,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_ir::instr::{BinOp, Instr};
+    use ursa_ir::value::{MemRef, Operand, SymbolId, VirtualReg};
+
+    fn mul_instr() -> Instr {
+        Instr::Bin {
+            op: BinOp::Mul,
+            dst: VirtualReg(0),
+            a: Operand::Imm(1),
+            b: Operand::Imm(2),
+        }
+    }
+
+    #[test]
+    fn homogeneous_machine_shape() {
+        let m = Machine::homogeneous(3, 5);
+        assert!(!m.is_classed());
+        assert_eq!(m.fu_count(FuClass::Universal), 3);
+        assert_eq!(m.fu_count(FuClass::Alu), 0);
+        assert_eq!(m.registers(), 5);
+        assert_eq!(m.instr_latency(&mul_instr()), 1);
+        assert_eq!(m.instr_class(&mul_instr()), FuClass::Universal);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one functional unit")]
+    fn zero_fus_rejected() {
+        Machine::homogeneous(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn zero_registers_rejected() {
+        Machine::homogeneous(4, 0);
+    }
+
+    #[test]
+    fn classed_machine_routes_ops() {
+        let m = Machine::classic_vliw();
+        assert!(m.is_classed());
+        assert_eq!(m.instr_class(&mul_instr()), FuClass::Mul);
+        assert_eq!(m.instr_latency(&mul_instr()), 3);
+        let load = Instr::Load {
+            dst: VirtualReg(0),
+            mem: MemRef::new(SymbolId(0), 0i64),
+        };
+        assert_eq!(m.instr_class(&load), FuClass::Mem);
+        assert_eq!(m.instr_latency(&load), 2);
+        assert_eq!(m.total_fus(), 10);
+    }
+
+    #[test]
+    fn op_kind_classification() {
+        use ursa_ir::instr::UnOp;
+        assert_eq!(
+            OpKind::of_instr(&Instr::Const {
+                dst: VirtualReg(0),
+                value: 3
+            }),
+            OpKind::Alu
+        );
+        assert_eq!(
+            OpKind::of_instr(&Instr::Un {
+                op: UnOp::Neg,
+                dst: VirtualReg(0),
+                a: Operand::Imm(1)
+            }),
+            OpKind::Alu
+        );
+        let div = Instr::Bin {
+            op: BinOp::Div,
+            dst: VirtualReg(0),
+            a: Operand::Imm(1),
+            b: Operand::Imm(2),
+        };
+        assert_eq!(OpKind::of_instr(&div), OpKind::Div);
+        let store = Instr::Store {
+            mem: MemRef::new(SymbolId(0), 0i64),
+            src: Operand::Imm(0),
+        };
+        assert_eq!(OpKind::of_instr(&store), OpKind::Store);
+    }
+
+    #[test]
+    fn builder_replaces_class_entries() {
+        let m = Machine::builder("t")
+            .fu(FuClass::Alu, 2)
+            .fu(FuClass::Alu, 3)
+            .registers(4)
+            .build();
+        assert_eq!(m.fu_count(FuClass::Alu), 3);
+        assert_eq!(m.total_fus(), 3);
+    }
+
+    #[test]
+    fn builder_zero_count_removes_class() {
+        let m = Machine::builder("t")
+            .fu(FuClass::Alu, 2)
+            .fu(FuClass::Mul, 1)
+            .fu(FuClass::Mul, 0)
+            .build();
+        assert_eq!(m.fu_count(FuClass::Mul), 0);
+        assert_eq!(m.fu_classes().len(), 1);
+    }
+
+    #[test]
+    fn with_registers_sweeps() {
+        let m = Machine::homogeneous(4, 16);
+        let m8 = m.with_registers(8);
+        assert_eq!(m8.registers(), 8);
+        assert_eq!(m.registers(), 16, "original untouched");
+        assert_ne!(m8.name(), m.name());
+    }
+
+    #[test]
+    fn latency_models() {
+        let u = LatencyModel::unit();
+        assert!(OpKind::of_instr(&mul_instr()) == OpKind::Mul);
+        assert_eq!(u.of(OpKind::Div), 1);
+        let c = LatencyModel::classic();
+        assert_eq!(c.of(OpKind::Div), 10);
+        assert_eq!(c.of(OpKind::Load), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = Machine::classic_vliw();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Machine = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn json_helpers_round_trip() {
+        let m = Machine::pipelined_vliw();
+        let back = Machine::from_json(&m.to_json()).unwrap();
+        assert_eq!(m, back);
+        assert!(back.is_pipelined());
+        assert!(Machine::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn display_mentions_units_and_registers() {
+        let m = Machine::classic_vliw();
+        let s = m.to_string();
+        assert!(s.contains("4×alu"));
+        assert!(s.contains("16 regs"));
+    }
+}

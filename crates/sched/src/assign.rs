@@ -1,0 +1,338 @@
+//! Register assignment over a fixed schedule.
+//!
+//! URSA's assignment phase runs after allocation has bounded the
+//! worst-case requirements, so a simple linear scan over the concrete
+//! schedule suffices: every value gets a physical register at its
+//! definition's issue cycle and releases it when its last reader has
+//! issued. If the heuristics missed a region (paper §2: "the assignment
+//! phase is also responsible for handling any excessive requirements
+//! that were not identified"), assignment reports the overflow and the
+//! pipeline falls back to a register-constrained emitter.
+
+use crate::schedule::Schedule;
+use crate::vliw::{MachineOp, SlotOp, VliwProgram};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use ursa_graph::dag::NodeId;
+use ursa_ir::ddg::{DependenceDag, NodeKind};
+use ursa_ir::value::VirtualReg;
+use ursa_machine::Machine;
+
+/// Assignment failure: more values live at `cycle` than the machine has
+/// registers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AssignError {
+    /// The cycle at which the register file overflowed.
+    pub cycle: u64,
+}
+
+impl fmt::Display for AssignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "register pressure exceeds the file at cycle {}", self.cycle)
+    }
+}
+
+impl std::error::Error for AssignError {}
+
+/// Binds every value of the scheduled DAG to a physical register and
+/// emits the VLIW words.
+///
+/// # Errors
+///
+/// [`AssignError`] if at some cycle more values are simultaneously live
+/// than the machine provides registers — possible when URSA's
+/// allocation phase left residual excess, or when the `Kill()`
+/// heuristic under-measured a value with several independent maximal
+/// uses (the paper's §2 makes the assignment phase "responsible for
+/// handling any excessive requirements that were not identified by
+/// URSA's heuristics"; the pipeline then falls back to the spill
+/// patcher).
+pub fn assign_registers(
+    ddg: &DependenceDag,
+    schedule: &Schedule,
+    machine: &Machine,
+) -> Result<VliwProgram, AssignError> {
+    let regs = machine.registers();
+    let exit = ddg.exit();
+
+    // Live range of every value: (def issue cycle, last reader issue
+    // cycle, live-out?).
+    struct Range {
+        node: NodeId,
+        def_cycle: u64,
+        last_use: u64,
+        live_out: bool,
+    }
+    let mut ranges: Vec<Range> = Vec::new();
+    for v in ddg.value_nodes() {
+        let def_cycle = match ddg.kind(v) {
+            NodeKind::LiveIn { .. } => 0,
+            _ => schedule.start_of(v).expect("value nodes are scheduled"),
+        };
+        // A register stays busy at least until its own write commits —
+        // otherwise a dead definition's in-flight write could clobber
+        // the next owner's value.
+        let mut last_use = def_cycle + crate::schedule::node_latency(ddg, machine, v);
+        for &u in ddg.uses_of(v) {
+            if u == exit {
+                continue;
+            }
+            if let Some(c) = schedule.start_of(u) {
+                last_use = last_use.max(c);
+            }
+        }
+        ranges.push(Range {
+            node: v,
+            def_cycle,
+            last_use,
+            live_out: ddg.is_live_out(v),
+        });
+    }
+    // Allocate in def order; frees processed before allocations at each
+    // cycle (a register read at issue may be redefined the same cycle —
+    // the new value arrives only after the operation's latency).
+    ranges.sort_by_key(|r| (r.def_cycle, r.node));
+    let mut free: BTreeSet<u32> = (0..regs).collect();
+    let mut expiries: Vec<(u64, u32)> = Vec::new(); // (last_use, reg)
+    let mut binding: HashMap<VirtualReg, u32> = HashMap::new();
+    let mut live_in: Vec<(u32, VirtualReg)> = Vec::new();
+
+    for r in &ranges {
+        // Release registers whose value died strictly before or at this
+        // cycle.
+        expiries.retain(|&(last, reg)| {
+            if last <= r.def_cycle {
+                free.insert(reg);
+                false
+            } else {
+                true
+            }
+        });
+        let Some(&phys) = free.iter().next() else {
+            return Err(AssignError {
+                cycle: r.def_cycle,
+            });
+        };
+        free.remove(&phys);
+        let vreg = ddg.value_def(r.node).expect("value node");
+        binding.insert(vreg, phys);
+        if matches!(ddg.kind(r.node), NodeKind::LiveIn { .. }) {
+            live_in.push((phys, vreg));
+        }
+        if !r.live_out {
+            expiries.push((r.last_use, phys));
+        }
+    }
+
+    // Emit the words with registers rewritten.
+    let mut words: Vec<Vec<MachineOp>> = vec![Vec::new(); schedule.length() as usize];
+    for op in schedule.ops() {
+        let slot = match ddg.kind(op.node) {
+            NodeKind::Op { instr, .. } => {
+                let mut instr = instr.clone();
+                instr.map_registers(|r| {
+                    VirtualReg(*binding.get(&r).unwrap_or_else(|| {
+                        panic!("register {r} of {} has no binding", ddg.describe(op.node))
+                    }))
+                });
+                SlotOp::Instr(instr)
+            }
+            NodeKind::Branch { cond, .. } => {
+                let cond = match cond {
+                    ursa_ir::value::Operand::Reg(r) => {
+                        ursa_ir::value::Operand::Reg(VirtualReg(binding[r]))
+                    }
+                    imm => *imm,
+                };
+                SlotOp::Branch { cond }
+            }
+            other => unreachable!("pseudo node {other:?} in schedule"),
+        };
+        words[op.cycle as usize].push(MachineOp { op: slot, fu: op.fu });
+    }
+
+    Ok(VliwProgram {
+        words,
+        symbols: ddg.symbols().to_vec(),
+        num_regs: regs,
+        live_in,
+    })
+}
+
+/// Emits VLIW words for a schedule whose instructions already reference
+/// physical registers (the prepass pipeline: the register allocator ran
+/// before scheduling, so no mapping is needed here).
+pub fn emit_physical(ddg: &DependenceDag, schedule: &Schedule, machine: &Machine) -> VliwProgram {
+    let mut words: Vec<Vec<MachineOp>> = vec![Vec::new(); schedule.length() as usize];
+    let mut live_in = Vec::new();
+    for v in ddg.value_nodes() {
+        if let NodeKind::LiveIn { reg } = ddg.kind(v) {
+            live_in.push((reg.0, *reg));
+        }
+    }
+    for op in schedule.ops() {
+        let slot = match ddg.kind(op.node) {
+            NodeKind::Op { instr, .. } => SlotOp::Instr(instr.clone()),
+            NodeKind::Branch { cond, .. } => SlotOp::Branch { cond: *cond },
+            other => unreachable!("pseudo node {other:?} in schedule"),
+        };
+        words[op.cycle as usize].push(MachineOp { op: slot, fu: op.fu });
+    }
+    VliwProgram {
+        words,
+        symbols: ddg.symbols().to_vec(),
+        num_regs: machine.registers(),
+        live_in,
+    }
+}
+
+/// The maximum number of simultaneously live values under `schedule` —
+/// the concrete pressure the assignment must fit. Useful for tests and
+/// for checking URSA's worst-case bound against a real schedule.
+pub fn schedule_pressure(ddg: &DependenceDag, schedule: &Schedule, machine: &Machine) -> u32 {
+    let exit = ddg.exit();
+    let mut events: Vec<(u64, i32)> = Vec::new();
+    for v in ddg.value_nodes() {
+        let def_cycle = match ddg.kind(v) {
+            NodeKind::LiveIn { .. } => 0,
+            _ => match schedule.start_of(v) {
+                Some(c) => c,
+                None => continue,
+            },
+        };
+        // Matches the assignment rule: busy at least until the write
+        // commits (relevant for dead definitions).
+        let mut last_use = def_cycle + crate::schedule::node_latency(ddg, machine, v);
+        for &u in ddg.uses_of(v) {
+            if u == exit {
+                continue;
+            }
+            if let Some(c) = schedule.start_of(u) {
+                last_use = last_use.max(c);
+            }
+        }
+        if ddg.is_live_out(v) {
+            last_use = schedule.length();
+        }
+        events.push((def_cycle, 1));
+        events.push((last_use, -1));
+    }
+    // Deaths before births at the same cycle (read-before-write reuse).
+    events.sort_by_key(|&(c, d)| (c, d));
+    let mut live = 0i32;
+    let mut max = 0i32;
+    for (_, d) in events {
+        live += d;
+        max = max.max(live);
+    }
+    max as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::list_schedule;
+    use ursa_ir::parser::parse;
+
+    const FIG2: &str = "\
+        v0 = load a[0]\n\
+        v1 = mul v0, 2\n\
+        v2 = mul v0, 3\n\
+        v3 = add v0, 5\n\
+        v4 = add v1, v2\n\
+        v5 = mul v1, v2\n\
+        v6 = mul v3, 2\n\
+        v7 = div v3, 3\n\
+        v8 = div v4, v5\n\
+        v9 = add v6, v7\n\
+        v10 = add v8, v9\n";
+
+    fn ddg_of(src: &str) -> DependenceDag {
+        DependenceDag::from_entry_block(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn assignment_succeeds_with_ample_registers() {
+        let ddg = ddg_of(FIG2);
+        let machine = Machine::homogeneous(4, 16);
+        let s = list_schedule(&ddg, &machine);
+        let prog = assign_registers(&ddg, &s, &machine).unwrap();
+        assert_eq!(prog.op_count(), 11);
+        assert_eq!(prog.num_regs, 16);
+        // Every register index is physical.
+        for word in &prog.words {
+            for op in word {
+                if let SlotOp::Instr(i) = &op.op {
+                    for r in i.uses().into_iter().chain(i.def()) {
+                        assert!(r.0 < 16);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_fails_under_pressure() {
+        let ddg = ddg_of(FIG2);
+        let machine = Machine::homogeneous(8, 2);
+        let s = list_schedule(&ddg, &machine);
+        assert!(assign_registers(&ddg, &s, &machine).is_err());
+    }
+
+    #[test]
+    fn pressure_matches_assignment_boundary() {
+        let ddg = ddg_of(FIG2);
+        let machine = Machine::homogeneous(4, 16);
+        let s = list_schedule(&ddg, &machine);
+        let p = schedule_pressure(&ddg, &s, &machine);
+        // Assignment with exactly `p` registers succeeds…
+        let just_enough = Machine::homogeneous(4, p);
+        assert!(assign_registers(&ddg, &s, &just_enough).is_ok());
+        // …and with one fewer fails.
+        if p > 1 {
+            let too_few = Machine::homogeneous(4, p - 1);
+            assert!(assign_registers(&ddg, &s, &too_few).is_err());
+        }
+    }
+
+    #[test]
+    fn registers_are_reused_after_death() {
+        // Long chain: two registers suffice (value + next value).
+        let ddg = ddg_of(
+            "v0 = const 1\nv1 = add v0, 1\nv2 = add v1, 1\nv3 = add v2, 1\nstore a[0], v3\n",
+        );
+        let machine = Machine::homogeneous(1, 2);
+        let s = list_schedule(&ddg, &machine);
+        let prog = assign_registers(&ddg, &s, &machine).unwrap();
+        assert!(prog.op_count() == 5);
+    }
+
+    #[test]
+    fn live_in_values_get_registers() {
+        let ddg = ddg_of("v5 = add v0, 1\nstore a[0], v5\n");
+        let machine = Machine::homogeneous(2, 4);
+        let s = list_schedule(&ddg, &machine);
+        let prog = assign_registers(&ddg, &s, &machine).unwrap();
+        assert_eq!(prog.live_in.len(), 1);
+        let (_, orig) = prog.live_in[0];
+        assert_eq!(orig, VirtualReg(0));
+    }
+
+    #[test]
+    fn ursa_bound_dominates_concrete_pressure() {
+        // The worst-case measurement must be an upper bound for the
+        // pressure of any concrete schedule.
+        use ursa_core::{measure, AllocCtx, MeasureOptions, ResourceKind};
+        let ddg = ddg_of(FIG2);
+        let machine = Machine::homogeneous(4, 16);
+        let s = list_schedule(&ddg, &machine);
+        let concrete = schedule_pressure(&ddg, &s, &machine);
+        let mut ctx = AllocCtx::new(ddg, &machine);
+        let m = measure(&mut ctx, MeasureOptions::default());
+        let bound = m.of(ResourceKind::Registers).unwrap().requirement.required;
+        assert!(
+            concrete <= bound,
+            "schedule uses {concrete}, worst case is {bound}"
+        );
+    }
+}

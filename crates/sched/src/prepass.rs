@@ -1,0 +1,338 @@
+//! The *prepass* baseline: register allocation **before** scheduling.
+//!
+//! "If register allocation is performed before instruction scheduling,
+//! additional dependences due to the reuse of registers are introduced,
+//! further restricting the scheduler" (paper §1). This module commits a
+//! straight-line block to the machine's physical registers with a
+//! classic linear scan (farthest-next-use eviction), producing code
+//! whose register reuse then shows up as anti/output dependences in the
+//! dependence DAG (built with renaming disabled) and shackles the list
+//! scheduler.
+
+use std::collections::{BTreeSet, HashMap};
+use ursa_ir::instr::Instr;
+use ursa_ir::program::{BasicBlock, Program};
+use ursa_ir::trace::liveness;
+use ursa_ir::value::{MemRef, SymbolId, VirtualReg};
+use ursa_machine::Machine;
+
+/// Spill activity of the prepass allocator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PrepassStats {
+    /// Stores inserted.
+    pub stores: usize,
+    /// Reloads inserted.
+    pub loads: usize,
+}
+
+/// Where a value currently lives during the scan.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Loc {
+    Reg(u32),
+    Mem(i64),
+}
+
+/// Mutable allocator state shared by the scan and the eviction helper.
+struct ScanState {
+    free: BTreeSet<u32>,
+    owner: HashMap<u32, VirtualReg>,
+    loc: HashMap<VirtualReg, Loc>,
+    slot_of: HashMap<VirtualReg, i64>,
+    next_slot: i64,
+    out: Vec<Instr>,
+    stats: PrepassStats,
+    spill_sym: SymbolId,
+}
+
+impl ScanState {
+    /// Obtains a free register, evicting the bound value with the
+    /// farthest next use (never one of `protected`).
+    fn grab(&mut self, protected: &[VirtualReg], next_use: impl Fn(VirtualReg) -> usize) -> u32 {
+        if let Some(&p) = self.free.iter().next() {
+            self.free.remove(&p);
+            return p;
+        }
+        let (&victim_reg, &victim_val) = self
+            .owner
+            .iter()
+            .filter(|&(_, v)| !protected.contains(v))
+            .max_by_key(|&(p, v)| (next_use(*v), std::cmp::Reverse(*p)))
+            .expect("an unprotected register exists");
+        self.owner.remove(&victim_reg);
+        let slot = match self.slot_of.get(&victim_val) {
+            Some(&s) => s, // clean: already in its slot
+            None => {
+                let s = self.next_slot;
+                self.next_slot += 1;
+                self.slot_of.insert(victim_val, s);
+                self.out.push(Instr::Store {
+                    mem: MemRef::new(self.spill_sym, s),
+                    src: ursa_ir::value::Operand::Reg(VirtualReg(victim_reg)),
+                });
+                self.stats.stores += 1;
+                s
+            }
+        };
+        self.loc.insert(victim_val, Loc::Mem(slot));
+        victim_reg
+    }
+}
+
+/// Rewrites block `block` of `program` onto the machine's physical
+/// register file, inserting spill code where needed. Returns the new
+/// program (same shape, block rewritten, spill symbol appended) and the
+/// spill statistics.
+///
+/// # Panics
+///
+/// Panics if the machine has fewer than 3 registers (three-address
+/// instructions need up to two operands and a result resident) or if
+/// the block's live-in set exceeds the file.
+pub fn prepass_allocate(
+    program: &Program,
+    block: usize,
+    machine: &Machine,
+) -> (Program, PrepassStats) {
+    let regs = machine.registers();
+    assert!(regs >= 3, "prepass allocation needs at least 3 registers");
+    let lv = liveness(program);
+    let instrs = &program.blocks[block].instrs;
+
+    let mut symbols = program.symbols.clone();
+    let spill_sym = SymbolId(symbols.len() as u32);
+    symbols.push("__prepass_spill".to_string());
+
+    // Next-use positions per original register.
+    let use_positions: HashMap<VirtualReg, Vec<usize>> = {
+        let mut m: HashMap<VirtualReg, Vec<usize>> = HashMap::new();
+        for (i, instr) in instrs.iter().enumerate() {
+            for u in instr.uses() {
+                m.entry(u).or_default().push(i);
+            }
+        }
+        for u in program.blocks[block].term.uses() {
+            m.entry(u).or_default().push(instrs.len());
+        }
+        m
+    };
+    let next_use = |r: VirtualReg, after: usize| -> usize {
+        use_positions
+            .get(&r)
+            .and_then(|ps| ps.iter().copied().find(|&p| p >= after))
+            .unwrap_or(usize::MAX)
+    };
+
+    let mut st = ScanState {
+        free: (0..regs).collect(),
+        owner: HashMap::new(),
+        loc: HashMap::new(),
+        slot_of: HashMap::new(),
+        next_slot: 0,
+        out: Vec::new(),
+        stats: PrepassStats::default(),
+        spill_sym,
+    };
+
+    // Live-in registers are assumed resident on entry.
+    let live_in: Vec<VirtualReg> = lv.live_in[block]
+        .iter()
+        .map(|i| VirtualReg(i as u32))
+        .collect();
+    assert!(
+        live_in.len() <= regs as usize,
+        "more live-in values than registers"
+    );
+    for (k, &r) in live_in.iter().enumerate() {
+        let phys = k as u32;
+        st.free.remove(&phys);
+        st.owner.insert(phys, r);
+        st.loc.insert(r, Loc::Reg(phys));
+    }
+
+    for (i, instr) in instrs.iter().enumerate() {
+        let reads = instr.uses();
+        // Reload spilled operands.
+        for &r in &reads {
+            if let Some(Loc::Mem(slot)) = st.loc.get(&r).copied() {
+                let phys = st.grab(&reads, |v| next_use(v, i));
+                st.out.push(Instr::Load {
+                    dst: VirtualReg(phys),
+                    mem: MemRef::new(spill_sym, slot),
+                });
+                st.stats.loads += 1;
+                st.loc.insert(r, Loc::Reg(phys));
+                st.owner.insert(phys, r);
+            }
+        }
+        // Snapshot bindings for rewriting.
+        let binding: HashMap<VirtualReg, u32> = reads
+            .iter()
+            .map(|&r| match st.loc[&r] {
+                Loc::Reg(p) => (r, p),
+                Loc::Mem(_) => unreachable!("operand reloaded above"),
+            })
+            .collect();
+        // Free operands with no further use (and not live-out).
+        let mut dying: Vec<VirtualReg> = reads.clone();
+        dying.sort_unstable();
+        dying.dedup();
+        for r in dying {
+            if next_use(r, i + 1) == usize::MAX && !lv.live_out_of(block, r) {
+                if let Some(Loc::Reg(p)) = st.loc.get(&r).copied() {
+                    st.owner.remove(&p);
+                    st.free.insert(p);
+                }
+                st.loc.remove(&r);
+            }
+        }
+        // Allocate the definition.
+        let def = instr.def();
+        let def_phys = def.map(|_| st.grab(&reads, |v| next_use(v, i + 1)));
+        let mut rewritten = instr.clone();
+        rewritten.map_registers(|r| {
+            if Some(r) == def {
+                VirtualReg(def_phys.expect("allocated"))
+            } else {
+                VirtualReg(binding[&r])
+            }
+        });
+        st.out.push(rewritten);
+        if let (Some(d), Some(p)) = (def, def_phys) {
+            // A redefinition invalidates any stale spill slot.
+            st.slot_of.remove(&d);
+            st.loc.insert(d, Loc::Reg(p));
+            st.owner.insert(p, d);
+        }
+    }
+
+    let mut new_program = program.clone();
+    new_program.symbols = symbols;
+    new_program.blocks[block] = BasicBlock {
+        label: program.blocks[block].label.clone(),
+        instrs: st.out,
+        term: program.blocks[block].term.clone(),
+        weight: program.blocks[block].weight,
+    };
+    new_program.num_vregs = new_program.num_vregs.max(regs);
+    let stats = st.stats;
+    (new_program, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_ir::parser::parse;
+
+    const FIG2: &str = "\
+        v0 = load a[0]\n\
+        v1 = mul v0, 2\n\
+        v2 = mul v0, 3\n\
+        v3 = add v0, 5\n\
+        v4 = add v1, v2\n\
+        v5 = mul v1, v2\n\
+        v6 = mul v3, 2\n\
+        v7 = div v3, 3\n\
+        v8 = div v4, v5\n\
+        v9 = add v6, v7\n\
+        v10 = add v8, v9\n";
+
+    #[test]
+    fn ample_registers_need_no_spills() {
+        let p = parse(FIG2).unwrap();
+        let machine = Machine::homogeneous(4, 16);
+        let (q, stats) = prepass_allocate(&p, 0, &machine);
+        assert_eq!(stats.stores + stats.loads, 0);
+        assert_eq!(q.blocks[0].instrs.len(), 11);
+        // All registers below the file size.
+        for i in &q.blocks[0].instrs {
+            for r in i.uses().into_iter().chain(i.def()) {
+                assert!(r.0 < 16);
+            }
+        }
+        assert!(q.validate().is_ok());
+    }
+
+    #[test]
+    fn tight_registers_spill() {
+        let p = parse(FIG2).unwrap();
+        let machine = Machine::homogeneous(4, 3);
+        let (q, stats) = prepass_allocate(&p, 0, &machine);
+        // Sequential pressure of Fig. 2 is above 3: spills appear.
+        assert!(stats.stores > 0);
+        assert!(stats.loads > 0);
+        assert_eq!(
+            q.blocks[0].instrs.len(),
+            11 + stats.stores + stats.loads
+        );
+        for i in &q.blocks[0].instrs {
+            for r in i.uses().into_iter().chain(i.def()) {
+                assert!(r.0 < 3, "register {r} outside the 3-register file");
+            }
+        }
+        assert!(q.symbols.iter().any(|s| s == "__prepass_spill"));
+    }
+
+    #[test]
+    fn register_reuse_serializes_the_dag() {
+        use ursa_graph::reach::Reachability;
+        use ursa_ir::ddg::{DdgOptions, DependenceDag};
+        use ursa_ir::trace::Trace;
+        let p = parse(FIG2).unwrap();
+        let machine = Machine::homogeneous(4, 4);
+        let (q, _) = prepass_allocate(&p, 0, &machine);
+        let renamed = DependenceDag::from_entry_block(&q);
+        let committed = DependenceDag::build_with(
+            &q,
+            &Trace::single(0),
+            DdgOptions {
+                rename: false,
+                ..DdgOptions::default()
+            },
+        );
+        // Anti dependences can only remove parallelism.
+        let rr = Reachability::of(renamed.dag());
+        let rc = Reachability::of(committed.dag());
+        let count_independent = |r: &Reachability, n: usize| {
+            let mut c = 0;
+            for i in 0..n {
+                for j in i + 1..n {
+                    if r.independent(
+                        ursa_graph::dag::NodeId::from(i),
+                        ursa_graph::dag::NodeId::from(j),
+                    ) {
+                        c += 1;
+                    }
+                }
+            }
+            c
+        };
+        let n = renamed.dag().node_count().min(committed.dag().node_count());
+        assert!(count_independent(&rc, n) <= count_independent(&rr, n));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 registers")]
+    fn too_small_file_rejected() {
+        let p = parse(FIG2).unwrap();
+        let machine = Machine::homogeneous(4, 2);
+        prepass_allocate(&p, 0, &machine);
+    }
+
+    #[test]
+    fn clean_value_not_stored_twice() {
+        // v0 evicted, reloaded, evicted again: one store only.
+        let src = "\
+            v0 = load a[0]\n\
+            v1 = load a[1]\n\
+            v2 = load a[2]\n\
+            v3 = load a[3]\n\
+            v4 = add v1, v2\n\
+            v5 = add v4, v3\n\
+            v6 = add v5, v0\n\
+            store b[0], v6\n";
+        let p = parse(src).unwrap();
+        let machine = Machine::homogeneous(4, 3);
+        let (_, stats) = prepass_allocate(&p, 0, &machine);
+        assert!(stats.loads >= stats.stores);
+    }
+}

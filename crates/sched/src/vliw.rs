@@ -1,0 +1,157 @@
+//! VLIW object code: wide instruction words over physical registers.
+
+use std::fmt;
+use ursa_ir::instr::Instr;
+use ursa_ir::value::Operand;
+use ursa_machine::FuClass;
+
+/// What one slot of a VLIW word executes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SlotOp {
+    /// A regular instruction; all registers are physical (index below
+    /// the machine's register count).
+    Instr(Instr),
+    /// An on-trace conditional branch: if `cond` is zero, execution
+    /// leaves the trace.
+    Branch {
+        /// Condition operand (physical register or immediate).
+        cond: Operand,
+    },
+}
+
+/// One operation bound to a functional unit.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MachineOp {
+    /// The operation.
+    pub op: SlotOp,
+    /// Functional-unit class and index executing it.
+    pub fu: (FuClass, u32),
+}
+
+/// A compiled trace: one wide word per cycle.
+#[derive(Clone, Debug, Default)]
+pub struct VliwProgram {
+    /// `words[c]` = operations issued at cycle `c` (possibly empty).
+    pub words: Vec<Vec<MachineOp>>,
+    /// Symbol names (indexed by `SymbolId`), including any spill area.
+    pub symbols: Vec<String>,
+    /// Number of physical registers the code may touch.
+    pub num_regs: u32,
+    /// Live-in values: `(physical register, original virtual register)`
+    /// pairs the caller must initialize before execution.
+    pub live_in: Vec<(u32, ursa_ir::value::VirtualReg)>,
+}
+
+impl VliwProgram {
+    /// Number of cycles (words), including latency drain at the end.
+    pub fn cycle_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Total operations across all words.
+    pub fn op_count(&self) -> usize {
+        self.words.iter().map(Vec::len).sum()
+    }
+
+    /// Number of memory operations (loads + stores) — the paper's
+    /// motivation metric for register allocation quality.
+    pub fn memory_traffic(&self) -> usize {
+        self.words
+            .iter()
+            .flatten()
+            .filter(|op| {
+                matches!(
+                    &op.op,
+                    SlotOp::Instr(Instr::Load { .. }) | SlotOp::Instr(Instr::Store { .. })
+                )
+            })
+            .count()
+    }
+
+    /// Utilization: operations per cycle, over the issued width.
+    pub fn ops_per_cycle(&self) -> f64 {
+        if self.words.is_empty() {
+            return 0.0;
+        }
+        self.op_count() as f64 / self.words.len() as f64
+    }
+}
+
+impl fmt::Display for VliwProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (c, word) in self.words.iter().enumerate() {
+            write!(f, "{c:4}: ")?;
+            if word.is_empty() {
+                writeln!(f, "nop")?;
+                continue;
+            }
+            for (i, op) in word.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " || ")?;
+                }
+                match &op.op {
+                    SlotOp::Instr(instr) => write!(f, "{instr}")?,
+                    SlotOp::Branch { cond } => write!(f, "br {cond}")?,
+                }
+                write!(f, " @{}{}", op.fu.0, op.fu.1)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_ir::value::VirtualReg;
+
+    fn sample() -> VliwProgram {
+        VliwProgram {
+            words: vec![
+                vec![MachineOp {
+                    op: SlotOp::Instr(Instr::Const {
+                        dst: VirtualReg(0),
+                        value: 1,
+                    }),
+                    fu: (FuClass::Universal, 0),
+                }],
+                vec![],
+                vec![MachineOp {
+                    op: SlotOp::Instr(Instr::Store {
+                        mem: ursa_ir::value::MemRef::new(ursa_ir::value::SymbolId(0), 0i64),
+                        src: Operand::Reg(VirtualReg(0)),
+                    }),
+                    fu: (FuClass::Universal, 1),
+                }],
+            ],
+            symbols: vec!["a".into()],
+            num_regs: 4,
+            live_in: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn counters() {
+        let p = sample();
+        assert_eq!(p.cycle_count(), 3);
+        assert_eq!(p.op_count(), 2);
+        assert_eq!(p.memory_traffic(), 1);
+        assert!((p.ops_per_cycle() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_shows_nops_and_slots() {
+        let text = sample().to_string();
+        assert!(text.contains("nop"));
+        assert!(text.contains("||") || text.contains("@universal"));
+        assert!(text.contains("store"));
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = VliwProgram::default();
+        assert_eq!(p.cycle_count(), 0);
+        assert_eq!(p.ops_per_cycle(), 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Semantic equivalence checking: compiled VLIW code vs. the sequential
+//! reference interpreter.
+//!
+//! Every compilation strategy — URSA and the baselines alike — must
+//! preserve the program's memory behavior. The checker runs both
+//! machines from identical initial state and compares the final memory
+//! over the *original* program's symbols (compiler-appended spill areas
+//! are scratch space and excluded).
+
+use crate::memory::Memory;
+use crate::seq::run_sequential;
+use crate::wide::run_vliw;
+use std::collections::HashMap;
+use std::fmt;
+use ursa_ir::program::Program;
+use ursa_ir::value::{SymbolId, VirtualReg};
+use ursa_machine::Machine;
+use ursa_sched::vliw::VliwProgram;
+
+/// Why the two executions disagreed.
+#[derive(Clone, Debug)]
+pub enum EquivalenceError {
+    /// The reference interpreter faulted.
+    Reference(crate::seq::ExecError),
+    /// The VLIW simulation faulted.
+    Vliw(crate::wide::VliwFault),
+    /// Final memories differ.
+    MemoryMismatch {
+        /// Symbol of the differing cell.
+        symbol: SymbolId,
+        /// Index of the differing cell.
+        index: i64,
+        /// Value the reference computed.
+        expected: i64,
+        /// Value the VLIW code computed.
+        actual: i64,
+    },
+}
+
+impl fmt::Display for EquivalenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EquivalenceError::Reference(e) => write!(f, "reference faulted: {e}"),
+            EquivalenceError::Vliw(e) => write!(f, "vliw faulted: {e}"),
+            EquivalenceError::MemoryMismatch {
+                symbol,
+                index,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "memory mismatch at {symbol:?}[{index}]: reference {expected}, vliw {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EquivalenceError {}
+
+/// Runs both machines and compares final memories.
+///
+/// # Errors
+///
+/// See [`EquivalenceError`]. A run where the reference faults (e.g.
+/// divide by zero) is *not* an equivalence failure if inputs provoke
+/// it identically in both; such programs should be checked with inputs
+/// that avoid the fault.
+pub fn check_equivalence(
+    program: &Program,
+    vliw: &VliwProgram,
+    machine: &Machine,
+    initial: &Memory,
+    reg_inputs: &HashMap<VirtualReg, i64>,
+) -> Result<(), EquivalenceError> {
+    let reference = run_sequential(program, initial, reg_inputs, 1_000_000)
+        .map_err(EquivalenceError::Reference)?;
+    let wide =
+        run_vliw(vliw, machine, initial, reg_inputs).map_err(EquivalenceError::Vliw)?;
+    let bound = program.symbols.len() as u32;
+    if let Some((symbol, index, expected, actual)) =
+        reference.memory.diff_below(&wide.memory, bound)
+    {
+        return Err(EquivalenceError::MemoryMismatch {
+            symbol,
+            index,
+            expected,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+/// Builds a deterministic test memory covering every symbol of
+/// `program` with `len` cells each.
+pub fn seeded_memory(program: &Program, len: i64, seed: u64) -> Memory {
+    let mut m = Memory::new();
+    for (i, _) in program.symbols.iter().enumerate() {
+        m.fill_pattern(SymbolId(i as u32), len, seed.wrapping_add(i as u64));
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_core::UrsaConfig;
+    use ursa_ir::parser::parse;
+    use ursa_sched::{compile_entry_block, CompileStrategy};
+
+    const FIG2: &str = "\
+        v0 = load a[0]\n\
+        v1 = mul v0, 2\n\
+        v2 = mul v0, 3\n\
+        v3 = add v0, 5\n\
+        v4 = add v1, v2\n\
+        v5 = mul v1, v2\n\
+        v6 = mul v3, 2\n\
+        v7 = div v3, 3\n\
+        v8 = div v4, v5\n\
+        v9 = add v6, v7\n\
+        v10 = add v8, v9\n";
+
+    // v8 = v4 / v5 can divide by zero for unlucky inputs; use a fixed
+    // memory that avoids it.
+    fn fig2_memory() -> Memory {
+        let mut m = Memory::new();
+        m.store(SymbolId(0), 0, 7);
+        m
+    }
+
+    #[test]
+    fn all_strategies_preserve_semantics_on_fig2() {
+        let p = parse(FIG2).unwrap();
+        for regs in [3u32, 4, 6, 16] {
+            let machine = Machine::homogeneous(3, regs);
+            for strategy in [
+                CompileStrategy::Ursa(UrsaConfig::default()),
+                CompileStrategy::Postpass,
+                CompileStrategy::Prepass,
+                CompileStrategy::GoodmanHsu,
+            ] {
+                let name = strategy.name();
+                let c = compile_entry_block(&p, &machine, strategy);
+                // Goodman–Hsu may need a wider file than the machine has.
+                let exec_machine = if c.vliw.num_regs > machine.registers() {
+                    machine.with_registers(c.vliw.num_regs)
+                } else {
+                    machine.clone()
+                };
+                check_equivalence(&p, &c.vliw, &exec_machine, &fig2_memory(), &HashMap::new())
+                    .unwrap_or_else(|e| panic!("{name} with {regs} regs: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn fig2_stores_nothing_but_is_still_checked() {
+        // FIG2 has no stores: equivalence trivially holds, but the run
+        // must not fault.
+        let p = parse(FIG2).unwrap();
+        let machine = Machine::homogeneous(2, 5);
+        let c = compile_entry_block(&p, &machine, CompileStrategy::Postpass);
+        check_equivalence(&p, &c.vliw, &machine, &fig2_memory(), &HashMap::new()).unwrap();
+    }
+
+    #[test]
+    fn stores_are_compared() {
+        let src = "\
+            v0 = load a[0]\n\
+            v1 = load a[1]\n\
+            v2 = mul v0, v1\n\
+            v3 = add v0, v1\n\
+            v4 = sub v2, v3\n\
+            store b[0], v2\n\
+            store b[1], v3\n\
+            store b[2], v4\n";
+        let p = parse(src).unwrap();
+        let m = seeded_memory(&p, 4, 99);
+        for strategy in [
+            CompileStrategy::Ursa(UrsaConfig::default()),
+            CompileStrategy::Postpass,
+            CompileStrategy::Prepass,
+        ] {
+            let machine = Machine::homogeneous(2, 3);
+            let c = compile_entry_block(&p, &machine, strategy);
+            check_equivalence(&p, &c.vliw, &machine, &m, &HashMap::new()).unwrap();
+        }
+    }
+
+    #[test]
+    fn mismatch_is_reported() {
+        let p = parse("store a[0], 5\n").unwrap();
+        let machine = Machine::homogeneous(1, 3);
+        let mut c = compile_entry_block(&p, &machine, CompileStrategy::Postpass);
+        // Corrupt the generated code.
+        c.vliw.words.clear();
+        let err = check_equivalence(&p, &c.vliw, &machine, &Memory::new(), &HashMap::new())
+            .unwrap_err();
+        assert!(matches!(err, EquivalenceError::MemoryMismatch { .. }));
+        assert!(err.to_string().contains("memory mismatch"));
+    }
+
+    #[test]
+    fn seeded_memory_covers_all_symbols() {
+        let p = parse("v0 = load a[0]\nstore b[0], v0\n").unwrap();
+        let m = seeded_memory(&p, 8, 1);
+        assert_eq!(m.written_cells(), 16);
+    }
+}

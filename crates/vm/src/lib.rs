@@ -1,0 +1,45 @@
+//! VLIW simulator and semantic-equivalence checking for URSA.
+//!
+//! The 1993 paper's prototype targeted a Sun workstation and never
+//! reports execution; this crate substitutes a small, cycle-accurate
+//! simulator so every compilation strategy can be *validated* (the
+//! generated wide words compute what the sequential program computes)
+//! and *measured* (cycles, operations, memory traffic):
+//!
+//! * [`memory`] — sparse symbol-indexed memory.
+//! * [`seq`] — reference interpreter for sequential programs.
+//! * [`wide`] — wide-word simulation with non-pipelined latencies and
+//!   structural validation (unit conflicts, register bounds).
+//! * [`equiv`] — end-to-end equivalence checking.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::collections::HashMap;
+//! use ursa_ir::parser::parse;
+//! use ursa_machine::Machine;
+//! use ursa_sched::{compile_entry_block, CompileStrategy};
+//! use ursa_vm::equiv::{check_equivalence, seeded_memory};
+//!
+//! let program = parse(
+//!     "v0 = load a[0]\n\
+//!      v1 = mul v0, v0\n\
+//!      store b[0], v1\n",
+//! ).unwrap();
+//! let machine = Machine::homogeneous(2, 3);
+//! let compiled = compile_entry_block(&program, &machine, CompileStrategy::Postpass);
+//! let memory = seeded_memory(&program, 4, 7);
+//! check_equivalence(&program, &compiled.vliw, &machine, &memory, &HashMap::new()).unwrap();
+//! ```
+
+pub mod equiv;
+pub mod memory;
+pub mod seq;
+pub mod verify;
+pub mod wide;
+
+pub use equiv::{check_equivalence, seeded_memory, EquivalenceError};
+pub use memory::Memory;
+pub use seq::{run_sequential, ExecError, SeqResult};
+pub use verify::{verify, VerifyError};
+pub use wide::{run_vliw, VliwFault, VliwResult};

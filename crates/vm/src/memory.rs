@@ -1,0 +1,140 @@
+//! The simulated memory: sparse, symbol-indexed cells.
+
+use std::collections::HashMap;
+use ursa_ir::value::SymbolId;
+
+/// Sparse memory: each `(symbol, index)` cell holds an `i64`;
+/// uninitialized cells read zero.
+///
+/// # Examples
+///
+/// ```
+/// use ursa_vm::memory::Memory;
+/// use ursa_ir::value::SymbolId;
+///
+/// let mut m = Memory::new();
+/// assert_eq!(m.load(SymbolId(0), 3), 0);
+/// m.store(SymbolId(0), 3, 42);
+/// assert_eq!(m.load(SymbolId(0), 3), 42);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Memory {
+    cells: HashMap<(SymbolId, i64), i64>,
+}
+
+impl Memory {
+    /// An empty (all-zero) memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Reads a cell (0 if never written).
+    pub fn load(&self, sym: SymbolId, index: i64) -> i64 {
+        self.cells.get(&(sym, index)).copied().unwrap_or(0)
+    }
+
+    /// Writes a cell.
+    pub fn store(&mut self, sym: SymbolId, index: i64, value: i64) {
+        self.cells.insert((sym, index), value);
+    }
+
+    /// Number of cells ever written.
+    pub fn written_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Iterates over written cells.
+    pub fn iter(&self) -> impl Iterator<Item = (SymbolId, i64, i64)> + '_ {
+        self.cells.iter().map(|(&(s, i), &v)| (s, i, v))
+    }
+
+    /// Compares the contents of two memories, restricted to symbols with
+    /// id below `symbol_bound` (spill areas appended by the compiler are
+    /// excluded that way). Returns the first differing cell.
+    pub fn diff_below(
+        &self,
+        other: &Memory,
+        symbol_bound: u32,
+    ) -> Option<(SymbolId, i64, i64, i64)> {
+        let keys = self
+            .cells
+            .keys()
+            .chain(other.cells.keys())
+            .filter(|(s, _)| s.0 < symbol_bound);
+        let mut keys: Vec<_> = keys.collect();
+        keys.sort();
+        keys.dedup();
+        for &&(s, i) in &keys {
+            let a = self.load(s, i);
+            let b = other.load(s, i);
+            if a != b {
+                return Some((s, i, a, b));
+            }
+        }
+        None
+    }
+
+    /// Fills cells `0..len` of `sym` with deterministic pseudo-random
+    /// values derived from `seed` — workload initialization for
+    /// equivalence tests.
+    pub fn fill_pattern(&mut self, sym: SymbolId, len: i64, seed: u64) {
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        for i in 0..len {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Keep magnitudes small so products stay far from overflow.
+            self.store(sym, i, (state % 2048) as i64 - 1024);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_default_and_round_trip() {
+        let mut m = Memory::new();
+        assert_eq!(m.load(SymbolId(1), -5), 0);
+        m.store(SymbolId(1), -5, 7);
+        assert_eq!(m.load(SymbolId(1), -5), 7);
+        assert_eq!(m.written_cells(), 1);
+    }
+
+    #[test]
+    fn diff_respects_symbol_bound() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        a.store(SymbolId(0), 0, 1);
+        b.store(SymbolId(0), 0, 1);
+        // Differ only in the spill area (symbol 5).
+        a.store(SymbolId(5), 0, 99);
+        assert_eq!(a.diff_below(&b, 5), None);
+        assert!(a.diff_below(&b, 6).is_some());
+    }
+
+    #[test]
+    fn diff_reports_first_mismatch() {
+        let mut a = Memory::new();
+        let b = Memory::new();
+        a.store(SymbolId(0), 2, 9);
+        let (s, i, va, vb) = a.diff_below(&b, 1).unwrap();
+        assert_eq!((s, i, va, vb), (SymbolId(0), 2, 9, 0));
+    }
+
+    #[test]
+    fn fill_pattern_is_deterministic_and_bounded() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        a.fill_pattern(SymbolId(0), 16, 42);
+        b.fill_pattern(SymbolId(0), 16, 42);
+        assert_eq!(a, b);
+        for (_, _, v) in a.iter() {
+            assert!((-1024..1024).contains(&v));
+        }
+        let mut c = Memory::new();
+        c.fill_pattern(SymbolId(0), 16, 43);
+        assert_ne!(a, c, "different seeds differ");
+    }
+}

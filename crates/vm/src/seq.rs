@@ -1,0 +1,242 @@
+//! Reference interpreter for sequential three-address programs.
+
+use crate::memory::Memory;
+use std::collections::HashMap;
+use std::fmt;
+use ursa_ir::instr::{Instr, Terminator};
+use ursa_ir::program::Program;
+use ursa_ir::value::{Operand, VirtualReg};
+
+/// Execution faults.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// The step budget ran out (runaway loop).
+    StepLimit(usize),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::DivideByZero => write!(f, "integer division by zero"),
+            ExecError::StepLimit(n) => write!(f, "exceeded step limit of {n} instructions"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Outcome of a sequential run.
+#[derive(Clone, Debug)]
+pub struct SeqResult {
+    /// Final memory.
+    pub memory: Memory,
+    /// Final register file (original virtual registers).
+    pub registers: HashMap<VirtualReg, i64>,
+    /// Instructions executed (terminators excluded).
+    pub instrs_executed: usize,
+    /// Block indices visited, in order.
+    pub path: Vec<usize>,
+}
+
+/// Interprets `program` from its entry block.
+///
+/// `initial` seeds the memory; `reg_inputs` preloads registers (values
+/// live into the entry block). Registers default to zero.
+///
+/// # Errors
+///
+/// [`ExecError::DivideByZero`] on a zero divisor;
+/// [`ExecError::StepLimit`] after `max_steps` instructions.
+pub fn run_sequential(
+    program: &Program,
+    initial: &Memory,
+    reg_inputs: &HashMap<VirtualReg, i64>,
+    max_steps: usize,
+) -> Result<SeqResult, ExecError> {
+    let mut memory = initial.clone();
+    let mut registers: HashMap<VirtualReg, i64> = reg_inputs.clone();
+    let mut steps = 0usize;
+    let mut block = 0usize;
+    let mut path = vec![block];
+
+    let read = |registers: &HashMap<VirtualReg, i64>, o: Operand| -> i64 {
+        match o {
+            Operand::Reg(r) => registers.get(&r).copied().unwrap_or(0),
+            Operand::Imm(v) => v,
+        }
+    };
+
+    loop {
+        for instr in &program.blocks[block].instrs {
+            steps += 1;
+            if steps > max_steps {
+                return Err(ExecError::StepLimit(max_steps));
+            }
+            match instr {
+                Instr::Const { dst, value } => {
+                    registers.insert(*dst, *value);
+                }
+                Instr::Bin { op, dst, a, b } => {
+                    let r = op
+                        .eval(read(&registers, *a), read(&registers, *b))
+                        .ok_or(ExecError::DivideByZero)?;
+                    registers.insert(*dst, r);
+                }
+                Instr::Un { op, dst, a } => {
+                    registers.insert(*dst, op.eval(read(&registers, *a)));
+                }
+                Instr::Load { dst, mem } => {
+                    let idx = read(&registers, mem.index);
+                    registers.insert(*dst, memory.load(mem.base, idx));
+                }
+                Instr::Store { mem, src } => {
+                    let idx = read(&registers, mem.index);
+                    memory.store(mem.base, idx, read(&registers, *src));
+                }
+            }
+        }
+        match &program.blocks[block].term {
+            Terminator::Ret => break,
+            Terminator::Jump(t) => block = *t,
+            Terminator::Branch {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                block = if read(&registers, *cond) != 0 {
+                    *then_block
+                } else {
+                    *else_block
+                };
+            }
+        }
+        path.push(block);
+        if path.len() > max_steps {
+            return Err(ExecError::StepLimit(max_steps));
+        }
+    }
+    Ok(SeqResult {
+        memory,
+        registers,
+        instrs_executed: steps,
+        path,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_ir::parser::parse;
+    use ursa_ir::value::SymbolId;
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let p = parse(
+            "v0 = const 6\n\
+             v1 = const 7\n\
+             v2 = mul v0, v1\n\
+             store out[0], v2\n",
+        )
+        .unwrap();
+        let r = run_sequential(&p, &Memory::new(), &HashMap::new(), 100).unwrap();
+        assert_eq!(r.memory.load(SymbolId(0), 0), 42);
+        assert_eq!(r.instrs_executed, 4);
+    }
+
+    #[test]
+    fn loads_and_stores_roundtrip() {
+        let p = parse("v0 = load a[3]\nv1 = add v0, 1\nstore a[3], v1\n").unwrap();
+        let mut m = Memory::new();
+        m.store(SymbolId(0), 3, 10);
+        let r = run_sequential(&p, &m, &HashMap::new(), 100).unwrap();
+        assert_eq!(r.memory.load(SymbolId(0), 3), 11);
+    }
+
+    #[test]
+    fn branches_follow_condition() {
+        let p = parse(
+            "block entry:\n\
+             v0 = load a[0]\n\
+             br v0, hot, cold\n\
+             block hot:\n\
+             store b[0], 1\n\
+             ret\n\
+             block cold:\n\
+             store b[0], 2\n\
+             ret\n",
+        )
+        .unwrap();
+        let mut taken = Memory::new();
+        taken.store(SymbolId(0), 0, 5);
+        let r = run_sequential(&p, &taken, &HashMap::new(), 100).unwrap();
+        assert_eq!(r.memory.load(SymbolId(1), 0), 1);
+        assert_eq!(r.path, vec![0, 1]);
+
+        let r2 = run_sequential(&p, &Memory::new(), &HashMap::new(), 100).unwrap();
+        assert_eq!(r2.memory.load(SymbolId(1), 0), 2);
+        assert_eq!(r2.path, vec![0, 2]);
+    }
+
+    #[test]
+    fn loop_executes_and_terminates() {
+        // Count down from 3: body runs 3 times.
+        let p = parse(
+            "block entry:\n\
+             v0 = const 3\n\
+             jmp head\n\
+             block head:\n\
+             v1 = load s[0]\n\
+             v2 = add v1, v0\n\
+             store s[0], v2\n\
+             v0 = sub v0, 1\n\
+             v3 = cmplt 0, v0\n\
+             br v3, head, done\n\
+             block done:\n\
+             ret\n",
+        )
+        .unwrap();
+        let r = run_sequential(&p, &Memory::new(), &HashMap::new(), 1000).unwrap();
+        assert_eq!(r.memory.load(SymbolId(0), 0), 3 + 2 + 1);
+    }
+
+    #[test]
+    fn divide_by_zero_faults() {
+        let p = parse("v0 = const 0\nv1 = div 1, v0\nstore a[0], v1\n").unwrap();
+        assert_eq!(
+            run_sequential(&p, &Memory::new(), &HashMap::new(), 100).err(),
+            Some(ExecError::DivideByZero)
+        );
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loop() {
+        let p = parse(
+            "block spin:\n\
+             v0 = const 1\n\
+             br v0, spin, out\n\
+             block out:\n\
+             ret\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            run_sequential(&p, &Memory::new(), &HashMap::new(), 50),
+            Err(ExecError::StepLimit(50))
+        ));
+    }
+
+    #[test]
+    fn register_inputs_preload() {
+        let p = parse("v1 = add v0, 1\nstore a[0], v1\n").unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert(VirtualReg(0), 9);
+        let r = run_sequential(&p, &Memory::new(), &inputs, 100).unwrap();
+        assert_eq!(r.memory.load(SymbolId(0), 0), 10);
+    }
+
+    fn _assert_error_impls() {
+        fn is_error<T: std::error::Error + Send + Sync>() {}
+        is_error::<ExecError>();
+    }
+}

@@ -1,0 +1,300 @@
+//! Static verification of VLIW programs.
+//!
+//! The simulator ([`crate::wide`]) checks dynamic behavior; this module
+//! checks *structure without executing*: every register read must be
+//! preceded by a committed write (or a declared live-in), no two writes
+//! to one register may commit at the same cycle, and no functional unit
+//! may be oversubscribed. It catches the same class of compiler bugs as
+//! the simulator but points at the defect rather than at a wrong final
+//! value — both bugs found during this reproduction's development would
+//! have been caught here.
+
+use std::collections::HashMap;
+use std::fmt;
+use ursa_ir::value::{Operand, VirtualReg};
+use ursa_machine::{Machine, OpKind};
+use ursa_sched::vliw::{SlotOp, VliwProgram};
+
+/// A structural defect in a VLIW program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// An operand register is read before any write to it commits.
+    ReadBeforeWrite {
+        /// Issue cycle of the reading operation.
+        cycle: u64,
+        /// The register read.
+        reg: u32,
+    },
+    /// Two writes to the same register commit at the same cycle — the
+    /// final contents would depend on unspecified commit order.
+    WriteCollision {
+        /// The commit cycle.
+        cycle: u64,
+        /// The register written twice.
+        reg: u32,
+    },
+    /// A functional unit is issued a second operation while busy.
+    UnitOversubscribed {
+        /// Issue cycle of the conflicting operation.
+        cycle: u64,
+        /// `class#index` of the unit.
+        unit: String,
+    },
+    /// A register index is outside the program's declared file.
+    RegisterOutOfRange {
+        /// Issue cycle of the offending operation.
+        cycle: u64,
+        /// The register index.
+        reg: u32,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::ReadBeforeWrite { cycle, reg } => {
+                write!(f, "r{reg} read at cycle {cycle} before any write commits")
+            }
+            VerifyError::WriteCollision { cycle, reg } => {
+                write!(f, "two writes to r{reg} commit at cycle {cycle}")
+            }
+            VerifyError::UnitOversubscribed { cycle, unit } => {
+                write!(f, "unit {unit} issued while busy at cycle {cycle}")
+            }
+            VerifyError::RegisterOutOfRange { cycle, reg } => {
+                write!(f, "r{reg} out of range at cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Statically verifies `vliw` against `machine`. Returns every defect
+/// found (empty = verified).
+pub fn verify(vliw: &VliwProgram, machine: &Machine) -> Vec<VerifyError> {
+    let mut errors = Vec::new();
+    // Earliest cycle at which each register holds a committed value.
+    let mut written_at: HashMap<u32, u64> = vliw
+        .live_in
+        .iter()
+        .map(|&(phys, _)| (phys, 0))
+        .collect();
+    // Commit times per register, to detect collisions.
+    let mut commits: HashMap<(u32, u64), u64> = HashMap::new();
+    let mut unit_busy: HashMap<(ursa_machine::FuClass, u32), u64> = HashMap::new();
+
+    let mut check_read = |reg: VirtualReg,
+                          cycle: u64,
+                          written_at: &HashMap<u32, u64>,
+                          errors: &mut Vec<VerifyError>| {
+        if reg.0 >= vliw.num_regs {
+            errors.push(VerifyError::RegisterOutOfRange { cycle, reg: reg.0 });
+            return;
+        }
+        match written_at.get(&reg.0) {
+            Some(&ready) if ready <= cycle => {}
+            _ => errors.push(VerifyError::ReadBeforeWrite { cycle, reg: reg.0 }),
+        }
+    };
+
+    for (c, word) in vliw.words.iter().enumerate() {
+        let cycle = c as u64;
+        for op in word {
+            // Unit occupancy.
+            let (kind, reads, def): (OpKind, Vec<VirtualReg>, Option<VirtualReg>) = match &op.op
+            {
+                SlotOp::Instr(i) => (OpKind::of_instr(i), i.uses(), i.def()),
+                SlotOp::Branch { cond } => (
+                    OpKind::Branch,
+                    match cond {
+                        Operand::Reg(r) => vec![*r],
+                        _ => Vec::new(),
+                    },
+                    None,
+                ),
+            };
+            if let Some(&until) = unit_busy.get(&op.fu) {
+                if until > cycle {
+                    errors.push(VerifyError::UnitOversubscribed {
+                        cycle,
+                        unit: format!("{}#{}", op.fu.0, op.fu.1),
+                    });
+                }
+            }
+            unit_busy.insert(op.fu, cycle + machine.occupancy_of(kind));
+
+            for r in reads {
+                check_read(r, cycle, &written_at, &mut errors);
+            }
+            if let Some(d) = def {
+                if d.0 >= vliw.num_regs {
+                    errors.push(VerifyError::RegisterOutOfRange { cycle, reg: d.0 });
+                    continue;
+                }
+                let commit = cycle + machine.latency_of(kind);
+                if commits.insert((d.0, commit), cycle).is_some() {
+                    errors.push(VerifyError::WriteCollision {
+                        cycle: commit,
+                        reg: d.0,
+                    });
+                }
+                // The value is readable from its commit cycle onward;
+                // keep the earliest availability monotone per register.
+                written_at
+                    .entry(d.0)
+                    .and_modify(|t| *t = (*t).min(commit))
+                    .or_insert(commit);
+            }
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_ir::parser::parse;
+    use ursa_sched::{compile_entry_block, CompileStrategy};
+
+    fn compiled(src: &str, fus: u32, regs: u32) -> (VliwProgram, Machine) {
+        let p = parse(src).unwrap();
+        let machine = Machine::homogeneous(fus, regs);
+        let c = compile_entry_block(&p, &machine, CompileStrategy::Postpass);
+        (c.vliw, machine)
+    }
+
+    #[test]
+    fn compiled_programs_verify_clean() {
+        let (vliw, machine) = compiled(
+            "v0 = load a[0]\nv1 = mul v0, 2\nv2 = mul v0, 3\nv3 = add v1, v2\nstore b[0], v3\n",
+            2,
+            3,
+        );
+        assert_eq!(verify(&vliw, &machine), Vec::new());
+    }
+
+    #[test]
+    fn whole_suite_verifies_clean() {
+        for kernel in ursa_workloads::kernel_suite() {
+            for strategy in [
+                CompileStrategy::Ursa(Default::default()),
+                CompileStrategy::Postpass,
+                CompileStrategy::Prepass,
+            ] {
+                let name = strategy.name();
+                let machine = Machine::homogeneous(4, 6);
+                let c = compile_entry_block(&kernel.program, &machine, strategy);
+                let errs = verify(&c.vliw, &machine);
+                assert!(errs.is_empty(), "{} via {name}: {errs:?}", kernel.name);
+            }
+        }
+    }
+
+    #[test]
+    fn read_before_write_detected() {
+        use ursa_ir::instr::{BinOp, Instr};
+        use ursa_machine::FuClass;
+        use ursa_sched::vliw::MachineOp;
+        let vliw = VliwProgram {
+            words: vec![vec![MachineOp {
+                op: SlotOp::Instr(Instr::Bin {
+                    op: BinOp::Add,
+                    dst: VirtualReg(0),
+                    a: Operand::Reg(VirtualReg(1)),
+                    b: Operand::Imm(1),
+                }),
+                fu: (FuClass::Universal, 0),
+            }]],
+            symbols: vec![],
+            num_regs: 2,
+            live_in: vec![],
+        };
+        let machine = Machine::homogeneous(1, 2);
+        let errs = verify(&vliw, &machine);
+        assert!(matches!(
+            errs[..],
+            [VerifyError::ReadBeforeWrite { reg: 1, .. }]
+        ));
+    }
+
+    #[test]
+    fn live_in_registers_are_readable() {
+        use ursa_ir::instr::{BinOp, Instr};
+        use ursa_machine::FuClass;
+        use ursa_sched::vliw::MachineOp;
+        let vliw = VliwProgram {
+            words: vec![vec![MachineOp {
+                op: SlotOp::Instr(Instr::Bin {
+                    op: BinOp::Add,
+                    dst: VirtualReg(0),
+                    a: Operand::Reg(VirtualReg(1)),
+                    b: Operand::Imm(1),
+                }),
+                fu: (FuClass::Universal, 0),
+            }]],
+            symbols: vec![],
+            num_regs: 2,
+            live_in: vec![(1, VirtualReg(9))],
+        };
+        let machine = Machine::homogeneous(1, 2);
+        assert!(verify(&vliw, &machine).is_empty());
+    }
+
+    #[test]
+    fn write_collision_detected() {
+        use ursa_ir::instr::Instr;
+        use ursa_machine::FuClass;
+        use ursa_sched::vliw::MachineOp;
+        let konst = |dst: u32, fu: u32| MachineOp {
+            op: SlotOp::Instr(Instr::Const {
+                dst: VirtualReg(dst),
+                value: 1,
+            }),
+            fu: (FuClass::Universal, fu),
+        };
+        let vliw = VliwProgram {
+            words: vec![vec![konst(0, 0), konst(0, 1)]],
+            symbols: vec![],
+            num_regs: 2,
+            live_in: vec![],
+        };
+        let machine = Machine::homogeneous(2, 2);
+        let errs = verify(&vliw, &machine);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::WriteCollision { reg: 0, .. })));
+    }
+
+    #[test]
+    fn oversubscription_detected() {
+        use ursa_ir::instr::Instr;
+        use ursa_machine::FuClass;
+        use ursa_sched::vliw::MachineOp;
+        let konst = |dst: u32| MachineOp {
+            op: SlotOp::Instr(Instr::Const {
+                dst: VirtualReg(dst),
+                value: 1,
+            }),
+            fu: (FuClass::Universal, 0),
+        };
+        let vliw = VliwProgram {
+            words: vec![vec![konst(0), konst(1)]],
+            symbols: vec![],
+            num_regs: 2,
+            live_in: vec![],
+        };
+        let machine = Machine::homogeneous(1, 2);
+        let errs = verify(&vliw, &machine);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::UnitOversubscribed { .. })));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = VerifyError::ReadBeforeWrite { cycle: 3, reg: 7 };
+        assert!(e.to_string().contains("r7"));
+        assert!(e.to_string().contains("cycle 3"));
+    }
+}

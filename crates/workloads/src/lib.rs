@@ -1,0 +1,26 @@
+//! Workload generators for the URSA evaluation.
+//!
+//! The 1993 paper carries no benchmark suite (its prototype was still
+//! being built, §6); this crate supplies the workloads the constructed
+//! evaluation runs on:
+//!
+//! * [`paper`] — the Figure 2 worked example, with the paper's expected
+//!   measurements.
+//! * [`kernels`] — unrolled numeric kernels (matrix multiply, butterfly
+//!   networks, polynomial evaluation both Horner and Estrin, stencils,
+//!   Livermore hydro fragment, a DCT-like transform, tree reductions).
+//! * [`random`] — seeded random straight-line blocks and expression
+//!   trees for property tests and compile-time scaling.
+//!
+//! Every generated program is division-free (except the paper example)
+//! so it executes fault-free on arbitrary memory contents.
+
+pub mod kernels;
+pub mod loops;
+pub mod paper;
+pub mod random;
+
+pub use kernels::{kernel_suite, Kernel};
+pub use loops::{loop_suite, LoopKernel};
+pub use paper::figure2_block;
+pub use random::{expression_tree, random_block, RandomShape};

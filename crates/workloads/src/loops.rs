@@ -1,0 +1,207 @@
+//! Loop-shaped workloads for the software-pipelining extension (paper
+//! §6): each kernel is a genuine counted loop (entry block, self-loop
+//! body, exit block) whose body can be unrolled with
+//! [`ursa_ir::unroll::unroll_self_loop`] and then fed to URSA as a
+//! straight-line trace.
+
+use ursa_ir::parser::parse;
+use ursa_ir::program::Program;
+
+/// A named loop workload.
+#[derive(Clone, Debug)]
+pub struct LoopKernel {
+    /// Short identifier used in tables.
+    pub name: String,
+    /// The program: block 0 = entry, block 1 = self-loop body, block 2 = exit.
+    pub program: Program,
+    /// Iterations the loop executes (choose unroll factors dividing it).
+    pub trip_count: i64,
+}
+
+/// `b[i] = 3*a[i]` over `n` elements.
+pub fn scale_loop(n: i64) -> LoopKernel {
+    assert!(n >= 1);
+    let program = parse(&format!(
+        "block entry:\n\
+         v0 = const 0\n\
+         jmp head\n\
+         block head @ {n}:\n\
+         v1 = load a[v0]\n\
+         v2 = mul v1, 3\n\
+         store b[v0], v2\n\
+         v0 = add v0, 1\n\
+         v3 = cmplt v0, {n}\n\
+         br v3, head, done\n\
+         block done:\n\
+         ret\n"
+    ))
+    .expect("scale loop parses");
+    LoopKernel {
+        name: format!("scale{n}"),
+        program,
+        trip_count: n,
+    }
+}
+
+/// `y[i] = y[i] + 7*x[i]` (daxpy-like) over `n` elements.
+pub fn daxpy_loop(n: i64) -> LoopKernel {
+    assert!(n >= 1);
+    let program = parse(&format!(
+        "block entry:\n\
+         v0 = const 0\n\
+         jmp head\n\
+         block head @ {n}:\n\
+         v1 = load x[v0]\n\
+         v2 = mul v1, 7\n\
+         v3 = load y[v0]\n\
+         v4 = add v3, v2\n\
+         store y[v0], v4\n\
+         v0 = add v0, 1\n\
+         v5 = cmplt v0, {n}\n\
+         br v5, head, done\n\
+         block done:\n\
+         ret\n"
+    ))
+    .expect("daxpy loop parses");
+    LoopKernel {
+        name: format!("daxpy{n}"),
+        program,
+        trip_count: n,
+    }
+}
+
+/// The paper-era Livermore hydro fragment as a real loop:
+/// `x[k] = q + y[k] * (r * z[k+10] + t * z[k+11])`.
+pub fn hydro_loop(n: i64) -> LoopKernel {
+    assert!(n >= 1);
+    let program = parse(&format!(
+        "block entry:\n\
+         v0 = const 0\n\
+         v1 = const 17\n\
+         v2 = const 3\n\
+         v3 = const 5\n\
+         jmp head\n\
+         block head @ {n}:\n\
+         v4 = add v0, 10\n\
+         v5 = add v0, 11\n\
+         v6 = load z[v4]\n\
+         v7 = load z[v5]\n\
+         v8 = mul v2, v6\n\
+         v9 = mul v3, v7\n\
+         v10 = add v8, v9\n\
+         v11 = load y[v0]\n\
+         v12 = mul v11, v10\n\
+         v13 = add v1, v12\n\
+         store x[v0], v13\n\
+         v0 = add v0, 1\n\
+         v14 = cmplt v0, {n}\n\
+         br v14, head, done\n\
+         block done:\n\
+         ret\n"
+    ))
+    .expect("hydro loop parses");
+    LoopKernel {
+        name: format!("hydro-loop{n}"),
+        program,
+        trip_count: n,
+    }
+}
+
+/// Sum reduction `s += a[i]` over `n` elements, result stored once after
+/// the loop — a loop-carried dependence that unrolling alone cannot
+/// parallelize (the accumulator chains across copies).
+pub fn sum_loop(n: i64) -> LoopKernel {
+    assert!(n >= 1);
+    let program = parse(&format!(
+        "block entry:\n\
+         v0 = const 0\n\
+         v1 = const 0\n\
+         jmp head\n\
+         block head @ {n}:\n\
+         v2 = load a[v0]\n\
+         v1 = add v1, v2\n\
+         v0 = add v0, 1\n\
+         v3 = cmplt v0, {n}\n\
+         br v3, head, done\n\
+         block done:\n\
+         store s[0], v1\n\
+         ret\n"
+    ))
+    .expect("sum loop parses");
+    LoopKernel {
+        name: format!("sum{n}"),
+        program,
+        trip_count: n,
+    }
+}
+
+/// All loop kernels with a common trip count of 24 (divisible by the
+/// usual unroll factors 1, 2, 3, 4, 6, 8, 12).
+pub fn loop_suite() -> Vec<LoopKernel> {
+    vec![
+        scale_loop(24),
+        daxpy_loop(24),
+        hydro_loop(24),
+        sum_loop(24),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use ursa_ir::unroll::{find_self_loop, unroll_self_loop};
+    use ursa_ir::value::SymbolId;
+    use ursa_vm::equiv::seeded_memory;
+    use ursa_vm::seq::run_sequential;
+
+    #[test]
+    fn suite_loops_execute_and_have_self_loops() {
+        for k in loop_suite() {
+            assert_eq!(find_self_loop(&k.program), Some(1), "{}", k.name);
+            let m = seeded_memory(&k.program, 64, 5);
+            let r = run_sequential(&k.program, &m, &HashMap::new(), 100_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            // One path entry per trip plus entry/exit blocks.
+            assert_eq!(r.path.len() as i64, k.trip_count + 2, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn unrolling_preserves_semantics_for_dividing_factors() {
+        for k in loop_suite() {
+            let m = seeded_memory(&k.program, 64, 9);
+            let reference =
+                run_sequential(&k.program, &m, &HashMap::new(), 100_000).unwrap();
+            for factor in [2usize, 3, 4, 6] {
+                assert_eq!(k.trip_count % factor as i64, 0);
+                let u = unroll_self_loop(&k.program, 1, factor).unwrap();
+                let got = run_sequential(&u, &m, &HashMap::new(), 100_000)
+                    .unwrap_or_else(|e| panic!("{} x{factor}: {e}", k.name));
+                assert_eq!(
+                    reference.memory, got.memory,
+                    "{} unrolled by {factor} diverged",
+                    k.name
+                );
+                assert_eq!(
+                    got.path.len() as i64,
+                    k.trip_count / factor as i64 + 2,
+                    "{} x{factor} trip count",
+                    k.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sum_loop_totals_inputs() {
+        use ursa_vm::memory::Memory;
+        let k = sum_loop(4);
+        let mut m = Memory::new();
+        for i in 0..4 {
+            m.store(SymbolId(0), i, i + 1);
+        }
+        let r = run_sequential(&k.program, &m, &HashMap::new(), 10_000).unwrap();
+        assert_eq!(r.memory.load(SymbolId(1), 0), 10);
+    }
+}

@@ -1,0 +1,209 @@
+//! Random program generators for stress tests, property tests and the
+//! compile-time scaling experiment (T4).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ursa_ir::instr::BinOp;
+use ursa_ir::program::{Program, ProgramBuilder};
+use ursa_ir::value::VirtualReg;
+
+/// Shape parameters for [`random_block`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomShape {
+    /// Number of arithmetic operations.
+    pub ops: usize,
+    /// How many initial loads seed the value pool.
+    pub seeds: usize,
+    /// Each op draws operands uniformly from the most recent `window`
+    /// values — small windows make chains, large windows make width.
+    pub window: usize,
+    /// Probability (percent) that a result is stored to memory.
+    pub store_pct: u32,
+}
+
+impl Default for RandomShape {
+    fn default() -> Self {
+        RandomShape {
+            ops: 64,
+            seeds: 8,
+            window: 16,
+            store_pct: 20,
+        }
+    }
+}
+
+/// Division-free binary operators used by the generator (every random
+/// program executes fault-free).
+const SAFE_OPS: [BinOp; 8] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Min,
+    BinOp::Max,
+];
+
+/// Generates a deterministic random straight-line block.
+///
+/// # Examples
+///
+/// ```
+/// use ursa_workloads::random::{random_block, RandomShape};
+///
+/// let p = random_block(42, RandomShape::default());
+/// let q = random_block(42, RandomShape::default());
+/// assert_eq!(p, q, "same seed, same program");
+/// assert!(p.instr_count() >= 64);
+/// ```
+pub fn random_block(seed: u64, shape: RandomShape) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ProgramBuilder::new();
+    let (input, output) = (b.symbol("in"), b.symbol("out"));
+    let mut pool: Vec<VirtualReg> = Vec::new();
+    for i in 0..shape.seeds.max(1) {
+        pool.push(b.load(input, i as i64));
+    }
+    let mut stores = 0i64;
+    for _ in 0..shape.ops {
+        let w = shape.window.max(1).min(pool.len());
+        let lo = pool.len() - w;
+        let a = pool[rng.gen_range(lo..pool.len())];
+        let c = pool[rng.gen_range(lo..pool.len())];
+        let op = SAFE_OPS[rng.gen_range(0..SAFE_OPS.len())];
+        let r = b.bin(op, a, c);
+        if rng.gen_range(0..100) < shape.store_pct {
+            b.store(output, stores, r);
+            stores += 1;
+        }
+        pool.push(r);
+    }
+    // Always produce at least one observable result.
+    let last = *pool.last().expect("nonempty pool");
+    b.store(output, stores, last);
+    b.finish()
+}
+
+/// A random full binary expression tree of the given depth: `2^depth`
+/// leaf loads funneled into one store. Width = number of leaves.
+pub fn expression_tree(seed: u64, depth: u32) -> Program {
+    assert!((1..=8).contains(&depth));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = ProgramBuilder::new();
+    let (input, output) = (b.symbol("in"), b.symbol("out"));
+    let mut level: Vec<VirtualReg> = (0..(1usize << depth))
+        .map(|i| b.load(input, i as i64))
+        .collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len() / 2);
+        for pair in level.chunks(2) {
+            let op = SAFE_OPS[rng.gen_range(0..SAFE_OPS.len())];
+            next.push(b.bin(op, pair[0], pair[1]));
+        }
+        level = next;
+    }
+    b.store(output, 0, level[0]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use ursa_vm::equiv::seeded_memory;
+    use ursa_vm::seq::run_sequential;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_block(1, RandomShape::default());
+        let b = random_block(1, RandomShape::default());
+        let c = random_block(2, RandomShape::default());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_blocks_execute_fault_free() {
+        for seed in 0..10 {
+            let p = random_block(seed, RandomShape::default());
+            let m = seeded_memory(&p, 64, seed);
+            run_sequential(&p, &m, &HashMap::new(), 100_000)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn shape_controls_size() {
+        let small = random_block(
+            3,
+            RandomShape {
+                ops: 10,
+                seeds: 2,
+                window: 4,
+                store_pct: 0,
+            },
+        );
+        // 2 loads + 10 ops + final store.
+        assert_eq!(small.instr_count(), 13);
+        let large = random_block(
+            3,
+            RandomShape {
+                ops: 200,
+                ..RandomShape::default()
+            },
+        );
+        assert!(large.instr_count() > 200);
+    }
+
+    #[test]
+    fn narrow_window_reduces_parallelism() {
+        use ursa_graph::reach::Reachability;
+        use ursa_ir::ddg::DependenceDag;
+        let chainy = random_block(
+            5,
+            RandomShape {
+                ops: 40,
+                seeds: 1,
+                window: 1,
+                store_pct: 0,
+            },
+        );
+        let wide = random_block(
+            5,
+            RandomShape {
+                ops: 40,
+                seeds: 16,
+                window: 40,
+                store_pct: 0,
+            },
+        );
+        let count_pairs = |p: &ursa_ir::program::Program| {
+            let d = DependenceDag::from_entry_block(p);
+            let r = Reachability::of(d.dag());
+            let n = d.dag().node_count();
+            let mut c = 0;
+            for i in 0..n {
+                for j in i + 1..n {
+                    if r.independent(
+                        ursa_graph::dag::NodeId::from(i),
+                        ursa_graph::dag::NodeId::from(j),
+                    ) {
+                        c += 1;
+                    }
+                }
+            }
+            c
+        };
+        assert!(count_pairs(&chainy) < count_pairs(&wide));
+    }
+
+    #[test]
+    fn expression_tree_shape() {
+        let p = expression_tree(7, 4);
+        // 16 loads + 15 inner nodes + 1 store.
+        assert_eq!(p.instr_count(), 32);
+        let m = seeded_memory(&p, 16, 3);
+        run_sequential(&p, &m, &HashMap::new(), 10_000).unwrap();
+    }
+}

@@ -1,0 +1,15 @@
+# Livermore loop 1 (hydro fragment), one unrolled iteration:
+#   x[k] = q + y[k] * (r * z[k+10] + t * z[k+11])
+# Compile with:  ursac examples/data/hydro.tac --fus 4 --regs 8 --run
+v0 = const 17        # q
+v1 = const 3         # r
+v2 = const 5         # t
+v3 = load z[10]
+v4 = load z[11]
+v5 = mul v1, v3
+v6 = mul v2, v4
+v7 = add v5, v6
+v8 = load y[0]
+v9 = mul v8, v7
+v10 = add v0, v9
+store x[0], v10

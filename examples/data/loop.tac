@@ -1,0 +1,14 @@
+# A counted self-loop: b[i] = 3 * a[i] for i in 0..24.
+# Try:  ursac examples/data/loop.tac --unroll 4 --measure
+block entry:
+v0 = const 0
+jmp head
+block head @ 24:
+v1 = load a[v0]
+v2 = mul v1, 3
+store b[v0], v2
+v0 = add v0, 1
+v3 = cmplt v0, 24
+br v3, head, done
+block done:
+ret

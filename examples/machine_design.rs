@@ -1,0 +1,67 @@
+//! Using URSA's measurement as a machine-design tool.
+//!
+//! Because the measurement phase computes the worst-case resource
+//! needs of a program *before* committing to a schedule (paper §3), it
+//! doubles as a design-space probe: how many functional units and
+//! registers would this workload actually exploit? This example sweeps
+//! the design space for two kernels with opposite shapes and prints
+//! where extra hardware stops helping.
+//!
+//! ```sh
+//! cargo run --example machine_design
+//! ```
+
+use ursa::core::{measure, AllocCtx, MeasureOptions, ResourceKind};
+use ursa::ir::ddg::DependenceDag;
+use ursa::machine::{FuClass, Machine};
+use ursa::sched::{compile_entry_block, CompileStrategy};
+use ursa::workloads::kernels::{estrin, horner};
+
+fn main() {
+    for kernel in [estrin(4), horner(12)] {
+        println!("=== {} ({} instructions) ===", kernel.name, kernel.program.instr_count());
+
+        // What the program could use, independent of any machine.
+        let probe = Machine::homogeneous(64, 64);
+        let ddg = DependenceDag::from_entry_block(&kernel.program);
+        let mut ctx = AllocCtx::new(ddg, &probe);
+        let m = measure(&mut ctx, MeasureOptions::default());
+        let fu_need = m
+            .of(ResourceKind::Fu(FuClass::Universal))
+            .expect("homogeneous probe")
+            .requirement
+            .required;
+        let reg_need = m
+            .of(ResourceKind::Registers)
+            .expect("registers measured")
+            .requirement
+            .required;
+        println!(
+            "Intrinsic worst-case needs: {fu_need} functional units, {reg_need} registers\n"
+        );
+
+        println!("{:>4} {:>5} | {:>7} | {:>8}", "fus", "regs", "cycles", "ops/cyc");
+        println!("{}", "-".repeat(34));
+        for fus in [1u32, 2, 4, 8] {
+            for regs in [4u32, 8, 16] {
+                let machine = Machine::homogeneous(fus, regs);
+                let c = compile_entry_block(
+                    &kernel.program,
+                    &machine,
+                    CompileStrategy::Ursa(Default::default()),
+                );
+                println!(
+                    "{:>4} {:>5} | {:>7} | {:>8.2}",
+                    fus,
+                    regs,
+                    c.stats.schedule_length,
+                    c.vliw.ops_per_cycle()
+                );
+            }
+        }
+        println!(
+            "\nHardware beyond the intrinsic needs ({fu_need} FUs, {reg_need} regs) buys nothing;\n\
+             the sweep's cycle counts flatten exactly there.\n"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! The phase-ordering problem, made visible (paper §1).
+//!
+//! Compiles one pressure-heavy kernel under all four phase orderings
+//! while shrinking the register file, and prints how each discipline
+//! degrades: prepass over-serializes, postpass stretches the schedule
+//! with patched spill code, Goodman–Hsu overflows the file (it cannot
+//! spill), and URSA degrades gracefully by trading parallelism it
+//! measured it could not keep.
+//!
+//! ```sh
+//! cargo run --example phase_ordering
+//! ```
+
+use ursa::machine::Machine;
+use ursa::sched::{compile_entry_block, CompileStrategy};
+use ursa::workloads::kernels::matmul;
+
+fn main() {
+    let kernel = matmul(3);
+    println!(
+        "Kernel: {} ({} instructions)\n",
+        kernel.name,
+        kernel.program.instr_count()
+    );
+    println!("Machine: 4 universal FUs, sweeping registers 16 -> 4\n");
+    println!(
+        "{:>5} | {:>10} | {:>8} | {:>7} | {:>7} | {:>9}",
+        "regs", "strategy", "cycles", "spills", "memops", "overflow"
+    );
+    println!("{}", "-".repeat(62));
+
+    for regs in [16u32, 12, 8, 6, 4] {
+        let machine = Machine::homogeneous(4, regs);
+        for strategy in [
+            CompileStrategy::Ursa(Default::default()),
+            CompileStrategy::Postpass,
+            CompileStrategy::Prepass,
+            CompileStrategy::GoodmanHsu,
+        ] {
+            let name = strategy.name();
+            let c = compile_entry_block(&kernel.program, &machine, strategy);
+            println!(
+                "{:>5} | {:>10} | {:>8} | {:>7} | {:>7} | {:>9}",
+                regs,
+                name,
+                c.stats.schedule_length,
+                c.stats.spill_stores + c.stats.spill_loads,
+                c.stats.memory_traffic,
+                c.stats.reg_overflow
+            );
+        }
+        println!("{}", "-".repeat(62));
+    }
+    println!(
+        "\nReading the table: URSA keeps cycles lowest as registers shrink\n\
+         because it chooses between sequencing and spilling per region;\n\
+         postpass pays with inserted spill cycles, prepass with anti-\n\
+         dependence serialization, and Goodman–Hsu with code that no\n\
+         longer fits the machine's register file (overflow > 0)."
+    );
+}

@@ -1,0 +1,217 @@
+//! `ursac` — the URSA command-line compiler.
+//!
+//! Compiles a textual three-address program (see `ursa-ir`'s grammar)
+//! for a VLIW machine and prints the wide words, the measured resource
+//! requirements, a DOT rendering, or the simulated execution:
+//!
+//! ```text
+//! ursac program.tac                        # compile & print VLIW code
+//! ursac program.tac --fus 4 --regs 8       # machine shape
+//! ursac program.tac --classic              # classed machine w/ latencies
+//! ursac program.tac --pipelined            # pipelined classed machine
+//! ursac program.tac --strategy postpass    # ursa|postpass|prepass|gh
+//! ursac program.tac --measure              # requirements only
+//! ursac program.tac --dot                  # DOT graph of the trace DAG
+//! ursac program.tac --run                  # compile, simulate, show memory
+//! ursac program.tac --unroll 4             # unroll the first self-loop
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use ursa::core::{measure, AllocCtx, MeasureOptions, UrsaConfig};
+use ursa::ir::ddg::DependenceDag;
+use ursa::ir::dot::to_dot;
+use ursa::ir::unroll::{find_self_loop, unroll_self_loop};
+use ursa::ir::{parse, Trace};
+use ursa::machine::Machine;
+use ursa::sched::{compile, CompileStrategy};
+use ursa::vm::equiv::seeded_memory;
+use ursa::vm::wide::run_vliw;
+
+struct Options {
+    input: String,
+    fus: u32,
+    regs: u32,
+    classic: bool,
+    pipelined: bool,
+    strategy: String,
+    measure_only: bool,
+    dot: bool,
+    run: bool,
+    unroll: Option<usize>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        input: String::new(),
+        fus: 4,
+        regs: 16,
+        classic: false,
+        pipelined: false,
+        strategy: "ursa".to_string(),
+        measure_only: false,
+        dot: false,
+        run: false,
+        unroll: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--fus" => opts.fus = take("--fus")?.parse().map_err(|e| format!("--fus: {e}"))?,
+            "--regs" => {
+                opts.regs = take("--regs")?.parse().map_err(|e| format!("--regs: {e}"))?
+            }
+            "--classic" => opts.classic = true,
+            "--pipelined" => opts.pipelined = true,
+            "--strategy" => opts.strategy = take("--strategy")?,
+            "--measure" => opts.measure_only = true,
+            "--dot" => opts.dot = true,
+            "--run" => opts.run = true,
+            "--unroll" => {
+                opts.unroll =
+                    Some(take("--unroll")?.parse().map_err(|e| format!("--unroll: {e}"))?)
+            }
+            "--help" | "-h" => return Err("usage: ursac <file.tac> [options]".to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option '{other}'"))
+            }
+            file => {
+                if !opts.input.is_empty() {
+                    return Err("multiple input files given".to_string());
+                }
+                opts.input = file.to_string();
+            }
+        }
+    }
+    if opts.input.is_empty() {
+        return Err("no input file (try --help)".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("ursac: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ursac: cannot read {}: {e}", opts.input);
+            return ExitCode::from(2);
+        }
+    };
+    let mut program = match parse(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("ursac: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(factor) = opts.unroll {
+        let Some(block) = find_self_loop(&program) else {
+            eprintln!("ursac: --unroll given but the program has no self-loop");
+            return ExitCode::FAILURE;
+        };
+        program = match unroll_self_loop(&program, block, factor) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("ursac: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+
+    let machine = if opts.classic || opts.pipelined {
+        let base = if opts.pipelined {
+            Machine::pipelined_vliw()
+        } else {
+            Machine::classic_vliw()
+        };
+        base.with_registers(opts.regs)
+    } else {
+        Machine::homogeneous(opts.fus, opts.regs)
+    };
+    // Compile the hottest block (the self-loop body if present, else the
+    // entry block).
+    let block = find_self_loop(&program).unwrap_or(0);
+    let trace = Trace::single(block);
+    let ddg = DependenceDag::build(&program, &trace);
+
+    if opts.dot {
+        print!("{}", to_dot(&ddg, "trace"));
+        return ExitCode::SUCCESS;
+    }
+    if opts.measure_only {
+        let mut ctx = AllocCtx::new(ddg, &machine);
+        let m = measure(&mut ctx, MeasureOptions::default());
+        println!("machine: {machine}");
+        println!("critical path: {} cycles", ctx.critical_path());
+        for rm in &m.resources {
+            println!("{}", rm.requirement);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let strategy = match opts.strategy.as_str() {
+        "ursa" => CompileStrategy::Ursa(UrsaConfig::default()),
+        "postpass" => CompileStrategy::Postpass,
+        "prepass" => CompileStrategy::Prepass,
+        "gh" | "goodman-hsu" => CompileStrategy::GoodmanHsu,
+        other => {
+            eprintln!("ursac: unknown strategy '{other}'");
+            return ExitCode::from(2);
+        }
+    };
+    let compiled = compile(&program, &trace, &machine, strategy);
+    println!("# machine: {machine}");
+    println!(
+        "# {} cycles, {} ops, {} memory ops, {} spill ops, overflow {}",
+        compiled.stats.schedule_length,
+        compiled.stats.ops,
+        compiled.stats.memory_traffic,
+        compiled.stats.spill_stores + compiled.stats.spill_loads,
+        compiled.stats.reg_overflow
+    );
+    print!("{}", compiled.vliw);
+
+    if opts.run {
+        let exec_machine = if compiled.vliw.num_regs > machine.registers() {
+            machine.with_registers(compiled.vliw.num_regs)
+        } else {
+            machine.clone()
+        };
+        let memory = seeded_memory(&program, 64, 1);
+        match run_vliw(&compiled.vliw, &exec_machine, &memory, &HashMap::new()) {
+            Ok(result) => {
+                println!("\n# simulated {} cycles, {} ops", result.cycles, result.ops_executed);
+                // Show only the cells the program changed.
+                let mut cells: Vec<_> = result
+                    .memory
+                    .iter()
+                    .filter(|&(sym, idx, value)| memory.load(sym, idx) != value)
+                    .collect();
+                cells.sort();
+                for (sym, idx, value) in cells {
+                    let name = program
+                        .symbols
+                        .get(sym.index())
+                        .cloned()
+                        .unwrap_or_else(|| format!("{sym:?}"));
+                    println!("# {name}[{idx}] = {value}");
+                }
+            }
+            Err(e) => {
+                eprintln!("ursac: simulation fault: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,57 @@
+//! # URSA — Unified ReSource Allocation for VLIW architectures
+//!
+//! A Rust reproduction of *"URSA: A Unified ReSource Allocator for Registers
+//! and Functional Units in VLIW Architectures"* (David A. Berson, Rajiv
+//! Gupta, Mary Lou Soffa; IFIP WG 10.3 Working Conference on Architectures
+//! and Compilation Techniques for Fine and Medium Grain Parallelism, 1993).
+//!
+//! URSA replaces the traditional phase split between instruction scheduling
+//! and register allocation with a new split: **allocate all resources
+//! first** (registers *and* functional units, on a common dependence-DAG
+//! representation), then **assign** them. The allocation phase measures the
+//! worst-case requirement of each resource over *all* legal schedules via
+//! Dilworth chain decompositions of per-resource *Reuse DAGs*, and applies
+//! DAG transformations (sequentialization and spilling) until no schedule
+//! can exceed the target machine's capacity.
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! * [`graph`] — DAGs, bipartite matching, chain decomposition, hammocks.
+//! * [`ir`] — three-address IR, parser, CFG, traces, dependence DAGs.
+//! * [`machine`] — VLIW machine descriptions.
+//! * [`core`] — the URSA measurement and transformation engine.
+//! * [`sched`] — resource assignment, VLIW code generation, and the
+//!   baseline phase orderings the paper compares against.
+//! * [`vm`] — a VLIW simulator used to validate semantic equivalence.
+//! * [`workloads`] — the paper's worked example plus kernel and random-DAG
+//!   generators used by the experiment harness.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ursa::core::{UrsaConfig, allocate};
+//! use ursa::machine::Machine;
+//! use ursa::workloads::paper::figure2_block;
+//! use ursa::ir::ddg::DependenceDag;
+//!
+//! // The paper's Figure 2 basic block.
+//! let block = figure2_block();
+//! let dag = DependenceDag::from_entry_block(&block);
+//!
+//! // A VLIW machine with 3 universal functional units and 4 registers.
+//! let machine = Machine::homogeneous(3, 4);
+//!
+//! // Run the URSA allocation phase: afterwards no legal schedule of the
+//! // transformed DAG can need more than 3 FUs or 4 registers.
+//! let outcome = allocate(dag, &machine, &UrsaConfig::default());
+//! assert_eq!(outcome.residual_excess, 0);
+//! assert!(outcome.final_measurement.fits(&machine));
+//! ```
+
+pub use ursa_core as core;
+pub use ursa_graph as graph;
+pub use ursa_ir as ir;
+pub use ursa_machine as machine;
+pub use ursa_sched as sched;
+pub use ursa_vm as vm;
+pub use ursa_workloads as workloads;

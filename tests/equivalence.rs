@@ -1,0 +1,116 @@
+//! V1 — semantic equivalence: every strategy's generated VLIW code must
+//! compute exactly what the sequential program computes, across the
+//! kernel suite and machine shapes.
+
+use std::collections::HashMap;
+use ursa::machine::Machine;
+use ursa::sched::{compile_entry_block, CompileStrategy};
+use ursa::vm::equiv::{check_equivalence, seeded_memory};
+use ursa::vm::Memory;
+use ursa::workloads::kernel_suite;
+
+fn memory_for(kernel_name: &str, program: &ursa::ir::Program) -> Memory {
+    if kernel_name == "fig2" {
+        // fig2 divides; keep the divisor benign.
+        let mut m = Memory::new();
+        m.store(ursa::ir::SymbolId(0), 0, 7);
+        m
+    } else {
+        seeded_memory(program, 128, 0xDA7A)
+    }
+}
+
+fn check_all(fus: u32, regs: u32) {
+    for kernel in kernel_suite() {
+        let machine = Machine::homogeneous(fus, regs);
+        for strategy in [
+            CompileStrategy::Ursa(Default::default()),
+            CompileStrategy::Postpass,
+            CompileStrategy::Prepass,
+            CompileStrategy::GoodmanHsu,
+        ] {
+            let name = strategy.name();
+            let compiled = compile_entry_block(&kernel.program, &machine, strategy);
+            let exec_machine = if compiled.vliw.num_regs > machine.registers() {
+                machine.with_registers(compiled.vliw.num_regs)
+            } else {
+                machine.clone()
+            };
+            let memory = memory_for(&kernel.name, &kernel.program);
+            check_equivalence(
+                &kernel.program,
+                &compiled.vliw,
+                &exec_machine,
+                &memory,
+                &HashMap::new(),
+            )
+            .unwrap_or_else(|e| {
+                panic!("{} via {name} at {fus}fu/{regs}regs: {e}", kernel.name)
+            });
+        }
+    }
+}
+
+#[test]
+fn all_strategies_equivalent_under_pressure() {
+    check_all(4, 6);
+}
+
+#[test]
+fn all_strategies_equivalent_with_ample_resources() {
+    check_all(8, 32);
+}
+
+#[test]
+fn all_strategies_equivalent_on_narrow_machine() {
+    check_all(2, 8);
+}
+
+#[test]
+fn classed_machine_equivalence() {
+    let machine = Machine::classic_vliw();
+    for kernel in kernel_suite() {
+        let compiled = compile_entry_block(
+            &kernel.program,
+            &machine,
+            CompileStrategy::Ursa(Default::default()),
+        );
+        let memory = memory_for(&kernel.name, &kernel.program);
+        check_equivalence(
+            &kernel.program,
+            &compiled.vliw,
+            &machine,
+            &memory,
+            &HashMap::new(),
+        )
+        .unwrap_or_else(|e| panic!("{} on classic VLIW: {e}", kernel.name));
+    }
+}
+
+#[test]
+fn random_blocks_equivalent_across_strategies() {
+    use ursa_workloads::random::{random_block, RandomShape};
+    for seed in 0..6u64 {
+        let program = random_block(
+            seed,
+            RandomShape {
+                ops: 40,
+                seeds: 6,
+                window: 12,
+                store_pct: 25,
+            },
+        );
+        let machine = Machine::homogeneous(3, 5);
+        for strategy in [
+            CompileStrategy::Ursa(Default::default()),
+            CompileStrategy::Postpass,
+            CompileStrategy::Prepass,
+        ] {
+            let name = strategy.name();
+            let compiled = compile_entry_block(&program, &machine, strategy);
+            let memory = seeded_memory(&program, 64, seed);
+            check_equivalence(&program, &compiled.vliw, &machine, &memory, &HashMap::new())
+                .unwrap_or_else(|e| panic!("seed {seed} via {name}: {e}"));
+        }
+    }
+}

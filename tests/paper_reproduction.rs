@@ -1,0 +1,153 @@
+//! End-to-end reproduction of the paper's figures through the public
+//! API (experiments F2 and F3a–d in DESIGN.md).
+
+use ursa::core::{
+    allocate, find_excessive, measure, AllocCtx, MeasureOptions, ResourceKind, UrsaConfig,
+};
+use ursa::ir::ddg::DependenceDag;
+use ursa::machine::{FuClass, Machine};
+use ursa::workloads::paper::{expected, figure2_block, figure2_letter};
+
+fn fig2_requirement(machine: &Machine, kind: ResourceKind) -> u32 {
+    let ddg = DependenceDag::from_entry_block(&figure2_block());
+    let mut ctx = AllocCtx::new(ddg, machine);
+    let m = measure(&mut ctx, MeasureOptions::default());
+    m.of(kind).expect("resource measured").requirement.required
+}
+
+#[test]
+fn f2_fu_requirement_is_four() {
+    let machine = Machine::homogeneous(8, 16);
+    assert_eq!(
+        fig2_requirement(&machine, ResourceKind::Fu(FuClass::Universal)),
+        expected::FU_REQUIREMENT
+    );
+}
+
+#[test]
+fn f2_register_requirement_is_five() {
+    let machine = Machine::homogeneous(8, 16);
+    assert_eq!(
+        fig2_requirement(&machine, ResourceKind::Registers),
+        expected::REG_REQUIREMENT
+    );
+}
+
+#[test]
+fn f2_critical_path_is_five() {
+    let machine = Machine::homogeneous(8, 16);
+    let ddg = DependenceDag::from_entry_block(&figure2_block());
+    let ctx = AllocCtx::new(ddg, &machine);
+    assert_eq!(ctx.critical_path(), expected::CRITICAL_PATH);
+}
+
+#[test]
+fn f2_excessive_chain_set_at_three_fus() {
+    let machine = Machine::homogeneous(3, 16);
+    let ddg = DependenceDag::from_entry_block(&figure2_block());
+    let mut ctx = AllocCtx::new(ddg, &machine);
+    let m = measure(&mut ctx, MeasureOptions::default());
+    let fu = m
+        .of(ResourceKind::Fu(FuClass::Universal))
+        .expect("measured")
+        .clone();
+    let ex = find_excessive(&mut ctx, &fu, &m.kills).expect("4 > 3");
+    let mut sets: Vec<String> = ex
+        .chains
+        .iter()
+        .map(|c| c.iter().map(|&n| figure2_letter(n)).collect::<String>())
+        .collect();
+    sets.sort();
+    // {B,E},{C,F} and {B,F},{C,E} are symmetric minimal pairings.
+    assert!(
+        sets == ["BE", "CF", "G", "H"] || sets == ["BF", "CE", "G", "H"],
+        "paper §3.1: {sets:?}"
+    );
+}
+
+fn allocate_on(fus: u32, regs: u32) -> ursa::core::AllocationOutcome {
+    allocate(
+        DependenceDag::from_entry_block(&figure2_block()),
+        &Machine::homogeneous(fus, regs),
+        &UrsaConfig::default(),
+    )
+}
+
+#[test]
+fn f3a_fu_sequentialization_reaches_three() {
+    let out = allocate_on(3, 16);
+    assert_eq!(out.residual_excess, 0);
+    let fu = out
+        .final_measurement
+        .of(ResourceKind::Fu(FuClass::Universal))
+        .expect("fu");
+    assert_eq!(fu.required, 3, "paper Figure 3(a): 4 -> 3");
+    assert_eq!(out.spill_count(), 0, "pure sequencing suffices");
+}
+
+#[test]
+fn f3b_register_sequencing_reaches_four() {
+    let out = allocate_on(8, 4);
+    assert_eq!(out.residual_excess, 0);
+    let regs = out
+        .final_measurement
+        .of(ResourceKind::Registers)
+        .expect("regs");
+    assert_eq!(regs.required, 4, "paper Figure 3(b): 5 -> 4");
+    assert_eq!(out.spill_count(), 0, "sequencing without spills");
+}
+
+#[test]
+fn f3c_spilling_reaches_three_registers() {
+    let out = allocate_on(8, 3);
+    assert_eq!(out.residual_excess, 0);
+    let regs = out
+        .final_measurement
+        .of(ResourceKind::Registers)
+        .expect("regs");
+    assert!(regs.required <= 3, "paper Figure 3(c): 5 -> 3");
+    assert!(out.spill_count() >= 1, "a value is spilled (the paper spills D)");
+}
+
+#[test]
+fn f3c_spills_node_d() {
+    // The only producer feeding the delayed sub-DAG {G, H} from outside
+    // is D — the paper's victim.
+    let out = allocate_on(8, 3);
+    let spill_step = out
+        .steps
+        .iter()
+        .find(|s| s.spills > 0)
+        .expect("a spill step exists");
+    assert_eq!(spill_step.spills, 1, "exactly one value (D) is parked");
+}
+
+#[test]
+fn f3d_combined_two_fus_three_registers() {
+    let out = allocate_on(2, 3);
+    assert_eq!(out.residual_excess, 0, "steps: {:?}", out.steps);
+    let fu = out
+        .final_measurement
+        .of(ResourceKind::Fu(FuClass::Universal))
+        .expect("fu");
+    let regs = out
+        .final_measurement
+        .of(ResourceKind::Registers)
+        .expect("regs");
+    assert!(fu.required <= 2, "paper Figure 3(d): 2 FUs");
+    assert!(regs.required <= 3, "paper Figure 3(d): 3 registers");
+}
+
+#[test]
+fn figure1_loop_terminates_on_all_machine_shapes() {
+    // The top-level while-loop of Figure 1 must terminate for any
+    // machine, including the degenerate 1-FU/3-reg case.
+    for (fus, regs) in [(1u32, 3u32), (1, 16), (8, 3), (2, 2)] {
+        let out = allocate_on(fus, regs);
+        assert!(
+            !out.hit_iteration_limit,
+            "({fus},{regs}) hit the iteration limit: {:?}",
+            out.steps
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! URSA's central guarantee, checked end-to-end: after allocation, *no
+//! legal schedule* of the transformed DAG can exceed the machine, so
+//! the assignment phase succeeds without touching memory again.
+
+use ursa::core::{allocate, UrsaConfig};
+use ursa::ir::ddg::DependenceDag;
+use ursa::machine::Machine;
+use ursa::sched::{assign_registers, list_schedule, schedule_pressure};
+use ursa::workloads::kernel_suite;
+
+#[test]
+fn allocation_bounds_hold_for_concrete_schedules() {
+    for kernel in kernel_suite() {
+        for (fus, regs) in [(4u32, 8u32), (2, 6), (6, 12)] {
+            let machine = Machine::homogeneous(fus, regs);
+            let ddg = DependenceDag::from_entry_block(&kernel.program);
+            let out = allocate(ddg, &machine, &UrsaConfig::default());
+            if out.residual_excess > 0 {
+                // Heuristic residue is allowed by the paper (§2); the
+                // assignment fallback covers it. Skip the strict check.
+                continue;
+            }
+            let schedule = list_schedule(&out.ddg, &machine);
+            schedule
+                .validate(&out.ddg, &machine)
+                .unwrap_or_else(|e| panic!("{} ({fus},{regs}): {e}", kernel.name));
+            let pressure = schedule_pressure(&out.ddg, &schedule, &machine);
+            assert!(
+                pressure <= regs,
+                "{} ({fus},{regs}): schedule pressure {pressure} exceeds bound",
+                kernel.name
+            );
+            assert!(
+                assign_registers(&out.ddg, &schedule, &machine).is_ok(),
+                "{} ({fus},{regs}): assignment failed although allocation fit",
+                kernel.name
+            );
+        }
+    }
+}
+
+#[test]
+fn residual_excess_is_rare_and_bounded() {
+    let mut residuals = 0usize;
+    let mut total = 0usize;
+    for kernel in kernel_suite() {
+        for (fus, regs) in [(4u32, 8u32), (2, 6), (6, 12)] {
+            let machine = Machine::homogeneous(fus, regs);
+            let ddg = DependenceDag::from_entry_block(&kernel.program);
+            let out = allocate(ddg, &machine, &UrsaConfig::default());
+            total += 1;
+            if out.residual_excess > 0 {
+                residuals += 1;
+            }
+            assert!(!out.hit_iteration_limit, "{}", kernel.name);
+        }
+    }
+    // The paper allows heuristic residue (§2 hands it to the assignment
+    // phase); it should still be the minority case and small.
+    assert!(
+        residuals * 2 <= total,
+        "heuristics left residue on {residuals}/{total} configurations"
+    );
+}
+
+#[test]
+fn transformed_dags_remain_well_formed() {
+    for kernel in kernel_suite() {
+        let machine = Machine::homogeneous(2, 5);
+        let ddg = DependenceDag::from_entry_block(&kernel.program);
+        let out = allocate(ddg, &machine, &UrsaConfig::default());
+        let dag = out.ddg.dag();
+        assert!(dag.is_acyclic(), "{}", kernel.name);
+        assert_eq!(dag.roots(), vec![out.ddg.entry()], "{}", kernel.name);
+        assert_eq!(dag.leaves(), vec![out.ddg.exit()], "{}", kernel.name);
+        // Spill bookkeeping: every spilled value's reload reads a
+        // register defined by a load from the spill area.
+        for n in out.ddg.value_nodes() {
+            for &u in out.ddg.uses_of(n) {
+                assert!(
+                    dag.has_edge(n, u),
+                    "{}: use list of {n} mentions {u} without an edge",
+                    kernel.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn requirements_never_increase_after_allocation() {
+    use ursa::core::ResourceKind;
+    for kernel in kernel_suite() {
+        let machine = Machine::homogeneous(4, 8);
+        let ddg = DependenceDag::from_entry_block(&kernel.program);
+        let out = allocate(ddg, &machine, &UrsaConfig::default());
+        for req in &out.final_measurement.requirements {
+            if req.resource == ResourceKind::Registers {
+                let initial = out
+                    .initial_measurement
+                    .of(req.resource)
+                    .expect("same resource set");
+                // After successful allocation the requirement fits; it
+                // never ends up above the initial worst case.
+                assert!(
+                    req.required <= initial.required.max(req.capacity),
+                    "{}: {} grew from {} to {}",
+                    kernel.name,
+                    req.resource,
+                    initial.required,
+                    req.required
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! The §6 superscalar extension: pipelined functional units accept a new
+//! operation every cycle while results are still in flight. The
+//! measurement is unchanged (worst-case simultaneous issue is still the
+//! maximum antichain), but schedules tighten and the simulator honors
+//! the single-cycle occupancy.
+
+use std::collections::HashMap;
+use ursa::ir::ddg::DependenceDag;
+use ursa::ir::parser::parse;
+use ursa::machine::{FuClass, LatencyModel, Machine};
+use ursa::sched::{compile_entry_block, list_schedule, CompileStrategy};
+use ursa::vm::equiv::{check_equivalence, seeded_memory};
+use ursa::workloads::kernel_suite;
+
+fn pipelined(fus: u32, regs: u32) -> Machine {
+    Machine::builder("pipe")
+        .fu(FuClass::Universal, fus)
+        .registers(regs)
+        .latencies(LatencyModel::classic())
+        .pipelined(true)
+        .build()
+}
+
+fn nonpipelined(fus: u32, regs: u32) -> Machine {
+    Machine::builder("nopipe")
+        .fu(FuClass::Universal, fus)
+        .registers(regs)
+        .latencies(LatencyModel::classic())
+        .build()
+}
+
+#[test]
+fn pipelining_never_lengthens_schedules() {
+    // Independent multiplies on one unit: pipelined issues one per
+    // cycle, non-pipelined serializes by the 3-cycle latency.
+    let p = parse(
+        "v0 = load a[0]\n\
+         v1 = mul v0, 2\n\
+         v2 = mul v0, 3\n\
+         v3 = mul v0, 5\n\
+         v4 = mul v0, 7\n\
+         store b[0], v1\n\
+         store b[1], v2\n\
+         store b[2], v3\n\
+         store b[3], v4\n",
+    )
+    .unwrap();
+    let ddg = DependenceDag::from_entry_block(&p);
+    let slow = list_schedule(&ddg, &nonpipelined(1, 16));
+    let fast = list_schedule(&ddg, &pipelined(1, 16));
+    slow.validate(&ddg, &nonpipelined(1, 16)).unwrap();
+    fast.validate(&ddg, &pipelined(1, 16)).unwrap();
+    assert!(
+        fast.length() < slow.length(),
+        "pipelined {} vs non-pipelined {}",
+        fast.length(),
+        slow.length()
+    );
+}
+
+#[test]
+fn occupancy_semantics() {
+    use ursa::machine::OpKind;
+    let m = pipelined(2, 8);
+    assert!(m.is_pipelined());
+    assert_eq!(m.occupancy_of(OpKind::Mul), 1);
+    assert_eq!(m.latency_of(OpKind::Mul), 3, "latency unchanged");
+    let n = nonpipelined(2, 8);
+    assert_eq!(n.occupancy_of(OpKind::Mul), 3);
+}
+
+#[test]
+fn serde_defaults_nonpipelined() {
+    // Old serialized machines (without the field) stay non-pipelined.
+    let json = r#"{"name":"old","fus":[["Universal",2]],"registers":4,
+                   "latencies":{"alu":1,"mul":1,"div":1,"load":1,"store":1,"branch":1}}"#;
+    let m: Machine = serde_json::from_str(json).unwrap();
+    assert!(!m.is_pipelined());
+}
+
+#[test]
+fn pipelined_compilation_stays_equivalent() {
+    let machine = pipelined(3, 8);
+    for kernel in kernel_suite() {
+        for strategy in [
+            CompileStrategy::Ursa(Default::default()),
+            CompileStrategy::Postpass,
+        ] {
+            let name = strategy.name();
+            let compiled = compile_entry_block(&kernel.program, &machine, strategy);
+            let exec = if compiled.vliw.num_regs > machine.registers() {
+                machine.with_registers(compiled.vliw.num_regs)
+            } else {
+                machine.clone()
+            };
+            let memory = if kernel.name == "fig2" {
+                let mut m = ursa::vm::Memory::new();
+                m.store(ursa::ir::SymbolId(0), 0, 7);
+                m
+            } else {
+                seeded_memory(&kernel.program, 128, 77)
+            };
+            check_equivalence(&kernel.program, &compiled.vliw, &exec, &memory, &HashMap::new())
+                .unwrap_or_else(|e| panic!("{} via {name}: {e}", kernel.name));
+        }
+    }
+}
+
+#[test]
+fn pipelined_vliw_preset() {
+    let m = Machine::pipelined_vliw();
+    assert!(m.is_pipelined());
+    assert!(m.is_classed());
+    assert_eq!(m.registers(), 16);
+}

@@ -1,0 +1,107 @@
+//! Property-based tests over random programs: the measurement bound,
+//! compilation correctness and graph invariants must hold for *any*
+//! straight-line block, not just the curated suite.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use ursa::core::{allocate, measure, AllocCtx, MeasureOptions, ResourceKind, UrsaConfig};
+use ursa::ir::ddg::DependenceDag;
+use ursa::machine::Machine;
+use ursa::sched::{compile_entry_block, list_schedule, schedule_pressure, CompileStrategy};
+use ursa::vm::equiv::{check_equivalence, seeded_memory};
+use ursa_workloads::random::{random_block, RandomShape};
+
+fn arb_shape() -> impl Strategy<Value = RandomShape> {
+    (6usize..28, 1usize..6, 1usize..12, 0u32..40).prop_map(|(ops, seeds, window, store_pct)| {
+        RandomShape {
+            ops,
+            seeds,
+            window,
+            store_pct,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The worst-case measurement dominates the pressure of concrete
+    /// schedules *almost always* — the paper's `Kill()` is a heuristic
+    /// (Theorem 2: the exact choice is NP-complete), and when a value
+    /// has several independent maximal uses the chosen killer may not
+    /// be the one a particular schedule runs last, slightly
+    /// under-estimating. The paper's §2 assigns exactly those leftovers
+    /// to the assignment phase; so the property is: either the bound
+    /// dominates, or the full pipeline still produces correct code that
+    /// fits the machine via its assignment-phase fallback.
+    #[test]
+    fn measurement_bounds_concrete_pressure(seed in 0u64..1_000, shape in arb_shape()) {
+        let program = random_block(seed, shape);
+        let machine = Machine::homogeneous(4, 64);
+        let ddg = DependenceDag::from_entry_block(&program);
+        let schedule = list_schedule(&ddg, &machine);
+        let concrete = schedule_pressure(&ddg, &schedule, &machine);
+        let mut ctx = AllocCtx::new(ddg, &machine);
+        let m = measure(&mut ctx, MeasureOptions::default());
+        let bound = m.of(ResourceKind::Registers).expect("regs").requirement.required;
+        if concrete > bound {
+            // The Kill() heuristic under-measured; §2's escape hatch
+            // must still deliver correct, in-budget code.
+            let tight = Machine::homogeneous(4, bound.max(3));
+            let compiled = compile_entry_block(
+                &program,
+                &tight,
+                CompileStrategy::Ursa(UrsaConfig::default()),
+            );
+            let memory = seeded_memory(&program, 64, seed);
+            let r = check_equivalence(&program, &compiled.vliw, &tight, &memory, &HashMap::new());
+            prop_assert!(r.is_ok(), "fallback failed: {:?}", r.err());
+            // The gap is small (one schedule-dependent killer), never wild.
+            prop_assert!(concrete <= bound + 2, "gap too large: {concrete} vs {bound}");
+        }
+    }
+
+    /// Allocation converges and its result validates: acyclic DAG,
+    /// single root/leaf, no iteration-limit abort.
+    #[test]
+    fn allocation_invariants(seed in 0u64..1_000, shape in arb_shape()) {
+        let program = random_block(seed, shape);
+        let machine = Machine::homogeneous(2, 4);
+        let ddg = DependenceDag::from_entry_block(&program);
+        let out = allocate(ddg, &machine, &UrsaConfig::default());
+        prop_assert!(!out.hit_iteration_limit);
+        prop_assert!(out.ddg.dag().is_acyclic());
+        prop_assert_eq!(out.ddg.dag().roots(), vec![out.ddg.entry()]);
+        prop_assert_eq!(out.ddg.dag().leaves(), vec![out.ddg.exit()]);
+    }
+
+    /// Compiled code is always equivalent to the sequential reference,
+    /// for URSA and the postpass baseline.
+    #[test]
+    fn compiled_code_is_equivalent(seed in 0u64..1_000, shape in arb_shape()) {
+        let program = random_block(seed, shape);
+        let machine = Machine::homogeneous(3, 4);
+        let memory = seeded_memory(&program, 64, seed);
+        for strategy in [
+            CompileStrategy::Ursa(UrsaConfig::default()),
+            CompileStrategy::Postpass,
+        ] {
+            let name = strategy.name();
+            let compiled = compile_entry_block(&program, &machine, strategy);
+            let r = check_equivalence(&program, &compiled.vliw, &machine, &memory, &HashMap::new());
+            prop_assert!(r.is_ok(), "{}: {:?}", name, r.err());
+        }
+    }
+
+    /// The schedule produced for the transformed DAG respects the
+    /// machine: validated structurally against deps, latencies, units.
+    #[test]
+    fn schedules_validate(seed in 0u64..1_000, shape in arb_shape()) {
+        let program = random_block(seed, shape);
+        let machine = Machine::classic_vliw();
+        let ddg = DependenceDag::from_entry_block(&program);
+        let out = allocate(ddg, &machine, &UrsaConfig::default());
+        let s = list_schedule(&out.ddg, &machine);
+        prop_assert!(s.validate(&out.ddg, &machine).is_ok());
+    }
+}

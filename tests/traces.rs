@@ -1,0 +1,154 @@
+//! Multi-block trace compilation: URSA operates on traces (paper §2),
+//! so dependence construction, allocation and code generation must
+//! handle on-trace branches, off-trace liveness and speculation.
+
+use ursa::core::{allocate, measure, AllocCtx, MeasureOptions, UrsaConfig};
+use ursa::ir::ddg::{DdgOptions, DependenceDag, NodeKind};
+use ursa::ir::parser::parse;
+use ursa::ir::trace::{select_traces, Trace};
+use ursa::machine::Machine;
+use ursa::sched::{compile, list_schedule, CompileStrategy};
+
+const TWO_BLOCK: &str = "\
+block entry:
+v0 = load a[0]
+v1 = mul v0, 2
+v2 = mul v0, 3
+v3 = add v1, v2
+br v3, hot, cold
+block hot @ 0.9:
+v4 = mul v3, v1
+v5 = add v4, v2
+store b[0], v5
+ret
+block cold @ 0.1:
+store b[1], v0
+ret
+";
+
+fn main_trace() -> (ursa::ir::Program, Trace) {
+    let p = parse(TWO_BLOCK).unwrap();
+    let traces = select_traces(&p);
+    assert_eq!(traces[0].blocks, vec![0, 1], "entry→hot is the main trace");
+    (p, traces[0].clone())
+}
+
+#[test]
+fn branch_node_is_measured_as_an_fu_consumer() {
+    let (p, trace) = main_trace();
+    let ddg = DependenceDag::build(&p, &trace);
+    let branches = ddg
+        .dag()
+        .nodes()
+        .filter(|&n| matches!(ddg.kind(n), NodeKind::Branch { .. }))
+        .count();
+    assert_eq!(branches, 1);
+    // 7 instructions + 1 branch need FUs.
+    assert_eq!(ddg.fu_nodes().count(), 8);
+}
+
+#[test]
+fn off_trace_live_value_pins_to_branch() {
+    let (p, trace) = main_trace();
+    let ddg = DependenceDag::build(&p, &trace);
+    let branch = ddg
+        .dag()
+        .nodes()
+        .find(|&n| matches!(ddg.kind(n), NodeKind::Branch { .. }))
+        .unwrap();
+    // v0 is stored by the cold block: it must be computed before the
+    // branch and the branch is one of its kill candidates.
+    let v0 = ddg
+        .dag()
+        .nodes()
+        .find(|&n| ddg.value_def(n) == Some(ursa::ir::VirtualReg(0)))
+        .unwrap();
+    assert!(ddg.uses_of(v0).contains(&branch));
+    let reach = ursa::graph::reach::Reachability::of(ddg.dag());
+    assert!(reach.reaches(v0, branch));
+}
+
+#[test]
+fn trace_allocation_fits_and_schedules() {
+    let (p, trace) = main_trace();
+    for (fus, regs) in [(2u32, 3u32), (1, 4), (4, 8)] {
+        let machine = Machine::homogeneous(fus, regs);
+        let ddg = DependenceDag::build(&p, &trace);
+        let out = allocate(ddg, &machine, &UrsaConfig::default());
+        assert_eq!(out.residual_excess, 0, "({fus},{regs}): {:?}", out.steps);
+        let s = list_schedule(&out.ddg, &machine);
+        s.validate(&out.ddg, &machine)
+            .unwrap_or_else(|e| panic!("({fus},{regs}): {e}"));
+    }
+}
+
+#[test]
+fn compiled_trace_contains_branch_slot() {
+    use ursa::sched::SlotOp;
+    let (p, trace) = main_trace();
+    let machine = Machine::homogeneous(2, 4);
+    let c = compile(&p, &trace, &machine, CompileStrategy::Ursa(UrsaConfig::default()));
+    let has_branch = c
+        .vliw
+        .words
+        .iter()
+        .flatten()
+        .any(|op| matches!(op.op, SlotOp::Branch { .. }));
+    assert!(has_branch, "the on-trace branch is emitted");
+}
+
+#[test]
+fn speculative_load_measurement_differs_from_pinned() {
+    // A load in the second block: speculation lets it float above the
+    // branch and raises worst-case parallelism.
+    let src = "\
+block entry:
+v0 = load a[0]
+br v0, next, out
+block next:
+v1 = load a[1]
+v2 = load a[2]
+v3 = add v1, v2
+store b[0], v3
+ret
+block out:
+ret
+";
+    let p = parse(src).unwrap();
+    let trace = Trace {
+        blocks: vec![0, 1],
+    };
+    let machine = Machine::homogeneous(8, 16);
+    let spec = DependenceDag::build(&p, &trace);
+    let pinned = DependenceDag::build_with(
+        &p,
+        &trace,
+        DdgOptions {
+            speculative_loads: false,
+            ..DdgOptions::default()
+        },
+    );
+    let req = |ddg: DependenceDag| {
+        let mut ctx = AllocCtx::new(ddg, &machine);
+        let m = measure(&mut ctx, MeasureOptions::default());
+        m.of(ursa::core::ResourceKind::Fu(ursa::machine::FuClass::Universal))
+            .unwrap()
+            .requirement
+            .required
+    };
+    let spec_req = req(spec);
+    let pinned_req = req(pinned);
+    assert!(
+        spec_req > pinned_req,
+        "speculation exposes parallelism: {spec_req} vs {pinned_req}"
+    );
+}
+
+#[test]
+fn every_block_lands_in_exactly_one_trace() {
+    let p = parse(TWO_BLOCK).unwrap();
+    let traces = select_traces(&p);
+    let mut covered: Vec<usize> = traces.iter().flat_map(|t| t.blocks.clone()).collect();
+    covered.sort_unstable();
+    assert_eq!(covered, vec![0, 1, 2]);
+}
