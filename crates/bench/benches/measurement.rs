@@ -1,67 +1,63 @@
-//! Criterion benchmarks for the measurement phase (F2, T4, T7).
+//! Benchmarks for the measurement phase (F2, T4, T7), on the in-tree
+//! harness (`ursa_bench::harness`). Run with `cargo bench --bench
+//! measurement`; add `-- --json out.json` for a machine-readable table.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ursa_bench::harness::Runner;
 use ursa_core::{measure, AllocCtx, KillMode, MeasureOptions};
 use ursa_ir::ddg::DependenceDag;
 use ursa_machine::Machine;
 use ursa_workloads::paper::figure2_block;
 use ursa_workloads::random::{random_block, RandomShape};
 
-/// F2: measuring the paper's example DAG.
-fn bench_fig2_measure(c: &mut Criterion) {
-    let program = figure2_block();
-    let machine = Machine::homogeneous(8, 16);
-    c.bench_function("fig2_measure", |b| {
-        b.iter(|| {
+fn main() {
+    let mut runner = Runner::from_args("measurement");
+
+    // F2: measuring the paper's example DAG.
+    {
+        let program = figure2_block();
+        let machine = Machine::homogeneous(8, 16);
+        runner.bench("fig2_measure", || {
             let ddg = DependenceDag::from_entry_block(&program);
             let mut ctx = AllocCtx::new(ddg, &machine);
             measure(&mut ctx, MeasureOptions::default())
-        })
-    });
-}
+        });
+    }
 
-/// T4: measurement scaling with block size (the O(N³) bound).
-fn bench_measure_scaling(c: &mut Criterion) {
-    let machine = Machine::homogeneous(4, 16);
-    let mut group = c.benchmark_group("measure_scaling");
-    group.sample_size(20);
-    for n in [32usize, 64, 128, 256] {
+    // T4: measurement scaling with block size (the O(N³) bound).
+    {
+        let machine = Machine::homogeneous(4, 16);
+        for n in [32usize, 64, 128, 256] {
+            let program = random_block(
+                9,
+                RandomShape {
+                    ops: n,
+                    seeds: 8,
+                    window: 16,
+                    store_pct: 10,
+                },
+            );
+            runner.bench(&format!("measure_scaling/{n}"), || {
+                let ddg = DependenceDag::from_entry_block(&program);
+                let mut ctx = AllocCtx::new(ddg, &machine);
+                measure(&mut ctx, MeasureOptions::default())
+            });
+        }
+    }
+
+    // T7: staged (hammock-prioritized) vs. plain maximum matching.
+    {
+        let machine = Machine::homogeneous(4, 16);
         let program = random_block(
-            9,
+            5,
             RandomShape {
-                ops: n,
+                ops: 96,
                 seeds: 8,
                 window: 16,
                 store_pct: 10,
             },
         );
-        group.bench_with_input(BenchmarkId::from_parameter(n), &program, |b, p| {
-            b.iter(|| {
-                let ddg = DependenceDag::from_entry_block(p);
-                let mut ctx = AllocCtx::new(ddg, &machine);
-                measure(&mut ctx, MeasureOptions::default())
-            })
-        });
-    }
-    group.finish();
-}
-
-/// T7: staged (hammock-prioritized) vs. plain maximum matching.
-fn bench_matching_variants(c: &mut Criterion) {
-    let machine = Machine::homogeneous(4, 16);
-    let program = random_block(
-        5,
-        RandomShape {
-            ops: 96,
-            seeds: 8,
-            window: 16,
-            store_pct: 10,
-        },
-    );
-    let mut group = c.benchmark_group("matching_variant");
-    for (name, plain) in [("staged", false), ("plain", true)] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
+        for (name, plain) in [("staged", false), ("plain", true)] {
+            runner.bench(&format!("matching_variant/{name}"), || {
                 let ddg = DependenceDag::from_entry_block(&program);
                 let mut ctx = AllocCtx::new(ddg, &machine);
                 measure(
@@ -71,16 +67,9 @@ fn bench_matching_variants(c: &mut Criterion) {
                         plain_matching: plain,
                     },
                 )
-            })
-        });
+            });
+        }
     }
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_fig2_measure,
-    bench_measure_scaling,
-    bench_matching_variants
-);
-criterion_main!(benches);
+    runner.finish();
+}

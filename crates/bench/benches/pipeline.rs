@@ -1,72 +1,60 @@
-//! Criterion benchmarks for the end-to-end compilation strategies
-//! (drivers of tables T1–T3): per-strategy compile time and, as
-//! reported metrics, schedule quality on representative points.
+//! Benchmarks for the end-to-end compilation strategies (drivers of
+//! tables T1–T3): per-strategy compile time on representative points,
+//! on the in-tree harness. Run with `cargo bench --bench pipeline`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ursa_bench::harness::Runner;
 use ursa_machine::Machine;
 use ursa_sched::{compile_entry_block, CompileStrategy};
 use ursa_workloads::kernels::{dct8, hydro, matmul};
 
-/// T1 driver: compile each strategy at tight registers.
-fn bench_strategies_tight_regs(c: &mut Criterion) {
-    let kernel = matmul(3);
-    let machine = Machine::homogeneous(4, 6);
-    let mut group = c.benchmark_group("sweep_regs_matmul3_r6");
-    group.sample_size(10);
-    for strategy in [
-        CompileStrategy::Ursa(Default::default()),
-        CompileStrategy::Postpass,
-        CompileStrategy::Prepass,
-        CompileStrategy::GoodmanHsu,
-    ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(strategy.name()),
-            &strategy,
-            |b, s| b.iter(|| compile_entry_block(&kernel.program, &machine, s.clone())),
-        );
-    }
-    group.finish();
-}
+fn main() {
+    let mut runner = Runner::from_args("pipeline");
 
-/// T2 driver: URSA compile time across machine widths.
-fn bench_sweep_fus(c: &mut Criterion) {
-    let kernel = dct8();
-    let mut group = c.benchmark_group("sweep_fus_dct8");
-    group.sample_size(10);
-    for fus in [1u32, 2, 4, 8] {
-        let machine = Machine::homogeneous(fus, 16);
-        group.bench_with_input(BenchmarkId::from_parameter(fus), &machine, |b, m| {
-            b.iter(|| {
-                compile_entry_block(&kernel.program, m, CompileStrategy::Ursa(Default::default()))
-            })
-        });
+    // T1 driver: compile each strategy at tight registers.
+    {
+        let kernel = matmul(3);
+        let machine = Machine::homogeneous(4, 6);
+        for strategy in [
+            CompileStrategy::Ursa(Default::default()),
+            CompileStrategy::Postpass,
+            CompileStrategy::Prepass,
+            CompileStrategy::GoodmanHsu,
+        ] {
+            runner.bench(
+                &format!("sweep_regs_matmul3_r6/{}", strategy.name()),
+                || compile_entry_block(&kernel.program, &machine, strategy.clone()),
+            );
+        }
     }
-    group.finish();
-}
 
-/// T3 driver: spill-heavy compilation on the hydro fragment.
-fn bench_spill_pressure(c: &mut Criterion) {
-    let kernel = hydro(6);
-    let machine = Machine::homogeneous(4, 6);
-    let mut group = c.benchmark_group("spills_hydro6_r6");
-    group.sample_size(10);
-    for strategy in [
-        CompileStrategy::Ursa(Default::default()),
-        CompileStrategy::Postpass,
-    ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(strategy.name()),
-            &strategy,
-            |b, s| b.iter(|| compile_entry_block(&kernel.program, &machine, s.clone())),
-        );
+    // T2 driver: URSA compile time across machine widths.
+    {
+        let kernel = dct8();
+        for fus in [1u32, 2, 4, 8] {
+            let machine = Machine::homogeneous(fus, 16);
+            runner.bench(&format!("sweep_fus_dct8/{fus}"), || {
+                compile_entry_block(
+                    &kernel.program,
+                    &machine,
+                    CompileStrategy::Ursa(Default::default()),
+                )
+            });
+        }
     }
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_strategies_tight_regs,
-    bench_sweep_fus,
-    bench_spill_pressure
-);
-criterion_main!(benches);
+    // T3 driver: spill-heavy compilation on the hydro fragment.
+    {
+        let kernel = hydro(6);
+        let machine = Machine::homogeneous(4, 6);
+        for strategy in [
+            CompileStrategy::Ursa(Default::default()),
+            CompileStrategy::Postpass,
+        ] {
+            runner.bench(&format!("spills_hydro6_r6/{}", strategy.name()), || {
+                compile_entry_block(&kernel.program, &machine, strategy.clone())
+            });
+        }
+    }
+
+    runner.finish();
+}

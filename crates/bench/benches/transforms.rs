@@ -1,16 +1,18 @@
-//! Criterion benchmarks for the reduction transformations (F3a–d).
+//! Benchmarks for the reduction transformations (F3a–d), on the
+//! in-tree harness. Run with `cargo bench --bench transforms`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ursa_bench::harness::Runner;
 use ursa_core::{allocate, UrsaConfig};
 use ursa_ir::ddg::DependenceDag;
 use ursa_machine::Machine;
 use ursa_workloads::paper::figure2_block;
 
-/// F3: the full allocation loop on the paper's example, per target
-/// machine from Figures 3(a)–(d).
-fn bench_fig3_transforms(c: &mut Criterion) {
+fn main() {
+    let mut runner = Runner::from_args("transforms");
     let program = figure2_block();
-    let mut group = c.benchmark_group("fig3_transforms");
+
+    // F3: the full allocation loop on the paper's example, per target
+    // machine from Figures 3(a)–(d).
     for (name, fus, regs) in [
         ("a_fu_4to3", 3u32, 16u32),
         ("b_regseq_5to4", 8, 4),
@@ -18,18 +20,14 @@ fn bench_fig3_transforms(c: &mut Criterion) {
         ("d_combined_2fu3reg", 2, 3),
     ] {
         let machine = Machine::homogeneous(fus, regs);
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                allocate(
-                    DependenceDag::from_entry_block(&program),
-                    &machine,
-                    &UrsaConfig::default(),
-                )
-            })
+        runner.bench(&format!("fig3_transforms/{name}"), || {
+            allocate(
+                DependenceDag::from_entry_block(&program),
+                &machine,
+                &UrsaConfig::default(),
+            )
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_fig3_transforms);
-criterion_main!(benches);
+    runner.finish();
+}

@@ -4,7 +4,12 @@ use ursa_machine::Machine;
 use ursa_sched::{list_schedule, schedule_pressure};
 use ursa_workloads::random::{random_block, RandomShape};
 fn main() {
-    let shape = RandomShape { ops: 7, seeds: 2, window: 5, store_pct: 0 };
+    let shape = RandomShape {
+        ops: 7,
+        seeds: 2,
+        window: 5,
+        store_pct: 0,
+    };
     let program = random_block(314, shape);
     println!("{program}");
     let machine = Machine::homogeneous(4, 64);
@@ -19,12 +24,22 @@ fn main() {
     let regs = m.of(ResourceKind::Registers).unwrap();
     println!("bound {}", regs.requirement.required);
     for c in regs.decomposition.chains() {
-        println!("chain {:?}", c.iter().map(|&n| ctx.ddg().describe(n)).collect::<Vec<_>>());
+        println!(
+            "chain {:?}",
+            c.iter().map(|&n| ctx.ddg().describe(n)).collect::<Vec<_>>()
+        );
     }
     for v in ctx.ddg().value_nodes().collect::<Vec<_>>() {
-        println!("kill({}) = {:?} uses {:?} live_out {}", ctx.ddg().describe(v),
+        println!(
+            "kill({}) = {:?} uses {:?} live_out {}",
+            ctx.ddg().describe(v),
             m.kills.kill_of(v).map(|k| ctx.ddg().describe(k)),
-            ctx.ddg().uses_of(v).iter().map(|&u| ctx.ddg().describe(u)).collect::<Vec<_>>(),
-            ctx.ddg().is_live_out(v));
+            ctx.ddg()
+                .uses_of(v)
+                .iter()
+                .map(|&u| ctx.ddg().describe(u))
+                .collect::<Vec<_>>(),
+            ctx.ddg().is_live_out(v)
+        );
     }
 }

@@ -1,0 +1,268 @@
+//! A dependency-free micro-benchmark harness (criterion replacement).
+//!
+//! The workspace builds hermetically, so `criterion` is out; this
+//! harness keeps the three bench targets (`measurement`, `transforms`,
+//! `pipeline`) runnable under plain `cargo bench` with `harness =
+//! false`. The protocol per benchmark:
+//!
+//! 1. **Calibrate**: run the closure until ~[`Runner::calibration`]
+//!    has elapsed to pick an iteration count per sample (so one sample
+//!    is long enough for the clock to be meaningful).
+//! 2. **Warm up** for roughly the same budget (fills caches, settles
+//!    frequency scaling).
+//! 3. **Sample**: take [`Runner::samples`] wall-clock samples and
+//!    report the **median** per-iteration time — medians shrug off the
+//!    occasional scheduler hiccup that poisons means.
+//!
+//! Results print as a table and can be dumped as JSON (via `ursa-json`)
+//! with `--json <path>`, for the recorded `BENCH_*.json` trajectory.
+//! A substring filter argument restricts which benchmarks run, and
+//! `--list` prints names without running (mirroring libtest enough for
+//! `cargo bench -- <filter>` muscle memory).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+use ursa_json::Value;
+
+pub use std::hint::black_box as bb;
+
+/// One benchmark's summarized timings.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name (unique within a runner).
+    pub name: String,
+    /// Iterations per sample chosen by calibration.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Minimum per-iteration time, nanoseconds.
+    pub min_ns: f64,
+    /// Mean per-iteration time, nanoseconds.
+    pub mean_ns: f64,
+    /// Maximum per-iteration time, nanoseconds.
+    pub max_ns: f64,
+}
+
+impl BenchResult {
+    /// The result as a JSON object (one row of a `BENCH_*.json` table).
+    pub fn to_json_value(&self) -> Value {
+        Value::object([
+            ("name", Value::from(self.name.as_str())),
+            ("iters_per_sample", Value::from(self.iters_per_sample)),
+            ("samples", Value::from(self.samples)),
+            ("median_ns", Value::from(self.median_ns)),
+            ("min_ns", Value::from(self.min_ns)),
+            ("mean_ns", Value::from(self.mean_ns)),
+            ("max_ns", Value::from(self.max_ns)),
+        ])
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.2} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collects and runs benchmarks for one bench target.
+pub struct Runner {
+    target: String,
+    /// Wall-clock budget for calibration and for warmup, each.
+    pub calibration: Duration,
+    /// Samples per benchmark (median-of-N).
+    pub samples: usize,
+    filter: Option<String>,
+    list_only: bool,
+    json_path: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Runner {
+    /// Creates a runner named after the bench target, reading `--json
+    /// <path>`, `--list` and an optional substring filter from the
+    /// command line (cargo's own `--bench` flag is ignored).
+    pub fn from_args(target: &str) -> Runner {
+        let mut filter = None;
+        let mut json_path = None;
+        let mut list_only = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--json" => json_path = args.next(),
+                "--list" => list_only = true,
+                // Flags cargo bench forwards that we don't need.
+                "--bench" | "--exact" | "--nocapture" => {}
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_owned()),
+            }
+        }
+        Runner {
+            target: target.to_owned(),
+            calibration: Duration::from_millis(120),
+            samples: 11,
+            filter,
+            list_only,
+            json_path,
+            results: Vec::new(),
+        }
+    }
+
+    /// Whether `name` passes the command-line filter.
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Times `f`, which is run repeatedly; reports the median
+    /// per-iteration wall-clock time. Wrap inputs in
+    /// [`black_box`] inside the closure if the optimizer might
+    /// otherwise hoist work out.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if !self.selected(name) {
+            return;
+        }
+        if self.list_only {
+            println!("{}: bench", name);
+            return;
+        }
+        // Calibration: how many iterations fit in the budget?
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < self.calibration {
+            black_box(f());
+            iters += 1;
+        }
+        let iters_per_sample = iters.max(1);
+        // Warmup for roughly one more budget.
+        let warm = Instant::now();
+        while warm.elapsed() < self.calibration {
+            black_box(f());
+        }
+        // Sampling.
+        let mut per_iter_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            per_iter_ns.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+        let result = BenchResult {
+            name: name.to_owned(),
+            iters_per_sample,
+            samples: self.samples,
+            median_ns,
+            min_ns: per_iter_ns[0],
+            mean_ns: per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64,
+            max_ns: per_iter_ns[per_iter_ns.len() - 1],
+        };
+        println!(
+            "{:<44} median {}   min {}   ({} iters × {} samples)",
+            result.name,
+            format_ns(result.median_ns),
+            format_ns(result.min_ns),
+            result.iters_per_sample,
+            result.samples,
+        );
+        self.results.push(result);
+    }
+
+    /// The results gathered so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the footer and writes the JSON table if `--json` was
+    /// given. Call at the end of `main`.
+    pub fn finish(self) {
+        if self.list_only {
+            return;
+        }
+        println!(
+            "\n{}: {} benchmark(s) done",
+            self.target,
+            self.results.len()
+        );
+        if let Some(path) = &self.json_path {
+            let doc = Value::object([
+                ("target", Value::from(self.target.as_str())),
+                (
+                    "results",
+                    Value::array(self.results.iter().map(BenchResult::to_json_value)),
+                ),
+            ]);
+            std::fs::write(path, doc.to_string_pretty() + "\n")
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("wrote {path}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_runner(target: &str) -> Runner {
+        Runner {
+            target: target.to_owned(),
+            calibration: Duration::from_millis(2),
+            samples: 5,
+            filter: None,
+            list_only: false,
+            json_path: None,
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn bench_produces_sane_stats() {
+        let mut r = quiet_runner("t");
+        let mut counter = 0u64;
+        r.bench("count", || {
+            counter = counter.wrapping_add(1);
+            counter
+        });
+        assert_eq!(r.results().len(), 1);
+        let b = &r.results()[0];
+        assert!(b.iters_per_sample >= 1);
+        assert!(b.min_ns <= b.median_ns && b.median_ns <= b.max_ns);
+        assert!(b.median_ns > 0.0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut r = quiet_runner("t");
+        r.filter = Some("keep".into());
+        r.bench("keep_this", || 1);
+        r.bench("drop_this", || 2);
+        assert_eq!(r.results().len(), 1);
+        assert_eq!(r.results()[0].name, "keep_this");
+    }
+
+    #[test]
+    fn json_row_shape() {
+        let b = BenchResult {
+            name: "x".into(),
+            iters_per_sample: 10,
+            samples: 3,
+            median_ns: 1.5,
+            min_ns: 1.0,
+            mean_ns: 2.0,
+            max_ns: 3.0,
+        };
+        let v = b.to_json_value();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("median_ns").and_then(Value::as_f64), Some(1.5));
+        // The row itself must survive a write→parse round-trip.
+        assert_eq!(ursa_json::parse(&v.to_string()).unwrap(), v);
+    }
+}

@@ -7,4 +7,5 @@
 //! cargo run --release -p ursa-bench --bin experiments -- all
 //! ```
 
+pub mod harness;
 pub mod tables;

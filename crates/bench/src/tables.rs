@@ -5,8 +5,8 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 use ursa_core::{
-    allocate, find_excessive, measure, AllocCtx, KillMode, MeasureOptions, ResourceKind,
-    Strategy, UrsaConfig,
+    allocate, find_excessive, measure, AllocCtx, KillMode, MeasureOptions, ResourceKind, Strategy,
+    UrsaConfig,
 };
 use ursa_graph::dag::NodeId;
 use ursa_ir::ddg::DependenceDag;
@@ -40,13 +40,30 @@ pub fn fig2_report() -> String {
     let ddg = DependenceDag::from_entry_block(&program);
     let mut ctx = AllocCtx::new(ddg, &machine);
     let m = measure(&mut ctx, MeasureOptions::default());
-    let fu = m.of(ResourceKind::Fu(FuClass::Universal)).expect("fu measured");
+    let fu = m
+        .of(ResourceKind::Fu(FuClass::Universal))
+        .expect("fu measured");
     let regs = m.of(ResourceKind::Registers).expect("regs measured");
 
     writeln!(out, "F2: Figure 2 worked example").unwrap();
-    writeln!(out, "  paper: FU requirement 4      measured: {}", fu.requirement.required).unwrap();
-    writeln!(out, "  paper: register requirement 5 measured: {}", regs.requirement.required).unwrap();
-    writeln!(out, "  paper: critical path 5       measured: {}", ctx.critical_path()).unwrap();
+    writeln!(
+        out,
+        "  paper: FU requirement 4      measured: {}",
+        fu.requirement.required
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  paper: register requirement 5 measured: {}",
+        regs.requirement.required
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  paper: critical path 5       measured: {}",
+        ctx.critical_path()
+    )
+    .unwrap();
     writeln!(out, "  FU chain decomposition (a minimal one):").unwrap();
     for c in fu.decomposition.chains() {
         writeln!(out, "    {}", chain_string(c)).unwrap();
@@ -61,7 +78,11 @@ pub fn fig2_report() -> String {
         .expect("fu measured")
         .clone();
     let ex = find_excessive(&mut ctx3, &fu3, &m3.kills).expect("4 > 3");
-    writeln!(out, "  excessive chain set at 3 FUs (paper: {{B,E}},{{C,F}},{{G}},{{H}}):").unwrap();
+    writeln!(
+        out,
+        "  excessive chain set at 3 FUs (paper: {{B,E}},{{C,F}},{{G}},{{H}}):"
+    )
+    .unwrap();
     for c in &ex.chains {
         writeln!(out, "    {}", chain_string(c)).unwrap();
     }
@@ -164,7 +185,7 @@ pub fn fig3_report() -> String {
 }
 
 /// One measured point of a sweep.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct SweepPoint {
     /// Kernel name.
     pub kernel: String,
@@ -184,6 +205,38 @@ pub struct SweepPoint {
     pub overflow: u32,
     /// `true` if the generated code matched the reference semantics.
     pub equivalent: bool,
+}
+
+impl SweepPoint {
+    /// The point as a JSON object (one row of a sweep table).
+    pub fn to_json_value(&self) -> ursa_json::Value {
+        use ursa_json::Value;
+        Value::object([
+            ("kernel", Value::from(self.kernel.as_str())),
+            ("strategy", Value::from(self.strategy)),
+            ("fus", Value::from(self.fus)),
+            ("regs", Value::from(self.regs)),
+            ("cycles", Value::from(self.cycles)),
+            ("spills", Value::from(self.spills)),
+            ("memops", Value::from(self.memops)),
+            ("overflow", Value::from(self.overflow)),
+            ("equivalent", Value::from(self.equivalent)),
+        ])
+    }
+}
+
+/// Renders a sweep as a JSON document (`{"sweep": <name>, "rows": [...]}`),
+/// the machine-readable companion of [`render_sweep`].
+pub fn sweep_to_json(name: &str, rows: &[SweepPoint]) -> String {
+    use ursa_json::Value;
+    Value::object([
+        ("sweep", Value::from(name)),
+        (
+            "rows",
+            Value::array(rows.iter().map(SweepPoint::to_json_value)),
+        ),
+    ])
+    .to_string_pretty()
 }
 
 fn run_point(kernel: &Kernel, fus: u32, regs: u32, strategy: CompileStrategy) -> SweepPoint {
@@ -259,15 +312,8 @@ pub fn render_sweep(rows: &[SweepPoint], vary: &str) -> String {
     )
     .unwrap();
     writeln!(out, "{}", "-".repeat(78)).unwrap();
-    let mut last_key = String::new();
     for p in rows {
         let vary_val = if vary == "regs" { p.regs } else { p.fus };
-        let key = format!("{}-{}", p.kernel, vary_val);
-        if key != last_key && !last_key.is_empty() {
-            let sep = if p.kernel != rows[0].kernel || true { "" } else { "" };
-            let _ = sep;
-        }
-        last_key = key;
         writeln!(
             out,
             "{:>12} {:>5} | {:>11} | {:>7} {:>7} {:>7} {:>9} {:>6}",
@@ -332,11 +378,7 @@ pub fn ablation_driver() -> String {
                 strategy,
                 ..UrsaConfig::default()
             };
-            let c = compile_entry_block(
-                &kernel.program,
-                &machine,
-                CompileStrategy::Ursa(cfg),
-            );
+            let c = compile_entry_block(&kernel.program, &machine, CompileStrategy::Ursa(cfg));
             let o = c.outcome.expect("ursa outcome");
             writeln!(
                 out,
@@ -377,7 +419,10 @@ pub fn ablation_kill() -> String {
                     plain_matching: false,
                 },
             );
-            m.of(ResourceKind::Registers).expect("regs").requirement.required
+            m.of(ResourceKind::Registers)
+                .expect("regs")
+                .requirement
+                .required
         };
         let cover = measure_with(KillMode::MinCover);
         let naive = measure_with(KillMode::Naive);
@@ -457,7 +502,12 @@ pub fn ablation_matching() -> String {
         totals[0], chains[0]
     )
     .unwrap();
-    writeln!(out, "  plain:          {} crossings over {} chains", totals[1], chains[1]).unwrap();
+    writeln!(
+        out,
+        "  plain:          {} crossings over {} chains",
+        totals[1], chains[1]
+    )
+    .unwrap();
     writeln!(
         out,
         "\nBoth matchings agree on every requirement (both are maximum);\n\
@@ -571,5 +621,32 @@ mod tests {
     fn kill_ablation_never_negative() {
         let t = ablation_kill();
         assert!(t.contains("min-cover"));
+    }
+
+    #[test]
+    fn sweep_json_round_trips() {
+        let kernel = &kernel_suite()[0];
+        let rows = vec![run_point(kernel, 4, 8, CompileStrategy::Postpass)];
+        let json = sweep_to_json("t1", &rows);
+        let doc = ursa_json::parse(&json).unwrap();
+        assert_eq!(
+            doc.get("sweep").and_then(ursa_json::Value::as_str),
+            Some("t1")
+        );
+        let parsed = doc
+            .get("rows")
+            .and_then(ursa_json::Value::as_array)
+            .unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(
+            parsed[0].get("cycles").and_then(ursa_json::Value::as_u64),
+            Some(rows[0].cycles)
+        );
+        assert_eq!(
+            parsed[0]
+                .get("equivalent")
+                .and_then(ursa_json::Value::as_bool),
+            Some(rows[0].equivalent)
+        );
     }
 }

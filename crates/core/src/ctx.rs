@@ -212,7 +212,10 @@ mod tests {
     #[test]
     fn resource_nodes_split_by_class() {
         let m = Machine::classic_vliw();
-        let ctx = ctx_of("v0 = load a[0]\nv1 = mul v0, 2\nv2 = add v1, 1\nstore a[0], v2\n", &m);
+        let ctx = ctx_of(
+            "v0 = load a[0]\nv1 = mul v0, 2\nv2 = add v1, 1\nstore a[0], v2\n",
+            &m,
+        );
         use ursa_machine::FuClass;
         assert_eq!(ctx.resource_nodes(ResourceKind::Fu(FuClass::Mem)).len(), 2);
         assert_eq!(ctx.resource_nodes(ResourceKind::Fu(FuClass::Mul)).len(), 1);
@@ -227,7 +230,8 @@ mod tests {
         let ctx = ctx_of("v0 = load a[0]\nv1 = mul v0, 2\nstore a[0], v1\n", &m);
         use ursa_machine::FuClass;
         assert_eq!(
-            ctx.resource_nodes(ResourceKind::Fu(FuClass::Universal)).len(),
+            ctx.resource_nodes(ResourceKind::Fu(FuClass::Universal))
+                .len(),
             3
         );
     }
@@ -235,7 +239,10 @@ mod tests {
     #[test]
     fn sequence_edge_updates_analyses() {
         let m = Machine::homogeneous(4, 8);
-        let mut ctx = ctx_of("v0 = const 1\nv1 = const 2\nstore a[0], v0\nstore a[1], v1\n", &m);
+        let mut ctx = ctx_of(
+            "v0 = const 1\nv1 = const 2\nstore a[0], v0\nstore a[1], v1\n",
+            &m,
+        );
         let c1 = ctx.ddg().dag().node(2);
         let c2 = ctx.ddg().dag().node(3);
         assert!(ctx.reach().independent(c1, c2));

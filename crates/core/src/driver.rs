@@ -22,7 +22,7 @@
 use crate::ctx::AllocCtx;
 use crate::excess::find_excessive;
 use crate::kill::KillMode;
-use crate::measure::{measure, summary_fast, MeasurementSummary, MeasureOptions};
+use crate::measure::{measure, summary_fast, MeasureOptions, MeasurementSummary};
 use crate::resource::ResourceKind;
 use crate::transform::{
     fu_seq::sequentialize_fus, reg_seq::sequentialize_registers, spill::spill_registers,
@@ -155,11 +155,7 @@ impl AllocationOutcome {
 /// Runs URSA's allocation phase: transforms `ddg` until no legal
 /// schedule can exceed `machine`'s resources (or until no heuristic
 /// applies; see [`AllocationOutcome::residual_excess`]).
-pub fn allocate(
-    ddg: DependenceDag,
-    machine: &Machine,
-    config: &UrsaConfig,
-) -> AllocationOutcome {
+pub fn allocate(ddg: DependenceDag, machine: &Machine, config: &UrsaConfig) -> AllocationOutcome {
     let mut ctx = AllocCtx::new(ddg, machine);
     let opts = config.measure_options();
     let mut meas = measure(&mut ctx, opts);
@@ -235,9 +231,7 @@ pub fn allocate(
                             StepKind::RegisterSequentialization => {
                                 sequentialize_registers(&mut trial, &ex, &meas.kills, opts)
                             }
-                            StepKind::Spill => {
-                                spill_registers(&mut trial, &ex, &meas.kills, opts)
-                            }
+                            StepKind::Spill => spill_registers(&mut trial, &ex, &meas.kills, opts),
                         };
                         let Ok(report) = result else { continue };
                         // Score with the fast matching; the full staged
@@ -258,7 +252,7 @@ pub fn allocate(
                             excess_after: trial_summary.total_excess(),
                             critical_path_after: trial.critical_path(),
                         };
-                        if best.as_ref().map_or(true, |(b, ..)| score < *b) {
+                        if best.as_ref().is_none_or(|(b, ..)| score < *b) {
                             best = Some((score, trial, step));
                         }
                     }
@@ -274,10 +268,15 @@ pub fn allocate(
                 // the register transformations get another chance.
                 let preferred = if reg_excess { REG_KINDS } else { FU_KINDS };
                 let fallback = if reg_excess { FU_KINDS } else { REG_KINDS };
-                try_kinds(preferred, &ctx, &meas, opts, config.kill_mode, excess_before)
-                    .or_else(|| {
-                        try_kinds(fallback, &ctx, &meas, opts, config.kill_mode, excess_before)
-                    })
+                try_kinds(
+                    preferred,
+                    &ctx,
+                    &meas,
+                    opts,
+                    config.kill_mode,
+                    excess_before,
+                )
+                .or_else(|| try_kinds(fallback, &ctx, &meas, opts, config.kill_mode, excess_before))
             } else {
                 try_kinds(
                     phase_allowed,
@@ -337,7 +336,6 @@ fn kind_rank(kind: StepKind) -> u8 {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,10 +359,7 @@ mod tests {
         DependenceDag::from_entry_block(&parse(FIG2).unwrap())
     }
 
-    fn required(
-        summary: &MeasurementSummary,
-        kind: ResourceKind,
-    ) -> u32 {
+    fn required(summary: &MeasurementSummary, kind: ResourceKind) -> u32 {
         summary.of(kind).unwrap().required
     }
 
@@ -377,10 +372,16 @@ mod tests {
         assert_eq!(out.residual_excess, 0, "steps: {:?}", out.steps);
         assert!(out.final_measurement.fits(&machine));
         assert_eq!(
-            required(&out.initial_measurement, ResourceKind::Fu(FuClass::Universal)),
+            required(
+                &out.initial_measurement,
+                ResourceKind::Fu(FuClass::Universal)
+            ),
             4
         );
-        assert_eq!(required(&out.initial_measurement, ResourceKind::Registers), 5);
+        assert_eq!(
+            required(&out.initial_measurement, ResourceKind::Registers),
+            5
+        );
         assert!(required(&out.final_measurement, ResourceKind::Fu(FuClass::Universal)) <= 2);
         assert!(required(&out.final_measurement, ResourceKind::Registers) <= 3);
         assert!(!out.hit_iteration_limit);
@@ -398,7 +399,11 @@ mod tests {
     #[test]
     fn phased_matches_integrated_on_fit() {
         let machine = Machine::homogeneous(3, 4);
-        for strategy in [Strategy::Integrated, Strategy::Phased, Strategy::PhasedFuFirst] {
+        for strategy in [
+            Strategy::Integrated,
+            Strategy::Phased,
+            Strategy::PhasedFuFirst,
+        ] {
             let out = allocate(
                 fig2_ddg(),
                 &machine,

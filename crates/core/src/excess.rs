@@ -44,7 +44,10 @@ impl ExcessiveChainSet {
 
     /// Tails of the subchains.
     pub fn tails(&self) -> Vec<NodeId> {
-        self.chains.iter().map(|c| *c.last().expect("nonempty")).collect()
+        self.chains
+            .iter()
+            .map(|c| *c.last().expect("nonempty"))
+            .collect()
     }
 
     /// Every node of every subchain.
@@ -203,7 +206,8 @@ mod tests {
         sets.sort();
         // {B,E},{C,F} and {B,F},{C,E} are equally minimal decompositions
         // (E and F both depend on both B and C); accept either pairing.
-        let paper = sets == ["BE", "CF", "G", "H"] || sets == ["BF", "CE", "G", "H"]
+        let paper = sets == ["BE", "CF", "G", "H"]
+            || sets == ["BF", "CE", "G", "H"]
             || sets == ["B", "C", "E", "F", "G", "H"][..4].to_vec();
         assert!(
             sets == ["BE", "CF", "G", "H"]
@@ -225,12 +229,9 @@ mod tests {
                 // Independence is with respect to the resource's own
                 // CanReuse relation (Definition 6 over allocation chains).
                 let unrelated = |a, b| match rm.requirement.resource {
-                    ResourceKind::Fu(_) => {
-                        !can_reuse_fu(&ctx, a, b) && !can_reuse_fu(&ctx, b, a)
-                    }
+                    ResourceKind::Fu(_) => !can_reuse_fu(&ctx, a, b) && !can_reuse_fu(&ctx, b, a),
                     ResourceKind::Registers => {
-                        !can_reuse_reg(&ctx, &m.kills, a, b)
-                            && !can_reuse_reg(&ctx, &m.kills, b, a)
+                        !can_reuse_reg(&ctx, &m.kills, a, b) && !can_reuse_reg(&ctx, &m.kills, b, a)
                     }
                 };
                 let heads = ex.heads();

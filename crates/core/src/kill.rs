@@ -77,7 +77,10 @@ pub fn select_kills(ctx: &AllocCtx<'_>, mode: KillMode) -> KillMap {
             .copied()
             .filter(|&u| !uses.iter().any(|&v| v != u && reach.reaches(u, v)))
             .collect();
-        debug_assert!(!maximal.is_empty(), "a nonempty use set has a maximal element");
+        debug_assert!(
+            !maximal.is_empty(),
+            "a nonempty use set has a maximal element"
+        );
         if let [only] = maximal[..] {
             kill[p.index()] = Some(only);
         } else {

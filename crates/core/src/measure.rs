@@ -156,9 +156,7 @@ pub fn measure_resource(
         if options.plain_matching {
             decompose_prioritized(&nodes, &mut relation, |_, _| 0)
         } else {
-            let hammocks = ctx_ref
-                .hammocks_ref()
-                .expect("hammocks computed above");
+            let hammocks = ctx_ref.hammocks_ref().expect("hammocks computed above");
             decompose_prioritized(&nodes, &mut relation, |a, b| hammocks.edge_priority(a, b))
         }
     };
@@ -179,11 +177,7 @@ pub fn measure_resource(
 /// measurement's; transformations use this for cheap tentative scoring
 /// (§5's "tentatively applied, and the resource requirements … are
 /// measured").
-pub fn requirement_only(
-    ctx: &AllocCtx<'_>,
-    kills: &KillMap,
-    resource: ResourceKind,
-) -> u32 {
+pub fn requirement_only(ctx: &AllocCtx<'_>, kills: &KillMap, resource: ResourceKind) -> u32 {
     let nodes = ctx.resource_nodes(resource);
     let k = nodes.len();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); k];
@@ -313,8 +307,16 @@ mod tests {
                 plain_matching: false,
             },
         );
-        let c = cover.of(ResourceKind::Registers).unwrap().requirement.required;
-        let n = naive.of(ResourceKind::Registers).unwrap().requirement.required;
+        let c = cover
+            .of(ResourceKind::Registers)
+            .unwrap()
+            .requirement
+            .required;
+        let n = naive
+            .of(ResourceKind::Registers)
+            .unwrap()
+            .requirement
+            .required;
         assert!(n <= c, "naive {n} must not exceed min-cover {c}");
     }
 
@@ -330,8 +332,18 @@ mod tests {
             },
         );
         assert_eq!(
-            staged.summary().requirements.iter().map(|r| r.required).collect::<Vec<_>>(),
-            plain.summary().requirements.iter().map(|r| r.required).collect::<Vec<_>>(),
+            staged
+                .summary()
+                .requirements
+                .iter()
+                .map(|r| r.required)
+                .collect::<Vec<_>>(),
+            plain
+                .summary()
+                .requirements
+                .iter()
+                .map(|r| r.required)
+                .collect::<Vec<_>>(),
             "both matchings are maximum, so global requirements agree"
         );
     }

@@ -131,18 +131,15 @@ mod tests {
         // Spot checks: A -> B and E -> I present, A -> E (transitive)
         // absent. Local index = node id - 2 here (A..K are nodes 2..12).
         let idx = |letter: u8| (letter - b'A') as usize;
-        assert!(r.graph.has_edge(
-            NodeId::from(idx(b'A')),
-            NodeId::from(idx(b'B'))
-        ));
-        assert!(r.graph.has_edge(
-            NodeId::from(idx(b'E')),
-            NodeId::from(idx(b'I'))
-        ));
-        assert!(!r.graph.has_edge(
-            NodeId::from(idx(b'A')),
-            NodeId::from(idx(b'E'))
-        ));
+        assert!(r
+            .graph
+            .has_edge(NodeId::from(idx(b'A')), NodeId::from(idx(b'B'))));
+        assert!(r
+            .graph
+            .has_edge(NodeId::from(idx(b'E')), NodeId::from(idx(b'I'))));
+        assert!(!r
+            .graph
+            .has_edge(NodeId::from(idx(b'A')), NodeId::from(idx(b'E'))));
     }
 
     /// The reduction preserves reachability: the Reuse DAG's closure
@@ -151,7 +148,10 @@ mod tests {
     fn reduction_preserves_the_relation() {
         let ctx = ctx_of(FIG2);
         let kills = select_kills(&ctx, KillMode::MinCover);
-        for resource in [ResourceKind::Fu(FuClass::Universal), ResourceKind::Registers] {
+        for resource in [
+            ResourceKind::Fu(FuClass::Universal),
+            ResourceKind::Registers,
+        ] {
             let r = reuse_dag(&ctx, &kills, resource);
             let closure = Reachability::of(&r.graph);
             for (i, &a) in r.nodes.iter().enumerate() {
@@ -182,8 +182,7 @@ mod tests {
         // Width of the Reuse DAG = measured requirement (Theorem 1).
         let closure = Reachability::of(&r.graph);
         let locals: Vec<NodeId> = r.graph.nodes().collect();
-        let anti =
-            ursa_graph::chains::max_antichain(&locals, |a, b| closure.reaches(a, b));
+        let anti = ursa_graph::chains::max_antichain(&locals, |a, b| closure.reaches(a, b));
         assert_eq!(
             anti.len() as u32,
             m.of(ResourceKind::Registers).unwrap().requirement.required

@@ -78,7 +78,7 @@ pub fn sequentialize_fus(
                     + ctx.latency(tail)
                     + (ctx.critical_path() - ctx.levels().alap(head));
                 let key = (cost, tail, head, i, j);
-                if best.map_or(true, |b| (b.0, b.1, b.2) > (cost, tail, head)) {
+                if best.is_none_or(|b| (b.0, b.1, b.2) > (cost, tail, head)) {
                     best = Some(key);
                 }
             }
@@ -102,7 +102,7 @@ pub fn sequentialize_fus(
                                 + ctx.levels().asap(u)
                                 + ctx.latency(u)
                                 + (ctx.critical_path() - ctx.levels().alap(v));
-                            if best.map_or(true, |b| (b.0, b.1, b.2) > (cost, u, v)) {
+                            if best.is_none_or(|b| (b.0, b.1, b.2) > (cost, u, v)) {
                                 best = Some((cost, u, v, i, j));
                             }
                         }
@@ -127,8 +127,7 @@ pub fn sequentialize_fus(
     // a legal pairing always exists while more than `capacity` remain.
     let nodes = ctx.resource_nodes(excess_set.resource);
     loop {
-        let antichain =
-            ursa_graph::chains::max_antichain(&nodes, |a, b| ctx.reach().reaches(a, b));
+        let antichain = ursa_graph::chains::max_antichain(&nodes, |a, b| ctx.reach().reaches(a, b));
         let width = antichain.len() as u32;
         if width <= capacity {
             break;
@@ -148,7 +147,7 @@ pub fn sequentialize_fus(
                         + ctx.levels().asap(u)
                         + ctx.latency(u)
                         + (ctx.critical_path() - ctx.levels().alap(v));
-                    if best.map_or(true, |b| (b.0, b.1, b.2) > (cost, u, v)) {
+                    if best.is_none_or(|b| (b.0, b.1, b.2) > (cost, u, v)) {
                         best = Some((cost, u, v));
                     }
                 }

@@ -25,6 +25,11 @@ use crate::transform::{TransformError, TransformReport};
 use ursa_graph::bitset::BitSet;
 use ursa_graph::dag::NodeId;
 
+/// A candidate staging: `(register requirement, critical path, sequence
+/// edges to insert)` — lower requirement wins, critical path breaks
+/// ties.
+type SequencingPlan = (u32, u64, Vec<(NodeId, NodeId)>);
+
 /// Upper bound on stage-boundary candidates evaluated per application
 /// (each costs a tentative re-measurement).
 pub(crate) const MAX_BOUNDARIES: usize = 8;
@@ -125,7 +130,7 @@ pub fn sequentialize_registers(
     cap_boundaries(ctx, kills, excess_set, &mut boundaries);
 
     let heads: Vec<NodeId> = excess_set.heads();
-    let mut best: Option<(u32, u64, Vec<(NodeId, NodeId)>)> = None;
+    let mut best: Option<SequencingPlan> = None;
     for &s in &boundaries {
         // SD2: chains whose heads can execute after `s`.
         let delayed: Vec<NodeId> = heads
@@ -158,7 +163,7 @@ pub fn sequentialize_registers(
         // for it.
         if best
             .as_ref()
-            .map_or(true, |&(br, bcp, _)| (required.max(capacity), cp) < (br.max(capacity), bcp))
+            .is_none_or(|&(br, bcp, _)| (required.max(capacity), cp) < (br.max(capacity), bcp))
         {
             best = Some((required, cp, edges));
         }
@@ -222,7 +227,7 @@ fn stagger_lifetimes(
                 let cost = trial.levels().asap(k)
                     + trial.latency(k)
                     + (trial.critical_path() - trial.levels().alap(v));
-                if best.map_or(true, |b| (b.0, b.1, b.2) > (cost, k, v)) {
+                if best.is_none_or(|b| (b.0, b.1, b.2) > (cost, k, v)) {
                     best = Some((cost, k, u, v));
                 }
             }
@@ -245,8 +250,10 @@ fn stagger_lifetimes(
             "staggering does not reduce the requirement either",
         ));
     }
-    let mut report = TransformReport::default();
-    report.edges_added = edges;
+    let report = TransformReport {
+        edges_added: edges,
+        ..TransformReport::default()
+    };
     *ctx = trial;
     Ok(report)
 }

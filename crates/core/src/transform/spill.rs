@@ -133,7 +133,11 @@ pub fn spill_registers(
         }
         // Longest bridge first.
         victims.sort_by_key(|(v, beyond)| {
-            let first_use = beyond.iter().map(|&u| ctx.levels().asap(u)).min().unwrap_or(0);
+            let first_use = beyond
+                .iter()
+                .map(|&u| ctx.levels().asap(u))
+                .min()
+                .unwrap_or(0);
             (std::cmp::Reverse(first_use), *v)
         });
         // Spill-just-enough and spill-everything variants.
@@ -185,7 +189,11 @@ pub fn spill_registers(
             continue;
         }
         victims.sort_by_key(|(v, beyond)| {
-            let first_use = beyond.iter().map(|&u| ctx.levels().asap(u)).min().unwrap_or(0);
+            let first_use = beyond
+                .iter()
+                .map(|&u| ctx.levels().asap(u))
+                .min()
+                .unwrap_or(0);
             (std::cmp::Reverse(first_use), *v)
         });
         // The store must be pinned *early* or the worst-case measurement
@@ -236,7 +244,7 @@ pub fn spill_registers(
             cand.victims.len(),
             idx,
         );
-        if best.map_or(true, |b| (key.0, key.1, key.2) < (b.0, b.1, b.2)) {
+        if best.is_none_or(|b| (key.0, key.1, key.2) < (b.0, b.1, b.2)) {
             best = Some(key);
         }
     }
@@ -268,11 +276,7 @@ fn apply_candidate(ctx: &mut AllocCtx<'_>, cand: &Candidate) -> TransformReport 
         }
         // "Reloads placed after SD1's leaves" — and after the boundary
         // kill point, so stage 1's values are dead first.
-        for &t in cand
-            .sd1_tails
-            .iter()
-            .chain(std::iter::once(&cand.boundary))
-        {
+        for &t in cand.sd1_tails.iter().chain(std::iter::once(&cand.boundary)) {
             if !ctx.reach().reaches(t, pair.load) && !ctx.would_cycle(t, pair.load) {
                 ctx.add_sequence_edge(t, pair.load);
                 report.edges_added.push((t, pair.load));
@@ -325,8 +329,7 @@ mod tests {
         let m = measure(&mut ctx, MeasureOptions::default());
         let regs = m.of(ResourceKind::Registers).unwrap().clone();
         let ex = find_excessive(&mut ctx, &regs, &m.kills).unwrap();
-        let report =
-            spill_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default()).unwrap();
+        let report = spill_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default()).unwrap();
         let d = ctx.ddg().dag().node(5); // D = v3 = add v0, 5
         assert!(
             report.spills.iter().any(|&(v, _)| v == d),
@@ -362,8 +365,7 @@ mod tests {
         let m = measure(&mut ctx, MeasureOptions::default());
         let regs = m.of(ResourceKind::Registers).unwrap().clone();
         let ex = find_excessive(&mut ctx, &regs, &m.kills).unwrap();
-        let report =
-            spill_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default()).unwrap();
+        let report = spill_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default()).unwrap();
         assert!(!report.spills.is_empty());
         assert_eq!(
             ctx.ddg().dag().node_count(),
@@ -392,8 +394,7 @@ mod tests {
         let m = measure(&mut ctx, MeasureOptions::default());
         let regs = m.of(ResourceKind::Registers).unwrap().clone();
         let ex = find_excessive(&mut ctx, &regs, &m.kills).unwrap();
-        let report =
-            spill_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default()).unwrap();
+        let report = spill_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default()).unwrap();
         for (_, pair) in &report.spills {
             let reload_reg = ctx.ddg().value_def(pair.load).unwrap();
             for &u in ctx.ddg().uses_of(pair.load) {

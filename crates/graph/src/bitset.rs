@@ -70,7 +70,11 @@ impl BitSet {
     ///
     /// Panics if `value >= capacity`.
     pub fn insert(&mut self, value: usize) -> bool {
-        assert!(value < self.capacity, "bit {value} out of capacity {}", self.capacity);
+        assert!(
+            value < self.capacity,
+            "bit {value} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (value / WORD_BITS, value % WORD_BITS);
         let had = self.words[w] & (1 << b) != 0;
         self.words[w] |= 1 << b;
@@ -153,7 +157,10 @@ impl BitSet {
 
     /// `true` if every element of `self` is in `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Number of elements shared with `other`.
@@ -293,13 +300,21 @@ impl BitMatrix {
     ///
     /// Panics if `i` or `j` is out of bounds.
     pub fn set(&mut self, i: usize, j: usize) {
-        assert!(i < self.n && j < self.n, "({i},{j}) out of bounds for {}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "({i},{j}) out of bounds for {}",
+            self.n
+        );
         self.bits[i * self.words_per_row + j / WORD_BITS] |= 1 << (j % WORD_BITS);
     }
 
     /// Clears entry `(i, j)`.
     pub fn unset(&mut self, i: usize, j: usize) {
-        assert!(i < self.n && j < self.n, "({i},{j}) out of bounds for {}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "({i},{j}) out of bounds for {}",
+            self.n
+        );
         self.bits[i * self.words_per_row + j / WORD_BITS] &= !(1 << (j % WORD_BITS));
     }
 
@@ -309,7 +324,11 @@ impl BitMatrix {
     ///
     /// Panics if `i` or `j` is out of bounds.
     pub fn get(&self, i: usize, j: usize) -> bool {
-        assert!(i < self.n && j < self.n, "({i},{j}) out of bounds for {}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "({i},{j}) out of bounds for {}",
+            self.n
+        );
         self.bits[i * self.words_per_row + j / WORD_BITS] & (1 << (j % WORD_BITS)) != 0
     }
 

@@ -189,10 +189,7 @@ mod tests {
     }
 
     /// Largest antichain by brute force (exponential; tiny inputs only).
-    fn brute_force_width(
-        nodes: &[NodeId],
-        related: impl Fn(NodeId, NodeId) -> bool,
-    ) -> usize {
+    fn brute_force_width(nodes: &[NodeId], related: impl Fn(NodeId, NodeId) -> bool) -> usize {
         let n = nodes.len();
         let mut best = 0;
         for mask in 0u32..(1 << n) {
@@ -235,12 +232,21 @@ mod tests {
         // Figure 2(b): A=0 B=1 C=2 D=3 E=4 F=5 G=6 H=7 I=8 J=9 K=10.
         let mut g = Dag::new(11);
         let e = [
-            (0, 1), (0, 2), (0, 3), // A -> B, C, D
-            (1, 4), (1, 5), (2, 4), (2, 5), // B,C -> E,F
-            (3, 6), (3, 7), // D -> G, H
-            (4, 8), (5, 8), // E,F -> I
-            (6, 9), (7, 9), // G,H -> J
-            (8, 10), (9, 10), // I,J -> K
+            (0, 1),
+            (0, 2),
+            (0, 3), // A -> B, C, D
+            (1, 4),
+            (1, 5),
+            (2, 4),
+            (2, 5), // B,C -> E,F
+            (3, 6),
+            (3, 7), // D -> G, H
+            (4, 8),
+            (5, 8), // E,F -> I
+            (6, 9),
+            (7, 9), // G,H -> J
+            (8, 10),
+            (9, 10), // I,J -> K
         ];
         for (a, b) in e {
             g.add_edge(NodeId(a), NodeId(b), EdgeKind::Data);
@@ -248,7 +254,11 @@ mod tests {
         let r = Reachability::of(&g);
         let nodes = ids(11);
         let d = decompose(&nodes, |a, b| r.reaches(a, b));
-        assert_eq!(d.num_chains(), 4, "paper: minimal decomposition has 4 chains");
+        assert_eq!(
+            d.num_chains(),
+            4,
+            "paper: minimal decomposition has 4 chains"
+        );
         assert!(d.is_valid_under(|a, b| r.reaches(a, b)));
     }
 

@@ -128,7 +128,11 @@ impl Dag {
     ///
     /// Panics if `i` is not a node of this graph.
     pub fn node(&self, i: usize) -> NodeId {
-        assert!(i < self.node_count(), "node {i} out of range {}", self.node_count());
+        assert!(
+            i < self.node_count(),
+            "node {i} out of range {}",
+            self.node_count()
+        );
         NodeId::from(i)
     }
 
@@ -246,7 +250,9 @@ impl Dag {
     /// Computes a topological order, or `None` if the graph has a cycle.
     pub fn topo_order(&self) -> Option<Vec<NodeId>> {
         let n = self.node_count();
-        let mut indeg: Vec<usize> = (0..n).map(|i| self.distinct_pred_count(NodeId::from(i))).collect();
+        let mut indeg: Vec<usize> = (0..n)
+            .map(|i| self.distinct_pred_count(NodeId::from(i)))
+            .collect();
         let mut queue: Vec<NodeId> = (0..n)
             .map(NodeId::from)
             .filter(|v| indeg[v.index()] == 0)
@@ -309,7 +315,12 @@ impl Dag {
 
 impl fmt::Debug for Dag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Dag({} nodes, {} edges)", self.node_count(), self.edge_count())?;
+        writeln!(
+            f,
+            "Dag({} nodes, {} edges)",
+            self.node_count(),
+            self.edge_count()
+        )?;
         for v in self.nodes() {
             for e in self.succ_edges(v) {
                 writeln!(f, "  {} -> {} [{:?}]", e.from, e.to, e.kind)?;

@@ -193,10 +193,13 @@ impl HammockAnalysis {
         // containing x as an interior node.
         let mut nesting = vec![0u32; n];
         for &(u, v) in &pairs {
-            for x in 0..n {
-                if x != u.index() && x != v.index() && dom.get(x, u.index()) && pdom.get(x, v.index())
+            for (x, level) in nesting.iter_mut().enumerate() {
+                if x != u.index()
+                    && x != v.index()
+                    && dom.get(x, u.index())
+                    && pdom.get(x, v.index())
                 {
-                    nesting[x] += 1;
+                    *level += 1;
                 }
             }
         }

@@ -49,13 +49,21 @@ impl Matching {
     /// Checks internal consistency: the two direction maps must mirror
     /// each other exactly. Used by tests and debug assertions.
     pub fn is_consistent(&self) -> bool {
-        self.left_to_right.iter().enumerate().all(|(l, &r)| match r {
-            Some(r) => self.right_to_left.get(r).copied().flatten() == Some(l),
-            None => true,
-        }) && self.right_to_left.iter().enumerate().all(|(r, &l)| match l {
-            Some(l) => self.left_to_right.get(l).copied().flatten() == Some(r),
-            None => true,
-        })
+        self.left_to_right
+            .iter()
+            .enumerate()
+            .all(|(l, &r)| match r {
+                Some(r) => self.right_to_left.get(r).copied().flatten() == Some(l),
+                None => true,
+            })
+            && self
+                .right_to_left
+                .iter()
+                .enumerate()
+                .all(|(r, &l)| match l {
+                    Some(l) => self.left_to_right.get(l).copied().flatten() == Some(r),
+                    None => true,
+                })
     }
 }
 
@@ -92,12 +100,12 @@ pub fn hopcroft_karp(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> Match
     loop {
         // BFS phase: layer the free left vertices.
         queue.clear();
-        for l in 0..n_left {
+        for (l, d) in dist.iter_mut().enumerate() {
             if m.left_to_right[l].is_none() {
-                dist[l] = 0;
+                *d = 0;
                 queue.push(l);
             } else {
-                dist[l] = INF;
+                *d = INF;
             }
         }
         let mut found_augmenting = false;
@@ -122,12 +130,7 @@ pub fn hopcroft_karp(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> Match
         }
         // DFS phase: find a maximal set of vertex-disjoint shortest
         // augmenting paths.
-        fn dfs(
-            l: usize,
-            adj: &[Vec<usize>],
-            m: &mut Matching,
-            dist: &mut [u32],
-        ) -> bool {
+        fn dfs(l: usize, adj: &[Vec<usize>], m: &mut Matching, dist: &mut [u32]) -> bool {
             for i in 0..adj[l].len() {
                 let r = adj[l][i];
                 let advance = match m.right_to_left[r] {
@@ -275,11 +278,7 @@ impl IncrementalMatcher {
 /// assert_eq!(m.left_to_right[0], Some(0));
 /// assert_eq!(m.left_to_right[1], None);
 /// ```
-pub fn staged_matching(
-    n_left: usize,
-    n_right: usize,
-    edges: &[(usize, usize, u32)],
-) -> Matching {
+pub fn staged_matching(n_left: usize, n_right: usize, edges: &[(usize, usize, u32)]) -> Matching {
     let mut tiers: Vec<u32> = edges.iter().map(|&(_, _, p)| p).collect();
     tiers.sort_unstable();
     tiers.dedup();
@@ -301,11 +300,7 @@ mod tests {
 
     /// Brute-force maximum matching by trying all subsets (tiny inputs).
     fn brute_force_max(n_left: usize, n_right: usize, edges: &[(usize, usize)]) -> usize {
-        fn rec(
-            edges: &[(usize, usize)],
-            used_l: &mut Vec<bool>,
-            used_r: &mut Vec<bool>,
-        ) -> usize {
+        fn rec(edges: &[(usize, usize)], used_l: &mut Vec<bool>, used_r: &mut Vec<bool>) -> usize {
             if edges.is_empty() {
                 return 0;
             }

@@ -42,7 +42,9 @@ impl Reachability {
     /// Panics if `g` has a cycle.
     pub fn of(g: &Dag) -> Self {
         let n = g.node_count();
-        let order = g.topo_order().expect("reachability requires an acyclic graph");
+        let order = g
+            .topo_order()
+            .expect("reachability requires an acyclic graph");
         let mut desc = BitMatrix::new(n);
         // Reverse topological order: successors are finished first.
         for &v in order.iter().rev() {
@@ -183,14 +185,20 @@ mod tests {
         let r = Reachability::of(&g);
         assert!(r.independent(NodeId(1), NodeId(2)));
         assert!(!r.independent(NodeId(0), NodeId(1)));
-        assert!(!r.independent(NodeId(1), NodeId(1)), "a node is related to itself");
+        assert!(
+            !r.independent(NodeId(1), NodeId(1)),
+            "a node is related to itself"
+        );
     }
 
     #[test]
     fn ancestors_are_transpose_of_descendants() {
         let g = chain(4);
         let r = Reachability::of(&g);
-        assert_eq!(r.descendants(NodeId(1)).iter().collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(
+            r.descendants(NodeId(1)).iter().collect::<Vec<_>>(),
+            vec![2, 3]
+        );
         assert_eq!(r.ancestors(NodeId(1)).iter().collect::<Vec<_>>(), vec![0]);
         assert_eq!(r.descendant_count(NodeId(0)), 3);
     }

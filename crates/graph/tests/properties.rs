@@ -1,6 +1,11 @@
 //! Property-based tests for the graph substrate: the data structures
 //! must agree with simple reference models on arbitrary inputs.
 
+// The proptest dependency is unavailable in hermetic builds; this whole
+// suite only compiles under `--features proptest` after the crate is
+// added back (see CONTRIBUTING.md "Hermetic builds").
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use std::collections::HashSet;
 use ursa_graph::bitset::BitSet;

@@ -276,7 +276,9 @@ impl DependenceDag {
             );
         }
         let slot = self.fresh_spill_slot();
-        let spill_sym = self.spill_sym.expect("fresh_spill_slot interned the symbol");
+        let spill_sym = self
+            .spill_sym
+            .expect("fresh_spill_slot interned the symbol");
         let mem = MemRef::new(spill_sym, slot);
 
         // Store node: reads the value.
@@ -742,12 +744,7 @@ mod tests {
     fn live_in_values_get_pseudo_nodes() {
         let d = ddg_of("v1 = add v0, 1\nstore a[0], v1\n");
         let livein = d.dag().node(2);
-        assert_eq!(
-            d.kind(livein),
-            &NodeKind::LiveIn {
-                reg: VirtualReg(0)
-            }
-        );
+        assert_eq!(d.kind(livein), &NodeKind::LiveIn { reg: VirtualReg(0) });
         assert_eq!(d.value_def(livein), Some(VirtualReg(0)));
         assert!(!d.kind(livein).needs_fu());
         assert_eq!(d.fu_nodes().count(), 2);
@@ -776,9 +773,7 @@ mod tests {
              ret\n",
         )
         .unwrap();
-        let trace = Trace {
-            blocks: vec![0, 1],
-        };
+        let trace = Trace { blocks: vec![0, 1] };
         let d = DependenceDag::build(&p, &trace);
         // Find the branch node.
         let branch = d
@@ -818,9 +813,7 @@ mod tests {
              ret\n",
         )
         .unwrap();
-        let trace = Trace {
-            blocks: vec![0, 1],
-        };
+        let trace = Trace { blocks: vec![0, 1] };
         let spec = DependenceDag::build(&p, &trace);
         let branch = spec
             .dag()
@@ -857,12 +850,17 @@ mod tests {
             .find(|&n| pinned.instr(n).is_some_and(|i| i.mem_read().is_some()))
             .unwrap();
         let r = Reachability::of(pinned.dag());
-        assert!(r.reaches(branch, load), "pinned load stays below the branch");
+        assert!(
+            r.reaches(branch, load),
+            "pinned load stays below the branch"
+        );
     }
 
     #[test]
     fn insert_spill_rewires_uses() {
-        let mut d = ddg_of("v0 = const 1\nv1 = add v0, 2\nv2 = mul v0, 3\nstore a[0], v1\nstore a[1], v2\n");
+        let mut d = ddg_of(
+            "v0 = const 1\nv1 = add v0, 2\nv2 = mul v0, 3\nstore a[0], v1\nstore a[1], v2\n",
+        );
         let def = d.dag().node(2);
         let add = d.dag().node(3);
         let mul = d.dag().node(4);
@@ -871,7 +869,9 @@ mod tests {
         assert!(d.dag().is_acyclic());
         // def feeds the store; reload feeds mul; add still reads def.
         assert!(d.dag().has_edge_kind(def, pair.store, EdgeKind::Data));
-        assert!(d.dag().has_edge_kind(pair.store, pair.load, EdgeKind::Memory));
+        assert!(d
+            .dag()
+            .has_edge_kind(pair.store, pair.load, EdgeKind::Memory));
         assert!(d.dag().has_edge_kind(pair.load, mul, EdgeKind::Data));
         assert!(!d.dag().has_edge(def, mul));
         assert!(d.uses_of(def).contains(&add));

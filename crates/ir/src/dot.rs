@@ -83,7 +83,10 @@ mod tests {
         assert!(dot.contains("entry"));
         assert!(dot.contains("exit"));
         assert!(dot.contains("color=red"), "sequence edge styled");
-        assert!(dot.contains("style=dashed, color=blue"), "memory edge styled");
+        assert!(
+            dot.contains("style=dashed, color=blue"),
+            "memory edge styled"
+        );
         let node_lines = dot.lines().filter(|l| l.contains("[label=")).count();
         assert_eq!(node_lines, ddg.dag().node_count());
     }

@@ -130,13 +130,10 @@ impl Parser {
         };
         let (name, weight) = match rest.split_once('@') {
             Some((n, w)) => {
-                let weight: f64 = w
-                    .trim()
-                    .parse()
-                    .map_err(|_| ParseError {
-                        line: line_no,
-                        message: format!("invalid block weight '{}'", w.trim()),
-                    })?;
+                let weight: f64 = w.trim().parse().map_err(|_| ParseError {
+                    line: line_no,
+                    message: format!("invalid block weight '{}'", w.trim()),
+                })?;
                 (n.trim(), weight)
             }
             None => (rest.trim(), 1.0),
@@ -319,10 +316,9 @@ impl Parser {
             symbols: self.symbols,
             num_vregs: self.max_vreg,
         };
-        program.validate().map_err(|message| ParseError {
-            line: 0,
-            message,
-        })?;
+        program
+            .validate()
+            .map_err(|message| ParseError { line: 0, message })?;
         Ok(program)
     }
 }

@@ -294,11 +294,7 @@ impl ProgramBuilder {
     }
 
     /// Emits `dst = load base[index]` into a fresh register.
-    pub fn load(
-        &mut self,
-        base: SymbolId,
-        index: impl Into<crate::value::Operand>,
-    ) -> VirtualReg {
+    pub fn load(&mut self, base: SymbolId, index: impl Into<crate::value::Operand>) -> VirtualReg {
         let dst = self.fresh_reg();
         self.emit(Instr::Load {
             dst,
@@ -415,7 +411,10 @@ mod tests {
         let mut p = b.finish();
         p.num_vregs = 0;
         let err = p.validate().unwrap_err();
-        assert!(err.contains("num_vregs"), "{err} mentions the bound (reg {x})");
+        assert!(
+            err.contains("num_vregs"),
+            "{err} mentions the bound (reg {x})"
+        );
     }
 
     #[test]

@@ -68,21 +68,18 @@ pub fn select_traces(program: &Program) -> Vec<Trace> {
     let n = program.blocks.len();
     let mut visited = vec![false; n];
     let mut traces = Vec::new();
-    loop {
-        // Seed: hottest unvisited block (ties to the lowest index, which
-        // keeps the entry block first on equal weights).
-        let Some(seed) = (0..n)
-            .filter(|&b| !visited[b])
-            .max_by(|&a, &b| {
-                program.blocks[a]
-                    .weight
-                    .partial_cmp(&program.blocks[b].weight)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(b.cmp(&a))
-            })
-        else {
-            break;
-        };
+    // Seed each trace with the hottest unvisited block (ties to the
+    // lowest index, which keeps the entry block first on equal weights).
+    let hottest_unvisited = |visited: &[bool]| {
+        (0..n).filter(|&b| !visited[b]).max_by(|&a, &b| {
+            program.blocks[a]
+                .weight
+                .partial_cmp(&program.blocks[b].weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.cmp(&a))
+        })
+    };
+    while let Some(seed) = hottest_unvisited(&visited) {
         visited[seed] = true;
         let mut blocks = vec![seed];
         // Grow forward.
@@ -97,8 +94,7 @@ pub fn select_traces(program: &Program) -> Vec<Trace> {
         // Grow backward.
         loop {
             let first = blocks[0];
-            let Some(prev) = best_neighbor(program, &visited, program.predecessors(first))
-            else {
+            let Some(prev) = best_neighbor(program, &visited, program.predecessors(first)) else {
                 break;
             };
             visited[prev] = true;

@@ -291,7 +291,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(UnrollError::NotASelfLoop(3).to_string().contains("self-loop"));
+        assert!(UnrollError::NotASelfLoop(3)
+            .to_string()
+            .contains("self-loop"));
     }
 
     #[test]

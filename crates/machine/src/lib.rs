@@ -13,16 +13,18 @@
 //!   latencies, exercising the paper's §5 extension to "several classes
 //!   of a resource".
 //!
-//! Machine descriptions are plain data (serde-serializable) so
-//! experiment configurations can be stored alongside results.
+//! Machine descriptions are plain data with an explicit JSON form
+//! (via the in-tree `ursa-json`), so experiment configurations can be
+//! stored alongside results. The wire format is stable: `fus` is a
+//! list of `[class, count]` pairs and `pipelined` defaults to `false`
+//! when absent, so descriptions written before the field existed still
+//! parse.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use ursa_json::Value;
 
 /// A functional-unit class.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum FuClass {
     /// Any operation (homogeneous machines).
     Universal,
@@ -48,6 +50,24 @@ impl FuClass {
         FuClass::Mem,
         FuClass::Branch,
     ];
+
+    /// The JSON wire name (the variant name, matching the historical
+    /// serde encoding of the enum).
+    fn wire_name(self) -> &'static str {
+        match self {
+            FuClass::Universal => "Universal",
+            FuClass::Alu => "Alu",
+            FuClass::Mul => "Mul",
+            FuClass::Div => "Div",
+            FuClass::Mem => "Mem",
+            FuClass::Branch => "Branch",
+        }
+    }
+
+    /// Inverse of [`FuClass::wire_name`].
+    fn from_wire_name(name: &str) -> Option<FuClass> {
+        FuClass::ALL.into_iter().find(|c| c.wire_name() == name)
+    }
 }
 
 impl fmt::Display for FuClass {
@@ -65,9 +85,7 @@ impl fmt::Display for FuClass {
 }
 
 /// The coarse operation kinds a machine assigns classes and latencies to.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum OpKind {
     /// Constant materialization, moves, add/sub/logic/compares.
     Alu,
@@ -102,7 +120,7 @@ impl OpKind {
 
 /// Per-kind instruction latencies in cycles (non-pipelined: the unit is
 /// busy for the whole latency, per the paper's §3.2 model).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct LatencyModel {
     /// ALU operations.
     pub alu: u64,
@@ -179,7 +197,7 @@ impl Default for LatencyModel {
 /// assert!(c.fu_count(FuClass::Alu) > 0);
 /// assert!(c.is_classed());
 /// ```
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Machine {
     name: String,
     /// `(class, count)` pairs; homogeneous machines have a single
@@ -190,8 +208,8 @@ pub struct Machine {
     /// Pipelined functional units accept a new operation every cycle
     /// even while earlier results are still in flight (the paper's §6
     /// superscalar extension). Non-pipelined units (the paper's base
-    /// model) stay busy for the whole latency.
-    #[serde(default)]
+    /// model) stay busy for the whole latency. Absent in JSON means
+    /// `false`, so pre-extension descriptions still parse.
     pipelined: bool,
 }
 
@@ -317,16 +335,119 @@ impl Machine {
     /// Serializes the machine description to pretty JSON, suitable for
     /// storing experiment configurations.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("machine descriptions always serialize")
+        self.to_json_value().to_string_pretty()
     }
 
-    /// Parses a machine description from JSON.
+    /// The machine description as a JSON value (for embedding into
+    /// larger documents, e.g. bench result files).
+    pub fn to_json_value(&self) -> Value {
+        Value::object([
+            ("name", Value::from(self.name.as_str())),
+            (
+                "fus",
+                Value::array(self.fus.iter().map(|&(class, count)| {
+                    Value::array([Value::from(class.wire_name()), Value::from(count)])
+                })),
+            ),
+            ("registers", Value::from(self.registers)),
+            (
+                "latencies",
+                Value::object([
+                    ("alu", Value::from(self.latencies.alu)),
+                    ("mul", Value::from(self.latencies.mul)),
+                    ("div", Value::from(self.latencies.div)),
+                    ("load", Value::from(self.latencies.load)),
+                    ("store", Value::from(self.latencies.store)),
+                    ("branch", Value::from(self.latencies.branch)),
+                ]),
+            ),
+            ("pipelined", Value::from(self.pipelined)),
+        ])
+    }
+
+    /// Parses a machine description from JSON. The `pipelined` field is
+    /// optional (defaults to `false`) so descriptions written before
+    /// the §6 extension still parse.
     ///
     /// # Errors
     ///
-    /// Returns the underlying serde error for malformed input.
-    pub fn from_json(json: &str) -> Result<Machine, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Returns a [`ParseError`] for malformed JSON or a structurally
+    /// invalid description (unknown class names, missing fields, zero
+    /// functional units or registers).
+    pub fn from_json(json: &str) -> Result<Machine, ParseError> {
+        let doc = ursa_json::parse(json)?;
+        Machine::from_json_value(&doc)
+    }
+
+    /// Parses a machine description from an already-parsed JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] for structurally invalid descriptions.
+    pub fn from_json_value(doc: &Value) -> Result<Machine, ParseError> {
+        let field = |key: &str| {
+            doc.get(key)
+                .ok_or_else(|| ParseError::invalid(format!("missing field `{key}`")))
+        };
+        let name = field("name")?
+            .as_str()
+            .ok_or_else(|| ParseError::invalid("`name` must be a string"))?
+            .to_owned();
+        let fus_raw = field("fus")?
+            .as_array()
+            .ok_or_else(|| ParseError::invalid("`fus` must be an array"))?;
+        let mut fus = Vec::with_capacity(fus_raw.len());
+        for pair in fus_raw {
+            let items = pair
+                .as_array()
+                .filter(|items| items.len() == 2)
+                .ok_or_else(|| ParseError::invalid("`fus` entries must be [class, count]"))?;
+            let class_name = items[0]
+                .as_str()
+                .ok_or_else(|| ParseError::invalid("functional-unit class must be a string"))?;
+            let class = FuClass::from_wire_name(class_name).ok_or_else(|| {
+                ParseError::invalid(format!("unknown functional-unit class `{class_name}`"))
+            })?;
+            let count = u32_field(&items[1], "functional-unit count")?;
+            fus.push((class, count));
+        }
+        if fus.iter().map(|&(_, n)| n).sum::<u32>() == 0 {
+            return Err(ParseError::invalid(
+                "a machine needs at least one functional unit",
+            ));
+        }
+        let registers = u32_field(field("registers")?, "`registers`")?;
+        if registers == 0 {
+            return Err(ParseError::invalid("a machine needs at least one register"));
+        }
+        let lat = field("latencies")?;
+        let latency = |key: &str| {
+            lat.get(key)
+                .ok_or_else(|| ParseError::invalid(format!("missing latency `{key}`")))?
+                .as_u64()
+                .ok_or_else(|| ParseError::invalid(format!("latency `{key}` must be an integer")))
+        };
+        let latencies = LatencyModel {
+            alu: latency("alu")?,
+            mul: latency("mul")?,
+            div: latency("div")?,
+            load: latency("load")?,
+            store: latency("store")?,
+            branch: latency("branch")?,
+        };
+        let pipelined = match doc.get("pipelined") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| ParseError::invalid("`pipelined` must be a boolean"))?,
+        };
+        Ok(Machine {
+            name,
+            fus,
+            registers,
+            latencies,
+            pipelined,
+        })
     }
 
     /// A pipelined variant of [`Machine::classic_vliw`].
@@ -365,6 +486,44 @@ impl Machine {
     /// The functional-unit class executing a concrete IR instruction.
     pub fn instr_class(&self, instr: &ursa_ir::instr::Instr) -> FuClass {
         self.class_of(OpKind::of_instr(instr))
+    }
+}
+
+fn u32_field(v: &Value, what: &str) -> Result<u32, ParseError> {
+    v.as_u64()
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| ParseError::invalid(format!("{what} must be a u32")))
+}
+
+/// Why a machine description failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input was not valid JSON.
+    Json(ursa_json::Error),
+    /// The JSON was well-formed but not a valid machine description.
+    Invalid(String),
+}
+
+impl ParseError {
+    fn invalid(message: impl Into<String>) -> ParseError {
+        ParseError::Invalid(message.into())
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Json(e) => write!(f, "malformed machine JSON: {e}"),
+            ParseError::Invalid(m) => write!(f, "invalid machine description: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ursa_json::Error> for ParseError {
+    fn from(e: ursa_json::Error) -> ParseError {
+        ParseError::Json(e)
     }
 }
 
@@ -580,11 +739,15 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
-        let m = Machine::classic_vliw();
-        let json = serde_json::to_string(&m).unwrap();
-        let back: Machine = serde_json::from_str(&json).unwrap();
-        assert_eq!(m, back);
+    fn json_round_trip() {
+        for m in [
+            Machine::classic_vliw(),
+            Machine::homogeneous(4, 16),
+            Machine::pipelined_vliw(),
+        ] {
+            let back = Machine::from_json(&m.to_json()).unwrap();
+            assert_eq!(m, back);
+        }
     }
 
     #[test]
@@ -594,6 +757,51 @@ mod tests {
         assert_eq!(m, back);
         assert!(back.is_pipelined());
         assert!(Machine::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn json_wire_format_is_stable() {
+        let json = Machine::classic_vliw().to_json();
+        assert!(json.contains("\"fus\""), "{json}");
+        assert!(json.contains("[\n      \"Alu\",\n      4\n    ]"), "{json}");
+        assert!(json.contains("\"registers\": 16"), "{json}");
+        assert!(json.contains("\"div\": 10"), "{json}");
+    }
+
+    #[test]
+    fn json_missing_pipelined_defaults_false() {
+        let json = r#"{"name":"old","fus":[["Universal",2]],"registers":4,
+            "latencies":{"alu":1,"mul":1,"div":1,"load":1,"store":1,"branch":1}}"#;
+        let m = Machine::from_json(json).unwrap();
+        assert!(!m.is_pipelined());
+        assert_eq!(m.fu_count(FuClass::Universal), 2);
+    }
+
+    #[test]
+    fn json_rejects_invalid_descriptions() {
+        let errs = [
+            r#"{"fus":[["Universal",2]],"registers":4,
+                "latencies":{"alu":1,"mul":1,"div":1,"load":1,"store":1,"branch":1}}"#,
+            r#"{"name":"m","fus":[["Quantum",2]],"registers":4,
+                "latencies":{"alu":1,"mul":1,"div":1,"load":1,"store":1,"branch":1}}"#,
+            r#"{"name":"m","fus":[["Universal",0]],"registers":4,
+                "latencies":{"alu":1,"mul":1,"div":1,"load":1,"store":1,"branch":1}}"#,
+            r#"{"name":"m","fus":[["Universal",2]],"registers":0,
+                "latencies":{"alu":1,"mul":1,"div":1,"load":1,"store":1,"branch":1}}"#,
+            r#"{"name":"m","fus":[["Universal",2]],"registers":4,
+                "latencies":{"alu":1,"mul":1,"div":1,"load":1,"store":1}}"#,
+            r#"{"name":"m","fus":[["Universal",2]],"registers":4,
+                "latencies":{"alu":1,"mul":1,"div":1,"load":1,"store":1,"branch":1},
+                "pipelined":"yes"}"#,
+        ];
+        for json in errs {
+            let r = Machine::from_json(json);
+            assert!(r.is_err(), "accepted: {json}");
+            assert!(
+                matches!(r, Err(ParseError::Invalid(_))),
+                "wrong error for {json}"
+            );
+        }
     }
 
     #[test]

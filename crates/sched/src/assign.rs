@@ -28,7 +28,11 @@ pub struct AssignError {
 
 impl fmt::Display for AssignError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "register pressure exceeds the file at cycle {}", self.cycle)
+        write!(
+            f,
+            "register pressure exceeds the file at cycle {}",
+            self.cycle
+        )
     }
 }
 
@@ -109,9 +113,7 @@ pub fn assign_registers(
             }
         });
         let Some(&phys) = free.iter().next() else {
-            return Err(AssignError {
-                cycle: r.def_cycle,
-            });
+            return Err(AssignError { cycle: r.def_cycle });
         };
         free.remove(&phys);
         let vreg = ddg.value_def(r.node).expect("value node");
@@ -148,7 +150,10 @@ pub fn assign_registers(
             }
             other => unreachable!("pseudo node {other:?} in schedule"),
         };
-        words[op.cycle as usize].push(MachineOp { op: slot, fu: op.fu });
+        words[op.cycle as usize].push(MachineOp {
+            op: slot,
+            fu: op.fu,
+        });
     }
 
     Ok(VliwProgram {
@@ -176,7 +181,10 @@ pub fn emit_physical(ddg: &DependenceDag, schedule: &Schedule, machine: &Machine
             NodeKind::Branch { cond, .. } => SlotOp::Branch { cond: *cond },
             other => unreachable!("pseudo node {other:?} in schedule"),
         };
-        words[op.cycle as usize].push(MachineOp { op: slot, fu: op.fu });
+        words[op.cycle as usize].push(MachineOp {
+            op: slot,
+            fu: op.fu,
+        });
     }
     VliwProgram {
         words,

@@ -56,17 +56,9 @@ pub fn ips_schedule(ddg: &DependenceDag, machine: &Machine) -> (Schedule, IpsSta
     // Remaining reader counts per producing node.
     let mut remaining_reads: HashMap<NodeId, usize> = ddg
         .value_nodes()
-        .map(|v| {
-            (
-                v,
-                ddg.uses_of(v).iter().filter(|&&u| u != exit).count(),
-            )
-        })
+        .map(|v| (v, ddg.uses_of(v).iter().filter(|&&u| u != exit).count()))
         .collect();
-    let live_out: HashSet<NodeId> = ddg
-        .value_nodes()
-        .filter(|&v| ddg.is_live_out(v))
-        .collect();
+    let live_out: HashSet<NodeId> = ddg.value_nodes().filter(|&v| ddg.is_live_out(v)).collect();
 
     let mut ready: Vec<NodeId> = Vec::new();
     let mut earliest: Vec<u64> = vec![0; n];
@@ -110,7 +102,14 @@ pub fn ips_schedule(ddg: &DependenceDag, machine: &Machine) -> (Schedule, IpsSta
                     ready.swap_remove(i);
                     pending -= 1;
                     progressed = true;
-                    release(ddg, v, cycle, &mut remaining_preds, &mut earliest, &mut ready);
+                    release(
+                        ddg,
+                        v,
+                        cycle,
+                        &mut remaining_preds,
+                        &mut earliest,
+                        &mut ready,
+                    );
                 } else {
                     i += 1;
                 }
@@ -173,11 +172,7 @@ pub fn ips_schedule(ddg: &DependenceDag, machine: &Machine) -> (Schedule, IpsSta
                 stats.overflow_events += 1;
             }
             let lat = node_latency(ddg, machine, v);
-            ops.push(ScheduledOp {
-                node: v,
-                cycle,
-                fu,
-            });
+            ops.push(ScheduledOp { node: v, cycle, fu });
             start.insert(v, cycle);
             in_flight.push(cycle + lat);
             let pos = ready.iter().position(|&r| r == v).expect("ready");
@@ -216,7 +211,6 @@ pub fn ips_schedule(ddg: &DependenceDag, machine: &Machine) -> (Schedule, IpsSta
         .map(|op| op.cycle + node_latency(ddg, machine, op.node))
         .max()
         .unwrap_or(0);
-    let mut ops = ops;
     ops.sort_by_key(|op| (op.cycle, op.fu.0 as u32, op.fu.1));
     (Schedule::from_parts(ops, start, length), stats)
 }
@@ -337,7 +331,11 @@ mod tests {
         s.validate(&ddg, &machine).unwrap();
         assert_eq!(stats.overflow_events, 0);
         let plain = list_schedule(&ddg, &machine);
-        assert_eq!(s.length(), plain.length(), "CSP mode = plain list scheduling");
+        assert_eq!(
+            s.length(),
+            plain.length(),
+            "CSP mode = plain list scheduling"
+        );
     }
 
     #[test]

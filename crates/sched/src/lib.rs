@@ -314,8 +314,7 @@ mod tests {
         let p = parse(FIG2).unwrap();
         for regs in [3u32, 4, 5] {
             let machine = Machine::homogeneous(4, regs);
-            let c =
-                compile_entry_block(&p, &machine, CompileStrategy::Ursa(UrsaConfig::default()));
+            let c = compile_entry_block(&p, &machine, CompileStrategy::Ursa(UrsaConfig::default()));
             assert_eq!(c.stats.reg_overflow, 0);
             for word in &c.vliw.words {
                 for op in word {
@@ -337,10 +336,7 @@ mod tests {
         // emitted code always declares what it truly needs.
         let machine = Machine::homogeneous(8, 3);
         let c = compile_entry_block(&p, &machine, CompileStrategy::GoodmanHsu);
-        assert_eq!(
-            c.vliw.num_regs,
-            machine.registers() + c.stats.reg_overflow
-        );
+        assert_eq!(c.vliw.num_regs, machine.registers() + c.stats.reg_overflow);
     }
 
     #[test]

@@ -113,7 +113,8 @@ pub fn patch_spills(
         v.sort_by_key(|&n| (schedule.start_of(n).expect("scheduled"), n));
         v
     };
-    let position: HashMap<NodeId, usize> = ordered.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let position: HashMap<NodeId, usize> =
+        ordered.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     let mut remaining_reads: HashMap<VirtualReg, usize> = HashMap::new();
     let mut reader_positions: HashMap<VirtualReg, Vec<usize>> = HashMap::new();
     for v in ddg.value_nodes() {
@@ -132,9 +133,7 @@ pub fn patch_spills(
             // contributes one position entry so next-use indexing by
             // remaining count stays aligned.
             let occurrences = match ddg.kind(u) {
-                NodeKind::Op { instr, .. } => {
-                    instr.uses().iter().filter(|&&r| r == reg).count()
-                }
+                NodeKind::Op { instr, .. } => instr.uses().iter().filter(|&&r| r == reg).count(),
                 _ => 1,
             };
             for _ in 0..occurrences {
@@ -165,9 +164,10 @@ pub fn patch_spills(
     // Live-in values occupy registers from the start.
     for v in ddg.value_nodes() {
         if let NodeKind::LiveIn { reg } = ddg.kind(v) {
-            let phys = *free.iter().next().unwrap_or_else(|| {
-                panic!("more live-in values than registers ({regs})")
-            });
+            let phys = *free
+                .iter()
+                .next()
+                .unwrap_or_else(|| panic!("more live-in values than registers ({regs})"));
             free.remove(&phys);
             owner.insert(phys, *reg);
             loc.insert(*reg, Loc::Reg(phys));
@@ -433,10 +433,10 @@ fn take_register(
     let victim_val = owner.remove(&victim_reg).expect("owned");
 
     // Clean values (already in their slot) skip the store.
-    if !slot_of.contains_key(&victim_val) {
+    if let std::collections::hash_map::Entry::Vacant(entry) = slot_of.entry(victim_val) {
         let slot = *next_slot;
         *next_slot += 1;
-        slot_of.insert(victim_val, slot);
+        entry.insert(slot);
         let ready = avail.get(&victim_val).copied().unwrap_or(0).max(last_issue);
         let machine = emitter.machine;
         let t = emitter.issue(

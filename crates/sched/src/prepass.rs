@@ -260,10 +260,7 @@ mod tests {
         // Sequential pressure of Fig. 2 is above 3: spills appear.
         assert!(stats.stores > 0);
         assert!(stats.loads > 0);
-        assert_eq!(
-            q.blocks[0].instrs.len(),
-            11 + stats.stores + stats.loads
-        );
+        assert_eq!(q.blocks[0].instrs.len(), 11 + stats.stores + stats.loads);
         for i in &q.blocks[0].instrs {
             for r in i.uses().into_iter().chain(i.def()) {
                 assert!(r.0 < 3, "register {r} outside the 3-register file");

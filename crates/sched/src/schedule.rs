@@ -408,11 +408,7 @@ mod tests {
         let machine = Machine::homogeneous(4, 32);
         let mut s = list_schedule(&ddg, &machine);
         s.ops.pop();
-        let victim = s
-            .ops
-            .last()
-            .map(|o| o.node)
-            .unwrap();
+        let victim = s.ops.last().map(|o| o.node).unwrap();
         let _ = victim;
         // Remove a node from the start map to simulate a hole.
         let some_node = ddg.fu_nodes().next().unwrap();

@@ -74,8 +74,7 @@ pub fn check_equivalence(
 ) -> Result<(), EquivalenceError> {
     let reference = run_sequential(program, initial, reg_inputs, 1_000_000)
         .map_err(EquivalenceError::Reference)?;
-    let wide =
-        run_vliw(vliw, machine, initial, reg_inputs).map_err(EquivalenceError::Vliw)?;
+    let wide = run_vliw(vliw, machine, initial, reg_inputs).map_err(EquivalenceError::Vliw)?;
     let bound = program.symbols.len() as u32;
     if let Some((symbol, index, expected, actual)) =
         reference.memory.diff_below(&wide.memory, bound)
@@ -194,8 +193,8 @@ mod tests {
         let mut c = compile_entry_block(&p, &machine, CompileStrategy::Postpass);
         // Corrupt the generated code.
         c.vliw.words.clear();
-        let err = check_equivalence(&p, &c.vliw, &machine, &Memory::new(), &HashMap::new())
-            .unwrap_err();
+        let err =
+            check_equivalence(&p, &c.vliw, &machine, &Memory::new(), &HashMap::new()).unwrap_err();
         assert!(matches!(err, EquivalenceError::MemoryMismatch { .. }));
         assert!(err.to_string().contains("memory mismatch"));
     }

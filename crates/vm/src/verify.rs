@@ -75,19 +75,16 @@ impl std::error::Error for VerifyError {}
 pub fn verify(vliw: &VliwProgram, machine: &Machine) -> Vec<VerifyError> {
     let mut errors = Vec::new();
     // Earliest cycle at which each register holds a committed value.
-    let mut written_at: HashMap<u32, u64> = vliw
-        .live_in
-        .iter()
-        .map(|&(phys, _)| (phys, 0))
-        .collect();
+    let mut written_at: HashMap<u32, u64> =
+        vliw.live_in.iter().map(|&(phys, _)| (phys, 0)).collect();
     // Commit times per register, to detect collisions.
     let mut commits: HashMap<(u32, u64), u64> = HashMap::new();
     let mut unit_busy: HashMap<(ursa_machine::FuClass, u32), u64> = HashMap::new();
 
-    let mut check_read = |reg: VirtualReg,
-                          cycle: u64,
-                          written_at: &HashMap<u32, u64>,
-                          errors: &mut Vec<VerifyError>| {
+    let check_read = |reg: VirtualReg,
+                      cycle: u64,
+                      written_at: &HashMap<u32, u64>,
+                      errors: &mut Vec<VerifyError>| {
         if reg.0 >= vliw.num_regs {
             errors.push(VerifyError::RegisterOutOfRange { cycle, reg: reg.0 });
             return;
@@ -102,8 +99,7 @@ pub fn verify(vliw: &VliwProgram, machine: &Machine) -> Vec<VerifyError> {
         let cycle = c as u64;
         for op in word {
             // Unit occupancy.
-            let (kind, reads, def): (OpKind, Vec<VirtualReg>, Option<VirtualReg>) = match &op.op
-            {
+            let (kind, reads, def): (OpKind, Vec<VirtualReg>, Option<VirtualReg>) = match &op.op {
                 SlotOp::Instr(i) => (OpKind::of_instr(i), i.uses(), i.def()),
                 SlotOp::Branch { cond } => (
                     OpKind::Branch,

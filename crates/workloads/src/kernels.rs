@@ -45,7 +45,11 @@ pub fn matmul(n: i64) -> Kernel {
         for j in 0..n {
             let mut acc: Option<VirtualReg> = None;
             for k in 0..n {
-                let prod = b.bin(BinOp::Mul, av[(i * n + k) as usize], bv[(k * n + j) as usize]);
+                let prod = b.bin(
+                    BinOp::Mul,
+                    av[(i * n + k) as usize],
+                    bv[(k * n + j) as usize],
+                );
                 acc = Some(match acc {
                     None => prod,
                     Some(s) => b.bin(BinOp::Add, s, prod),

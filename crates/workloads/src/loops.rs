@@ -138,12 +138,7 @@ pub fn sum_loop(n: i64) -> LoopKernel {
 /// All loop kernels with a common trip count of 24 (divisible by the
 /// usual unroll factors 1, 2, 3, 4, 6, 8, 12).
 pub fn loop_suite() -> Vec<LoopKernel> {
-    vec![
-        scale_loop(24),
-        daxpy_loop(24),
-        hydro_loop(24),
-        sum_loop(24),
-    ]
+    vec![scale_loop(24), daxpy_loop(24), hydro_loop(24), sum_loop(24)]
 }
 
 #[cfg(test)]
@@ -171,8 +166,7 @@ mod tests {
     fn unrolling_preserves_semantics_for_dividing_factors() {
         for k in loop_suite() {
             let m = seeded_memory(&k.program, 64, 9);
-            let reference =
-                run_sequential(&k.program, &m, &HashMap::new(), 100_000).unwrap();
+            let reference = run_sequential(&k.program, &m, &HashMap::new(), 100_000).unwrap();
             for factor in [2usize, 3, 4, 6] {
                 assert_eq!(k.trip_count % factor as i64, 0);
                 let u = unroll_self_loop(&k.program, 1, factor).unwrap();

@@ -12,9 +12,9 @@
 //! simultaneously); with 3 FUs the excessive chain set is
 //! `{B,E},{C,F},{G},{H}`.
 
+use ursa_graph::dag::NodeId;
 use ursa_ir::parser::parse;
 use ursa_ir::program::Program;
-use ursa_graph::dag::NodeId;
 
 /// Textual source of the Figure 2 basic block. `v` is read from
 /// `a[0]`; intermediate names map as `v0=v, v1=w, v2=x, v3=y, v4=t1,
@@ -99,9 +99,6 @@ mod tests {
         let r = run_sequential(&p, &m, &HashMap::new(), 100).unwrap();
         // v = 7: w = 14, x = 21, y = 12, t1 = 35, t2 = 294, t3 = 24,
         // t4 = 4, t5 = 0, t6 = 28, z = 28.
-        assert_eq!(
-            r.registers[&ursa_ir::value::VirtualReg(10)],
-            28
-        );
+        assert_eq!(r.registers[&ursa_ir::value::VirtualReg(10)], 28);
     }
 }

@@ -1,11 +1,10 @@
 //! Random program generators for stress tests, property tests and the
 //! compile-time scaling experiment (T4).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use ursa_ir::instr::BinOp;
 use ursa_ir::program::{Program, ProgramBuilder};
 use ursa_ir::value::VirtualReg;
+use ursa_rng::Rng;
 
 /// Shape parameters for [`random_block`].
 #[derive(Clone, Copy, Debug)]
@@ -58,7 +57,7 @@ const SAFE_OPS: [BinOp; 8] = [
 /// assert!(p.instr_count() >= 64);
 /// ```
 pub fn random_block(seed: u64, shape: RandomShape) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = ProgramBuilder::new();
     let (input, output) = (b.symbol("in"), b.symbol("out"));
     let mut pool: Vec<VirtualReg> = Vec::new();
@@ -89,7 +88,7 @@ pub fn random_block(seed: u64, shape: RandomShape) -> Program {
 /// leaf loads funneled into one store. Width = number of leaves.
 pub fn expression_tree(seed: u64, depth: u32) -> Program {
     assert!((1..=8).contains(&depth));
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = ProgramBuilder::new();
     let (input, output) = (b.symbol("in"), b.symbol("out"));
     let mut level: Vec<VirtualReg> = (0..(1usize << depth))

@@ -19,7 +19,11 @@ use ursa::workloads::kernels::{estrin, horner};
 
 fn main() {
     for kernel in [estrin(4), horner(12)] {
-        println!("=== {} ({} instructions) ===", kernel.name, kernel.program.instr_count());
+        println!(
+            "=== {} ({} instructions) ===",
+            kernel.name,
+            kernel.program.instr_count()
+        );
 
         // What the program could use, independent of any machine.
         let probe = Machine::homogeneous(64, 64);
@@ -36,11 +40,12 @@ fn main() {
             .expect("registers measured")
             .requirement
             .required;
-        println!(
-            "Intrinsic worst-case needs: {fu_need} functional units, {reg_need} registers\n"
-        );
+        println!("Intrinsic worst-case needs: {fu_need} functional units, {reg_need} registers\n");
 
-        println!("{:>4} {:>5} | {:>7} | {:>8}", "fus", "regs", "cycles", "ops/cyc");
+        println!(
+            "{:>4} {:>5} | {:>7} | {:>8}",
+            "fus", "regs", "cycles", "ops/cyc"
+        );
         println!("{}", "-".repeat(34));
         for fus in [1u32, 2, 4, 8] {
             for regs in [4u32, 8, 16] {

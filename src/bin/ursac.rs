@@ -62,7 +62,9 @@ fn parse_args() -> Result<Options, String> {
         match arg.as_str() {
             "--fus" => opts.fus = take("--fus")?.parse().map_err(|e| format!("--fus: {e}"))?,
             "--regs" => {
-                opts.regs = take("--regs")?.parse().map_err(|e| format!("--regs: {e}"))?
+                opts.regs = take("--regs")?
+                    .parse()
+                    .map_err(|e| format!("--regs: {e}"))?
             }
             "--classic" => opts.classic = true,
             "--pipelined" => opts.pipelined = true,
@@ -71,13 +73,14 @@ fn parse_args() -> Result<Options, String> {
             "--dot" => opts.dot = true,
             "--run" => opts.run = true,
             "--unroll" => {
-                opts.unroll =
-                    Some(take("--unroll")?.parse().map_err(|e| format!("--unroll: {e}"))?)
+                opts.unroll = Some(
+                    take("--unroll")?
+                        .parse()
+                        .map_err(|e| format!("--unroll: {e}"))?,
+                )
             }
             "--help" | "-h" => return Err("usage: ursac <file.tac> [options]".to_string()),
-            other if other.starts_with('-') => {
-                return Err(format!("unknown option '{other}'"))
-            }
+            other if other.starts_with('-') => return Err(format!("unknown option '{other}'")),
             file => {
                 if !opts.input.is_empty() {
                     return Err("multiple input files given".to_string());
@@ -190,7 +193,10 @@ fn main() -> ExitCode {
         let memory = seeded_memory(&program, 64, 1);
         match run_vliw(&compiled.vliw, &exec_machine, &memory, &HashMap::new()) {
             Ok(result) => {
-                println!("\n# simulated {} cycles, {} ops", result.cycles, result.ops_executed);
+                println!(
+                    "\n# simulated {} cycles, {} ops",
+                    result.cycles, result.ops_executed
+                );
                 // Show only the cells the program changed.
                 let mut cells: Vec<_> = result
                     .memory

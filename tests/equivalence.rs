@@ -44,9 +44,7 @@ fn check_all(fus: u32, regs: u32) {
                 &memory,
                 &HashMap::new(),
             )
-            .unwrap_or_else(|e| {
-                panic!("{} via {name} at {fus}fu/{regs}regs: {e}", kernel.name)
-            });
+            .unwrap_or_else(|e| panic!("{} via {name} at {fus}fu/{regs}regs: {e}", kernel.name));
         }
     }
 }

@@ -106,7 +106,10 @@ fn f3c_spilling_reaches_three_registers() {
         .of(ResourceKind::Registers)
         .expect("regs");
     assert!(regs.required <= 3, "paper Figure 3(c): 5 -> 3");
-    assert!(out.spill_count() >= 1, "a value is spilled (the paper spills D)");
+    assert!(
+        out.spill_count() >= 1,
+        "a value is spilled (the paper spills D)"
+    );
 }
 
 #[test]

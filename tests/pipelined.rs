@@ -70,11 +70,11 @@ fn occupancy_semantics() {
 }
 
 #[test]
-fn serde_defaults_nonpipelined() {
+fn json_defaults_nonpipelined() {
     // Old serialized machines (without the field) stay non-pipelined.
     let json = r#"{"name":"old","fus":[["Universal",2]],"registers":4,
                    "latencies":{"alu":1,"mul":1,"div":1,"load":1,"store":1,"branch":1}}"#;
-    let m: Machine = serde_json::from_str(json).unwrap();
+    let m = Machine::from_json(json).unwrap();
     assert!(!m.is_pipelined());
 }
 
@@ -100,8 +100,14 @@ fn pipelined_compilation_stays_equivalent() {
             } else {
                 seeded_memory(&kernel.program, 128, 77)
             };
-            check_equivalence(&kernel.program, &compiled.vliw, &exec, &memory, &HashMap::new())
-                .unwrap_or_else(|e| panic!("{} via {name}: {e}", kernel.name));
+            check_equivalence(
+                &kernel.program,
+                &compiled.vliw,
+                &exec,
+                &memory,
+                &HashMap::new(),
+            )
+            .unwrap_or_else(|e| panic!("{} via {name}: {e}", kernel.name));
         }
     }
 }

@@ -2,6 +2,11 @@
 //! compilation correctness and graph invariants must hold for *any*
 //! straight-line block, not just the curated suite.
 
+// The proptest dependency is unavailable in hermetic builds; this whole
+// suite only compiles under `--features proptest` after the crate is
+// added back (see CONTRIBUTING.md "Hermetic builds").
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use std::collections::HashMap;
 use ursa::core::{allocate, measure, AllocCtx, MeasureOptions, ResourceKind, UrsaConfig};

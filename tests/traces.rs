@@ -87,7 +87,12 @@ fn compiled_trace_contains_branch_slot() {
     use ursa::sched::SlotOp;
     let (p, trace) = main_trace();
     let machine = Machine::homogeneous(2, 4);
-    let c = compile(&p, &trace, &machine, CompileStrategy::Ursa(UrsaConfig::default()));
+    let c = compile(
+        &p,
+        &trace,
+        &machine,
+        CompileStrategy::Ursa(UrsaConfig::default()),
+    );
     let has_branch = c
         .vliw
         .words
@@ -115,9 +120,7 @@ block out:
 ret
 ";
     let p = parse(src).unwrap();
-    let trace = Trace {
-        blocks: vec![0, 1],
-    };
+    let trace = Trace { blocks: vec![0, 1] };
     let machine = Machine::homogeneous(8, 16);
     let spec = DependenceDag::build(&p, &trace);
     let pinned = DependenceDag::build_with(
@@ -131,10 +134,12 @@ ret
     let req = |ddg: DependenceDag| {
         let mut ctx = AllocCtx::new(ddg, &machine);
         let m = measure(&mut ctx, MeasureOptions::default());
-        m.of(ursa::core::ResourceKind::Fu(ursa::machine::FuClass::Universal))
-            .unwrap()
-            .requirement
-            .required
+        m.of(ursa::core::ResourceKind::Fu(
+            ursa::machine::FuClass::Universal,
+        ))
+        .unwrap()
+        .requirement
+        .required
     };
     let spec_req = req(spec);
     let pinned_req = req(pinned);

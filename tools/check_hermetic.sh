@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Fails if any Cargo.toml in the workspace declares a dependency that is
+# not an in-tree `path` dependency. This is the tripwire that keeps the
+# build hermetic: `cargo build --release --offline && cargo test -q
+# --offline` must work with no registry access, so the only legal
+# dependency form is `foo = { path = "..." }` (directly or through
+# `foo.workspace = true` resolving to a path entry in the workspace
+# table).
+#
+# Usage: tools/check_hermetic.sh [repo-root]
+set -euo pipefail
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root"
+
+status=0
+
+while IFS= read -r manifest; do
+    # Walk the manifest line by line, tracking which [section] we are
+    # in; inside any *dependencies section, every `name = spec` entry
+    # must be a path dependency or a `name.workspace = true` reference.
+    violations=$(awk '
+        /^[[:space:]]*\[/ {
+            section = $0
+            gsub(/[][[:space:]]/, "", section)
+            in_deps = (section ~ /dependencies$/)
+            next
+        }
+        !in_deps { next }
+        /^[[:space:]]*(#|$)/ { next }
+        /^[[:space:]]*[A-Za-z0-9_-]+([.]workspace)?[[:space:]]*=/ {
+            if ($0 ~ /workspace[[:space:]]*=[[:space:]]*true/) next
+            if ($0 ~ /path[[:space:]]*=/) next
+            print FILENAME ": " $0
+        }
+    ' "$manifest")
+    if [ -n "$violations" ]; then
+        echo "non-path dependency in $manifest:" >&2
+        echo "$violations" >&2
+        status=1
+    fi
+done < <(find . -name Cargo.toml -not -path './target/*' -not -path './.git/*')
+
+# `name.workspace = true` entries are only hermetic if the workspace
+# table they resolve to is itself all-path, which the loop above already
+# checked ([workspace.dependencies] matches /dependencies$/).
+
+if [ "$status" -ne 0 ]; then
+    echo "FAIL: registry dependencies are not allowed; vendor the code in-tree instead" >&2
+    echo "      (see CONTRIBUTING.md, section \"Hermetic builds\")" >&2
+    exit 1
+fi
+
+echo "OK: all Cargo.toml dependencies are in-tree path dependencies"
