@@ -1,0 +1,242 @@
+//! `stress` — seeded differential stress harness for the fail-safe
+//! pipeline.
+//!
+//! Drives deterministic random programs (`ursa-workloads::random`)
+//! through every compilation strategy on a grid of machines, inside
+//! `catch_unwind`, and differentially verifies each compile against the
+//! sequential reference interpreter (`ursa-vm::equiv`). Every failure
+//! prints the exact seed and a single-case repro command.
+//!
+//! ```text
+//! stress                          # default grid, seeds 0..64
+//! stress --seeds 0..256           # acceptance sweep
+//! stress --seeds 41..42           # one seed (repro)
+//! stress --validate               # stage invariant checks on
+//! stress --machine vliw2r3        # filter machines by name substring
+//! stress --strategy ursa-phased   # filter strategies by name
+//! ```
+//!
+//! Exit status: 0 when every case passes, 1 otherwise.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+use ursa_core::{Strategy, UrsaConfig};
+use ursa_ir::Trace;
+use ursa_machine::Machine;
+use ursa_rng::Rng;
+use ursa_sched::{try_compile_with, CompileError, CompileStrategy, PipelineOptions};
+use ursa_vm::equiv::{check_equivalence, seeded_memory};
+use ursa_workloads::random::{random_block, RandomShape};
+
+struct Options {
+    seeds: std::ops::Range<u64>,
+    validate: bool,
+    machine_filter: Option<String>,
+    strategy_filter: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        seeds: 0..64,
+        validate: false,
+        machine_filter: None,
+        strategy_filter: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--seeds" => {
+                let spec = take("--seeds")?;
+                let (a, b) = spec
+                    .split_once("..")
+                    .ok_or_else(|| format!("--seeds wants A..B, got '{spec}'"))?;
+                let lo: u64 = a.parse().map_err(|e| format!("--seeds: {e}"))?;
+                let hi: u64 = b.parse().map_err(|e| format!("--seeds: {e}"))?;
+                opts.seeds = lo..hi;
+            }
+            "--validate" => opts.validate = true,
+            "--machine" => opts.machine_filter = Some(take("--machine")?),
+            "--strategy" => opts.strategy_filter = Some(take("--strategy")?),
+            "--help" | "-h" => {
+                return Err("usage: stress [--seeds A..B] [--validate] \
+                            [--machine NAME] [--strategy NAME]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The machine grid: homogeneous shapes from scalar to wide, tight to
+/// roomy register files (≥ 3, the pipeline's floor), plus the classed
+/// and pipelined machines.
+fn machine_grid() -> Vec<Machine> {
+    let mut machines = Vec::new();
+    for fus in [1u32, 2, 4] {
+        for regs in [3u32, 4, 8, 16] {
+            machines.push(Machine::homogeneous(fus, regs));
+        }
+    }
+    machines.push(Machine::classic_vliw());
+    machines.push(Machine::pipelined_vliw());
+    machines
+}
+
+/// Strategy menu: the four public kinds plus URSA's alternate
+/// disciplines, so every rung of the degradation ladder gets exercised.
+fn strategy_menu() -> Vec<(&'static str, CompileStrategy)> {
+    let ursa = |strategy| {
+        CompileStrategy::Ursa(UrsaConfig {
+            strategy,
+            ..UrsaConfig::default()
+        })
+    };
+    vec![
+        ("ursa", ursa(Strategy::Integrated)),
+        ("ursa-phased", ursa(Strategy::Phased)),
+        ("ursa-fu-first", ursa(Strategy::PhasedFuFirst)),
+        ("ursa-spill-only", ursa(Strategy::SpillOnly)),
+        ("postpass", CompileStrategy::Postpass),
+        ("prepass", CompileStrategy::Prepass),
+        ("goodman-hsu", CompileStrategy::GoodmanHsu),
+    ]
+}
+
+/// Program shape drawn deterministically from the seed, spanning chains
+/// to wide blocks.
+fn shape_for(seed: u64) -> RandomShape {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5745_4544);
+    RandomShape {
+        ops: rng.gen_range(8usize..96),
+        seeds: rng.gen_range(1usize..8),
+        window: rng.gen_range(2usize..24),
+        store_pct: rng.gen_range(0u32..40),
+    }
+}
+
+enum CaseResult {
+    Pass,
+    /// The strategy refused the input for an expected, typed reason
+    /// (Goodman–Hsu cannot spill, so honest overflow refusals count).
+    Refused,
+    Fail(String),
+}
+
+fn run_case(
+    seed: u64,
+    machine: &Machine,
+    strategy_name: &str,
+    strategy: &CompileStrategy,
+    opts: &PipelineOptions,
+) -> CaseResult {
+    let program = random_block(seed, shape_for(seed));
+    let trace = Trace::single(0);
+    let gh = matches!(strategy, CompileStrategy::GoodmanHsu);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        try_compile_with(&program, &trace, machine, strategy.clone(), opts)
+    }));
+    let compiled = match outcome {
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            return CaseResult::Fail(format!("panic: {msg}"));
+        }
+        Ok(Err(CompileError::RegisterOverflow { .. })) if gh => return CaseResult::Refused,
+        Ok(Err(e)) => return CaseResult::Fail(format!("compile error: {e}")),
+        Ok(Ok(c)) => c,
+    };
+    // Goodman–Hsu declares the file it truly needs; execute on it.
+    let exec_machine = if compiled.vliw.num_regs > machine.registers() {
+        machine.with_registers(compiled.vliw.num_regs)
+    } else {
+        machine.clone()
+    };
+    let memory = seeded_memory(&program, 256, seed);
+    let check = catch_unwind(AssertUnwindSafe(|| {
+        check_equivalence(
+            &program,
+            &compiled.vliw,
+            &exec_machine,
+            &memory,
+            &HashMap::new(),
+        )
+    }));
+    match check {
+        Err(_) => CaseResult::Fail("panic during differential execution".to_string()),
+        Ok(Err(e)) => CaseResult::Fail(format!("differential check ({strategy_name}): {e}")),
+        Ok(Ok(())) => CaseResult::Pass,
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("stress: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    // The harness reports panics itself, with seeds attached; the
+    // default per-panic banner would drown the summary.
+    std::panic::set_hook(Box::new(|_| {}));
+    let machines = machine_grid();
+    let strategies = strategy_menu();
+    let pipeline = PipelineOptions {
+        validate: opts.validate,
+        no_fallback: false,
+    };
+    let (mut cases, mut refusals, mut failures) = (0u64, 0u64, 0u64);
+    for seed in opts.seeds.clone() {
+        for machine in &machines {
+            if let Some(f) = &opts.machine_filter {
+                if !machine.name().contains(f.as_str()) {
+                    continue;
+                }
+            }
+            for (name, strategy) in &strategies {
+                if let Some(f) = &opts.strategy_filter {
+                    if *name != f.as_str() {
+                        continue;
+                    }
+                }
+                cases += 1;
+                match run_case(seed, machine, name, strategy, &pipeline) {
+                    CaseResult::Pass => {}
+                    CaseResult::Refused => refusals += 1,
+                    CaseResult::Fail(why) => {
+                        failures += 1;
+                        let validate = if opts.validate { " --validate" } else { "" };
+                        println!(
+                            "FAIL seed={seed} machine={} strategy={name}: {why}",
+                            machine.name()
+                        );
+                        println!(
+                            "  repro: cargo run --release -p ursa-bench --bin stress -- \
+                             --seeds {seed}..{} --machine {} --strategy {name}{validate}",
+                            seed + 1,
+                            machine.name(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let _ = std::panic::take_hook();
+    println!(
+        "stress: {cases} cases over seeds {}..{}, {refusals} typed refusals, {failures} failures",
+        opts.seeds.start, opts.seeds.end
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -43,6 +43,11 @@ pub enum Strategy {
     /// Functional units first, then registers — the ordering §5 argues
     /// *against*; provided for the ablation.
     PhasedFuFirst,
+    /// Spilling only (§4.3). The least clever discipline, but the one
+    /// that is *always applicable*: every excessive value can be pushed
+    /// to memory, so it is the last allocation rung of the degradation
+    /// ladder in `ursa-sched`.
+    SpillOnly,
 }
 
 /// Configuration of the allocation phase.
@@ -57,6 +62,10 @@ pub struct UrsaConfig {
     pub plain_matching: bool,
     /// Safety valve on reduction rounds.
     pub max_iterations: usize,
+    /// Run the stage invariant checks even in release builds. The
+    /// checks themselves live in `ursa-sched::validate`; this flag only
+    /// requests them.
+    pub paranoid: bool,
 }
 
 impl Default for UrsaConfig {
@@ -66,6 +75,7 @@ impl Default for UrsaConfig {
             kill_mode: KillMode::MinCover,
             plain_matching: false,
             max_iterations: 256,
+            paranoid: false,
         }
     }
 }
@@ -178,6 +188,7 @@ pub fn allocate(ddg: DependenceDag, machine: &Machine, config: &UrsaConfig) -> A
         Strategy::Integrated => &[&[]], // dynamic; see below
         Strategy::Phased => &[REG_KINDS, FU_KINDS],
         Strategy::PhasedFuFirst => &[FU_KINDS, REG_KINDS],
+        Strategy::SpillOnly => &[&[StepKind::Spill], FU_KINDS],
     };
 
     let mut iterations = 0usize;

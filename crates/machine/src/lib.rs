@@ -221,15 +221,29 @@ impl Machine {
     ///
     /// Panics if either count is zero.
     pub fn homogeneous(fus: u32, registers: u32) -> Self {
-        assert!(fus > 0, "a machine needs at least one functional unit");
-        assert!(registers > 0, "a machine needs at least one register");
-        Machine {
+        Machine::try_homogeneous(fus, registers).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Machine::homogeneous`]: a zero count becomes
+    /// [`ParseError::Invalid`] instead of a panic.
+    pub fn try_homogeneous(fus: u32, registers: u32) -> Result<Self, ParseError> {
+        if fus == 0 {
+            return Err(ParseError::Invalid(
+                "a machine needs at least one functional unit".into(),
+            ));
+        }
+        if registers == 0 {
+            return Err(ParseError::Invalid(
+                "a machine needs at least one register".into(),
+            ));
+        }
+        Ok(Machine {
             name: format!("vliw{fus}r{registers}"),
             fus: vec![(FuClass::Universal, fus)],
             registers,
             latencies: LatencyModel::unit(),
             pipelined: false,
-        }
+        })
     }
 
     /// A representative classed VLIW: 4 ALUs, 2 multipliers, 1 divider,
@@ -291,11 +305,22 @@ impl Machine {
     ///
     /// Panics if `registers` is zero.
     pub fn with_registers(&self, registers: u32) -> Machine {
-        assert!(registers > 0, "a machine needs at least one register");
+        self.try_with_registers(registers)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Machine::with_registers`]: a zero count becomes
+    /// [`ParseError::Invalid`] instead of a panic.
+    pub fn try_with_registers(&self, registers: u32) -> Result<Machine, ParseError> {
+        if registers == 0 {
+            return Err(ParseError::Invalid(
+                "a machine needs at least one register".into(),
+            ));
+        }
         let mut m = self.clone();
         m.registers = registers;
         m.name = format!("{}-r{registers}", self.name);
-        m
+        Ok(m)
     }
 
     /// The latency model.
@@ -597,18 +622,29 @@ impl MachineBuilder {
     ///
     /// Panics if no functional units were declared or registers is zero.
     pub fn build(self) -> Machine {
-        assert!(
-            !self.fus.is_empty(),
-            "a machine needs at least one functional unit"
-        );
-        assert!(self.registers > 0, "a machine needs at least one register");
-        Machine {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`MachineBuilder::build`]: an empty unit list or zero
+    /// registers becomes [`ParseError::Invalid`] instead of a panic.
+    pub fn try_build(self) -> Result<Machine, ParseError> {
+        if self.fus.is_empty() {
+            return Err(ParseError::Invalid(
+                "a machine needs at least one functional unit".into(),
+            ));
+        }
+        if self.registers == 0 {
+            return Err(ParseError::Invalid(
+                "a machine needs at least one register".into(),
+            ));
+        }
+        Ok(Machine {
             name: self.name,
             fus: self.fus,
             registers: self.registers,
             latencies: self.latencies,
             pipelined: self.pipelined,
-        }
+        })
     }
 }
 
@@ -642,6 +678,32 @@ mod tests {
     #[should_panic(expected = "at least one functional unit")]
     fn zero_fus_rejected() {
         Machine::homogeneous(0, 4);
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        assert!(matches!(
+            Machine::try_homogeneous(0, 4),
+            Err(ParseError::Invalid(_))
+        ));
+        assert!(matches!(
+            Machine::try_homogeneous(2, 0),
+            Err(ParseError::Invalid(_))
+        ));
+        assert!(matches!(
+            Machine::homogeneous(2, 4).try_with_registers(0),
+            Err(ParseError::Invalid(_))
+        ));
+        assert!(matches!(
+            Machine::builder("empty").registers(4).try_build(),
+            Err(ParseError::Invalid(_))
+        ));
+        assert!(Machine::try_homogeneous(2, 4).is_ok());
+        assert!(Machine::builder("ok")
+            .fu(FuClass::Universal, 1)
+            .registers(1)
+            .try_build()
+            .is_ok());
     }
 
     #[test]

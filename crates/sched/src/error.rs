@@ -1,0 +1,168 @@
+//! The typed failure taxonomy of the compilation pipeline.
+//!
+//! Every way the pipeline can refuse to produce code is a variant of
+//! [`CompileError`]; [`crate::try_compile`] returns it instead of
+//! panicking. The panicking entry points ([`crate::compile`] and
+//! friends) are thin wrappers kept for callers that treat a failed
+//! compilation as a caller bug.
+
+use crate::validate::ValidationError;
+use std::fmt;
+use ursa_machine::FuClass;
+
+/// Why a compilation was refused.
+#[derive(Clone, Debug)]
+pub enum CompileError {
+    /// The program text failed to parse.
+    Parse(ursa_ir::parser::ParseError),
+    /// The machine description was malformed or degenerate (e.g. zero
+    /// registers or zero functional units).
+    Machine(ursa_machine::ParseError),
+    /// The trace names a block the program does not have.
+    TraceOutOfRange {
+        /// The offending block index.
+        block: usize,
+        /// The number of blocks in the program.
+        blocks: usize,
+    },
+    /// The trace has a shape the strategy cannot compile (e.g. the
+    /// prepass baseline allocates one block at a time, or the trace is
+    /// empty).
+    UnsupportedTrace {
+        /// The strategy that refused.
+        strategy: &'static str,
+        /// Number of blocks in the offending trace.
+        blocks: usize,
+    },
+    /// The program needs a functional-unit class the machine does not
+    /// provide.
+    MissingUnit {
+        /// The class with no units.
+        class: FuClass,
+    },
+    /// The allocation loop exhausted its iteration budget (or left
+    /// residual excess) and no fallback rung was allowed or succeeded.
+    BudgetExhausted {
+        /// The iteration budget that was exhausted.
+        iterations: usize,
+        /// Excess requirement the transformations could not remove.
+        residual_excess: u32,
+    },
+    /// The code needs more registers than available and the strategy has
+    /// no (further) spill mechanism.
+    RegisterOverflow {
+        /// Registers the code would need.
+        needed: u32,
+        /// Registers the machine provides.
+        available: u32,
+    },
+    /// The register file is too small for even a single instruction's
+    /// operands to be simultaneously resident.
+    FileTooSmall {
+        /// The stage that gave up.
+        stage: &'static str,
+        /// Registers the machine provides.
+        registers: u32,
+    },
+    /// A scheduler failed to make progress within its safety bound.
+    SchedulerStalled {
+        /// The scheduler that stalled.
+        scheduler: &'static str,
+        /// The cycle at which the bound tripped.
+        cycle: u64,
+    },
+    /// A stage invariant check failed (see [`crate::validate`]).
+    Validation(ValidationError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "parse error: {e}"),
+            CompileError::Machine(e) => write!(f, "{e}"),
+            CompileError::TraceOutOfRange { block, blocks } => {
+                write!(f, "trace block {block} out of range ({blocks} blocks)")
+            }
+            CompileError::UnsupportedTrace { strategy, blocks } => {
+                write!(f, "{strategy} cannot compile a {blocks}-block trace")
+            }
+            CompileError::MissingUnit { class } => {
+                write!(
+                    f,
+                    "machine has no {class} unit for an operation that needs one"
+                )
+            }
+            CompileError::BudgetExhausted {
+                iterations,
+                residual_excess,
+            } => write!(
+                f,
+                "allocation budget of {iterations} iterations exhausted \
+                 with residual excess {residual_excess} and no usable fallback"
+            ),
+            CompileError::RegisterOverflow { needed, available } => write!(
+                f,
+                "code needs {needed} registers, machine has {available} and \
+                 the strategy cannot spill"
+            ),
+            CompileError::FileTooSmall { stage, registers } => write!(
+                f,
+                "{stage}: a {registers}-register file cannot hold one \
+                 instruction's operands"
+            ),
+            CompileError::SchedulerStalled { scheduler, cycle } => {
+                write!(f, "{scheduler} failed to make progress by cycle {cycle}")
+            }
+            CompileError::Validation(e) => write!(f, "invariant violated: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ursa_ir::parser::ParseError> for CompileError {
+    fn from(e: ursa_ir::parser::ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+impl From<ursa_machine::ParseError> for CompileError {
+    fn from(e: ursa_machine::ParseError) -> Self {
+        CompileError::Machine(e)
+    }
+}
+
+impl From<ValidationError> for CompileError {
+    fn from(e: ValidationError) -> Self {
+        CompileError::Validation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::{Stage, ValidationError};
+
+    #[test]
+    fn messages_are_informative() {
+        let e = CompileError::UnsupportedTrace {
+            strategy: "prepass",
+            blocks: 2,
+        };
+        assert!(e.to_string().contains("prepass"));
+        assert!(e.to_string().contains("2-block"));
+        let e = CompileError::BudgetExhausted {
+            iterations: 4,
+            residual_excess: 3,
+        };
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains('3'));
+        let e = CompileError::RegisterOverflow {
+            needed: 9,
+            available: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = CompileError::from(ValidationError::CyclicDag { stage: Stage::Ddg });
+        assert!(e.to_string().contains("invariant"));
+    }
+}

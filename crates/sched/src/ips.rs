@@ -12,6 +12,7 @@
 //! *overflow event* (the generated code then needs more registers than
 //! the machine has).
 
+use crate::error::CompileError;
 use crate::schedule::{node_class, node_latency, node_occupancy, Schedule, ScheduledOp};
 use std::collections::{HashMap, HashSet};
 use ursa_graph::dag::NodeId;
@@ -33,9 +34,33 @@ pub struct IpsStats {
 /// from CSP to CSR priorities (Goodman & Hsu's threshold).
 const CSR_THRESHOLD: u32 = 2;
 
-/// Schedules `ddg` with register-pressure-aware list scheduling.
+/// Schedules `ddg` with register-pressure-aware list scheduling,
+/// panicking on any [`try_ips_schedule`] error.
 pub fn ips_schedule(ddg: &DependenceDag, machine: &Machine) -> (Schedule, IpsStats) {
+    try_ips_schedule(ddg, machine).unwrap_or_else(|e| panic!("ips_schedule: {e}"))
+}
+
+/// Schedules `ddg` with register-pressure-aware list scheduling.
+///
+/// # Errors
+///
+/// [`CompileError::MissingUnit`] when an operation's class has no unit
+/// on the machine; [`CompileError::SchedulerStalled`] when the safety
+/// bound on scheduling cycles trips.
+pub fn try_ips_schedule(
+    ddg: &DependenceDag,
+    machine: &Machine,
+) -> Result<(Schedule, IpsStats), CompileError> {
     let regs = machine.registers();
+    // Refuse early when the machine cannot execute some operation at
+    // all — without this the budget loop would stall on it forever.
+    for v in ddg.fu_nodes() {
+        if let Some(class) = node_class(ddg, machine, v) {
+            if machine.fu_count(class) == 0 {
+                return Err(CompileError::MissingUnit { class });
+            }
+        }
+    }
     let weights: Vec<u64> = ddg
         .dag()
         .nodes()
@@ -200,10 +225,12 @@ pub fn ips_schedule(ddg: &DependenceDag, machine: &Machine) -> (Schedule, IpsSta
             );
         }
         cycle += 1;
-        assert!(
-            cycle <= (n as u64 + 2) * (levels.critical_path().max(1) + 1),
-            "IPS scheduler failed to make progress"
-        );
+        if cycle > (n as u64 + 2) * (levels.critical_path().max(1) + 1) {
+            return Err(CompileError::SchedulerStalled {
+                scheduler: "IPS scheduler",
+                cycle,
+            });
+        }
     }
 
     let length = ops
@@ -212,7 +239,7 @@ pub fn ips_schedule(ddg: &DependenceDag, machine: &Machine) -> (Schedule, IpsSta
         .max()
         .unwrap_or(0);
     ops.sort_by_key(|op| (op.cycle, op.fu.0 as u32, op.fu.1));
-    (Schedule::from_parts(ops, start, length), stats)
+    Ok((Schedule::from_parts(ops, start, length), stats))
 }
 
 fn try_issue(

@@ -14,14 +14,19 @@
 //!   dependences restrict the scheduler).
 //! * [`ips`] — Goodman–Hsu-style integrated prepass scheduling, the
 //!   DAG-driven related work without a spill mechanism.
+//! * [`error`] / [`validate`] — the typed failure taxonomy and the stage
+//!   invariant checks of the fail-safe pipeline.
 //!
-//! [`compile`] runs any strategy end-to-end on a trace.
+//! [`try_compile`] runs any strategy end-to-end on a trace, degrading
+//! down a fallback ladder instead of failing when URSA's heuristics run
+//! out of budget; [`compile`] is the panicking wrapper.
 //!
 //! # Examples
 //!
 //! ```
-//! use ursa_sched::{compile_entry_block, CompileStrategy};
+//! use ursa_sched::{compile_entry_block, try_compile, CompileStrategy};
 //! use ursa_ir::parser::parse;
+//! use ursa_ir::Trace;
 //! use ursa_machine::Machine;
 //!
 //! let program = parse(
@@ -36,23 +41,30 @@
 //! let post = compile_entry_block(&program, &machine, CompileStrategy::Postpass);
 //! assert!(ursa.vliw.op_count() >= 5);
 //! assert!(post.vliw.op_count() >= 5);
+//! // The fallible pipeline returns typed errors instead of panicking:
+//! let err = try_compile(&program, &Trace::single(7), &machine, CompileStrategy::Postpass);
+//! assert!(err.is_err());
 //! ```
 
 pub mod assign;
+pub mod error;
 pub mod ips;
 pub mod patch;
 pub mod prepass;
 pub mod schedule;
+pub mod validate;
 pub mod vliw;
 
 pub use assign::{assign_registers, emit_physical, schedule_pressure, AssignError};
-pub use ips::{ips_schedule, IpsStats};
-pub use patch::{patch_spills, PatchStats};
-pub use prepass::{prepass_allocate, PrepassStats};
-pub use schedule::{list_schedule, Schedule, ScheduledOp};
+pub use error::CompileError;
+pub use ips::{ips_schedule, try_ips_schedule, IpsStats};
+pub use patch::{patch_spills, try_patch_spills, PatchStats};
+pub use prepass::{prepass_allocate, try_prepass_allocate, PrepassStats};
+pub use schedule::{list_schedule, try_list_schedule, Schedule, ScheduledOp};
+pub use validate::{Stage, ValidationError};
 pub use vliw::{MachineOp, SlotOp, VliwProgram};
 
-use ursa_core::{allocate, AllocationOutcome, UrsaConfig};
+use ursa_core::{allocate, AllocationOutcome, Strategy, UrsaConfig};
 use ursa_ir::ddg::{DdgOptions, DependenceDag};
 use ursa_ir::program::Program;
 use ursa_ir::trace::Trace;
@@ -87,6 +99,106 @@ impl CompileStrategy {
     }
 }
 
+/// Pipeline-level options of [`try_compile_with`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineOptions {
+    /// Run the stage invariant checks ([`validate`]) even in release
+    /// builds. Debug builds always run them.
+    pub validate: bool,
+    /// Disable the degradation ladder: an URSA allocation that exhausts
+    /// its budget or leaves residual excess becomes
+    /// [`CompileError::BudgetExhausted`] instead of retrying down the
+    /// fallback rungs.
+    pub no_fallback: bool,
+}
+
+/// One rung of the degradation ladder.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FallbackRung {
+    /// An URSA allocation rung with the given discipline.
+    Allocation(Strategy),
+    /// The terminal rung: postpass spill patching of the last
+    /// transformed DAG (always applicable, paper §4.3).
+    PostpassPatch,
+}
+
+impl std::fmt::Display for FallbackRung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FallbackRung::Allocation(Strategy::Integrated) => "integrated",
+            FallbackRung::Allocation(Strategy::Phased) => "phased",
+            FallbackRung::Allocation(Strategy::PhasedFuFirst) => "phased-fu-first",
+            FallbackRung::Allocation(Strategy::SpillOnly) => "spill-only",
+            FallbackRung::PostpassPatch => "postpass-patch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a rung was abandoned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RungFailure {
+    /// The allocation loop hit its iteration budget.
+    IterationLimit {
+        /// The budget that was exhausted.
+        iterations: usize,
+    },
+    /// The transformations converged but left excess requirements.
+    ResidualExcess {
+        /// The remaining total excess.
+        excess: u32,
+    },
+    /// Allocation claimed success but register assignment still
+    /// overflowed (the `Kill()` heuristic under-measured, paper §2).
+    AssignOverflow {
+        /// The overflowing cycle.
+        cycle: u64,
+    },
+}
+
+impl std::fmt::Display for RungFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RungFailure::IterationLimit { iterations } => {
+                write!(f, "iteration limit ({iterations}) hit")
+            }
+            RungFailure::ResidualExcess { excess } => {
+                write!(f, "residual excess {excess}")
+            }
+            RungFailure::AssignOverflow { cycle } => {
+                write!(f, "assignment overflowed at cycle {cycle}")
+            }
+        }
+    }
+}
+
+/// Which rung of the degradation ladder produced the code, and which
+/// rungs were tried and abandoned on the way down.
+#[derive(Clone, Debug)]
+pub struct FallbackReport {
+    /// Abandoned rungs, in the order they were tried.
+    pub attempts: Vec<(FallbackRung, RungFailure)>,
+    /// The rung that produced the final code.
+    pub rung: FallbackRung,
+}
+
+impl FallbackReport {
+    /// `true` when the configured strategy did not produce the code
+    /// itself.
+    pub fn degraded(&self) -> bool {
+        !self.attempts.is_empty()
+    }
+}
+
+impl std::fmt::Display for FallbackReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (rung, why) in &self.attempts {
+            write!(f, "{rung} failed ({why}); ")?;
+        }
+        write!(f, "code from {} rung", self.rung)
+    }
+}
+
 /// Metrics of one compilation.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CompileStats {
@@ -118,49 +230,84 @@ pub struct Compiled {
     pub stats: CompileStats,
     /// URSA's allocation report, when the strategy was URSA.
     pub outcome: Option<AllocationOutcome>,
+    /// Degradation-ladder report, when the strategy was URSA.
+    pub fallback: Option<FallbackReport>,
 }
 
-/// Compiles `trace` of `program` for `machine` under `strategy`.
+/// Compiles `trace` of `program` for `machine` under `strategy`,
+/// panicking on any [`try_compile`] error.
 pub fn compile(
     program: &Program,
     trace: &Trace,
     machine: &Machine,
     strategy: CompileStrategy,
 ) -> Compiled {
-    match strategy {
-        CompileStrategy::Ursa(config) => {
-            let ddg = DependenceDag::build(program, trace);
-            let cp_before = 0; // filled from outcome below
-            let outcome = allocate(ddg, machine, &config);
-            let ddg = outcome.ddg.clone();
-            let schedule = list_schedule(&ddg, machine);
-            let (vliw, patch_stats) = match assign_registers(&ddg, &schedule, machine) {
-                Ok(v) => (v, PatchStats::default()),
-                // Residual excess: the assignment phase falls back to
-                // spill patching (paper §2).
-                Err(_) => patch_spills(&ddg, &schedule, machine),
-            };
-            let _ = cp_before;
-            let stats = CompileStats {
-                schedule_length: vliw.cycle_count() as u64,
-                spill_stores: outcome.spill_count() + patch_stats.stores,
-                spill_loads: outcome.spill_count() + patch_stats.loads,
-                memory_traffic: vliw.memory_traffic(),
-                ops: vliw.op_count(),
-                reg_overflow: 0,
-                sequence_edges: outcome.sequence_edge_count(),
-                critical_path: outcome.critical_path,
-            };
-            Compiled {
-                vliw,
-                stats,
-                outcome: Some(outcome),
-            }
+    try_compile(program, trace, machine, strategy).unwrap_or_else(|e| panic!("compile: {e}"))
+}
+
+/// Compiles `trace` of `program` for `machine` under `strategy` with
+/// default [`PipelineOptions`] (degradation ladder on, release-build
+/// invariant checks off).
+///
+/// # Errors
+///
+/// See [`CompileError`]. With the ladder enabled (the default), URSA
+/// strategies fail only when even postpass spill patching cannot fit
+/// the machine (e.g. too few registers for a single instruction).
+pub fn try_compile(
+    program: &Program,
+    trace: &Trace,
+    machine: &Machine,
+    strategy: CompileStrategy,
+) -> Result<Compiled, CompileError> {
+    try_compile_with(
+        program,
+        trace,
+        machine,
+        strategy,
+        &PipelineOptions::default(),
+    )
+}
+
+/// [`try_compile`] with explicit [`PipelineOptions`].
+pub fn try_compile_with(
+    program: &Program,
+    trace: &Trace,
+    machine: &Machine,
+    strategy: CompileStrategy,
+    opts: &PipelineOptions,
+) -> Result<Compiled, CompileError> {
+    if trace.blocks.is_empty() {
+        return Err(CompileError::UnsupportedTrace {
+            strategy: strategy.name(),
+            blocks: 0,
+        });
+    }
+    for &b in &trace.blocks {
+        if b >= program.blocks.len() {
+            return Err(CompileError::TraceOutOfRange {
+                block: b,
+                blocks: program.blocks.len(),
+            });
         }
+    }
+    let checking = opts.validate || cfg!(debug_assertions);
+    match strategy {
+        CompileStrategy::Ursa(config) => compile_ursa(program, trace, machine, config, opts),
         CompileStrategy::Postpass => {
             let ddg = DependenceDag::build(program, trace);
-            let schedule = list_schedule(&ddg, machine);
-            let (vliw, patch_stats) = patch_spills(&ddg, &schedule, machine);
+            let real_ops = validate::real_op_count(&ddg);
+            if checking {
+                validate::check_dag(Stage::Ddg, &ddg)?;
+            }
+            let schedule = try_list_schedule(&ddg, machine)?;
+            if checking {
+                validate::check_schedule(&ddg, &schedule, machine)?;
+            }
+            let (vliw, patch_stats) = try_patch_spills(&ddg, &schedule, machine)?;
+            if checking {
+                validate::check_words(&vliw, machine, real_ops)?;
+            }
             let stats = CompileStats {
                 schedule_length: vliw.cycle_count() as u64,
                 spill_stores: patch_stats.stores,
@@ -171,19 +318,21 @@ pub fn compile(
                 sequence_edges: 0,
                 critical_path: schedule.length(),
             };
-            Compiled {
+            Ok(Compiled {
                 vliw,
                 stats,
                 outcome: None,
-            }
+                fallback: None,
+            })
         }
         CompileStrategy::Prepass => {
-            assert_eq!(
-                trace.blocks.len(),
-                1,
-                "the prepass baseline allocates one block at a time"
-            );
-            let (allocated, pre_stats) = prepass_allocate(program, trace.blocks[0], machine);
+            if trace.blocks.len() != 1 {
+                return Err(CompileError::UnsupportedTrace {
+                    strategy: "prepass",
+                    blocks: trace.blocks.len(),
+                });
+            }
+            let (allocated, pre_stats) = try_prepass_allocate(program, trace.blocks[0], machine)?;
             let ddg = DependenceDag::build_with(
                 &allocated,
                 trace,
@@ -192,8 +341,18 @@ pub fn compile(
                     ..DdgOptions::default()
                 },
             );
-            let schedule = list_schedule(&ddg, machine);
+            if checking {
+                validate::check_dag(Stage::Ddg, &ddg)?;
+            }
+            let schedule = try_list_schedule(&ddg, machine)?;
+            if checking {
+                validate::check_schedule(&ddg, &schedule, machine)?;
+            }
             let vliw = emit_physical(&ddg, &schedule, machine);
+            if checking {
+                let expected = validate::real_op_count(&DependenceDag::build(program, trace));
+                validate::check_words(&vliw, machine, expected)?;
+            }
             let stats = CompileStats {
                 schedule_length: vliw.cycle_count() as u64,
                 spill_stores: pre_stats.stores,
@@ -204,30 +363,34 @@ pub fn compile(
                 sequence_edges: 0,
                 critical_path: schedule.length(),
             };
-            Compiled {
+            Ok(Compiled {
                 vliw,
                 stats,
                 outcome: None,
-            }
+                fallback: None,
+            })
         }
         CompileStrategy::GoodmanHsu => {
             let ddg = DependenceDag::build(program, trace);
-            let (schedule, ips_stats) = ips_schedule(&ddg, machine);
+            let real_ops = validate::real_op_count(&ddg);
+            if checking {
+                validate::check_dag(Stage::Ddg, &ddg)?;
+            }
+            let (schedule, ips_stats) = try_ips_schedule(&ddg, machine)?;
+            if checking {
+                validate::check_schedule(&ddg, &schedule, machine)?;
+            }
             // The technique has no spills; when it overflowed, the code
             // needs a wider file. Assign with exactly what it needs
-            // (widening further if in-flight dead writes demand it).
-            let mut file = machine.registers().max(ips_stats.max_live);
-            let vliw = loop {
-                let widened = if file > machine.registers() {
-                    machine.with_registers(file)
-                } else {
-                    machine.clone()
-                };
-                match assign_registers(&ddg, &schedule, &widened) {
-                    Ok(v) => break v,
-                    Err(_) => file += 1,
-                }
-            };
+            // (widening further if in-flight dead writes demand it),
+            // within a hard cap — widening past it would mean the
+            // widening loop itself is broken, not the input.
+            let start = machine.registers().max(ips_stats.max_live);
+            let cap = machine.registers() as u64 + ips_stats.max_live as u64 + schedule.length();
+            let (vliw, file) = widen_and_assign(&ddg, &schedule, machine, start, cap)?;
+            if checking {
+                validate::check_words(&vliw, machine, real_ops)?;
+            }
             let ips_stats = IpsStats {
                 max_live: file,
                 ..ips_stats
@@ -242,10 +405,186 @@ pub fn compile(
                 sequence_edges: 0,
                 critical_path: schedule.length(),
             };
-            Compiled {
+            Ok(Compiled {
                 vliw,
                 stats,
                 outcome: None,
+                fallback: None,
+            })
+        }
+    }
+}
+
+/// The allocation rungs tried for a configured discipline, most capable
+/// first. Spill-only is always last among allocation rungs because
+/// spilling is the one transformation that is always applicable (§4.3).
+fn ladder_for(configured: Strategy) -> Vec<Strategy> {
+    match configured {
+        Strategy::Integrated => vec![Strategy::Integrated, Strategy::Phased, Strategy::SpillOnly],
+        Strategy::Phased => vec![Strategy::Phased, Strategy::SpillOnly],
+        Strategy::PhasedFuFirst => vec![
+            Strategy::PhasedFuFirst,
+            Strategy::Phased,
+            Strategy::SpillOnly,
+        ],
+        Strategy::SpillOnly => vec![Strategy::SpillOnly],
+    }
+}
+
+fn compile_ursa(
+    program: &Program,
+    trace: &Trace,
+    machine: &Machine,
+    config: UrsaConfig,
+    opts: &PipelineOptions,
+) -> Result<Compiled, CompileError> {
+    let checking = opts.validate || config.paranoid || cfg!(debug_assertions);
+    let ddg0 = DependenceDag::build(program, trace);
+    if checking {
+        validate::check_dag(Stage::Ddg, &ddg0)?;
+    }
+    let real_ops = validate::real_op_count(&ddg0);
+
+    let rungs = if opts.no_fallback {
+        vec![config.strategy]
+    } else {
+        ladder_for(config.strategy)
+    };
+    let mut attempts: Vec<(FallbackRung, RungFailure)> = Vec::new();
+    let mut last_outcome: Option<AllocationOutcome> = None;
+    for rung_strategy in rungs {
+        let rung_config = UrsaConfig {
+            strategy: rung_strategy,
+            ..config
+        };
+        let outcome = allocate(ddg0.clone(), machine, &rung_config);
+        if checking {
+            validate::check_dag(Stage::Allocation, &outcome.ddg)?;
+            validate::check_conservation(Stage::Allocation, real_ops, &outcome.ddg)?;
+        }
+        let rung = FallbackRung::Allocation(rung_strategy);
+        if outcome.hit_iteration_limit {
+            attempts.push((
+                rung,
+                RungFailure::IterationLimit {
+                    iterations: rung_config.max_iterations,
+                },
+            ));
+            last_outcome = Some(outcome);
+            continue;
+        }
+        if outcome.residual_excess > 0 {
+            attempts.push((
+                rung,
+                RungFailure::ResidualExcess {
+                    excess: outcome.residual_excess,
+                },
+            ));
+            last_outcome = Some(outcome);
+            continue;
+        }
+        let schedule = try_list_schedule(&outcome.ddg, machine)?;
+        if checking {
+            validate::check_schedule(&outcome.ddg, &schedule, machine)?;
+        }
+        match assign_registers(&outcome.ddg, &schedule, machine) {
+            Ok(vliw) => {
+                if checking {
+                    validate::check_words(&vliw, machine, real_ops)?;
+                }
+                return Ok(finish_ursa(
+                    vliw,
+                    PatchStats::default(),
+                    outcome,
+                    FallbackReport { attempts, rung },
+                ));
+            }
+            Err(e) => {
+                attempts.push((rung, RungFailure::AssignOverflow { cycle: e.cycle }));
+                last_outcome = Some(outcome);
+            }
+        }
+    }
+    let outcome = last_outcome.expect("at least one allocation rung ran");
+    if opts.no_fallback {
+        return Err(CompileError::BudgetExhausted {
+            iterations: config.max_iterations,
+            residual_excess: outcome.residual_excess,
+        });
+    }
+    // Terminal rung: postpass spill patching of the most-transformed DAG
+    // (paper §2 makes the assignment phase responsible for residual
+    // excess; §4.3 spilling is always applicable).
+    let schedule = try_list_schedule(&outcome.ddg, machine)?;
+    if checking {
+        validate::check_schedule(&outcome.ddg, &schedule, machine)?;
+    }
+    let (vliw, patch_stats) = try_patch_spills(&outcome.ddg, &schedule, machine)?;
+    if checking {
+        validate::check_words(&vliw, machine, real_ops)?;
+    }
+    Ok(finish_ursa(
+        vliw,
+        patch_stats,
+        outcome,
+        FallbackReport {
+            attempts,
+            rung: FallbackRung::PostpassPatch,
+        },
+    ))
+}
+
+fn finish_ursa(
+    vliw: VliwProgram,
+    patch_stats: PatchStats,
+    outcome: AllocationOutcome,
+    fallback: FallbackReport,
+) -> Compiled {
+    let stats = CompileStats {
+        schedule_length: vliw.cycle_count() as u64,
+        spill_stores: outcome.spill_count() + patch_stats.stores,
+        spill_loads: outcome.spill_count() + patch_stats.loads,
+        memory_traffic: vliw.memory_traffic(),
+        ops: vliw.op_count(),
+        reg_overflow: 0,
+        sequence_edges: outcome.sequence_edge_count(),
+        critical_path: outcome.critical_path,
+    };
+    Compiled {
+        vliw,
+        stats,
+        outcome: Some(outcome),
+        fallback: Some(fallback),
+    }
+}
+
+/// Widens the register file from `start` until assignment succeeds,
+/// refusing past `cap` (the Goodman–Hsu technique has no spill
+/// mechanism, so the file must grow to what the code truly needs).
+fn widen_and_assign(
+    ddg: &DependenceDag,
+    schedule: &Schedule,
+    machine: &Machine,
+    start: u32,
+    cap: u64,
+) -> Result<(VliwProgram, u32), CompileError> {
+    let mut file = start;
+    loop {
+        let widened = if file > machine.registers() {
+            machine.with_registers(file)
+        } else {
+            machine.clone()
+        };
+        match assign_registers(ddg, schedule, &widened) {
+            Ok(v) => return Ok((v, file)),
+            Err(_) => {
+                file += 1;
+                if file as u64 > cap {
+                    return Err(CompileError::RegisterOverflow {
+                        needed: file,
+                        available: machine.registers(),
+                    });
+                }
             }
         }
     }
@@ -305,8 +644,10 @@ mod tests {
         let machine = Machine::homogeneous(3, 4);
         let u = compile_entry_block(&p, &machine, CompileStrategy::Ursa(UrsaConfig::default()));
         assert!(u.outcome.is_some());
+        assert!(u.fallback.is_some());
         let b = compile_entry_block(&p, &machine, CompileStrategy::Postpass);
         assert!(b.outcome.is_none());
+        assert!(b.fallback.is_none());
     }
 
     #[test]
@@ -340,6 +681,21 @@ mod tests {
     }
 
     #[test]
+    fn goodman_hsu_widening_cap_is_honest() {
+        // With an artificially tiny cap the widening loop must return a
+        // typed overflow, not loop or panic.
+        let p = parse(FIG2).unwrap();
+        let machine = Machine::homogeneous(8, 2);
+        let ddg = DependenceDag::from_entry_block(&p);
+        let (schedule, _) = ips_schedule(&ddg, &machine);
+        let err = widen_and_assign(&ddg, &schedule, &machine, machine.registers(), 2).unwrap_err();
+        assert!(matches!(
+            err,
+            CompileError::RegisterOverflow { available: 2, .. }
+        ));
+    }
+
+    #[test]
     fn postpass_spills_more_than_ursa_under_pressure() {
         let p = parse(FIG2).unwrap();
         let machine = Machine::homogeneous(4, 4);
@@ -352,5 +708,32 @@ mod tests {
             u.stats.memory_traffic,
             b.stats.memory_traffic
         );
+    }
+
+    #[test]
+    fn clean_compile_reports_top_rung() {
+        let p = parse(FIG2).unwrap();
+        let machine = Machine::homogeneous(3, 16);
+        let c = compile_entry_block(&p, &machine, CompileStrategy::Ursa(UrsaConfig::default()));
+        let report = c.fallback.expect("ursa reports fallback");
+        assert!(!report.degraded());
+        assert_eq!(report.rung, FallbackRung::Allocation(Strategy::Integrated));
+    }
+
+    #[test]
+    fn empty_trace_is_a_typed_error() {
+        let p = parse(FIG2).unwrap();
+        let machine = Machine::homogeneous(3, 4);
+        let err = try_compile(
+            &p,
+            &Trace { blocks: vec![] },
+            &machine,
+            CompileStrategy::Postpass,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CompileError::UnsupportedTrace { blocks: 0, .. }
+        ));
     }
 }

@@ -9,6 +9,7 @@
 //! machinery serves as URSA's emergency fallback for residual excess
 //! (paper §2 assigns leftover overflows to the assignment phase).
 
+use crate::error::CompileError;
 use crate::schedule::{node_class, node_latency, Schedule};
 use crate::vliw::{MachineOp, SlotOp, VliwProgram};
 use std::collections::{BTreeSet, HashMap};
@@ -52,11 +53,19 @@ impl<'m> Emitter<'m> {
     /// Issues `op` at the earliest cycle ≥ `earliest` with a free unit
     /// of `class`; returns the issue cycle. The unit stays occupied for
     /// `occ` cycles; the schedule drains until `t + lat`.
-    fn issue(&mut self, earliest: u64, class: FuClass, lat: u64, occ: u64, op: SlotOp) -> u64 {
+    fn issue(
+        &mut self,
+        earliest: u64,
+        class: FuClass,
+        lat: u64,
+        occ: u64,
+        op: SlotOp,
+    ) -> Result<u64, CompileError> {
         let units = self
             .unit_busy
             .get_mut(&class)
-            .unwrap_or_else(|| panic!("machine has no {class} units"));
+            .filter(|u| !u.is_empty())
+            .ok_or(CompileError::MissingUnit { class })?;
         let (idx, t) = units
             .iter()
             .enumerate()
@@ -72,7 +81,7 @@ impl<'m> Emitter<'m> {
             fu: (class, idx as u32),
         });
         self.end = self.end.max(t + lat);
-        t
+        Ok(t)
     }
 }
 
@@ -84,7 +93,8 @@ enum Loc {
 }
 
 /// Replays `schedule`, assigning physical registers on the fly and
-/// inserting spill code wherever the file overflows. Always succeeds.
+/// inserting spill code wherever the file overflows; panics on any
+/// [`try_patch_spills`] error.
 ///
 /// # Panics
 ///
@@ -97,6 +107,26 @@ pub fn patch_spills(
     schedule: &Schedule,
     machine: &Machine,
 ) -> (VliwProgram, PatchStats) {
+    try_patch_spills(ddg, schedule, machine).unwrap_or_else(|e| panic!("patch_spills: {e}"))
+}
+
+/// Replays `schedule`, assigning physical registers on the fly and
+/// inserting spill code wherever the file overflows. This is the
+/// always-applicable last rung of the degradation ladder (paper §4.3):
+/// it only fails on machines that cannot execute the program at all.
+///
+/// # Errors
+///
+/// [`CompileError::RegisterOverflow`] when more live-in values exist
+/// than registers, [`CompileError::FileTooSmall`] when the file cannot
+/// hold the operands of a single instruction, and
+/// [`CompileError::MissingUnit`] when the machine lacks a needed unit
+/// class (including memory units for the spill code itself).
+pub fn try_patch_spills(
+    ddg: &DependenceDag,
+    schedule: &Schedule,
+    machine: &Machine,
+) -> Result<(VliwProgram, PatchStats), CompileError> {
     let regs = machine.registers();
     let exit = ddg.exit();
     let mut stats = PatchStats::default();
@@ -162,12 +192,19 @@ pub fn patch_spills(
         .collect();
 
     // Live-in values occupy registers from the start.
+    let live_in_count = ddg
+        .value_nodes()
+        .filter(|&v| matches!(ddg.kind(v), NodeKind::LiveIn { .. }))
+        .count();
+    if live_in_count > regs as usize {
+        return Err(CompileError::RegisterOverflow {
+            needed: live_in_count as u32,
+            available: regs,
+        });
+    }
     for v in ddg.value_nodes() {
         if let NodeKind::LiveIn { reg } = ddg.kind(v) {
-            let phys = *free
-                .iter()
-                .next()
-                .unwrap_or_else(|| panic!("more live-in values than registers ({regs})"));
+            let phys = *free.iter().next().expect("live-in count checked above");
             free.remove(&phys);
             owner.insert(phys, *reg);
             loc.insert(*reg, Loc::Reg(phys));
@@ -179,6 +216,15 @@ pub fn patch_spills(
     let mut last_issue: u64 = 0;
     // Registers of dead definitions, reusable once the write commits.
     let mut deferred_frees: Vec<(u64, u32)> = Vec::new();
+    // Memory commit times: a load must not issue before the last store
+    // to its cell has committed (the machine model commits stores after
+    // their latency; loads observe committed memory only). Keyed by
+    // `(symbol, Some(constant index))`, with `None` standing for any
+    // store through a register index. Matters when the DAG itself
+    // contains spill stores and reloads (allocation-transformed DAGs):
+    // replay re-times every op, so the schedule's original spacing
+    // cannot be relied on.
+    let mut mem_commit: HashMap<(SymbolId, Option<i64>), u64> = HashMap::new();
 
     // Helper closures become explicit functions to appease the borrow
     // checker; state is threaded through a macro-free struct instead.
@@ -221,7 +267,7 @@ pub fn patch_spills(
                     idx,
                     &reads,
                     last_issue,
-                );
+                )?;
                 let slot = slot_of[&r];
                 let ready = mem_avail
                     .get(&r)
@@ -238,7 +284,7 @@ pub fn patch_spills(
                         dst: VirtualReg(phys),
                         mem: MemRef::new(spill_sym, slot),
                     }),
-                );
+                )?;
                 stats.loads += 1;
                 avail.insert(r, t + machine.latency_of(OpKind::Load));
                 loc.insert(r, Loc::Reg(phys));
@@ -249,6 +295,23 @@ pub fn patch_spills(
         //    operand register is recycled).
         for &r in &reads {
             earliest = earliest.max(avail.get(&r).copied().unwrap_or(0));
+        }
+        if let Some(m) = instr.as_ref().and_then(Instr::mem_read) {
+            let ready = match m.index {
+                Operand::Imm(k) => mem_commit
+                    .get(&(m.base, Some(k)))
+                    .copied()
+                    .unwrap_or(0)
+                    .max(mem_commit.get(&(m.base, None)).copied().unwrap_or(0)),
+                // Unknown index: wait for every store to the symbol.
+                Operand::Reg(_) => mem_commit
+                    .iter()
+                    .filter(|&(&(s, _), _)| s == m.base)
+                    .map(|(_, &t)| t)
+                    .max()
+                    .unwrap_or(0),
+            };
+            earliest = earliest.max(ready);
         }
         let mut binding: HashMap<VirtualReg, u32> = reads
             .iter()
@@ -278,8 +341,8 @@ pub fn patch_spills(
         // 4. A register for the definition (surviving operands of this
         //    instruction are protected from eviction).
         let def = instr.as_ref().and_then(Instr::def);
-        let def_phys = def.map(|_| {
-            take_register(
+        let def_phys = match def {
+            Some(_) => Some(take_register(
                 &mut floor,
                 &mut deferred_frees,
                 &mut free,
@@ -298,8 +361,9 @@ pub fn patch_spills(
                 idx,
                 &reads,
                 last_issue,
-            )
-        });
+            )?),
+            None => None,
+        };
         if let (Some(d), Some(p)) = (def, def_phys) {
             binding.insert(d, p);
         }
@@ -317,8 +381,16 @@ pub fn patch_spills(
             _ => unreachable!(),
         };
         let occ = crate::schedule::node_occupancy(ddg, machine, node);
-        let t = emitter.issue(earliest.max(floor), class, lat, occ, slot_op);
+        let t = emitter.issue(earliest.max(floor), class, lat, occ, slot_op)?;
         last_issue = t;
+        if let Some(m) = instr.as_ref().and_then(Instr::mem_write) {
+            let key = match m.index {
+                Operand::Imm(k) => (m.base, Some(k)),
+                Operand::Reg(_) => (m.base, None),
+            };
+            let commit = mem_commit.entry(key).or_insert(0);
+            *commit = (*commit).max(t + lat);
+        }
 
         // 5. The definition becomes live.
         if let (Some(d), Some(p)) = (def, def_phys) {
@@ -354,7 +426,7 @@ pub fn patch_spills(
     while (emitter.words.len() as u64) < emitter.end {
         emitter.words.push(Vec::new());
     }
-    (
+    Ok((
         VliwProgram {
             words: emitter.words,
             symbols,
@@ -362,7 +434,7 @@ pub fn patch_spills(
             live_in,
         },
         stats,
-    )
+    ))
 }
 
 /// Obtains a free physical register, spilling the bound value with the
@@ -388,17 +460,17 @@ fn take_register(
     current_idx: usize,
     current_reads: &[VirtualReg],
     last_issue: u64,
-) -> u32 {
+) -> Result<u32, CompileError> {
     if let Some(&p) = free.iter().next() {
         free.remove(&p);
-        return p;
+        return Ok(p);
     }
     // Reclaim a dead definition's register whose write has committed.
     if let Some(pos) = deferred_frees
         .iter()
         .position(|&(usable_at, _)| usable_at <= last_issue)
     {
-        return deferred_frees.swap_remove(pos).1;
+        return Ok(deferred_frees.swap_remove(pos).1);
     }
     // Victim: farthest next use (live-out counts as infinitely far only
     // after every other candidate).
@@ -421,14 +493,19 @@ fn take_register(
         // Every owned register is an operand; fall back to a register
         // in limbo (dead write still in flight) and make the consumer
         // wait for the commit.
-        let (usable_at, p) = deferred_frees
+        let Some((usable_at, p)) = deferred_frees
             .iter()
             .copied()
             .min_by_key(|&(usable_at, p)| (usable_at, p))
-            .expect("a register exists beyond the current operands");
+        else {
+            return Err(CompileError::FileTooSmall {
+                stage: "spill patching",
+                registers: emitter.machine.registers(),
+            });
+        };
         deferred_frees.retain(|&(_, q)| q != p);
         *floor = (*floor).max(usable_at);
-        return p;
+        return Ok(p);
     };
     let victim_val = owner.remove(&victim_reg).expect("owned");
 
@@ -448,7 +525,7 @@ fn take_register(
                 mem: MemRef::new(spill_sym, slot),
                 src: Operand::Reg(VirtualReg(victim_reg)),
             }),
-        );
+        )?;
         stats.stores += 1;
         mem_avail.insert(victim_val, t + machine.latency_of(OpKind::Store));
         // The store reads the evicted register at cycle `t`; whoever
@@ -458,7 +535,7 @@ fn take_register(
         *floor = (*floor).max(t);
     }
     loc.insert(victim_val, Loc::Mem);
-    victim_reg
+    Ok(victim_reg)
 }
 
 #[cfg(test)]
@@ -558,6 +635,58 @@ mod tests {
         let (prog, stats) = patch_spills(&ddg, &s, &machine);
         assert!(stats.stores > 0);
         assert_eq!(prog.op_count(), 11 + stats.stores + stats.loads);
+    }
+
+    #[test]
+    fn reload_waits_for_store_commit() {
+        // A load from a cell must not issue before the store to that
+        // cell has committed (stores commit after their latency). The
+        // replay re-times ops, so this spacing must be re-derived — it
+        // is what keeps allocation-inserted spill/reload pairs correct
+        // when a transformed DAG reaches the patch rung.
+        use ursa_machine::{LatencyModel, MachineBuilder};
+        let src = "\
+            v0 = const 7\n\
+            store a[0], v0\n\
+            v1 = load a[0]\n\
+            v2 = add v1, 1\n\
+            store b[0], v2\n";
+        let ddg = ddg_of(src);
+        let machine = MachineBuilder::new("slow-store")
+            .fu(FuClass::Universal, 4)
+            .registers(8)
+            .latencies(LatencyModel {
+                store: 4,
+                ..LatencyModel::unit()
+            })
+            .build();
+        let s = list_schedule(&ddg, &machine);
+        let (prog, _) = patch_spills(&ddg, &s, &machine);
+        let a = prog.symbols.iter().position(|s| s == "a").unwrap() as u32;
+        let mut store_cycle = None;
+        let mut load_cycle = None;
+        for (cycle, word) in prog.words.iter().enumerate() {
+            for op in word {
+                if let SlotOp::Instr(i) = &op.op {
+                    if let Some(m) = i.mem_write() {
+                        if m.base == SymbolId(a) {
+                            store_cycle = Some(cycle as u64);
+                        }
+                    }
+                    if let Some(m) = i.mem_read() {
+                        if m.base == SymbolId(a) {
+                            load_cycle = Some(cycle as u64);
+                        }
+                    }
+                }
+            }
+        }
+        let (ts, tl) = (store_cycle.unwrap(), load_cycle.unwrap());
+        assert!(
+            tl >= ts + 4,
+            "load at {tl} observes the store at {ts} before its commit at {}",
+            ts + 4
+        );
     }
 
     #[test]

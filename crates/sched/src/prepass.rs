@@ -9,6 +9,7 @@
 //! dependence DAG (built with renaming disabled) and shackles the list
 //! scheduler.
 
+use crate::error::CompileError;
 use std::collections::{BTreeSet, HashMap};
 use ursa_ir::instr::Instr;
 use ursa_ir::program::{BasicBlock, Program};
@@ -42,22 +43,32 @@ struct ScanState {
     out: Vec<Instr>,
     stats: PrepassStats,
     spill_sym: SymbolId,
+    regs: u32,
 }
 
 impl ScanState {
     /// Obtains a free register, evicting the bound value with the
     /// farthest next use (never one of `protected`).
-    fn grab(&mut self, protected: &[VirtualReg], next_use: impl Fn(VirtualReg) -> usize) -> u32 {
+    fn grab(
+        &mut self,
+        protected: &[VirtualReg],
+        next_use: impl Fn(VirtualReg) -> usize,
+    ) -> Result<u32, CompileError> {
         if let Some(&p) = self.free.iter().next() {
             self.free.remove(&p);
-            return p;
+            return Ok(p);
         }
-        let (&victim_reg, &victim_val) = self
+        let Some((&victim_reg, &victim_val)) = self
             .owner
             .iter()
             .filter(|&(_, v)| !protected.contains(v))
             .max_by_key(|&(p, v)| (next_use(*v), std::cmp::Reverse(*p)))
-            .expect("an unprotected register exists");
+        else {
+            return Err(CompileError::FileTooSmall {
+                stage: "prepass allocation",
+                registers: self.regs,
+            });
+        };
         self.owner.remove(&victim_reg);
         let slot = match self.slot_of.get(&victim_val) {
             Some(&s) => s, // clean: already in its slot
@@ -74,7 +85,7 @@ impl ScanState {
             }
         };
         self.loc.insert(victim_val, Loc::Mem(slot));
-        victim_reg
+        Ok(victim_reg)
     }
 }
 
@@ -85,16 +96,38 @@ impl ScanState {
 ///
 /// # Panics
 ///
-/// Panics if the machine has fewer than 3 registers (three-address
-/// instructions need up to two operands and a result resident) or if
-/// the block's live-in set exceeds the file.
+/// Panics on any [`try_prepass_allocate`] error: fewer than 3 registers
+/// (three-address instructions need up to two operands and a result
+/// resident) or a live-in set exceeding the file.
 pub fn prepass_allocate(
     program: &Program,
     block: usize,
     machine: &Machine,
 ) -> (Program, PrepassStats) {
+    try_prepass_allocate(program, block, machine)
+        .unwrap_or_else(|e| panic!("prepass_allocate: {e}"))
+}
+
+/// Fallible [`prepass_allocate`]: rewrites block `block` of `program`
+/// onto the machine's physical register file.
+///
+/// # Errors
+///
+/// [`CompileError::FileTooSmall`] when the machine has fewer than 3
+/// registers, [`CompileError::RegisterOverflow`] when the block's
+/// live-in set exceeds the file.
+pub fn try_prepass_allocate(
+    program: &Program,
+    block: usize,
+    machine: &Machine,
+) -> Result<(Program, PrepassStats), CompileError> {
     let regs = machine.registers();
-    assert!(regs >= 3, "prepass allocation needs at least 3 registers");
+    if regs < 3 {
+        return Err(CompileError::FileTooSmall {
+            stage: "prepass allocation",
+            registers: regs,
+        });
+    }
     let lv = liveness(program);
     let instrs = &program.blocks[block].instrs;
 
@@ -131,6 +164,7 @@ pub fn prepass_allocate(
         out: Vec::new(),
         stats: PrepassStats::default(),
         spill_sym,
+        regs,
     };
 
     // Live-in registers are assumed resident on entry.
@@ -138,10 +172,12 @@ pub fn prepass_allocate(
         .iter()
         .map(|i| VirtualReg(i as u32))
         .collect();
-    assert!(
-        live_in.len() <= regs as usize,
-        "more live-in values than registers"
-    );
+    if live_in.len() > regs as usize {
+        return Err(CompileError::RegisterOverflow {
+            needed: live_in.len() as u32,
+            available: regs,
+        });
+    }
     for (k, &r) in live_in.iter().enumerate() {
         let phys = k as u32;
         st.free.remove(&phys);
@@ -154,7 +190,7 @@ pub fn prepass_allocate(
         // Reload spilled operands.
         for &r in &reads {
             if let Some(Loc::Mem(slot)) = st.loc.get(&r).copied() {
-                let phys = st.grab(&reads, |v| next_use(v, i));
+                let phys = st.grab(&reads, |v| next_use(v, i))?;
                 st.out.push(Instr::Load {
                     dst: VirtualReg(phys),
                     mem: MemRef::new(spill_sym, slot),
@@ -187,7 +223,10 @@ pub fn prepass_allocate(
         }
         // Allocate the definition.
         let def = instr.def();
-        let def_phys = def.map(|_| st.grab(&reads, |v| next_use(v, i + 1)));
+        let def_phys = match def {
+            Some(_) => Some(st.grab(&reads, |v| next_use(v, i + 1))?),
+            None => None,
+        };
         let mut rewritten = instr.clone();
         rewritten.map_registers(|r| {
             if Some(r) == def {
@@ -215,7 +254,7 @@ pub fn prepass_allocate(
     };
     new_program.num_vregs = new_program.num_vregs.max(regs);
     let stats = st.stats;
-    (new_program, stats)
+    Ok((new_program, stats))
 }
 
 #[cfg(test)]
@@ -308,11 +347,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least 3 registers")]
     fn too_small_file_rejected() {
         let p = parse(FIG2).unwrap();
         let machine = Machine::homogeneous(4, 2);
-        prepass_allocate(&p, 0, &machine);
+        assert!(matches!(
+            try_prepass_allocate(&p, 0, &machine),
+            Err(CompileError::FileTooSmall { registers: 2, .. })
+        ));
     }
 
     #[test]

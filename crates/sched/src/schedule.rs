@@ -7,6 +7,7 @@
 //! distance to the exit. Functional units are non-pipelined: a unit
 //! stays busy for the instruction's full latency (paper §3.2 model).
 
+use crate::error::CompileError;
 use std::collections::HashMap;
 use ursa_graph::dag::NodeId;
 use ursa_graph::order::Levels;
@@ -148,15 +149,29 @@ pub fn node_class(ddg: &DependenceDag, machine: &Machine, n: NodeId) -> Option<F
     }
 }
 
+/// List-schedules `ddg` on `machine`, panicking on any
+/// [`try_list_schedule`] error.
+///
+/// # Panics
+///
+/// Panics if the DAG is cyclic, if the machine lacks a needed unit
+/// class, or if the scheduler trips its progress bound.
+pub fn list_schedule(ddg: &DependenceDag, machine: &Machine) -> Schedule {
+    try_list_schedule(ddg, machine).unwrap_or_else(|e| panic!("list_schedule: {e}"))
+}
+
 /// List-schedules `ddg` on `machine`, honoring dependences, latencies
 /// and functional-unit counts (registers are *not* constrained here —
 /// URSA guarantees them, and the postpass baseline deliberately ignores
 /// them at this stage).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the DAG is cyclic.
-pub fn list_schedule(ddg: &DependenceDag, machine: &Machine) -> Schedule {
+/// [`CompileError::MissingUnit`] when an operation's class has no unit
+/// on the machine; [`CompileError::SchedulerStalled`] when the safety
+/// bound on scheduling cycles trips (a correct scheduler stays well
+/// within it).
+pub fn try_list_schedule(ddg: &DependenceDag, machine: &Machine) -> Result<Schedule, CompileError> {
     let weights: Vec<u64> = ddg
         .dag()
         .nodes()
@@ -242,11 +257,7 @@ pub fn list_schedule(ddg: &DependenceDag, machine: &Machine) -> Schedule {
             let class = node_class(ddg, machine, v).expect("real op");
             let lat = node_latency(ddg, machine, v);
             let Some(units) = unit_free.get_mut(&class) else {
-                panic!(
-                    "machine {} has no {class} unit for {}",
-                    machine.name(),
-                    ddg.describe(v)
-                );
+                return Err(CompileError::MissingUnit { class });
             };
             let Some(idx) = units.iter().position(|&f| f <= cycle) else {
                 continue; // all units of this class busy this cycle
@@ -276,10 +287,12 @@ pub fn list_schedule(ddg: &DependenceDag, machine: &Machine) -> Schedule {
         cycle += 1;
         // Safety valve: a correct scheduler always terminates well within
         // this bound.
-        assert!(
-            cycle <= critical + (ddg.dag().node_count() as u64 + 2) * (critical.max(1) + 1),
-            "list scheduler failed to make progress"
-        );
+        if cycle > critical + (ddg.dag().node_count() as u64 + 2) * (critical.max(1) + 1) {
+            return Err(CompileError::SchedulerStalled {
+                scheduler: "list scheduler",
+                cycle,
+            });
+        }
     }
 
     let length = ops
@@ -288,7 +301,7 @@ pub fn list_schedule(ddg: &DependenceDag, machine: &Machine) -> Schedule {
         .max()
         .unwrap_or(0);
     ops.sort_by_key(|op| (op.cycle, op.fu.0 as u32, op.fu.1));
-    Schedule { ops, start, length }
+    Ok(Schedule { ops, start, length })
 }
 
 fn release_succs(

@@ -9,12 +9,20 @@
 //! ursac program.tac --fus 4 --regs 8       # machine shape
 //! ursac program.tac --classic              # classed machine w/ latencies
 //! ursac program.tac --pipelined            # pipelined classed machine
+//! ursac program.tac --machine m.json       # machine from a JSON description
 //! ursac program.tac --strategy postpass    # ursa|postpass|prepass|gh
 //! ursac program.tac --measure              # requirements only
 //! ursac program.tac --dot                  # DOT graph of the trace DAG
 //! ursac program.tac --run                  # compile, simulate, show memory
 //! ursac program.tac --unroll 4             # unroll the first self-loop
+//! ursac program.tac --validate             # stage invariant checks on
+//! ursac program.tac --max-iterations 16    # URSA reduction budget
+//! ursac program.tac --no-fallback          # fail instead of degrading
 //! ```
+//!
+//! Exit status: 0 on success, 1 on any compilation or simulation
+//! failure (including an exhausted allocation budget under
+//! `--no-fallback`), 2 on usage errors.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -24,35 +32,43 @@ use ursa::ir::dot::to_dot;
 use ursa::ir::unroll::{find_self_loop, unroll_self_loop};
 use ursa::ir::{parse, Trace};
 use ursa::machine::Machine;
-use ursa::sched::{compile, CompileStrategy};
+use ursa::sched::{try_compile_with, CompileStrategy, PipelineOptions};
 use ursa::vm::equiv::seeded_memory;
 use ursa::vm::wide::run_vliw;
 
 struct Options {
     input: String,
     fus: u32,
-    regs: u32,
+    regs: Option<u32>,
     classic: bool,
     pipelined: bool,
+    machine_file: Option<String>,
     strategy: String,
     measure_only: bool,
     dot: bool,
     run: bool,
     unroll: Option<usize>,
+    validate: bool,
+    max_iterations: Option<usize>,
+    no_fallback: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         input: String::new(),
         fus: 4,
-        regs: 16,
+        regs: None,
         classic: false,
         pipelined: false,
+        machine_file: None,
         strategy: "ursa".to_string(),
         measure_only: false,
         dot: false,
         run: false,
         unroll: None,
+        validate: false,
+        max_iterations: None,
+        no_fallback: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -62,12 +78,15 @@ fn parse_args() -> Result<Options, String> {
         match arg.as_str() {
             "--fus" => opts.fus = take("--fus")?.parse().map_err(|e| format!("--fus: {e}"))?,
             "--regs" => {
-                opts.regs = take("--regs")?
-                    .parse()
-                    .map_err(|e| format!("--regs: {e}"))?
+                opts.regs = Some(
+                    take("--regs")?
+                        .parse()
+                        .map_err(|e| format!("--regs: {e}"))?,
+                )
             }
             "--classic" => opts.classic = true,
             "--pipelined" => opts.pipelined = true,
+            "--machine" => opts.machine_file = Some(take("--machine")?),
             "--strategy" => opts.strategy = take("--strategy")?,
             "--measure" => opts.measure_only = true,
             "--dot" => opts.dot = true,
@@ -79,6 +98,15 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("--unroll: {e}"))?,
                 )
             }
+            "--validate" => opts.validate = true,
+            "--max-iterations" => {
+                opts.max_iterations = Some(
+                    take("--max-iterations")?
+                        .parse()
+                        .map_err(|e| format!("--max-iterations: {e}"))?,
+                )
+            }
+            "--no-fallback" => opts.no_fallback = true,
             "--help" | "-h" => return Err("usage: ursac <file.tac> [options]".to_string()),
             other if other.starts_with('-') => return Err(format!("unknown option '{other}'")),
             file => {
@@ -92,7 +120,32 @@ fn parse_args() -> Result<Options, String> {
     if opts.input.is_empty() {
         return Err("no input file (try --help)".to_string());
     }
+    if opts.machine_file.is_some() && (opts.classic || opts.pipelined) {
+        return Err("--machine conflicts with --classic/--pipelined".to_string());
+    }
     Ok(opts)
+}
+
+fn build_machine(opts: &Options) -> Result<Machine, String> {
+    if let Some(path) = &opts.machine_file {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let machine = Machine::from_json(&json).map_err(|e| e.to_string())?;
+        return match opts.regs {
+            Some(regs) => machine.try_with_registers(regs).map_err(|e| e.to_string()),
+            None => Ok(machine),
+        };
+    }
+    if opts.classic || opts.pipelined {
+        let base = if opts.pipelined {
+            Machine::pipelined_vliw()
+        } else {
+            Machine::classic_vliw()
+        };
+        base.try_with_registers(opts.regs.unwrap_or(16))
+            .map_err(|e| e.to_string())
+    } else {
+        Machine::try_homogeneous(opts.fus, opts.regs.unwrap_or(16)).map_err(|e| e.to_string())
+    }
 }
 
 fn main() -> ExitCode {
@@ -131,15 +184,12 @@ fn main() -> ExitCode {
         };
     }
 
-    let machine = if opts.classic || opts.pipelined {
-        let base = if opts.pipelined {
-            Machine::pipelined_vliw()
-        } else {
-            Machine::classic_vliw()
-        };
-        base.with_registers(opts.regs)
-    } else {
-        Machine::homogeneous(opts.fus, opts.regs)
+    let machine = match build_machine(&opts) {
+        Ok(m) => m,
+        Err(msg) => {
+            eprintln!("ursac: {msg}");
+            return ExitCode::FAILURE;
+        }
     };
     // Compile the hottest block (the self-loop body if present, else the
     // entry block).
@@ -162,8 +212,15 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    let mut config = UrsaConfig {
+        paranoid: opts.validate,
+        ..UrsaConfig::default()
+    };
+    if let Some(n) = opts.max_iterations {
+        config.max_iterations = n;
+    }
     let strategy = match opts.strategy.as_str() {
-        "ursa" => CompileStrategy::Ursa(UrsaConfig::default()),
+        "ursa" => CompileStrategy::Ursa(config),
         "postpass" => CompileStrategy::Postpass,
         "prepass" => CompileStrategy::Prepass,
         "gh" | "goodman-hsu" => CompileStrategy::GoodmanHsu,
@@ -172,7 +229,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let compiled = compile(&program, &trace, &machine, strategy);
+    let pipeline = PipelineOptions {
+        validate: opts.validate,
+        no_fallback: opts.no_fallback,
+    };
+    let compiled = match try_compile_with(&program, &trace, &machine, strategy, &pipeline) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ursac: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(report) = compiled.fallback.as_ref().filter(|r| r.degraded()) {
+        eprintln!("ursac: warning: degraded — {report}");
+    }
     println!("# machine: {machine}");
     println!(
         "# {} cycles, {} ops, {} memory ops, {} spill ops, overflow {}",

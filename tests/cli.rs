@@ -1,0 +1,246 @@
+//! End-to-end tests of the `ursac` binary: exit codes, error paths, and
+//! the fail-safe pipeline flags.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn ursac() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ursac"))
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ursac-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+const SMALL: &str = "\
+    v0 = load a[0]\n\
+    v1 = mul v0, 2\n\
+    v2 = add v1, v0\n\
+    store a[1], v2\n";
+
+#[test]
+fn compiles_and_exits_zero() {
+    let input = write_temp("ok.tac", SMALL);
+    let out = ursac().arg(&input).output().unwrap();
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("# machine:"), "missing header: {stdout}");
+}
+
+#[test]
+fn validate_flag_accepted_and_code_unchanged() {
+    let input = write_temp("validate.tac", SMALL);
+    let plain = ursac().arg(&input).output().unwrap();
+    let checked = ursac().arg(&input).arg("--validate").output().unwrap();
+    assert!(checked.status.success(), "{}", stderr_of(&checked));
+    assert_eq!(plain.stdout, checked.stdout, "--validate altered the code");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = ursac().arg("--bogus-flag").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = ursac().output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "no input file");
+}
+
+#[test]
+fn unknown_strategy_exits_two() {
+    let input = write_temp("strategy.tac", SMALL);
+    let out = ursac()
+        .arg(&input)
+        .args(["--strategy", "nope"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("unknown strategy"));
+}
+
+#[test]
+fn parse_error_exits_one() {
+    let input = write_temp("broken.tac", "v0 = frobnicate 1, 2\n");
+    let out = ursac().arg(&input).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn zero_register_machine_is_a_typed_failure() {
+    let input = write_temp("zeroreg.tac", SMALL);
+    let out = ursac().arg(&input).args(["--regs", "0"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("at least one register"));
+}
+
+#[test]
+fn zero_fu_machine_is_a_typed_failure() {
+    let input = write_temp("zerofu.tac", SMALL);
+    let out = ursac().arg(&input).args(["--fus", "0"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("at least one functional unit"));
+}
+
+#[test]
+fn malformed_machine_json_is_a_typed_failure() {
+    let input = write_temp("machine.tac", SMALL);
+    let machine = write_temp("bad_machine.json", "{ not json");
+    let out = ursac()
+        .arg(&input)
+        .args(["--machine", machine.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr_of(&out).contains("malformed machine JSON"),
+        "stderr: {}",
+        stderr_of(&out)
+    );
+}
+
+#[test]
+fn invalid_machine_description_is_a_typed_failure() {
+    let input = write_temp("machine2.tac", SMALL);
+    let machine = write_temp(
+        "zero_machine.json",
+        r#"{"name": "broken", "fus": [["Universal", 0]], "registers": 8,
+            "latencies": {"alu":1,"mul":1,"div":1,"load":1,"store":1,"branch":1}}"#,
+    );
+    let out = ursac()
+        .arg(&input)
+        .args(["--machine", machine.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("at least one functional unit"));
+}
+
+#[test]
+fn valid_machine_json_compiles() {
+    let input = write_temp("machine3.tac", SMALL);
+    let machine = write_temp(
+        "good_machine.json",
+        r#"{"name": "json-vliw", "fus": [["Universal", 2]], "registers": 8,
+            "latencies": {"alu":1,"mul":1,"div":1,"load":1,"store":1,"branch":1}}"#,
+    );
+    let out = ursac()
+        .arg(&input)
+        .args(["--machine", machine.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("json-vliw"));
+}
+
+#[test]
+fn unroll_without_loop_exits_one() {
+    let input = write_temp("noloop.tac", SMALL);
+    let out = ursac()
+        .arg(&input)
+        .args(["--unroll", "4"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("no self-loop"));
+}
+
+#[test]
+fn unroll_zero_is_rejected_without_panic() {
+    // A self-loop so --unroll reaches the unroller, with factor 0.
+    let looped = "\
+        block entry:\n\
+        v0 = const 0\n\
+        br v0, body, done\n\
+        block body:\n\
+        v1 = load a[0]\n\
+        v2 = add v1, 1\n\
+        store a[0], v2\n\
+        br v2, body, done\n\
+        block done:\n\
+        ret\n";
+    let input = write_temp("loop.tac", looped);
+    let out = ursac()
+        .arg(&input)
+        .args(["--unroll", "0"])
+        .output()
+        .unwrap();
+    // Typed failure or a clean success are both acceptable; a panic
+    // (signal / 101) is not.
+    let code = out.status.code().expect("no signal");
+    assert!(code == 0 || code == 1, "unexpected exit {code}");
+    assert!(!stderr_of(&out).contains("panicked"), "{}", stderr_of(&out));
+}
+
+#[test]
+fn max_iterations_zero_degrades_but_succeeds() {
+    // Budget 0 on a tight machine forces the degradation ladder to the
+    // postpass-patch rung; the compile must still succeed and say so.
+    let pressure = "\
+        v0 = load a[0]\n\
+        v1 = mul v0, 2\n\
+        v2 = mul v0, 3\n\
+        v3 = add v0, 5\n\
+        v4 = add v1, v2\n\
+        v5 = mul v1, v2\n\
+        v6 = mul v3, 2\n\
+        v7 = div v3, 3\n\
+        v8 = div v4, v5\n\
+        v9 = add v6, v7\n\
+        v10 = add v8, v9\n\
+        store b[0], v10\n";
+    let input = write_temp("pressure.tac", pressure);
+    let out = ursac()
+        .arg(&input)
+        .args(["--fus", "4", "--regs", "3", "--max-iterations", "0"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    assert!(
+        stderr_of(&out).contains("degraded"),
+        "expected a degradation warning, got: {}",
+        stderr_of(&out)
+    );
+}
+
+#[test]
+fn no_fallback_budget_exhaustion_exits_one() {
+    let pressure = "\
+        v0 = load a[0]\n\
+        v1 = mul v0, 2\n\
+        v2 = mul v0, 3\n\
+        v3 = add v0, 5\n\
+        v4 = add v1, v2\n\
+        v5 = mul v1, v2\n\
+        v6 = mul v3, 2\n\
+        v7 = div v3, 3\n\
+        v8 = div v4, v5\n\
+        v9 = add v6, v7\n\
+        v10 = add v8, v9\n\
+        store b[0], v10\n";
+    let input = write_temp("pressure2.tac", pressure);
+    let out = ursac()
+        .arg(&input)
+        .args([
+            "--fus",
+            "4",
+            "--regs",
+            "3",
+            "--max-iterations",
+            "0",
+            "--no-fallback",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{}", stderr_of(&out));
+    assert!(
+        stderr_of(&out).contains("budget"),
+        "stderr: {}",
+        stderr_of(&out)
+    );
+}

@@ -7,8 +7,17 @@
 # `foo.workspace = true` resolving to a path entry in the workspace
 # table).
 #
-# Usage: tools/check_hermetic.sh [repo-root]
+# With --with-build, additionally proves the stress harness (the
+# seeded differential fuzzer CI runs) builds with no registry access.
+#
+# Usage: tools/check_hermetic.sh [--with-build] [repo-root]
 set -euo pipefail
+
+with_build=0
+if [ "${1:-}" = "--with-build" ]; then
+    with_build=1
+    shift
+fi
 
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 cd "$root"
@@ -52,3 +61,9 @@ if [ "$status" -ne 0 ]; then
 fi
 
 echo "OK: all Cargo.toml dependencies are in-tree path dependencies"
+
+if [ "$with_build" -eq 1 ]; then
+    echo "building the stress harness offline..."
+    cargo build --release --offline -p ursa-bench --bin stress
+    echo "OK: stress harness builds with no registry access"
+fi
