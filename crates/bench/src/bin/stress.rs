@@ -3,9 +3,14 @@
 //!
 //! Drives deterministic random programs (`ursa-workloads::random`)
 //! through every compilation strategy on a grid of machines, inside
-//! `catch_unwind`, and differentially verifies each compile against the
-//! sequential reference interpreter (`ursa-vm::equiv`). Every failure
-//! prints the exact seed and a single-case repro command.
+//! `catch_unwind`, and verifies each compile with **two independent
+//! oracles**: the differential reference interpreter (`ursa-vm::equiv`,
+//! one concrete input) and the static translation validator
+//! (`ursa-lint`, all inputs at once). Either oracle rejecting fails the
+//! case; when they disagree the failure is annotated — a static-only
+//! reject can be a validator bug or a latent miscompile the seeded
+//! input missed, and both deserve a look. Every failure prints the
+//! exact seed and a single-case repro command.
 //!
 //! ```text
 //! stress                          # default grid, seeds 0..64
@@ -22,7 +27,9 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 use ursa_core::{Strategy, UrsaConfig};
+use ursa_ir::ddg::DependenceDag;
 use ursa_ir::Trace;
+use ursa_lint::validate_translation;
 use ursa_machine::Machine;
 use ursa_rng::Rng;
 use ursa_sched::{try_compile_with, CompileError, CompileStrategy, PipelineOptions};
@@ -124,7 +131,23 @@ enum CaseResult {
     /// The strategy refused the input for an expected, typed reason
     /// (Goodman–Hsu cannot spill, so honest overflow refusals count).
     Refused,
-    Fail(String),
+    Fail {
+        why: String,
+        /// The static validator rejected the code.
+        static_reject: bool,
+        /// The two oracles disagreed (one accepted, one rejected).
+        disagreement: bool,
+    },
+}
+
+impl CaseResult {
+    fn fail(why: impl Into<String>) -> CaseResult {
+        CaseResult::Fail {
+            why: why.into(),
+            static_reject: false,
+            disagreement: false,
+        }
+    }
 }
 
 fn run_case(
@@ -147,13 +170,43 @@ fn run_case(
                 .map(|s| s.to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".to_string());
-            return CaseResult::Fail(format!("panic: {msg}"));
+            return CaseResult::fail(format!("panic: {msg}"));
         }
         Ok(Err(CompileError::RegisterOverflow { .. })) if gh => return CaseResult::Refused,
-        Ok(Err(e)) => return CaseResult::Fail(format!("compile error: {e}")),
+        Ok(Err(e)) => return CaseResult::fail(format!("compile error: {e}")),
         Ok(Ok(c)) => c,
     };
-    // Goodman–Hsu declares the file it truly needs; execute on it.
+    // Oracle 1: the static translation validator, against the DAG the
+    // code was generated from. Prepass code is pre-colored before its
+    // DAG exists, so the validator cannot map its live-ins; skip it
+    // there (the differential oracle still covers it).
+    let static_verdict: Option<Vec<String>> = if matches!(strategy, CompileStrategy::Prepass) {
+        None
+    } else {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            let built;
+            let reference = match &compiled.outcome {
+                Some(o) => &o.ddg,
+                None => {
+                    built = DependenceDag::build(&program, &trace);
+                    &built
+                }
+            };
+            validate_translation(reference, &compiled.vliw, machine)
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity() == ursa_lint::Severity::Error)
+                .map(|d| d.to_string())
+                .collect::<Vec<String>>()
+        }));
+        match run {
+            Err(_) => return CaseResult::fail("panic during static validation"),
+            Ok(errors) => Some(errors),
+        }
+    };
+    // Oracle 2: differential execution against the sequential reference
+    // interpreter on one seeded input. Goodman–Hsu declares the file it
+    // truly needs; execute on it.
     let exec_machine = if compiled.vliw.num_regs > machine.registers() {
         machine.with_registers(compiled.vliw.num_regs)
     } else {
@@ -169,10 +222,40 @@ fn run_case(
             &HashMap::new(),
         )
     }));
-    match check {
-        Err(_) => CaseResult::Fail("panic during differential execution".to_string()),
-        Ok(Err(e)) => CaseResult::Fail(format!("differential check ({strategy_name}): {e}")),
-        Ok(Ok(())) => CaseResult::Pass,
+    let dynamic_err: Option<String> = match check {
+        Err(_) => Some("panic during differential execution".to_string()),
+        Ok(Err(e)) => Some(format!("differential check ({strategy_name}): {e}")),
+        Ok(Ok(())) => None,
+    };
+    let static_errs = static_verdict.as_ref().filter(|e| !e.is_empty());
+    match (static_errs, dynamic_err) {
+        (None, None) => CaseResult::Pass,
+        (Some(se), None) => CaseResult::Fail {
+            why: format!(
+                "static validator rejected, dynamic oracle passed (ORACLE DISAGREEMENT): {}",
+                se.join("; ")
+            ),
+            static_reject: true,
+            disagreement: true,
+        },
+        (None, Some(de)) => {
+            let disagreement = static_verdict.is_some();
+            let note = if disagreement {
+                " — static validator accepted (ORACLE DISAGREEMENT)"
+            } else {
+                ""
+            };
+            CaseResult::Fail {
+                why: format!("{de}{note}"),
+                static_reject: false,
+                disagreement,
+            }
+        }
+        (Some(se), Some(de)) => CaseResult::Fail {
+            why: format!("{de}; static validator agrees: {}", se.join("; ")),
+            static_reject: true,
+            disagreement: false,
+        },
     }
 }
 
@@ -192,8 +275,10 @@ fn main() -> ExitCode {
     let pipeline = PipelineOptions {
         validate: opts.validate,
         no_fallback: false,
+        ..Default::default()
     };
     let (mut cases, mut refusals, mut failures) = (0u64, 0u64, 0u64);
+    let (mut static_rejects, mut disagreements) = (0u64, 0u64);
     for seed in opts.seeds.clone() {
         for machine in &machines {
             if let Some(f) = &opts.machine_filter {
@@ -211,8 +296,14 @@ fn main() -> ExitCode {
                 match run_case(seed, machine, name, strategy, &pipeline) {
                     CaseResult::Pass => {}
                     CaseResult::Refused => refusals += 1,
-                    CaseResult::Fail(why) => {
+                    CaseResult::Fail {
+                        why,
+                        static_reject,
+                        disagreement,
+                    } => {
                         failures += 1;
+                        static_rejects += u64::from(static_reject);
+                        disagreements += u64::from(disagreement);
                         let validate = if opts.validate { " --validate" } else { "" };
                         println!(
                             "FAIL seed={seed} machine={} strategy={name}: {why}",
@@ -231,7 +322,8 @@ fn main() -> ExitCode {
     }
     let _ = std::panic::take_hook();
     println!(
-        "stress: {cases} cases over seeds {}..{}, {refusals} typed refusals, {failures} failures",
+        "stress: {cases} cases over seeds {}..{}, {refusals} typed refusals, {failures} failures \
+         ({static_rejects} static rejects, {disagreements} oracle disagreements)",
         opts.seeds.start, opts.seeds.end
     );
     if failures > 0 {

@@ -73,6 +73,24 @@ impl Measurement {
             requirements: self.resources.iter().map(|r| r.requirement).collect(),
         }
     }
+
+    /// Cross-checks every staged decomposition against the plain
+    /// Dilworth bound from [`requirement_only`]. Both are maximum
+    /// matchings of the same `CanReuse` relation, so the chain counts
+    /// must agree; each `(resource, staged chains, plain bound)` entry
+    /// returned is a resource where the hammock-priority matcher lost
+    /// minimality. `ursa-lint` reports nonempty results as `U0103
+    /// non-minimal-chain-decomposition`.
+    pub fn minimality_gaps(&self, ctx: &AllocCtx<'_>) -> Vec<(ResourceKind, usize, u32)> {
+        self.resources
+            .iter()
+            .filter_map(|m| {
+                let staged = m.decomposition.num_chains();
+                let bound = requirement_only(ctx, &self.kills, m.requirement.resource);
+                (staged as u32 != bound).then_some((m.requirement.resource, staged, bound))
+            })
+            .collect()
+    }
 }
 
 /// Requirements only — cheap to store in reports.

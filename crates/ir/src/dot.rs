@@ -6,8 +6,21 @@
 //! paper's Figure 3.
 
 use crate::ddg::{DependenceDag, NodeKind};
+use std::collections::HashMap;
 use std::fmt::Write as _;
-use ursa_graph::dag::EdgeKind;
+use ursa_graph::dag::{EdgeKind, NodeId};
+
+/// A visual annotation for [`to_dot_annotated`]: fill `node` with
+/// `color` and append `note` to its label (one line per note).
+#[derive(Clone, Debug)]
+pub struct DotAnnotation {
+    /// The node decorated.
+    pub node: NodeId,
+    /// Graphviz fill color, e.g. `"lightcoral"`.
+    pub color: String,
+    /// Short human-readable reason, e.g. a lint code.
+    pub note: String,
+}
 
 /// Renders `ddg` as a DOT digraph.
 ///
@@ -23,18 +36,43 @@ use ursa_graph::dag::EdgeKind;
 /// assert!(dot.contains("store"));
 /// ```
 pub fn to_dot(ddg: &DependenceDag, name: &str) -> String {
+    to_dot_annotated(ddg, name, &[])
+}
+
+/// Renders `ddg` as a DOT digraph with nodes decorated by
+/// `annotations` — filled with the given color and labeled with the
+/// notes. Used by `ursac --dot-annotated` to highlight excessive chain
+/// sets and lint findings; several annotations may target one node (the
+/// first color wins, all notes are shown).
+pub fn to_dot_annotated(ddg: &DependenceDag, name: &str, annotations: &[DotAnnotation]) -> String {
+    let mut decor: HashMap<u32, (String, Vec<String>)> = HashMap::new();
+    for a in annotations {
+        decor
+            .entry(a.node.0)
+            .or_insert_with(|| (a.color.clone(), Vec::new()))
+            .1
+            .push(a.note.clone());
+    }
     let mut out = String::new();
     writeln!(out, "digraph {name} {{").unwrap();
     writeln!(out, "  rankdir=TB;").unwrap();
     writeln!(out, "  node [shape=box, fontname=\"monospace\"];").unwrap();
     for n in ddg.dag().nodes() {
-        let (label, style) = match ddg.kind(n) {
+        let (mut label, style) = match ddg.kind(n) {
             NodeKind::Entry => ("entry".to_string(), "shape=circle"),
             NodeKind::Exit => ("exit".to_string(), "shape=doublecircle"),
             NodeKind::LiveIn { reg } => (format!("live-in {reg}"), "style=dashed"),
             NodeKind::Op { instr, .. } => (instr.to_string(), "style=solid"),
             NodeKind::Branch { cond, .. } => (format!("br {cond}"), "shape=diamond"),
         };
+        let mut style = style.to_string();
+        if let Some((color, notes)) = decor.get(&n.0) {
+            for note in notes {
+                label.push_str("\\n");
+                label.push_str(note);
+            }
+            style = format!("style=filled, fillcolor=\"{color}\"");
+        }
         writeln!(
             out,
             "  n{} [label=\"{}\", {}];",
@@ -89,6 +127,31 @@ mod tests {
         );
         let node_lines = dot.lines().filter(|l| l.contains("[label=")).count();
         assert_eq!(node_lines, ddg.dag().node_count());
+    }
+
+    #[test]
+    fn annotations_fill_and_note_nodes() {
+        let p = parse("v0 = const 1\nv1 = add v0, 2\nstore a[0], v1\n").unwrap();
+        let ddg = DependenceDag::from_entry_block(&p);
+        let ann = vec![
+            DotAnnotation {
+                node: ddg.dag().node(2),
+                color: "lightcoral".into(),
+                note: "U0101 dead-value".into(),
+            },
+            DotAnnotation {
+                node: ddg.dag().node(2),
+                color: "yellow".into(),
+                note: "excessive registers".into(),
+            },
+        ];
+        let dot = to_dot_annotated(&ddg, "a", &ann);
+        assert!(dot.contains("fillcolor=\"lightcoral\""), "{dot}");
+        assert!(!dot.contains("yellow"), "first color wins");
+        assert!(dot.contains("U0101 dead-value"));
+        assert!(dot.contains("excessive registers"));
+        // Plain export is the zero-annotation case.
+        assert_eq!(to_dot(&ddg, "a"), to_dot_annotated(&ddg, "a", &[]));
     }
 
     #[test]

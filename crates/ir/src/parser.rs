@@ -265,6 +265,12 @@ impl Parser {
         {
             return Self::err(line_no, format!("invalid symbol name '{base}'"));
         }
+        if base.starts_with("__") {
+            return Self::err(
+                line_no,
+                format!("symbol '{base}' uses the reserved compiler spill prefix '__'"),
+            );
+        }
         let sym = self.intern(base);
         let index = self.operand(index.trim(), line_no)?;
         Ok(MemRef::new(sym, index))
@@ -421,6 +427,17 @@ mod tests {
         assert!(parse("v0 = load a[\n").is_err());
         assert!(parse("v0 = load 3a[0]\n").is_err());
         assert!(parse("v0 = load v1[0]\n").is_err());
+    }
+
+    #[test]
+    fn reserved_spill_prefix_is_rejected() {
+        // "__" names compiler-private spill areas; letting users claim
+        // it would exempt their memory ops from conservation checks.
+        let e = parse("v0 = load __spill[0]\n").unwrap_err();
+        assert!(e.to_string().contains("reserved"), "{e}");
+        assert!(parse("store __x[0], 1\n").is_err());
+        // A single underscore is an ordinary symbol.
+        assert!(parse("v0 = load _x[0]\n").is_ok());
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! Structured diagnostics with stable codes.
+//!
+//! Every finding of the translation validator or a lint pass is a
+//! [`Diagnostic`] carrying a stable [`Code`] (never renumbered, so
+//! tooling can match on them), a message, optional cycle/node
+//! provenance, and a trail of human-readable notes.
+
+use std::fmt;
+use ursa_graph::dag::NodeId;
+pub use ursa_sched::LintLevel;
+
+/// How bad a diagnostic is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Informational report (never fails a compilation).
+    Note,
+    /// A lint finding: suspicious but not provably a miscompile.
+    Warning,
+    /// A translation-validation failure: the emitted code provably does
+    /// not implement the dependence DAG.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The diagnostic-code registry. `U00xx` codes are validator errors,
+/// `U01xx` codes are lint findings. Codes are stable: they are never
+/// renumbered or reused.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Code {
+    /// A register holding a live value was overwritten before its last
+    /// read, and a later operation read the clobbering value.
+    ClobberedLiveRegister,
+    /// An operation read a register holding some other value than the
+    /// dependence DAG says it should (and the expected value was never
+    /// in that register).
+    WrongOperandValue,
+    /// An operation read a register whose producing write was issued
+    /// but has not committed yet (latency violation).
+    ReadBeforeCommit,
+    /// A spill reload issued before the spill store's value committed
+    /// to memory (or with no store at all).
+    ReloadBeforeStoreCommit,
+    /// An emitted operation matches no remaining dependence-DAG node.
+    UnmatchedOperation,
+    /// A dependence-DAG operation was never emitted.
+    MissingOperation,
+    /// A memory operation issued before a may-aliasing predecessor
+    /// access it depends on.
+    MemoryOrderViolation,
+    /// A store wrote a different value than the DAG's store node.
+    StoreValueMismatch,
+    /// A sequentialization (or control) edge added to the DAG is not
+    /// respected by the emitted issue order.
+    DroppedSequenceEdge,
+    /// Emitted code touches a register outside the declared file.
+    RegisterOutOfFile,
+    /// Two operations overlap on one functional unit, or the unit index
+    /// does not exist.
+    UnitConflict,
+    /// A computed value is never used, is not live-out, and holds a
+    /// register while later operations run.
+    DeadValue,
+    /// A spill store whose slot is never reloaded.
+    RedundantSpillPair,
+    /// A staged chain decomposition with more chains than the plain
+    /// Dilworth bound — the hammock-priority matcher lost minimality.
+    NonMinimalChainDecomposition,
+    /// A machine description with inconsistent latency or resource
+    /// declarations.
+    InconsistentMachine,
+    /// A register-pressure hotspot: an excessive region reported per
+    /// the measure phase.
+    RegisterPressureHotspot,
+    /// A program symbol collides with the reserved `__` spill prefix,
+    /// exempting its memory traffic from conservation checks.
+    SpillSymbolCollision,
+}
+
+impl Code {
+    /// Every code, for registry listings.
+    pub const ALL: [Code; 17] = [
+        Code::ClobberedLiveRegister,
+        Code::WrongOperandValue,
+        Code::ReadBeforeCommit,
+        Code::ReloadBeforeStoreCommit,
+        Code::UnmatchedOperation,
+        Code::MissingOperation,
+        Code::MemoryOrderViolation,
+        Code::StoreValueMismatch,
+        Code::DroppedSequenceEdge,
+        Code::RegisterOutOfFile,
+        Code::UnitConflict,
+        Code::DeadValue,
+        Code::RedundantSpillPair,
+        Code::NonMinimalChainDecomposition,
+        Code::InconsistentMachine,
+        Code::RegisterPressureHotspot,
+        Code::SpillSymbolCollision,
+    ];
+
+    /// The stable code string, e.g. `"U0001"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::ClobberedLiveRegister => "U0001",
+            Code::WrongOperandValue => "U0002",
+            Code::ReadBeforeCommit => "U0003",
+            Code::ReloadBeforeStoreCommit => "U0004",
+            Code::UnmatchedOperation => "U0005",
+            Code::MissingOperation => "U0006",
+            Code::MemoryOrderViolation => "U0007",
+            Code::StoreValueMismatch => "U0008",
+            Code::DroppedSequenceEdge => "U0009",
+            Code::RegisterOutOfFile => "U0010",
+            Code::UnitConflict => "U0011",
+            Code::DeadValue => "U0101",
+            Code::RedundantSpillPair => "U0102",
+            Code::NonMinimalChainDecomposition => "U0103",
+            Code::InconsistentMachine => "U0104",
+            Code::RegisterPressureHotspot => "U0105",
+            Code::SpillSymbolCollision => "U0106",
+        }
+    }
+
+    /// The kebab-case name, e.g. `"clobbered-live-register"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Code::ClobberedLiveRegister => "clobbered-live-register",
+            Code::WrongOperandValue => "wrong-operand-value",
+            Code::ReadBeforeCommit => "read-before-commit",
+            Code::ReloadBeforeStoreCommit => "reload-before-store-commit",
+            Code::UnmatchedOperation => "unmatched-operation",
+            Code::MissingOperation => "missing-operation",
+            Code::MemoryOrderViolation => "memory-order-violation",
+            Code::StoreValueMismatch => "store-value-mismatch",
+            Code::DroppedSequenceEdge => "dropped-sequence-edge",
+            Code::RegisterOutOfFile => "register-out-of-file",
+            Code::UnitConflict => "unit-conflict",
+            Code::DeadValue => "dead-value",
+            Code::RedundantSpillPair => "redundant-spill-pair",
+            Code::NonMinimalChainDecomposition => "non-minimal-chain-decomposition",
+            Code::InconsistentMachine => "inconsistent-machine",
+            Code::RegisterPressureHotspot => "register-pressure-hotspot",
+            Code::SpillSymbolCollision => "spill-symbol-collision",
+        }
+    }
+
+    /// The default severity of a code: validator codes are errors,
+    /// lints are warnings, reports are notes.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::ClobberedLiveRegister
+            | Code::WrongOperandValue
+            | Code::ReadBeforeCommit
+            | Code::ReloadBeforeStoreCommit
+            | Code::UnmatchedOperation
+            | Code::MissingOperation
+            | Code::MemoryOrderViolation
+            | Code::StoreValueMismatch
+            | Code::DroppedSequenceEdge
+            | Code::RegisterOutOfFile
+            | Code::UnitConflict => Severity::Error,
+            Code::DeadValue
+            | Code::RedundantSpillPair
+            | Code::NonMinimalChainDecomposition
+            | Code::InconsistentMachine
+            | Code::SpillSymbolCollision => Severity::Warning,
+            Code::RegisterPressureHotspot => Severity::Note,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.as_str(), self.name())
+    }
+}
+
+/// One finding, with provenance.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// One-line description of what is wrong.
+    pub message: String,
+    /// Issue cycle of the offending operation, when applicable.
+    pub cycle: Option<u64>,
+    /// Dependence-DAG nodes involved (for `--dot-annotated`).
+    pub nodes: Vec<NodeId>,
+    /// Provenance trail: how the value got where it is, one hop per
+    /// line.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with no provenance attached yet.
+    pub fn new(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            message: message.into(),
+            cycle: None,
+            nodes: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attaches an issue cycle.
+    pub fn at_cycle(mut self, cycle: u64) -> Diagnostic {
+        self.cycle = Some(cycle);
+        self
+    }
+
+    /// Attaches a DAG node.
+    pub fn on_node(mut self, node: NodeId) -> Diagnostic {
+        self.nodes.push(node);
+        self
+    }
+
+    /// Appends a provenance note.
+    pub fn note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// The severity (the code's default).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{} {}]: {}",
+            self.severity(),
+            self.code.as_str(),
+            self.code.name(),
+            self.message
+        )?;
+        if let Some(c) = self.cycle {
+            write!(f, " (cycle {c})")?;
+        }
+        for n in &self.notes {
+            write!(f, "\n  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// All findings for one compilation (or one standalone `ursalint` run).
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// The findings, in discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> LintReport {
+        LintReport::default()
+    }
+
+    /// Adds a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Adds many findings.
+    pub fn extend(&mut self, ds: impl IntoIterator<Item = Diagnostic>) {
+        self.diagnostics.extend(ds);
+    }
+
+    /// `true` when nothing was found at all.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The validator errors only.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+    }
+
+    /// The lint warnings only.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+    }
+
+    /// Whether this report fails a compilation under `level`: `Allow`
+    /// never fails, `Warn` fails on errors, `Deny` fails on warnings
+    /// too. Notes never fail.
+    pub fn fails_at(&self, level: LintLevel) -> bool {
+        match level {
+            LintLevel::Allow => false,
+            LintLevel::Warn => self.errors().next().is_some(),
+            LintLevel::Deny => self.errors().next().is_some() || self.warnings().next().is_some(),
+        }
+    }
+
+    /// `true` when any diagnostic carries `code`.
+    pub fn has(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let mut strs: Vec<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
+        strs.sort();
+        strs.dedup();
+        assert_eq!(strs.len(), Code::ALL.len(), "duplicate code strings");
+        assert_eq!(Code::ClobberedLiveRegister.as_str(), "U0001");
+        assert_eq!(
+            Code::ClobberedLiveRegister.name(),
+            "clobbered-live-register"
+        );
+        assert_eq!(Code::ReloadBeforeStoreCommit.as_str(), "U0004");
+        assert_eq!(Code::DroppedSequenceEdge.as_str(), "U0009");
+    }
+
+    #[test]
+    fn report_levels() {
+        let mut r = LintReport::new();
+        assert!(!r.fails_at(LintLevel::Deny));
+        r.push(Diagnostic::new(Code::RegisterPressureHotspot, "hot"));
+        assert!(!r.fails_at(LintLevel::Deny), "notes never fail");
+        r.push(Diagnostic::new(Code::DeadValue, "dead"));
+        assert!(!r.fails_at(LintLevel::Warn));
+        assert!(r.fails_at(LintLevel::Deny));
+        r.push(Diagnostic::new(Code::ClobberedLiveRegister, "clobber"));
+        assert!(r.fails_at(LintLevel::Warn));
+        assert!(!r.fails_at(LintLevel::Allow));
+        assert!(r.has(Code::DeadValue));
+        assert!(!r.has(Code::UnitConflict));
+    }
+
+    #[test]
+    fn display_carries_code_cycle_and_notes() {
+        let d = Diagnostic::new(Code::ClobberedLiveRegister, "r3 clobbered")
+            .at_cycle(7)
+            .note("defined at cycle 2");
+        let s = d.to_string();
+        assert!(s.contains("U0001"), "{s}");
+        assert!(s.contains("clobbered-live-register"));
+        assert!(s.contains("(cycle 7)"));
+        assert!(s.contains("note: defined at cycle 2"));
+    }
+}

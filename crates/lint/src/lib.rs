@@ -1,0 +1,83 @@
+//! `ursa-lint` — static translation validation and lints for the URSA
+//! pipeline.
+//!
+//! Two layers, both producing structured [`Diagnostic`]s with stable
+//! codes:
+//!
+//! * **The translation validator** ([`validator`]) symbolically
+//!   re-executes emitted VLIW code cycle-by-cycle over value classes
+//!   (no concrete data) and proves it implements the dependence DAG it
+//!   was compiled from: every operand reads exactly the value the DAG
+//!   says, no live register is clobbered, spill reloads wait for their
+//!   stores to commit, memory ordering and sequentialization edges are
+//!   respected, units never overlap. Violations are `U00xx` errors.
+//! * **Lint passes** ([`passes`]) flag the suspicious-but-legal:
+//!   dead values, spill stores never reloaded, non-minimal chain
+//!   decompositions (cross-checked against an independent Dilworth
+//!   bound), inconsistent machine descriptions, register-pressure
+//!   hotspots, and `__`-prefixed symbol collisions. Findings are
+//!   `U01xx` warnings/notes.
+//!
+//! # Code registry
+//!
+//! | code  | name                           | severity |
+//! |-------|--------------------------------|----------|
+//! | U0001 | clobbered-live-register        | error    |
+//! | U0002 | wrong-operand-value            | error    |
+//! | U0003 | read-before-commit             | error    |
+//! | U0004 | reload-before-store-commit     | error    |
+//! | U0005 | unmatched-operation            | error    |
+//! | U0006 | missing-operation              | error    |
+//! | U0007 | memory-order-violation         | error    |
+//! | U0008 | store-value-mismatch           | error    |
+//! | U0009 | dropped-sequence-edge          | error    |
+//! | U0010 | register-out-of-file           | error    |
+//! | U0011 | unit-conflict                  | error    |
+//! | U0101 | dead-value                     | warning  |
+//! | U0102 | redundant-spill-pair           | warning  |
+//! | U0103 | non-minimal-chain-decomposition| warning  |
+//! | U0104 | inconsistent-machine           | warning  |
+//! | U0105 | register-pressure-hotspot      | note     |
+//! | U0106 | spill-symbol-collision         | warning  |
+//!
+//! # Examples
+//!
+//! ```
+//! use ursa_ir::{parser::parse, Trace};
+//! use ursa_lint::{try_compile_linted, LintLevel};
+//! use ursa_machine::Machine;
+//! use ursa_sched::{CompileStrategy, PipelineOptions};
+//!
+//! let program = parse(
+//!     "v0 = load a[0]\n\
+//!      v1 = mul v0, 2\n\
+//!      v2 = mul v0, 3\n\
+//!      v3 = add v1, v2\n\
+//!      store a[1], v3\n",
+//! )
+//! .unwrap();
+//! let machine = Machine::homogeneous(2, 3);
+//! let opts = PipelineOptions { lint: LintLevel::Deny, ..Default::default() };
+//! let (compiled, report) = try_compile_linted(
+//!     &program,
+//!     &Trace::single(0),
+//!     &machine,
+//!     CompileStrategy::Ursa(Default::default()),
+//!     &opts,
+//! )
+//! .unwrap();
+//! assert!(compiled.vliw.op_count() >= 5);
+//! assert!(!report.fails_at(LintLevel::Deny), "{report}");
+//! ```
+
+pub mod diag;
+pub mod passes;
+pub mod pipeline;
+pub mod validator;
+pub mod vn;
+
+pub use diag::{Code, Diagnostic, LintLevel, LintReport, Severity};
+pub use passes::{default_passes, LintContext, LintPass};
+pub use pipeline::{lint_compiled, try_compile_linted};
+pub use validator::{validate_translation, ValidationResult};
+pub use vn::{ValueNumbering, Vn, VnOperand};

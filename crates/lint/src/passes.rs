@@ -1,0 +1,415 @@
+//! The pluggable lint pass framework.
+//!
+//! Where the translation validator (`validator`) proves a *specific*
+//! compilation correct, lint passes look for things that are *suspect*
+//! but not wrong: values computed and never used, spill stores never
+//! reloaded, machine descriptions that cannot execute the IR, register
+//! pressure hotspots. Passes see the program, the trace, the machine,
+//! the untransformed dependence DAG, and (when available) the compiled
+//! result, and append [`Diagnostic`]s to a shared [`LintReport`].
+
+use crate::diag::{Code, Diagnostic, LintReport};
+use std::collections::HashMap;
+use ursa_core::{find_excessive, measure, AllocCtx, MeasureOptions};
+use ursa_ir::ddg::DependenceDag;
+use ursa_ir::instr::Instr;
+use ursa_ir::program::Program;
+use ursa_ir::trace::Trace;
+use ursa_ir::value::VirtualReg;
+use ursa_machine::{Machine, OpKind};
+use ursa_sched::vliw::SlotOp;
+use ursa_sched::{is_spill_symbol, Compiled};
+
+/// Everything a lint pass may inspect.
+pub struct LintContext<'a> {
+    /// The source program.
+    pub program: &'a Program,
+    /// The trace being compiled.
+    pub trace: &'a Trace,
+    /// The target machine.
+    pub machine: &'a Machine,
+    /// The *untransformed* dependence DAG of the trace (passes that
+    /// care about what the allocator did inspect `compiled`).
+    pub ddg: &'a DependenceDag,
+    /// The compilation result, when one exists.
+    pub compiled: Option<&'a Compiled>,
+}
+
+/// One lint pass.
+pub trait LintPass {
+    /// Short stable name (shown in `ursalint --help` style listings).
+    fn name(&self) -> &'static str;
+    /// Appends findings to `report`.
+    fn run(&self, cx: &LintContext<'_>, report: &mut LintReport);
+}
+
+/// The default pass set, in execution order.
+pub fn default_passes() -> Vec<Box<dyn LintPass>> {
+    vec![
+        Box::new(DeadValue),
+        Box::new(RedundantSpillPair),
+        Box::new(NonMinimalChains),
+        Box::new(InconsistentMachine),
+        Box::new(PressureHotspot),
+        Box::new(SpillSymbolCollision),
+    ]
+}
+
+/// U0101: a value computed on the trace and never read afterwards,
+/// while later operations still execute (it holds a register for
+/// nothing). Trailing definitions are *not* flagged — a trace fragment
+/// legitimately ends by producing its live-out values.
+pub struct DeadValue;
+
+impl LintPass for DeadValue {
+    fn name(&self) -> &'static str {
+        "dead-value"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, report: &mut LintReport) {
+        // Flatten the trace into program order.
+        let mut flat: Vec<(usize, &Instr)> = Vec::new();
+        let mut term_uses: Vec<(usize, Vec<VirtualReg>)> = Vec::new();
+        for &b in &cx.trace.blocks {
+            let block = &cx.program.blocks[b];
+            for i in &block.instrs {
+                flat.push((b, i));
+            }
+            term_uses.push((flat.len(), block.term.uses()));
+        }
+        for (pos, &(block, instr)) in flat.iter().enumerate() {
+            let Some(def) = instr.def() else { continue };
+            if pos + 1 >= flat.len() {
+                continue; // trailing definition: live-out by convention
+            }
+            let read_later = flat[pos + 1..].iter().any(|(_, i)| i.uses().contains(&def))
+                || term_uses
+                    .iter()
+                    .any(|(end, uses)| *end > pos && uses.contains(&def));
+            if !read_later {
+                let d = Diagnostic::new(
+                    Code::DeadValue,
+                    format!("`{instr}` defines {def} but nothing on the trace reads it"),
+                )
+                .note(format!(
+                    "defined in block {block} (`{}`) while later operations still execute",
+                    cx.program.blocks[block].label
+                ));
+                report.push(d);
+            }
+        }
+    }
+}
+
+/// U0102: a spill store whose cell is never reloaded — the store (and
+/// likely the whole spill decision) is redundant.
+pub struct RedundantSpillPair;
+
+impl LintPass for RedundantSpillPair {
+    fn name(&self) -> &'static str {
+        "redundant-spill-pair"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, report: &mut LintReport) {
+        let Some(compiled) = cx.compiled else { return };
+        let vliw = &compiled.vliw;
+        // (symbol, index-display) → (stores, loads, first store cycle)
+        let mut cells: HashMap<(String, String), (usize, usize, u64)> = HashMap::new();
+        for (c, word) in vliw.words.iter().enumerate() {
+            for op in word {
+                let SlotOp::Instr(i) = &op.op else { continue };
+                let (mem, is_load) = match i {
+                    Instr::Load { mem, .. } => (mem, true),
+                    Instr::Store { mem, .. } => (mem, false),
+                    _ => continue,
+                };
+                let name = vliw
+                    .symbols
+                    .get(mem.base.index())
+                    .cloned()
+                    .unwrap_or_default();
+                if !is_spill_symbol(&name) {
+                    continue;
+                }
+                let e = cells
+                    .entry((name, mem.index.to_string()))
+                    .or_insert((0, 0, c as u64));
+                if is_load {
+                    e.1 += 1;
+                } else {
+                    e.0 += 1;
+                    e.2 = e.2.min(c as u64);
+                }
+            }
+        }
+        let mut dead: Vec<_> = cells
+            .into_iter()
+            .filter(|(_, (stores, loads, _))| *stores > 0 && *loads == 0)
+            .collect();
+        dead.sort_by(|a, b| a.0.cmp(&b.0));
+        for ((name, idx), (_, _, cycle)) in dead {
+            let d = Diagnostic::new(
+                Code::RedundantSpillPair,
+                format!("spill cell {name}[{idx}] is stored but never reloaded"),
+            )
+            .at_cycle(cycle)
+            .note("the store — and likely the spill decision itself — is redundant".to_string());
+            report.push(d);
+        }
+    }
+}
+
+/// U0103: cross-check that the measured chain decompositions are
+/// minimal — each must use exactly as many chains as the Dilworth bound
+/// computed independently by a plain maximum matching.
+pub struct NonMinimalChains;
+
+impl LintPass for NonMinimalChains {
+    fn name(&self) -> &'static str {
+        "non-minimal-chain-decomposition"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, report: &mut LintReport) {
+        let mut ctx = AllocCtx::new(cx.ddg.clone(), cx.machine);
+        let m = measure(&mut ctx, MeasureOptions::default());
+        for (resource, staged, bound) in m.minimality_gaps(&ctx) {
+            let d = Diagnostic::new(
+                Code::NonMinimalChainDecomposition,
+                format!(
+                    "decomposition for {resource} uses {staged} chains but the \
+                     Dilworth bound is {bound}"
+                ),
+            )
+            .note("the measure phase over- or under-states this requirement".to_string());
+            report.push(d);
+        }
+    }
+}
+
+/// U0104: machine descriptions the pipeline cannot sensibly target.
+pub struct InconsistentMachine;
+
+impl LintPass for InconsistentMachine {
+    fn name(&self) -> &'static str {
+        "inconsistent-machine"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, report: &mut LintReport) {
+        let m = cx.machine;
+        const KINDS: [OpKind; 6] = [
+            OpKind::Alu,
+            OpKind::Mul,
+            OpKind::Div,
+            OpKind::Load,
+            OpKind::Store,
+            OpKind::Branch,
+        ];
+        for kind in KINDS {
+            if m.latency_of(kind) == 0 {
+                report.push(Diagnostic::new(
+                    Code::InconsistentMachine,
+                    format!("{kind:?} has zero latency: results would commit before they issue"),
+                ));
+            }
+            if m.occupancy_of(kind) > m.latency_of(kind) {
+                report.push(Diagnostic::new(
+                    Code::InconsistentMachine,
+                    format!(
+                        "{kind:?} occupies its unit for {} cycles but completes in {}",
+                        m.occupancy_of(kind),
+                        m.latency_of(kind)
+                    ),
+                ));
+            }
+            if m.fu_count(m.class_of(kind)) == 0 {
+                report.push(Diagnostic::new(
+                    Code::InconsistentMachine,
+                    format!(
+                        "no functional unit can execute {kind:?} ({} units: 0)",
+                        m.class_of(kind)
+                    ),
+                ));
+            }
+        }
+        if m.registers() < 3 {
+            report.push(Diagnostic::new(
+                Code::InconsistentMachine,
+                format!(
+                    "{} registers cannot hold two operands and a result at once",
+                    m.registers()
+                ),
+            ));
+        }
+    }
+}
+
+/// U0105 (note): where the pressure is — the first excessive chain set
+/// per over-subscribed resource, as measured on the untransformed DAG.
+pub struct PressureHotspot;
+
+impl LintPass for PressureHotspot {
+    fn name(&self) -> &'static str {
+        "register-pressure-hotspot"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, report: &mut LintReport) {
+        let mut ctx = AllocCtx::new(cx.ddg.clone(), cx.machine);
+        let m = measure(&mut ctx, MeasureOptions::default());
+        let kills = m.kills.clone();
+        for rm in &m.resources {
+            if rm.requirement.excess() == 0 {
+                continue;
+            }
+            let Some(set) = find_excessive(&mut ctx, rm, &kills) else {
+                continue;
+            };
+            let mut d = Diagnostic::new(
+                Code::RegisterPressureHotspot,
+                format!(
+                    "{} requirement {} exceeds capacity {} ({} independent chains \
+                     in one hammock)",
+                    rm.requirement.resource,
+                    rm.requirement.required,
+                    rm.requirement.capacity,
+                    set.chains.len()
+                ),
+            );
+            for n in set.chains.iter().flatten() {
+                d = d.on_node(*n);
+            }
+            d = d.note(format!(
+                "hammock {} → {}",
+                ctx.ddg().describe(set.hammock.0),
+                ctx.ddg().describe(set.hammock.1)
+            ));
+            report.push(d);
+        }
+    }
+}
+
+/// U0106: program symbols that collide with the compiler's reserved
+/// `__` spill prefix. The parser rejects these, but programs built
+/// through the API can still carry them — and spill bookkeeping would
+/// silently treat their cells as compiler temporaries.
+pub struct SpillSymbolCollision;
+
+impl LintPass for SpillSymbolCollision {
+    fn name(&self) -> &'static str {
+        "spill-symbol-collision"
+    }
+
+    fn run(&self, cx: &LintContext<'_>, report: &mut LintReport) {
+        for name in &cx.program.symbols {
+            if is_spill_symbol(name) {
+                let d = Diagnostic::new(
+                    Code::SpillSymbolCollision,
+                    format!("symbol `{name}` uses the reserved compiler spill prefix `__`"),
+                )
+                .note(
+                    "spill bookkeeping treats such cells as compiler temporaries; \
+                     rename the symbol"
+                        .to_string(),
+                );
+                report.push(d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_ir::parser::parse;
+
+    fn cx_parts(src: &str) -> (Program, Trace, Machine) {
+        let p = parse(src).unwrap();
+        (p, Trace::single(0), Machine::homogeneous(2, 8))
+    }
+
+    fn run_pass(pass: &dyn LintPass, src: &str, machine: Option<Machine>) -> LintReport {
+        let (p, t, m) = cx_parts(src);
+        let m = machine.unwrap_or(m);
+        let ddg = DependenceDag::build(&p, &t);
+        let mut report = LintReport::default();
+        pass.run(
+            &LintContext {
+                program: &p,
+                trace: &t,
+                machine: &m,
+                ddg: &ddg,
+                compiled: None,
+            },
+            &mut report,
+        );
+        report
+    }
+
+    #[test]
+    fn dead_value_flags_unused_mid_trace_defs_only() {
+        // v1 is never read while the store still executes; the trailing
+        // v3 is a live-out by convention.
+        let r = run_pass(
+            &DeadValue,
+            "v0 = const 1\n\
+             v1 = mul v0, 2\n\
+             store a[0], v0\n\
+             v3 = add v0, 4\n",
+            None,
+        );
+        assert!(r.has(Code::DeadValue));
+        let dead: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == Code::DeadValue)
+            .collect();
+        assert_eq!(dead.len(), 1, "{r}");
+        assert!(dead[0].message.contains("v1"), "{r}");
+    }
+
+    #[test]
+    fn dead_value_clean_on_straightline_use_chain() {
+        let r = run_pass(
+            &DeadValue,
+            "v0 = load a[0]\nv1 = mul v0, 2\nstore a[1], v1\n",
+            None,
+        );
+        assert!(!r.has(Code::DeadValue), "{r}");
+    }
+
+    #[test]
+    fn inconsistent_machine_flags_tiny_register_file() {
+        let r = run_pass(
+            &InconsistentMachine,
+            "v0 = const 1\nstore a[0], v0\n",
+            Some(Machine::homogeneous(2, 2)),
+        );
+        assert!(r.has(Code::InconsistentMachine), "{r}");
+    }
+
+    #[test]
+    fn minimality_cross_check_is_clean_on_fig2() {
+        let r = run_pass(
+            &NonMinimalChains,
+            ursa_workloads::paper::FIGURE2_SOURCE,
+            Some(Machine::homogeneous(2, 3)),
+        );
+        assert!(!r.has(Code::NonMinimalChainDecomposition), "{r}");
+    }
+
+    #[test]
+    fn hotspot_reports_excessive_regions_under_pressure() {
+        let r = run_pass(
+            &PressureHotspot,
+            ursa_workloads::paper::FIGURE2_SOURCE,
+            Some(Machine::homogeneous(2, 3)),
+        );
+        assert!(r.has(Code::RegisterPressureHotspot), "{r}");
+        // Plenty of registers: nothing to report.
+        let r = run_pass(
+            &PressureHotspot,
+            ursa_workloads::paper::FIGURE2_SOURCE,
+            Some(Machine::homogeneous(4, 32)),
+        );
+        assert!(!r.has(Code::RegisterPressureHotspot), "{r}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Driver integration: compile-then-lint in one call.
+//!
+//! [`lint_compiled`] runs the full diagnostic battery over one finished
+//! compilation — the translation validator against the DAG the code was
+//! actually generated from (the allocator's transformed DAG when one
+//! exists), plus every default lint pass over the original program and
+//! DAG. [`try_compile_linted`] wraps `ursa_sched::try_compile_with` and
+//! honors [`PipelineOptions::lint`]: at `Allow` no linting runs at all;
+//! the caller decides pass/fail from [`LintReport::fails_at`].
+
+use crate::diag::LintReport;
+use crate::passes::{default_passes, LintContext};
+use crate::validator::validate_translation;
+use ursa_ir::ddg::DependenceDag;
+use ursa_ir::program::Program;
+use ursa_ir::trace::Trace;
+use ursa_machine::Machine;
+use ursa_sched::{
+    try_compile_with, CompileError, CompileStrategy, Compiled, LintLevel, PipelineOptions,
+};
+
+/// Runs the translation validator and all default lint passes over one
+/// finished compilation.
+///
+/// The validator's reference DAG is the allocator's *transformed* DAG
+/// when the strategy produced one (its spill nodes and sequence edges
+/// are part of the contract being checked) and the freshly built
+/// dependence DAG otherwise. Prepass code is pre-colored before its DAG
+/// is built, so its live-in table cannot be mapped back to original
+/// values — the validator is skipped for it (the lint passes still
+/// run).
+pub fn lint_compiled(
+    program: &Program,
+    trace: &Trace,
+    machine: &Machine,
+    strategy: &CompileStrategy,
+    compiled: &Compiled,
+) -> LintReport {
+    let mut report = LintReport::new();
+    let original = DependenceDag::build(program, trace);
+    if !matches!(strategy, CompileStrategy::Prepass) {
+        let reference = match &compiled.outcome {
+            Some(o) => &o.ddg,
+            None => &original,
+        };
+        let result = validate_translation(reference, &compiled.vliw, machine);
+        report.extend(result.diagnostics);
+    }
+    let cx = LintContext {
+        program,
+        trace,
+        machine,
+        ddg: &original,
+        compiled: Some(compiled),
+    };
+    for pass in default_passes() {
+        pass.run(&cx, &mut report);
+    }
+    report
+}
+
+/// Compiles `trace` and, unless `opts.lint` is [`LintLevel::Allow`],
+/// lints the result. The report is returned alongside the code; whether
+/// it *fails* the build under the configured level is the caller's call
+/// via [`LintReport::fails_at`] (so drivers can still print and emit
+/// the code).
+///
+/// # Errors
+///
+/// Exactly those of [`try_compile_with`] — lint findings are not
+/// compile errors.
+pub fn try_compile_linted(
+    program: &Program,
+    trace: &Trace,
+    machine: &Machine,
+    strategy: CompileStrategy,
+    opts: &PipelineOptions,
+) -> Result<(Compiled, LintReport), CompileError> {
+    let compiled = try_compile_with(program, trace, machine, strategy.clone(), opts)?;
+    let report = if opts.lint == LintLevel::Allow {
+        LintReport::new()
+    } else {
+        lint_compiled(program, trace, machine, &strategy, &compiled)
+    };
+    Ok((compiled, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_machine::Machine;
+    use ursa_sched::CompileStrategy;
+    use ursa_workloads::paper::figure2_block;
+
+    #[test]
+    fn linted_compile_accepts_figure2_on_every_strategy() {
+        let program = figure2_block();
+        let trace = Trace::single(0);
+        // Tight machine so URSA actually transforms (spills + sequence
+        // edges) and postpass actually patches.
+        let machine = Machine::homogeneous(2, 3);
+        let strategies = [
+            CompileStrategy::Ursa(Default::default()),
+            CompileStrategy::Postpass,
+            CompileStrategy::Prepass,
+            CompileStrategy::GoodmanHsu,
+        ];
+        for strategy in strategies {
+            let name = strategy.name();
+            let opts = PipelineOptions {
+                lint: LintLevel::Deny,
+                ..Default::default()
+            };
+            let (_, report) = try_compile_linted(&program, &trace, &machine, strategy, &opts)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(
+                report.errors().next().is_none(),
+                "{name} produced validator errors:\n{report}"
+            );
+        }
+    }
+
+    #[test]
+    fn allow_level_skips_linting() {
+        let program = figure2_block();
+        let trace = Trace::single(0);
+        let machine = Machine::homogeneous(2, 3);
+        let opts = PipelineOptions::default(); // lint: Allow
+        let (_, report) =
+            try_compile_linted(&program, &trace, &machine, CompileStrategy::Postpass, &opts)
+                .unwrap();
+        assert!(report.is_clean());
+    }
+}

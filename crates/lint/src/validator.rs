@@ -1,0 +1,1126 @@
+//! The static translation validator.
+//!
+//! [`validate_translation`] symbolically executes an emitted VLIW
+//! program cycle-by-cycle against the dependence DAG it was compiled
+//! from and proves that the code implements the DAG:
+//!
+//! * every register read observes exactly the value class the DAG
+//!   assigns to that operand (no live register is clobbered, no value
+//!   is read before its write commits),
+//! * every emitted operation matches a distinct DAG node and every DAG
+//!   node is emitted exactly once (spill traffic on reserved `__` cells
+//!   is value plumbing and is exempt),
+//! * spill reloads read cells only after the saving store's value has
+//!   committed,
+//! * memory accesses respect the DAG's may-alias ordering, and
+//! * sequentialization/control edges added by the reducer survive as
+//!   issue-order constraints.
+//!
+//! The walk never executes anything concretely — registers and memory
+//! cells hold [`Vn`] value classes, so acceptance is independent of any
+//! input data. Soundness rests on the structural value numbering: two
+//! values share a class only when the DAG proves them equal, so a
+//! schedule accepted here computes, for *every* input, the same cell
+//! and live-out values as any legal schedule of the DAG.
+//!
+//! The validator covers code whose registers were assigned from a
+//! renamed DAG (all URSA ladder rungs, postpass patching, Goodman–Hsu).
+//! Prepass code is pre-colored before its DAG is built, so its live-in
+//! table does not name original values; callers skip it.
+
+use crate::diag::{Code, Diagnostic};
+use crate::vn::{ValueNumbering, Vn, VnOperand};
+use std::collections::HashMap;
+use ursa_graph::dag::{EdgeKind, NodeId};
+use ursa_ir::ddg::{DependenceDag, NodeKind};
+use ursa_ir::instr::Instr;
+use ursa_ir::value::{MemRef, Operand};
+use ursa_machine::{FuClass, Machine, OpKind};
+use ursa_sched::is_spill_symbol;
+use ursa_sched::vliw::{SlotOp, VliwProgram};
+
+/// The validator's verdict: the diagnostics found plus the node →
+/// (cycle, slot) correspondence it established (useful for tooling and
+/// for building targeted miscompile tests).
+#[derive(Clone, Debug, Default)]
+pub struct ValidationResult {
+    /// Everything found; empty means the translation is proven.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Where each matched DAG node was emitted.
+    pub matches: HashMap<NodeId, (u64, usize)>,
+}
+
+impl ValidationResult {
+    /// `true` when the code was proven to implement the DAG.
+    pub fn is_proven(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Statically validates `vliw` against the dependence DAG it was
+/// compiled from (the *transformed* DAG for URSA strategies — its spill
+/// nodes and sequence edges are part of the contract being checked).
+pub fn validate_translation(
+    ddg: &DependenceDag,
+    vliw: &VliwProgram,
+    machine: &Machine,
+) -> ValidationResult {
+    Walker::new(ddg, vliw, machine).run()
+}
+
+/// One write to a physical register or memory cell.
+#[derive(Clone, Copy, Debug)]
+struct Write {
+    vn: Vn,
+    /// Issue cycle (provenance).
+    issued: u64,
+    /// First cycle at which the value is observable.
+    commit: u64,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum MemKey {
+    Imm(i64),
+    Val(Vn),
+}
+
+struct Walker<'a> {
+    ddg: &'a DependenceDag,
+    vliw: &'a VliwProgram,
+    machine: &'a Machine,
+    vn: ValueNumbering,
+    diags: Vec<Diagnostic>,
+    matched: HashMap<NodeId, (u64, usize)>,
+    /// Write history per physical register, in issue order.
+    regs: Vec<Vec<Write>>,
+    /// Last known write per (symbol name, index) memory cell.
+    cells: HashMap<(String, MemKey), Write>,
+    /// Commit cycle of each matched DAG store node.
+    store_commit: HashMap<NodeId, u64>,
+    /// Memory-predecessor FU nodes of each memory node.
+    mem_preds: HashMap<NodeId, Vec<NodeId>>,
+    unit_busy: HashMap<(FuClass, u32), u64>,
+}
+
+impl<'a> Walker<'a> {
+    fn new(ddg: &'a DependenceDag, vliw: &'a VliwProgram, machine: &'a Machine) -> Walker<'a> {
+        let vn = ValueNumbering::of(ddg);
+        let mut mem_preds: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for e in ddg.dag().edges() {
+            if e.kind == EdgeKind::Memory {
+                mem_preds.entry(e.to).or_default().push(e.from);
+            }
+        }
+        let regs = vec![Vec::new(); vliw.num_regs as usize];
+        Walker {
+            ddg,
+            vliw,
+            machine,
+            vn,
+            diags: Vec::new(),
+            matched: HashMap::new(),
+            regs,
+            cells: HashMap::new(),
+            store_commit: HashMap::new(),
+            mem_preds,
+            unit_busy: HashMap::new(),
+        }
+    }
+
+    fn run(mut self) -> ValidationResult {
+        self.init_live_in();
+        for (c, word) in self.vliw.words.iter().enumerate() {
+            for (slot, op) in word.iter().enumerate() {
+                self.step(c as u64, slot, op);
+            }
+        }
+        self.check_missing();
+        self.repair_twin_assignments();
+        self.check_order_edges();
+        ValidationResult {
+            diagnostics: self.diags,
+            matches: self.matched,
+        }
+    }
+
+    fn init_live_in(&mut self) {
+        for &(phys, vreg) in &self.vliw.live_in {
+            let vn = self
+                .ddg
+                .dag()
+                .nodes()
+                .find(|&n| matches!(self.ddg.kind(n), NodeKind::LiveIn { reg } if *reg == vreg))
+                .and_then(|n| self.vn.vn_of(n))
+                .unwrap_or_else(|| self.vn.fresh_opaque(&format!("live-in {vreg}")));
+            if let Some(r) = self.regs.get_mut(phys as usize) {
+                r.push(Write {
+                    vn,
+                    issued: 0,
+                    commit: 0,
+                });
+            }
+        }
+    }
+
+    /// The symbol name an emitted memory op refers to.
+    fn sym_name(&self, mem: &MemRef) -> &str {
+        self.vliw
+            .symbols
+            .get(mem.base.index())
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+
+    /// Resolves a register read at `cycle`, reporting out-of-file,
+    /// uninitialized, and in-flight reads. Returns the value class the
+    /// read observes (the intended in-flight value on a latency
+    /// violation, so one bad cycle does not cascade).
+    fn read_reg(&mut self, r: u32, cycle: u64) -> Vn {
+        if r >= self.vliw.num_regs {
+            let d = Diagnostic::new(
+                Code::RegisterOutOfFile,
+                format!("r{r} is outside the {}-register file", self.vliw.num_regs),
+            )
+            .at_cycle(cycle);
+            self.diags.push(d);
+            return self.vn.fresh_opaque("out-of-file read");
+        }
+        let writes = &self.regs[r as usize];
+        let committed = writes
+            .iter()
+            .filter(|w| w.commit <= cycle)
+            .max_by_key(|w| w.commit);
+        if let Some(w) = committed {
+            return w.vn;
+        }
+        if let Some(w) = writes.iter().max_by_key(|w| w.issued).copied() {
+            let d = Diagnostic::new(
+                Code::ReadBeforeCommit,
+                format!("r{r} read before its write commits"),
+            )
+            .at_cycle(cycle)
+            .note(format!(
+                "the pending write of {} issued at cycle {} and commits at cycle {}",
+                self.vn.describe(w.vn),
+                w.issued,
+                w.commit
+            ));
+            self.diags.push(d);
+            return w.vn;
+        }
+        let d = Diagnostic::new(
+            Code::ReadBeforeCommit,
+            format!("r{r} read but never written"),
+        )
+        .at_cycle(cycle);
+        self.diags.push(d);
+        self.vn.fresh_opaque("uninitialized read")
+    }
+
+    fn read_operand(&mut self, op: Operand, cycle: u64) -> VnOperand {
+        match op {
+            Operand::Imm(v) => VnOperand::Imm(v),
+            Operand::Reg(r) => VnOperand::Val(self.read_reg(r.0, cycle)),
+        }
+    }
+
+    fn write_reg(&mut self, r: u32, vn: Vn, cycle: u64, latency: u64) {
+        if r >= self.vliw.num_regs {
+            let d = Diagnostic::new(
+                Code::RegisterOutOfFile,
+                format!(
+                    "write to r{r} outside the {}-register file",
+                    self.vliw.num_regs
+                ),
+            )
+            .at_cycle(cycle);
+            self.diags.push(d);
+            return;
+        }
+        self.regs[r as usize].push(Write {
+            vn,
+            issued: cycle,
+            commit: cycle + latency,
+        });
+    }
+
+    fn book_unit(&mut self, fu: (FuClass, u32), kind: OpKind, cycle: u64) {
+        let (class, index) = fu;
+        if index >= self.machine.fu_count(class) {
+            let d = Diagnostic::new(
+                Code::UnitConflict,
+                format!(
+                    "unit {class}#{index} does not exist (machine has {})",
+                    self.machine.fu_count(class)
+                ),
+            )
+            .at_cycle(cycle);
+            self.diags.push(d);
+            return;
+        }
+        if let Some(&until) = self.unit_busy.get(&fu) {
+            if until > cycle {
+                let d = Diagnostic::new(
+                    Code::UnitConflict,
+                    format!("unit {class}#{index} is busy until cycle {until}"),
+                )
+                .at_cycle(cycle);
+                self.diags.push(d);
+            }
+        }
+        self.unit_busy
+            .insert(fu, cycle + self.machine.occupancy_of(kind));
+    }
+
+    /// `true` when every Memory-predecessor of `n` has been emitted.
+    fn epoch_ready(&self, n: NodeId) -> bool {
+        self.mem_preds
+            .get(&n)
+            .map(|ps| ps.iter().all(|p| self.matched.contains_key(p)))
+            .unwrap_or(true)
+    }
+
+    /// `true` when every Sequence/Control predecessor of `n` has been
+    /// emitted. Structurally identical nodes share a value class, so
+    /// candidate selection breaks ties with this — matching an
+    /// order-ready twin first mirrors any legal schedule's assignment
+    /// and avoids phantom ordering violations.
+    fn order_ready(&self, n: NodeId) -> bool {
+        self.ddg.dag().pred_edges(n).all(|e| {
+            !matches!(e.kind, EdgeKind::Sequence | EdgeKind::Control)
+                || self.matched.contains_key(&e.from)
+        })
+    }
+
+    /// The unmatched node satisfying `pred`, preferring order-ready
+    /// candidates (falling back to the first match so a genuine
+    /// violation is still attributed somewhere).
+    fn pick_candidate(&self, pred: impl Fn(&Walker<'_>, NodeId) -> bool) -> Option<NodeId> {
+        let mut first = None;
+        for n in self.ddg.fu_nodes() {
+            if self.matched.contains_key(&n) || !pred(self, n) {
+                continue;
+            }
+            if self.order_ready(n) {
+                return Some(n);
+            }
+            if first.is_none() {
+                first = Some(n);
+            }
+        }
+        first
+    }
+
+    /// The DAG-side value class of an operand (`None`: undefined
+    /// register, matches nothing).
+    fn dag_operand(&self, op: Operand) -> Option<VnOperand> {
+        match op {
+            Operand::Imm(v) => Some(VnOperand::Imm(v)),
+            Operand::Reg(r) => {
+                let def = self.vn.def_of(r)?;
+                self.vn.vn_of(def).map(VnOperand::Val)
+            }
+        }
+    }
+
+    fn mark(&mut self, n: NodeId, cycle: u64, slot: usize) {
+        self.matched.insert(n, (cycle, slot));
+    }
+
+    fn step(&mut self, cycle: u64, slot: usize, op: &ursa_sched::vliw::MachineOp) {
+        let kind = match &op.op {
+            SlotOp::Instr(i) => OpKind::of_instr(i),
+            SlotOp::Branch { .. } => OpKind::Branch,
+        };
+        self.book_unit(op.fu, kind, cycle);
+        match &op.op {
+            SlotOp::Branch { cond } => self.step_branch(*cond, cycle, slot),
+            SlotOp::Instr(i) => match i {
+                Instr::Const { dst, value } => {
+                    let vn = self.vn.observe_const(*value);
+                    self.match_value_op(i, vn, cycle, slot);
+                    self.write_reg(dst.0, vn, cycle, self.machine.latency_of(kind));
+                }
+                Instr::Bin { op: bop, dst, a, b } => {
+                    let (va, vb) = (self.read_operand(*a, cycle), self.read_operand(*b, cycle));
+                    let vn = self.vn.observe_bin(*bop, va, vb);
+                    self.match_value_op(i, vn, cycle, slot);
+                    self.write_reg(dst.0, vn, cycle, self.machine.latency_of(kind));
+                }
+                Instr::Un { op: uop, dst, a } => {
+                    let va = self.read_operand(*a, cycle);
+                    let vn = self.vn.observe_un(*uop, va);
+                    self.match_value_op(i, vn, cycle, slot);
+                    self.write_reg(dst.0, vn, cycle, self.machine.latency_of(kind));
+                }
+                Instr::Load { dst, mem } => {
+                    let vn = self.step_load(mem, cycle, slot);
+                    self.write_reg(dst.0, vn, cycle, self.machine.latency_of(kind));
+                }
+                Instr::Store { mem, src } => self.step_store(mem, *src, cycle, slot),
+            },
+        }
+    }
+
+    /// Matches a Const/Bin/Un by value class: the emitted value number
+    /// equals the DAG node's number exactly when operator and operand
+    /// classes agree.
+    fn match_value_op(&mut self, instr: &Instr, emitted: Vn, cycle: u64, slot: usize) {
+        let found = self.pick_candidate(|w, n| {
+            w.vn.vn_of(n) == Some(emitted) && w.ddg.instr(n).is_some_and(|di| same_shape(di, instr))
+        });
+        if let Some(n) = found {
+            self.mark(n, cycle, slot);
+            return;
+        }
+        self.diagnose_value_mismatch(instr, cycle);
+    }
+
+    /// The emitted op computes a value no unmatched DAG node wants.
+    /// Triage against the best same-shape candidate to tell *why*: a
+    /// clobbered register, an in-flight value, or a wrong operand.
+    fn diagnose_value_mismatch(&mut self, instr: &Instr, cycle: u64) {
+        let candidate = self.ddg.fu_nodes().find(|&n| {
+            !self.matched.contains_key(&n)
+                && self.ddg.instr(n).is_some_and(|di| same_shape(di, instr))
+        });
+        let Some(n) = candidate else {
+            let d = Diagnostic::new(
+                Code::UnmatchedOperation,
+                format!("`{instr}` matches no operation of the dependence DAG"),
+            )
+            .at_cycle(cycle);
+            self.diags.push(d);
+            return;
+        };
+        let expected = self.ddg.instr(n).expect("candidate has an instr").clone();
+        let pairs: Vec<(Operand, Operand)> = operand_pairs(&expected, instr);
+        let mut reported = false;
+        for (exp, got) in pairs {
+            let Some(exp_vn) = self.dag_operand(exp) else {
+                continue;
+            };
+            let got_vn = match got {
+                Operand::Imm(v) => VnOperand::Imm(v),
+                // Re-resolve without diagnostics: read_reg already
+                // reported uninitialized/in-flight on the first pass.
+                Operand::Reg(r) => {
+                    self.triage_register(r.0, exp_vn, cycle, n, &mut reported);
+                    continue;
+                }
+            };
+            if got_vn != exp_vn {
+                let d = Diagnostic::new(
+                    Code::WrongOperandValue,
+                    format!("`{instr}` uses immediate {got:?} where `{expected}` expects {exp:?}"),
+                )
+                .at_cycle(cycle)
+                .on_node(n);
+                self.diags.push(d);
+                reported = true;
+            }
+        }
+        if !reported {
+            let d = Diagnostic::new(
+                Code::UnmatchedOperation,
+                format!("`{instr}` matches no remaining DAG operation"),
+            )
+            .at_cycle(cycle)
+            .on_node(n)
+            .note(format!("nearest candidate: `{expected}`"));
+            self.diags.push(d);
+        }
+    }
+
+    /// Why does register `r` not hold `expected` at `cycle`?
+    fn triage_register(
+        &mut self,
+        r: u32,
+        expected: VnOperand,
+        cycle: u64,
+        node: NodeId,
+        reported: &mut bool,
+    ) {
+        let VnOperand::Val(evn) = expected else {
+            return;
+        };
+        if r >= self.vliw.num_regs {
+            return; // already reported by read_reg
+        }
+        let writes = self.regs[r as usize].clone();
+        let observed = writes
+            .iter()
+            .filter(|w| w.commit <= cycle)
+            .max_by_key(|w| w.commit)
+            .copied();
+        if observed.map(|w| w.vn) == Some(evn) {
+            return; // this operand was fine
+        }
+        // Was the expected value in this register and then overwritten?
+        if let Some(had) = writes
+            .iter()
+            .filter(|w| w.vn == evn && w.commit <= cycle)
+            .max_by_key(|w| w.commit)
+        {
+            let clobber = writes
+                .iter()
+                .filter(|w| w.commit > had.commit && w.commit <= cycle)
+                .min_by_key(|w| w.commit);
+            let mut d = Diagnostic::new(
+                Code::ClobberedLiveRegister,
+                format!(
+                    "r{r} held {} but was overwritten before this read",
+                    self.vn.describe(evn)
+                ),
+            )
+            .at_cycle(cycle)
+            .on_node(node)
+            .note(format!(
+                "{} committed to r{r} at cycle {}",
+                self.vn.describe(evn),
+                had.commit
+            ));
+            if let Some(cl) = clobber {
+                d = d.note(format!(
+                    "overwritten by {} (issued at cycle {}, committed at cycle {})",
+                    self.vn.describe(cl.vn),
+                    cl.issued,
+                    cl.commit
+                ));
+            }
+            d = d.note(format!(
+                "read at cycle {cycle} observes the clobbering value"
+            ));
+            self.diags.push(d);
+            *reported = true;
+            return;
+        }
+        // Still in flight in this register?
+        if let Some(inflight) = writes.iter().find(|w| w.vn == evn && w.commit > cycle) {
+            let d = Diagnostic::new(
+                Code::ReadBeforeCommit,
+                format!(
+                    "r{r} read at cycle {cycle} but {} commits only at cycle {}",
+                    self.vn.describe(evn),
+                    inflight.commit
+                ),
+            )
+            .at_cycle(cycle)
+            .on_node(node);
+            self.diags.push(d);
+            *reported = true;
+            return;
+        }
+        // Somewhere else, or nowhere.
+        let elsewhere = self.regs.iter().enumerate().find_map(|(ri, ws)| {
+            ws.iter()
+                .filter(|w| w.vn == evn && w.commit <= cycle)
+                .max_by_key(|w| w.commit)
+                .map(|_| ri)
+        });
+        let mut d = Diagnostic::new(
+            Code::WrongOperandValue,
+            format!(
+                "r{r} holds {} where the DAG expects {}",
+                observed
+                    .map(|w| self.vn.describe(w.vn).to_string())
+                    .unwrap_or_else(|| "nothing".into()),
+                self.vn.describe(evn)
+            ),
+        )
+        .at_cycle(cycle)
+        .on_node(node);
+        if let Some(ri) = elsewhere {
+            d = d.note(format!("the expected value currently lives in r{ri}"));
+        }
+        self.diags.push(d);
+        *reported = true;
+    }
+
+    fn step_load(&mut self, mem: &MemRef, cycle: u64, slot: usize) -> Vn {
+        let idx = self.read_operand(mem.index, cycle);
+        let name = self.sym_name(mem).to_string();
+        if is_spill_symbol(&name) {
+            return self.step_spill_load(mem, &name, idx, cycle, slot);
+        }
+        // A program load must match a DAG load of the same cell whose
+        // memory epoch has been reached.
+        let candidate = self.pick_candidate(|w, n| match w.ddg.instr(n) {
+            Some(Instr::Load { mem: dmem, .. }) => {
+                w.ddg.symbol_name(dmem.base) == name
+                    && w.dag_operand(dmem.index) == Some(idx)
+                    && w.epoch_ready(n)
+            }
+            _ => false,
+        });
+        if let Some(n) = candidate {
+            self.mark(n, cycle, slot);
+            // The load must also wait for the *commit* of the stores it
+            // depends on (the machine model loads the cell's committed
+            // value).
+            let preds = self.mem_preds.get(&n).cloned().unwrap_or_default();
+            for p in preds {
+                if let Some(&commit) = self.store_commit.get(&p) {
+                    if commit > cycle {
+                        let d = Diagnostic::new(
+                            Code::MemoryOrderViolation,
+                            format!("load of {name} issued before an aliasing store committed"),
+                        )
+                        .at_cycle(cycle)
+                        .on_node(n)
+                        .note(format!(
+                            "`{}` commits at cycle {commit}",
+                            self.ddg.describe(p)
+                        ));
+                        self.diags.push(d);
+                    }
+                }
+            }
+            return self.vn.vn_of(n).unwrap_or_else(|| {
+                // unreachable: loads always produce a value
+                self.vn.fresh_opaque("valueless load")
+            });
+        }
+        // Same cell but wrong epoch → ordering violation; otherwise the
+        // op corresponds to nothing.
+        let blocked = self.ddg.fu_nodes().find(|&n| {
+            !self.matched.contains_key(&n)
+                && match self.ddg.instr(n) {
+                    Some(Instr::Load { mem: dmem, .. }) => {
+                        self.ddg.symbol_name(dmem.base) == name
+                            && self.dag_operand(dmem.index) == Some(idx)
+                    }
+                    _ => false,
+                }
+        });
+        if let Some(n) = blocked {
+            let missing: Vec<String> = self
+                .mem_preds
+                .get(&n)
+                .map(|ps| {
+                    ps.iter()
+                        .filter(|p| !self.matched.contains_key(p))
+                        .map(|&p| format!("`{}`", self.ddg.describe(p)))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let d = Diagnostic::new(
+                Code::MemoryOrderViolation,
+                format!("load of {name} issued before a may-aliasing predecessor access"),
+            )
+            .at_cycle(cycle)
+            .on_node(n)
+            .note(format!("not yet issued: {}", missing.join(", ")));
+            self.diags.push(d);
+            self.mark(n, cycle, slot);
+            return self
+                .vn
+                .vn_of(n)
+                .unwrap_or_else(|| self.vn.fresh_opaque("blocked load"));
+        }
+        let d = Diagnostic::new(
+            Code::UnmatchedOperation,
+            format!("load of {name} matches no DAG load"),
+        )
+        .at_cycle(cycle);
+        self.diags.push(d);
+        self.vn.fresh_opaque("unmatched load")
+    }
+
+    fn step_spill_load(
+        &mut self,
+        mem: &MemRef,
+        name: &str,
+        idx: VnOperand,
+        cycle: u64,
+        slot: usize,
+    ) -> Vn {
+        let key = (name.to_string(), mem_key(idx));
+        let cell = self.cells.get(&key).copied();
+        let value = match cell {
+            Some(w) if w.commit <= cycle => w.vn,
+            Some(w) => {
+                let d = Diagnostic::new(
+                    Code::ReloadBeforeStoreCommit,
+                    format!(
+                        "reload from {name}[{}] issued at cycle {cycle} but the spill \
+                         store commits only at cycle {}",
+                        mem.index, w.commit
+                    ),
+                )
+                .at_cycle(cycle)
+                .note(format!(
+                    "the store of {} issued at cycle {}",
+                    self.vn.describe(w.vn),
+                    w.issued
+                ));
+                self.diags.push(d);
+                w.vn
+            }
+            None => {
+                let d = Diagnostic::new(
+                    Code::ReloadBeforeStoreCommit,
+                    format!(
+                        "reload from {name}[{}] with no preceding spill store",
+                        mem.index
+                    ),
+                )
+                .at_cycle(cycle);
+                self.diags.push(d);
+                self.vn.fresh_opaque("reload of unwritten spill cell")
+            }
+        };
+        // DAG-level spill reloads (inserted by the allocator) are real
+        // DAG nodes and must be accounted for.
+        let candidate = self.pick_candidate(|w, n| match w.ddg.instr(n) {
+            Some(Instr::Load { mem: dmem, .. }) => {
+                w.ddg.symbol_name(dmem.base) == name && dmem.index == mem.index
+            }
+            _ => false,
+        });
+        if let Some(n) = candidate {
+            self.mark(n, cycle, slot);
+            if let Some(nvn) = self.vn.vn_of(n) {
+                if nvn != value {
+                    let d = Diagnostic::new(
+                        Code::WrongOperandValue,
+                        format!(
+                            "reload from {name}[{}] carries {} but the DAG spilled {}",
+                            mem.index,
+                            self.vn.describe(value),
+                            self.vn.describe(nvn)
+                        ),
+                    )
+                    .at_cycle(cycle)
+                    .on_node(n);
+                    self.diags.push(d);
+                }
+            }
+        }
+        value
+    }
+
+    fn step_store(&mut self, mem: &MemRef, src: Operand, cycle: u64, slot: usize) {
+        let idx = self.read_operand(mem.index, cycle);
+        let srcv = self.read_operand(src, cycle);
+        let name = self.sym_name(mem).to_string();
+        let latency = self.machine.latency_of(OpKind::Store);
+        let key = (name.clone(), mem_key(idx));
+        let write = Write {
+            vn: match srcv {
+                VnOperand::Val(v) => v,
+                VnOperand::Imm(imm) => self.vn.observe_const(imm),
+            },
+            issued: cycle,
+            commit: cycle + latency,
+        };
+        if is_spill_symbol(&name) {
+            // Match a DAG spill store of the same cell, when one exists
+            // (the patcher's own spills have no DAG node and are pure
+            // plumbing).
+            let candidate = self.pick_candidate(|w, n| match w.ddg.instr(n) {
+                Some(Instr::Store { mem: dmem, .. }) => {
+                    w.ddg.symbol_name(dmem.base) == name && dmem.index == mem.index
+                }
+                _ => false,
+            });
+            if let Some(n) = candidate {
+                self.mark(n, cycle, slot);
+                self.store_commit.insert(n, cycle + latency);
+                let expected = match self.ddg.instr(n) {
+                    Some(Instr::Store { src: dsrc, .. }) => self.dag_operand(*dsrc),
+                    _ => None,
+                };
+                if let Some(exp) = expected {
+                    if exp != srcv {
+                        let d = Diagnostic::new(
+                            Code::StoreValueMismatch,
+                            format!("spill store to {name}[{}] saves the wrong value", mem.index),
+                        )
+                        .at_cycle(cycle)
+                        .on_node(n);
+                        self.diags.push(d);
+                    }
+                }
+            }
+            self.cells.insert(key, write);
+            return;
+        }
+        // Program store: must match a DAG store with the same cell,
+        // value, and memory epoch.
+        let cell_matches = |w: &Walker<'_>, n: NodeId| match w.ddg.instr(n) {
+            Some(Instr::Store { mem: dmem, .. }) => {
+                w.ddg.symbol_name(dmem.base) == name && w.dag_operand(dmem.index) == Some(idx)
+            }
+            _ => false,
+        };
+        let full = self.pick_candidate(|w, n| {
+            cell_matches(w, n)
+                && w.epoch_ready(n)
+                && match w.ddg.instr(n) {
+                    Some(Instr::Store { src: dsrc, .. }) => w.dag_operand(*dsrc) == Some(srcv),
+                    _ => false,
+                }
+        });
+        if let Some(n) = full {
+            self.mark(n, cycle, slot);
+            self.store_commit.insert(n, cycle + latency);
+            self.cells.insert(key, write);
+            return;
+        }
+        // Right cell and epoch, wrong value.
+        let value_off = self.ddg.fu_nodes().find(|&n| {
+            !self.matched.contains_key(&n) && cell_matches(self, n) && self.epoch_ready(n)
+        });
+        if let Some(n) = value_off {
+            self.mark(n, cycle, slot);
+            self.store_commit.insert(n, cycle + latency);
+            let expected = match self.ddg.instr(n) {
+                Some(Instr::Store { src: dsrc, .. }) => self.dag_operand(*dsrc),
+                _ => None,
+            };
+            let mut d = Diagnostic::new(
+                Code::StoreValueMismatch,
+                format!("store to {name} writes the wrong value"),
+            )
+            .at_cycle(cycle)
+            .on_node(n);
+            if let (Some(VnOperand::Val(e)), VnOperand::Val(g)) = (expected, srcv) {
+                d = d.note(format!(
+                    "expected {}, got {}",
+                    self.vn.describe(e),
+                    self.vn.describe(g)
+                ));
+            }
+            self.diags.push(d);
+            self.cells.insert(key, write);
+            return;
+        }
+        // Right cell, epoch not reached → ordering violation.
+        let blocked = self
+            .ddg
+            .fu_nodes()
+            .find(|&n| !self.matched.contains_key(&n) && cell_matches(self, n));
+        if let Some(n) = blocked {
+            self.mark(n, cycle, slot);
+            self.store_commit.insert(n, cycle + latency);
+            let d = Diagnostic::new(
+                Code::MemoryOrderViolation,
+                format!("store to {name} issued before a may-aliasing predecessor access"),
+            )
+            .at_cycle(cycle)
+            .on_node(n);
+            self.diags.push(d);
+        } else {
+            let d = Diagnostic::new(
+                Code::UnmatchedOperation,
+                format!("store to {name} matches no DAG store"),
+            )
+            .at_cycle(cycle);
+            self.diags.push(d);
+        }
+        self.cells.insert(key, write);
+    }
+
+    fn step_branch(&mut self, cond: Operand, cycle: u64, slot: usize) {
+        let got = self.read_operand(cond, cycle);
+        let candidate = self.ddg.fu_nodes().find(|&n| {
+            !self.matched.contains_key(&n)
+                && matches!(self.ddg.kind(n), NodeKind::Branch { .. })
+                && match self.ddg.kind(n) {
+                    NodeKind::Branch { cond: dcond, .. } => self.dag_operand(*dcond) == Some(got),
+                    _ => false,
+                }
+        });
+        if let Some(n) = candidate {
+            self.mark(n, cycle, slot);
+            return;
+        }
+        let any_branch = self.ddg.fu_nodes().find(|&n| {
+            !self.matched.contains_key(&n) && matches!(self.ddg.kind(n), NodeKind::Branch { .. })
+        });
+        match any_branch {
+            Some(n) => {
+                let dcond = match self.ddg.kind(n) {
+                    NodeKind::Branch { cond, .. } => *cond,
+                    _ => unreachable!(),
+                };
+                if let (Some(VnOperand::Val(_)), Operand::Reg(r)) = (self.dag_operand(dcond), cond)
+                {
+                    let exp = self.dag_operand(dcond).unwrap();
+                    let mut reported = false;
+                    self.triage_register(r.0, exp, cycle, n, &mut reported);
+                    if reported {
+                        self.mark(n, cycle, slot);
+                        return;
+                    }
+                }
+                let d = Diagnostic::new(
+                    Code::WrongOperandValue,
+                    "branch condition does not carry the DAG's condition value".to_string(),
+                )
+                .at_cycle(cycle)
+                .on_node(n);
+                self.diags.push(d);
+                self.mark(n, cycle, slot);
+            }
+            None => {
+                let d = Diagnostic::new(
+                    Code::UnmatchedOperation,
+                    "branch matches no DAG branch".to_string(),
+                )
+                .at_cycle(cycle);
+                self.diags.push(d);
+            }
+        }
+    }
+
+    fn check_missing(&mut self) {
+        let missing: Vec<NodeId> = self
+            .ddg
+            .fu_nodes()
+            .filter(|n| !self.matched.contains_key(n))
+            .collect();
+        for n in missing {
+            let d = Diagnostic::new(
+                Code::MissingOperation,
+                format!("`{}` was never emitted", self.ddg.describe(n)),
+            )
+            .on_node(n);
+            self.diags.push(d);
+        }
+    }
+
+    /// Matched nodes in the same value class (equal number, same shape)
+    /// are interchangeable: their emitted slots carry identical values,
+    /// so any permutation of the node↔slot assignment within the class
+    /// is an equally valid reading of the code. The walk assigns them
+    /// greedily, which can pair an order-constrained twin with the
+    /// wrong slot; re-permute within classes to minimize order-edge
+    /// violations so only genuinely unsatisfiable edges are reported.
+    fn repair_twin_assignments(&mut self) {
+        // Shape discriminant: equal numbers can still span shapes (a
+        // spill reload collapses to its stored value's number), and
+        // cross-shape slots were never interchangeable.
+        let shape_tag = |i: &Instr| -> u32 {
+            match i {
+                Instr::Const { .. } => 0,
+                Instr::Bin { op, .. } => 1_000 + *op as u32,
+                Instr::Un { op, .. } => 2_000 + *op as u32,
+                Instr::Load { .. } => 3,
+                Instr::Store { .. } => 4,
+            }
+        };
+        let mut classes: HashMap<(Vn, u32), Vec<NodeId>> = HashMap::new();
+        for &n in self.matched.keys() {
+            let (Some(vn), Some(instr)) = (self.vn.vn_of(n), self.ddg.instr(n)) else {
+                continue;
+            };
+            classes.entry((vn, shape_tag(instr))).or_default().push(n);
+        }
+        classes.retain(|_, nodes| nodes.len() > 1);
+        if classes.is_empty() {
+            return;
+        }
+        let edges: Vec<(NodeId, NodeId)> = self
+            .ddg
+            .dag()
+            .edges()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EdgeKind::Sequence | EdgeKind::Control | EdgeKind::Anti
+                )
+            })
+            .filter(|e| self.matched.contains_key(&e.from) && self.matched.contains_key(&e.to))
+            .map(|e| (e.from, e.to))
+            .collect();
+        let violations = |m: &HashMap<NodeId, (u64, usize)>| {
+            edges.iter().filter(|(u, v)| m[v].0 < m[u].0).count()
+        };
+        if violations(&self.matched) == 0 {
+            return;
+        }
+        // Rebuild the assignment in topological order of the order-edge
+        // subgraph: each node draws the earliest slot in its class pool
+        // that does not precede its already-placed predecessors.
+        // Coupled classes (an edge between twins of different classes)
+        // are handled naturally — the predecessor's choice becomes the
+        // successor's floor.
+        let mut class_of: HashMap<NodeId, (Vn, u32)> = HashMap::new();
+        let mut pools: HashMap<(Vn, u32), Vec<(u64, usize)>> = HashMap::new();
+        for (key, nodes) in &classes {
+            let mut pool: Vec<(u64, usize)> = nodes.iter().map(|n| self.matched[n]).collect();
+            pool.sort_unstable();
+            pools.insert(*key, pool);
+            for &n in nodes {
+                class_of.insert(n, *key);
+            }
+        }
+        let mut succs: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut indeg: HashMap<NodeId, usize> = self.matched.keys().map(|&n| (n, 0)).collect();
+        for &(u, v) in &edges {
+            succs.entry(u).or_default().push(v);
+            *indeg.entry(v).or_default() += 1;
+        }
+        // Deadline of each node: the tightest upper bound any chain of
+        // order successors imposes on its cycle, taking each node's
+        // *latest possible* slot (class members could draw their pool's
+        // last entry, singletons are fixed). Computed in reverse
+        // topological order; the forward pass pops by deadline so the
+        // twin with the tighter downstream constraint draws from the
+        // shared pool first.
+        let ub = |n: NodeId| -> u64 {
+            match class_of.get(&n) {
+                Some(key) => pools[key].last().expect("nonempty pool").0,
+                None => self.matched[&n].0,
+            }
+        };
+        let order: Vec<NodeId> = {
+            let mut indeg = indeg.clone();
+            let mut ready: Vec<NodeId> = indeg
+                .iter()
+                .filter(|(_, &d)| d == 0)
+                .map(|(&n, _)| n)
+                .collect();
+            let mut order = Vec::with_capacity(indeg.len());
+            while let Some(n) = ready.pop() {
+                order.push(n);
+                for &s in succs.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
+                    let d = indeg.get_mut(&s).unwrap();
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(s);
+                    }
+                }
+            }
+            order
+        };
+        let mut deadline: HashMap<NodeId, u64> = HashMap::new();
+        for &n in order.iter().rev() {
+            let mut d = ub(n);
+            for &s in succs.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
+                d = d.min(deadline[&s]);
+            }
+            deadline.insert(n, d);
+        }
+        let mut ready: Vec<NodeId> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut floor: HashMap<NodeId, u64> = HashMap::new();
+        let mut proposed: HashMap<NodeId, (u64, usize)> = HashMap::new();
+        while !ready.is_empty() {
+            // Deterministic order: tightest deadline first, then
+            // smallest node id.
+            let i = ready
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, n)| (deadline.get(n).copied().unwrap_or(u64::MAX), n.0))
+                .map(|(i, _)| i)
+                .unwrap();
+            let n = ready.swap_remove(i);
+            let lb = floor.get(&n).copied().unwrap_or(0);
+            let slot = match class_of.get(&n) {
+                Some(key) => {
+                    let pool = pools.get_mut(key).unwrap();
+                    let i = pool.iter().position(|&(c, _)| c >= lb).unwrap_or(0);
+                    pool.remove(i)
+                }
+                None => self.matched[&n],
+            };
+            proposed.insert(n, slot);
+            for &s in succs.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
+                let f = floor.entry(s).or_insert(0);
+                *f = (*f).max(slot.0);
+                let d = indeg.get_mut(&s).unwrap();
+                *d -= 1;
+                if *d == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        // The order subgraph is acyclic, so every matched node was
+        // re-placed; adopt the proposal only when it is strictly better.
+        if proposed.len() == self.matched.len() && violations(&proposed) < violations(&self.matched)
+        {
+            self.matched = proposed;
+        }
+    }
+
+    /// Sequentialization (and control) edges survive compilation as
+    /// issue-order constraints. The postpass patcher re-times ops but
+    /// preserves their order, so the check is on issue order, not
+    /// latency separation (data/memory timing is covered by the value
+    /// walk above).
+    fn check_order_edges(&mut self) {
+        for e in self.ddg.dag().edges() {
+            if !matches!(
+                e.kind,
+                EdgeKind::Sequence | EdgeKind::Control | EdgeKind::Anti
+            ) {
+                continue;
+            }
+            let (Some(&(cu, _)), Some(&(cv, _))) =
+                (self.matched.get(&e.from), self.matched.get(&e.to))
+            else {
+                continue;
+            };
+            if cv < cu {
+                let kind = match e.kind {
+                    EdgeKind::Sequence => "sequentialization",
+                    EdgeKind::Control => "control",
+                    _ => "anti",
+                };
+                let d = Diagnostic::new(
+                    Code::DroppedSequenceEdge,
+                    format!(
+                        "{kind} edge `{}` → `{}` is not respected by the issue order",
+                        self.ddg.describe(e.from),
+                        self.ddg.describe(e.to)
+                    ),
+                )
+                .at_cycle(cv)
+                .on_node(e.from)
+                .on_node(e.to)
+                .note(format!(
+                    "`{}` issues at cycle {cu}, its successor at cycle {cv}",
+                    self.ddg.describe(e.from)
+                ));
+                self.diags.push(d);
+            }
+        }
+    }
+}
+
+fn mem_key(idx: VnOperand) -> MemKey {
+    match idx {
+        VnOperand::Imm(v) => MemKey::Imm(v),
+        VnOperand::Val(v) => MemKey::Val(v),
+    }
+}
+
+/// `true` when two instructions have the same operator shape (operand
+/// *values* are compared separately).
+fn same_shape(a: &Instr, b: &Instr) -> bool {
+    match (a, b) {
+        (Instr::Const { value: x, .. }, Instr::Const { value: y, .. }) => x == y,
+        (Instr::Bin { op: x, .. }, Instr::Bin { op: y, .. }) => x == y,
+        (Instr::Un { op: x, .. }, Instr::Un { op: y, .. }) => x == y,
+        (Instr::Load { .. }, Instr::Load { .. }) => true,
+        (Instr::Store { .. }, Instr::Store { .. }) => true,
+        _ => false,
+    }
+}
+
+/// Pairs the operands of two same-shape instructions positionally.
+fn operand_pairs(expected: &Instr, got: &Instr) -> Vec<(Operand, Operand)> {
+    match (expected, got) {
+        (Instr::Bin { a: ea, b: eb, .. }, Instr::Bin { a: ga, b: gb, .. }) => {
+            vec![(*ea, *ga), (*eb, *gb)]
+        }
+        (Instr::Un { a: ea, .. }, Instr::Un { a: ga, .. }) => vec![(*ea, *ga)],
+        _ => Vec::new(),
+    }
+}

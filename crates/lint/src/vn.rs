@@ -1,0 +1,311 @@
+//! Structural value numbering over a dependence DAG.
+//!
+//! The translation validator needs to know, for every value-producing
+//! DAG node, *which value* it computes — independent of register names,
+//! so that two `const 1` nodes (or two loads of the same unwritten
+//! cell) are interchangeable, while values that can differ get distinct
+//! numbers. A [`Vn`] is an equivalence-class id under structural
+//! equality:
+//!
+//! * live-ins are numbered by their original virtual register,
+//! * constants by their value,
+//! * arithmetic by operator and operand numbers,
+//! * loads by base symbol, index number, and the *set of may-aliasing
+//!   store nodes that precede them* (the memory epoch — two loads of
+//!   one cell separated by a store must differ),
+//! * spill reloads collapse to the number of the value their single
+//!   feeding spill store saved (spill round-trips are value copies).
+//!
+//! The same interner also numbers values observed while walking emitted
+//! VLIW code, so "does this operand hold the right value" is a plain
+//! `Vn` comparison.
+
+use std::collections::HashMap;
+use ursa_graph::dag::{EdgeKind, NodeId};
+use ursa_ir::ddg::{DependenceDag, NodeKind};
+use ursa_ir::instr::{BinOp, Instr, UnOp};
+use ursa_ir::value::{Operand, SymbolId, VirtualReg};
+use ursa_sched::is_spill_symbol;
+
+/// A value number: an equivalence class of values.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Vn(pub u32);
+
+/// An operand of a structural key: an immediate or a numbered value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum VnOperand {
+    /// A literal immediate.
+    Imm(i64),
+    /// A numbered value.
+    Val(Vn),
+}
+
+/// The structural shape a value number is interned under.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Key {
+    LiveIn(u32),
+    Const(i64),
+    Bin(BinOp, VnOperand, VnOperand),
+    Un(UnOp, VnOperand),
+    /// Base symbol, index, and the sorted may-aliasing store nodes that
+    /// precede the load (its memory epoch).
+    Load(SymbolId, VnOperand, Vec<u32>),
+    /// A value nothing can legitimately equal (diagnostic recovery).
+    Opaque(u32),
+}
+
+/// The interner plus the DAG-side numbering.
+pub struct ValueNumbering {
+    classes: HashMap<Key, Vn>,
+    /// Per-class description for diagnostics (first definition wins).
+    describe: Vec<String>,
+    /// Value number of each value-producing DAG node.
+    node_vn: HashMap<NodeId, Vn>,
+    /// Defining node of each (renamed) virtual register.
+    def_of: HashMap<VirtualReg, NodeId>,
+    opaque: u32,
+}
+
+impl ValueNumbering {
+    /// Numbers every value-producing node of `ddg`.
+    ///
+    /// `ddg` must be acyclic (callers run `check_dag` first).
+    pub fn of(ddg: &DependenceDag) -> ValueNumbering {
+        let mut vn = ValueNumbering {
+            classes: HashMap::new(),
+            describe: Vec::new(),
+            node_vn: HashMap::new(),
+            def_of: HashMap::new(),
+            opaque: 0,
+        };
+        for n in ddg.dag().nodes() {
+            if let Some(reg) = ddg.value_def(n) {
+                vn.def_of.insert(reg, n);
+            }
+        }
+        let order = ddg.dag().topo_order().expect("validated DAGs are acyclic");
+        for n in order {
+            vn.number_node(ddg, n);
+        }
+        vn
+    }
+
+    fn number_node(&mut self, ddg: &DependenceDag, n: NodeId) {
+        let key = match ddg.kind(n) {
+            NodeKind::LiveIn { reg } => Key::LiveIn(reg.0),
+            NodeKind::Op { instr, .. } => match instr {
+                Instr::Const { value, .. } => Key::Const(*value),
+                Instr::Bin { op, a, b, .. } => {
+                    Key::Bin(*op, self.operand_vn(*a), self.operand_vn(*b))
+                }
+                Instr::Un { op, a, .. } => Key::Un(*op, self.operand_vn(*a)),
+                Instr::Load { mem, .. } => {
+                    // Spill reloads are copies: collapse to the stored
+                    // value when exactly one exact-cell store feeds the
+                    // load and nothing else may alias it.
+                    if let Some(fwd) = self.forwarded_store_value(ddg, n, mem) {
+                        self.node_vn.insert(n, fwd);
+                        return;
+                    }
+                    let mut epoch: Vec<u32> = ddg
+                        .dag()
+                        .pred_edges(n)
+                        .filter(|e| e.kind == EdgeKind::Memory)
+                        .filter(|e| is_store(ddg, e.from))
+                        .map(|e| e.from.0)
+                        .collect();
+                    epoch.sort_unstable();
+                    epoch.dedup();
+                    Key::Load(mem.base, self.operand_vn(mem.index), epoch)
+                }
+                Instr::Store { .. } => return, // no value produced
+            },
+            _ => return,
+        };
+        let vn = self.intern(key, || ddg.describe(n));
+        self.node_vn.insert(n, vn);
+    }
+
+    /// The stored value forwarded to load `n` from `mem`, when the load
+    /// reads a compiler spill cell fed by exactly one store to the
+    /// identical (constant-indexed) cell.
+    fn forwarded_store_value(
+        &self,
+        ddg: &DependenceDag,
+        n: NodeId,
+        mem: &ursa_ir::value::MemRef,
+    ) -> Option<Vn> {
+        if !is_spill_symbol(ddg.symbol_name(mem.base)) {
+            return None;
+        }
+        let stores: Vec<NodeId> = ddg
+            .dag()
+            .pred_edges(n)
+            .filter(|e| e.kind == EdgeKind::Memory)
+            .filter(|e| is_store(ddg, e.from))
+            .map(|e| e.from)
+            .collect();
+        let [store] = stores[..] else { return None };
+        let Some(Instr::Store { mem: smem, src }) = ddg.instr(store) else {
+            return None;
+        };
+        if smem != mem || !matches!(mem.index, Operand::Imm(_)) {
+            return None;
+        }
+        match src {
+            Operand::Imm(_) => None,
+            Operand::Reg(r) => {
+                let def = self.def_of.get(r)?;
+                self.node_vn.get(def).copied()
+            }
+        }
+    }
+
+    fn operand_vn(&mut self, op: Operand) -> VnOperand {
+        match op {
+            Operand::Imm(v) => VnOperand::Imm(v),
+            Operand::Reg(r) => {
+                if let Some(&def) = self.def_of.get(&r) {
+                    if let Some(&vn) = self.node_vn.get(&def) {
+                        return VnOperand::Val(vn);
+                    }
+                }
+                // A read of a register with no def in the DAG: give it
+                // a unique number so nothing spuriously matches.
+                VnOperand::Val(self.fresh_opaque(&format!("undefined {r}")))
+            }
+        }
+    }
+
+    fn intern(&mut self, key: Key, describe: impl FnOnce() -> String) -> Vn {
+        if let Some(&vn) = self.classes.get(&key) {
+            return vn;
+        }
+        let vn = Vn(self.describe.len() as u32);
+        self.describe.push(describe());
+        self.classes.insert(key, vn);
+        vn
+    }
+
+    /// A value number nothing else can equal (used to keep walking
+    /// after a diagnostic without cascading).
+    pub fn fresh_opaque(&mut self, why: &str) -> Vn {
+        self.opaque += 1;
+        let key = Key::Opaque(self.opaque);
+        self.intern(key, || why.to_string())
+    }
+
+    /// The number of the value `n` produces, if any.
+    pub fn vn_of(&self, n: NodeId) -> Option<Vn> {
+        self.node_vn.get(&n).copied()
+    }
+
+    /// The node defining (renamed) register `r`, if any.
+    pub fn def_of(&self, r: VirtualReg) -> Option<NodeId> {
+        self.def_of.get(&r).copied()
+    }
+
+    /// Human description of a value class (its first definition).
+    pub fn describe(&self, vn: Vn) -> &str {
+        self.describe
+            .get(vn.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+
+    /// Numbers a value observed on the emitted side: a binary op
+    /// applied to observed operands.
+    pub fn observe_bin(&mut self, op: BinOp, a: VnOperand, b: VnOperand) -> Vn {
+        self.intern(Key::Bin(op, a, b), || format!("emitted {op:?}"))
+    }
+
+    /// Numbers an observed unary op.
+    pub fn observe_un(&mut self, op: UnOp, a: VnOperand) -> Vn {
+        self.intern(Key::Un(op, a), || format!("emitted {op:?}"))
+    }
+
+    /// Numbers an observed constant.
+    pub fn observe_const(&mut self, value: i64) -> Vn {
+        self.intern(Key::Const(value), || format!("const {value}"))
+    }
+}
+
+/// `true` when `n` is a store node.
+pub fn is_store(ddg: &DependenceDag, n: NodeId) -> bool {
+    matches!(ddg.instr(n), Some(Instr::Store { .. }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_ir::parser::parse;
+
+    fn vn_of_reg(vn: &ValueNumbering, r: u32) -> Vn {
+        let def = vn.def_of(VirtualReg(r)).expect("defined");
+        vn.vn_of(def).expect("numbered")
+    }
+
+    #[test]
+    fn identical_constants_share_a_class() {
+        let p = parse("v0 = const 1\nv1 = const 1\nv2 = const 2\nstore a[0], v2\n").unwrap();
+        let ddg = DependenceDag::from_entry_block(&p);
+        let vn = ValueNumbering::of(&ddg);
+        assert_eq!(vn_of_reg(&vn, 0), vn_of_reg(&vn, 1));
+        assert_ne!(vn_of_reg(&vn, 0), vn_of_reg(&vn, 2));
+    }
+
+    #[test]
+    fn loads_split_by_memory_epoch() {
+        let p = parse(
+            "v0 = load a[0]\n\
+             v1 = load a[0]\n\
+             store a[0], 7\n\
+             v2 = load a[0]\n\
+             store b[0], v2\n",
+        )
+        .unwrap();
+        let ddg = DependenceDag::from_entry_block(&p);
+        let vn = ValueNumbering::of(&ddg);
+        // Same cell, same epoch: interchangeable.
+        assert_eq!(vn_of_reg(&vn, 0), vn_of_reg(&vn, 1));
+        // The store starts a new epoch.
+        assert_ne!(vn_of_reg(&vn, 0), vn_of_reg(&vn, 2));
+    }
+
+    #[test]
+    fn spill_round_trip_is_a_copy() {
+        let p = parse(
+            "v0 = load a[0]\n\
+             v1 = mul v0, 2\n\
+             v2 = mul v0, 3\n\
+             v3 = add v1, v2\n\
+             store a[1], v3\n",
+        )
+        .unwrap();
+        let mut ddg = DependenceDag::from_entry_block(&p);
+        // Spill v0's value across its uses.
+        let def = ddg
+            .dag()
+            .nodes()
+            .find(|&n| ddg.value_def(n) == Some(VirtualReg(0)))
+            .unwrap();
+        let uses: Vec<NodeId> = ddg.uses_of(def).to_vec();
+        let pair = ddg.insert_spill(def, &uses);
+        let vn = ValueNumbering::of(&ddg);
+        assert_eq!(
+            vn.vn_of(def),
+            vn.vn_of(pair.load),
+            "reload carries the spilled value"
+        );
+    }
+
+    #[test]
+    fn opaque_values_never_collide() {
+        let p = parse("v0 = const 1\nstore a[0], v0\n").unwrap();
+        let ddg = DependenceDag::from_entry_block(&p);
+        let mut vn = ValueNumbering::of(&ddg);
+        let a = vn.fresh_opaque("x");
+        let b = vn.fresh_opaque("x");
+        assert_ne!(a, b);
+    }
+}

@@ -61,7 +61,7 @@ pub use ips::{ips_schedule, try_ips_schedule, IpsStats};
 pub use patch::{patch_spills, try_patch_spills, PatchStats};
 pub use prepass::{prepass_allocate, try_prepass_allocate, PrepassStats};
 pub use schedule::{list_schedule, try_list_schedule, Schedule, ScheduledOp};
-pub use validate::{Stage, ValidationError};
+pub use validate::{is_spill_symbol, Stage, ValidationError, SPILL_PREFIX};
 pub use vliw::{MachineOp, SlotOp, VliwProgram};
 
 use ursa_core::{allocate, AllocationOutcome, Strategy, UrsaConfig};
@@ -99,6 +99,47 @@ impl CompileStrategy {
     }
 }
 
+/// How diagnostics from the static lint layer (`ursa-lint`) are
+/// treated for a compilation.
+///
+/// The scheduler only *records* the level — interpreting it would
+/// require depending on the linter, which itself depends on this
+/// crate. `ursa-lint`'s pipeline wrapper reads the field and runs the
+/// translation validator and lint passes accordingly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub enum LintLevel {
+    /// Skip linting entirely.
+    #[default]
+    Allow,
+    /// Report all diagnostics; only validator errors fail the
+    /// compilation.
+    Warn,
+    /// Report all diagnostics; lint warnings fail the compilation too.
+    Deny,
+}
+
+impl LintLevel {
+    /// Parses a level name as accepted by `--lint[=allow|warn|deny]`.
+    pub fn parse(name: &str) -> Option<LintLevel> {
+        match name {
+            "allow" => Some(LintLevel::Allow),
+            "warn" => Some(LintLevel::Warn),
+            "deny" => Some(LintLevel::Deny),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for LintLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LintLevel::Allow => "allow",
+            LintLevel::Warn => "warn",
+            LintLevel::Deny => "deny",
+        })
+    }
+}
+
 /// Pipeline-level options of [`try_compile_with`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PipelineOptions {
@@ -110,6 +151,9 @@ pub struct PipelineOptions {
     /// [`CompileError::BudgetExhausted`] instead of retrying down the
     /// fallback rungs.
     pub no_fallback: bool,
+    /// How `ursa-lint` treats diagnostics for this compilation (pure
+    /// data here; see [`LintLevel`]).
+    pub lint: LintLevel,
 }
 
 /// One rung of the degradation ladder.

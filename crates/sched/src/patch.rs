@@ -422,6 +422,40 @@ pub fn try_patch_spills(
         });
     }
 
+    // Elide dead spill stores. A live-out value is never freed, so it
+    // can be chosen as an eviction victim after its last read — the
+    // emitted store then feeds no reload. The spill area is
+    // compiler-private memory, so an unreloaded store is unobservable.
+    let reloaded: BTreeSet<i64> = emitter
+        .words
+        .iter()
+        .flatten()
+        .filter_map(|op| match &op.op {
+            SlotOp::Instr(Instr::Load { mem, .. }) if mem.base == spill_sym => match mem.index {
+                Operand::Imm(slot) => Some(slot),
+                Operand::Reg(_) => None,
+            },
+            _ => None,
+        })
+        .collect();
+    for word in &mut emitter.words {
+        word.retain(|op| {
+            let keep = match &op.op {
+                SlotOp::Instr(Instr::Store { mem, .. }) if mem.base == spill_sym => {
+                    match mem.index {
+                        Operand::Imm(slot) => reloaded.contains(&slot),
+                        Operand::Reg(_) => true,
+                    }
+                }
+                _ => true,
+            };
+            if !keep {
+                stats.stores -= 1;
+            }
+            keep
+        });
+    }
+
     // Pad to the drain point.
     while (emitter.words.len() as u64) < emitter.end {
         emitter.words.push(Vec::new());
@@ -687,6 +721,72 @@ mod tests {
             "load at {tl} observes the store at {ts} before its commit at {}",
             ts + 4
         );
+    }
+
+    #[test]
+    fn dead_spill_stores_are_elided() {
+        // A live-out value is never freed, so after its last in-trace
+        // read it can become an eviction victim — which used to emit a
+        // store to a spill cell nothing reloads. Those stores are
+        // unobservable (the spill area is compiler-private) and must
+        // not survive to the emitted words.
+        use ursa_ir::Trace;
+        let src = "\
+            block entry:\n\
+            v0 = const 0\n\
+            jmp head\n\
+            block head @ 24:\n\
+            v1 = load a[v0]\n\
+            v2 = mul v1, 3\n\
+            store b[v0], v2\n\
+            v0 = add v0, 1\n\
+            v3 = cmplt v0, 24\n\
+            br v3, head, done\n\
+            block done:\n\
+            ret\n";
+        let program = parse(src).unwrap();
+        let ddg = DependenceDag::build(&program, &Trace::single(1));
+        let machine = Machine::homogeneous(2, 3);
+        let s = list_schedule(&ddg, &machine);
+        let (prog, stats) = patch_spills(&ddg, &s, &machine);
+        let spill = prog
+            .symbols
+            .iter()
+            .position(|s| s == "__patch_spill")
+            .map(|i| SymbolId(i as u32))
+            .expect("tight file spills");
+        let mut stored = BTreeSet::new();
+        let mut loaded = BTreeSet::new();
+        let mut stores = 0usize;
+        let mut loads = 0usize;
+        for word in &prog.words {
+            for op in word {
+                let SlotOp::Instr(i) = &op.op else { continue };
+                if let Some(m) = i.mem_write() {
+                    if m.base == spill {
+                        if let Operand::Imm(slot) = m.index {
+                            stored.insert(slot);
+                        }
+                        stores += 1;
+                    }
+                }
+                if let Some(m) = i.mem_read() {
+                    if m.base == spill {
+                        if let Operand::Imm(slot) = m.index {
+                            loaded.insert(slot);
+                        }
+                        loads += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            stored.is_subset(&loaded),
+            "unreloaded spill store survived: {stored:?} vs {loaded:?}"
+        );
+        // Stats track the emitted words, not the pre-elision count.
+        assert_eq!(stats.stores, stores);
+        assert_eq!(stats.loads, loads);
     }
 
     #[test]

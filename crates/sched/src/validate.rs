@@ -208,11 +208,21 @@ pub fn check_schedule(
         .map_err(|detail| ValidationError::BadSchedule { detail })
 }
 
+/// The reserved name prefix of compiler-private spill areas.
+///
+/// The parser rejects user symbols starting with this prefix, so for
+/// parsed programs prefix matching in [`is_spill_symbol`] is sound.
+/// Programs constructed programmatically (`ProgramBuilder`) can still
+/// smuggle colliding symbols in; `ursa-lint` reports those as `U0106
+/// spill-symbol-collision` because every such memory operation is
+/// silently exempted from the conservation checks here.
+pub const SPILL_PREFIX: &str = "__";
+
 /// `true` for symbols naming compiler-private spill areas (`__spill`,
 /// `__patch_spill`, `__prepass_spill`). Memory operations against them
 /// are spill code, not program operations.
 pub fn is_spill_symbol(name: &str) -> bool {
-    name.starts_with("__")
+    name.starts_with(SPILL_PREFIX)
 }
 
 /// Checks emitted VLIW code: register-file bounds, dependence-respecting

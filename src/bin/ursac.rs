@@ -18,21 +18,25 @@
 //! ursac program.tac --validate             # stage invariant checks on
 //! ursac program.tac --max-iterations 16    # URSA reduction budget
 //! ursac program.tac --no-fallback          # fail instead of degrading
+//! ursac program.tac --lint                 # static lint, warn level
+//! ursac program.tac --lint=deny            # lint warnings fail too
+//! ursac program.tac --dot-annotated        # DOT + pressure/lint colors
 //! ```
 //!
-//! Exit status: 0 on success, 1 on any compilation or simulation
+//! Exit status: 0 on success, 1 on any compilation, simulation, or lint
 //! failure (including an exhausted allocation budget under
 //! `--no-fallback`), 2 on usage errors.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
-use ursa::core::{measure, AllocCtx, MeasureOptions, UrsaConfig};
+use ursa::core::{find_excessive, measure, AllocCtx, MeasureOptions, UrsaConfig};
 use ursa::ir::ddg::DependenceDag;
-use ursa::ir::dot::to_dot;
+use ursa::ir::dot::{to_dot, to_dot_annotated, DotAnnotation};
 use ursa::ir::unroll::{find_self_loop, unroll_self_loop};
 use ursa::ir::{parse, Trace};
+use ursa::lint::{lint_compiled, Severity};
 use ursa::machine::Machine;
-use ursa::sched::{try_compile_with, CompileStrategy, PipelineOptions};
+use ursa::sched::{try_compile_with, CompileStrategy, LintLevel, PipelineOptions};
 use ursa::vm::equiv::seeded_memory;
 use ursa::vm::wide::run_vliw;
 
@@ -51,6 +55,8 @@ struct Options {
     validate: bool,
     max_iterations: Option<usize>,
     no_fallback: bool,
+    lint: LintLevel,
+    dot_annotated: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -69,6 +75,8 @@ fn parse_args() -> Result<Options, String> {
         validate: false,
         max_iterations: None,
         no_fallback: false,
+        lint: LintLevel::Allow,
+        dot_annotated: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -107,6 +115,13 @@ fn parse_args() -> Result<Options, String> {
                 )
             }
             "--no-fallback" => opts.no_fallback = true,
+            "--lint" => opts.lint = LintLevel::Warn,
+            "--dot-annotated" => opts.dot_annotated = true,
+            other if other.starts_with("--lint=") => {
+                let level = &other["--lint=".len()..];
+                opts.lint = LintLevel::parse(level)
+                    .ok_or_else(|| format!("--lint: unknown level '{level}'"))?;
+            }
             "--help" | "-h" => return Err("usage: ursac <file.tac> [options]".to_string()),
             other if other.starts_with('-') => return Err(format!("unknown option '{other}'")),
             file => {
@@ -232,14 +247,62 @@ fn main() -> ExitCode {
     let pipeline = PipelineOptions {
         validate: opts.validate,
         no_fallback: opts.no_fallback,
+        lint: opts.lint,
     };
-    let compiled = match try_compile_with(&program, &trace, &machine, strategy, &pipeline) {
+    let compiled = match try_compile_with(&program, &trace, &machine, strategy.clone(), &pipeline) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("ursac: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if opts.dot_annotated {
+        // Annotate the trace DAG with pressure hotspots and any lint
+        // findings (lint always runs for this view, at least at warn).
+        let report = lint_compiled(&program, &trace, &machine, &strategy, &compiled);
+        let mut anns = Vec::new();
+        let mut ctx = AllocCtx::new(ddg.clone(), &machine);
+        let m = measure(&mut ctx, MeasureOptions::default());
+        let kills = m.kills.clone();
+        for rm in &m.resources {
+            if rm.requirement.excess() == 0 {
+                continue;
+            }
+            if let Some(set) = find_excessive(&mut ctx, rm, &kills) {
+                for n in set.chains.iter().flatten() {
+                    anns.push(DotAnnotation {
+                        node: *n,
+                        color: "gold".to_string(),
+                        note: format!("excessive {}", rm.requirement.resource),
+                    });
+                }
+            }
+        }
+        for d in &report.diagnostics {
+            let color = match d.severity() {
+                Severity::Error => "lightcoral",
+                Severity::Warning => "khaki",
+                Severity::Note => "lightblue",
+            };
+            for n in &d.nodes {
+                anns.push(DotAnnotation {
+                    node: *n,
+                    color: color.to_string(),
+                    note: format!("{} {}", d.code.as_str(), d.code.name()),
+                });
+            }
+        }
+        print!("{}", to_dot_annotated(&ddg, "trace", &anns));
+        return ExitCode::SUCCESS;
+    }
+    if opts.lint != LintLevel::Allow {
+        let report = lint_compiled(&program, &trace, &machine, &strategy, &compiled);
+        eprint!("{report}");
+        if report.fails_at(opts.lint) {
+            eprintln!("ursac: lint failed at level '{}'", opts.lint);
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(report) = compiled.fallback.as_ref().filter(|r| r.degraded()) {
         eprintln!("ursac: warning: degraded — {report}");
     }

@@ -1,0 +1,265 @@
+//! `ursalint` — standalone static diagnostics for URSA compilations.
+//!
+//! Compiles each input program under a battery of strategies and
+//! machines, runs the translation validator plus every lint pass on
+//! each result, and prints the findings:
+//!
+//! ```text
+//! ursalint prog.tac other.tac         # lint files at warn level
+//! ursalint --builtin paper            # the paper's figure-2 + kernels
+//! ursalint --deny prog.tac            # warnings fail too (CI gate)
+//! ursalint --level allow prog.tac     # report only, never fail
+//! ursalint --strategy spill-only ...  # one strategy instead of the set
+//! ursalint --fus 2 --regs 4 prog.tac  # one machine instead of the menu
+//! ursalint --machine m.json prog.tac  # machine from JSON
+//! ```
+//!
+//! Default strategy set: the four URSA ladder disciplines (integrated,
+//! phased, phased-fu-first, spill-only) plus postpass patching. Default
+//! machine menu: homogeneous 4×16, homogeneous 2×3 (tight — forces
+//! spills), and the classed classic VLIW.
+//!
+//! Exit status: 0 when every compilation is clean at the chosen level,
+//! 1 when any fails it (or fails to compile), 2 on usage errors.
+
+use std::process::ExitCode;
+use ursa::core::{Strategy, UrsaConfig};
+use ursa::ir::unroll::find_self_loop;
+use ursa::ir::{parse, Program, Trace};
+use ursa::lint::{lint_compiled, LintLevel, LintReport};
+use ursa::machine::Machine;
+use ursa::sched::{try_compile, CompileStrategy};
+use ursa::workloads::kernels::kernel_suite;
+use ursa::workloads::paper::figure2_block;
+
+struct Options {
+    files: Vec<String>,
+    builtin: Vec<String>,
+    level: LintLevel,
+    strategy: Option<String>,
+    fus: Option<u32>,
+    regs: Option<u32>,
+    classic: bool,
+    pipelined: bool,
+    machine_file: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        files: Vec::new(),
+        builtin: Vec::new(),
+        level: LintLevel::Warn,
+        strategy: None,
+        fus: None,
+        regs: None,
+        classic: false,
+        pipelined: false,
+        machine_file: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--builtin" => opts.builtin.push(take("--builtin")?),
+            "--level" => {
+                let name = take("--level")?;
+                opts.level = LintLevel::parse(&name)
+                    .ok_or_else(|| format!("--level: unknown level '{name}'"))?;
+            }
+            "--deny" => opts.level = LintLevel::Deny,
+            "--strategy" => opts.strategy = Some(take("--strategy")?),
+            "--fus" => opts.fus = Some(take("--fus")?.parse().map_err(|e| format!("--fus: {e}"))?),
+            "--regs" => {
+                opts.regs = Some(
+                    take("--regs")?
+                        .parse()
+                        .map_err(|e| format!("--regs: {e}"))?,
+                )
+            }
+            "--classic" => opts.classic = true,
+            "--pipelined" => opts.pipelined = true,
+            "--machine" => opts.machine_file = Some(take("--machine")?),
+            "--help" | "-h" => {
+                return Err("usage: ursalint [files.tac ...] [--builtin paper] \
+                            [--level allow|warn|deny | --deny] [--strategy NAME] \
+                            [--fus N --regs N | --classic | --pipelined | --machine FILE]"
+                    .to_string())
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option '{other}'")),
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if opts.files.is_empty() && opts.builtin.is_empty() {
+        return Err("no inputs (give .tac files or --builtin paper; try --help)".to_string());
+    }
+    Ok(opts)
+}
+
+/// The programs to lint: named `(label, program)` pairs.
+fn gather_programs(opts: &Options) -> Result<Vec<(String, Program)>, String> {
+    let mut out = Vec::new();
+    for file in &opts.files {
+        let source =
+            std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        let program = parse(&source).map_err(|e| format!("{file}: {e}"))?;
+        out.push((file.clone(), program));
+    }
+    for b in &opts.builtin {
+        match b.as_str() {
+            "paper" => {
+                out.push(("figure2".to_string(), figure2_block()));
+                for k in kernel_suite() {
+                    out.push((k.name, k.program));
+                }
+            }
+            other => return Err(format!("--builtin: unknown suite '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
+fn machine_menu(opts: &Options) -> Result<Vec<Machine>, String> {
+    if let Some(path) = &opts.machine_file {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let machine = Machine::from_json(&json).map_err(|e| e.to_string())?;
+        return Ok(vec![machine]);
+    }
+    if opts.classic || opts.pipelined {
+        let base = if opts.pipelined {
+            Machine::pipelined_vliw()
+        } else {
+            Machine::classic_vliw()
+        };
+        return match opts.regs {
+            Some(r) => base
+                .try_with_registers(r)
+                .map(|m| vec![m])
+                .map_err(|e| e.to_string()),
+            None => Ok(vec![base]),
+        };
+    }
+    if opts.fus.is_some() || opts.regs.is_some() {
+        let m = Machine::try_homogeneous(opts.fus.unwrap_or(4), opts.regs.unwrap_or(16))
+            .map_err(|e| e.to_string())?;
+        return Ok(vec![m]);
+    }
+    // Default menu: comfortable, tight (forces the spill machinery), and
+    // a classed machine with multi-cycle latencies.
+    Ok(vec![
+        Machine::homogeneous(4, 16),
+        Machine::homogeneous(2, 3),
+        Machine::classic_vliw(),
+    ])
+}
+
+fn strategy_set(opts: &Options) -> Result<Vec<(String, CompileStrategy)>, String> {
+    let ursa = |s: Strategy| {
+        CompileStrategy::Ursa(UrsaConfig {
+            strategy: s,
+            ..UrsaConfig::default()
+        })
+    };
+    let all: Vec<(&str, CompileStrategy)> = vec![
+        ("integrated", ursa(Strategy::Integrated)),
+        ("phased", ursa(Strategy::Phased)),
+        ("phased-fu-first", ursa(Strategy::PhasedFuFirst)),
+        ("spill-only", ursa(Strategy::SpillOnly)),
+        ("postpass", CompileStrategy::Postpass),
+    ];
+    match &opts.strategy {
+        None => Ok(all.into_iter().map(|(n, s)| (n.to_string(), s)).collect()),
+        Some(name) => all
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(n, s)| vec![(n.to_string(), s)])
+            .ok_or_else(|| {
+                format!(
+                    "--strategy: unknown '{name}' (integrated, phased, phased-fu-first, \
+                     spill-only, postpass)"
+                )
+            }),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("ursalint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let programs = match gather_programs(&opts) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("ursalint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let machines = match machine_menu(&opts) {
+        Ok(m) => m,
+        Err(msg) => {
+            eprintln!("ursalint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let strategies = match strategy_set(&opts) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("ursalint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut checked = 0usize;
+    let mut findings = 0usize;
+    let mut failed = false;
+    for (label, program) in &programs {
+        // Same trace choice as ursac: the self-loop body when one
+        // exists, else the entry block.
+        let block = find_self_loop(program).unwrap_or(0);
+        let trace = Trace::single(block);
+        for machine in &machines {
+            for (sname, strategy) in &strategies {
+                let compiled = match try_compile(program, &trace, machine, strategy.clone()) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("ursalint: {label} [{machine}, {sname}]: compile error: {e}");
+                        failed = true;
+                        continue;
+                    }
+                };
+                checked += 1;
+                let report = lint_compiled(program, &trace, machine, strategy, &compiled);
+                print_report(label, machine, sname, &report);
+                findings += report.diagnostics.len();
+                if report.fails_at(opts.level) {
+                    failed = true;
+                }
+            }
+        }
+    }
+    eprintln!(
+        "ursalint: {checked} compilation(s) checked, {findings} finding(s), level '{}'",
+        opts.level
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_report(label: &str, machine: &Machine, strategy: &str, report: &LintReport) {
+    if report.is_clean() {
+        return;
+    }
+    println!("{label} [{machine}, {strategy}]:");
+    for d in &report.diagnostics {
+        for line in d.to_string().lines() {
+            println!("  {line}");
+        }
+    }
+}

@@ -22,6 +22,8 @@
 //! * [`core`] — the URSA measurement and transformation engine.
 //! * [`sched`] — resource assignment, VLIW code generation, and the
 //!   baseline phase orderings the paper compares against.
+//! * [`lint`] — the static translation validator and `ursalint`
+//!   diagnostic framework (stable `U00xx`/`U01xx` codes).
 //! * [`vm`] — a VLIW simulator used to validate semantic equivalence.
 //! * [`workloads`] — the paper's worked example plus kernel and random-DAG
 //!   generators used by the experiment harness.
@@ -51,6 +53,7 @@
 pub use ursa_core as core;
 pub use ursa_graph as graph;
 pub use ursa_ir as ir;
+pub use ursa_lint as lint;
 pub use ursa_machine as machine;
 pub use ursa_sched as sched;
 pub use ursa_vm as vm;

@@ -185,6 +185,7 @@ fn residual_excess_descends_and_stays_correct() {
         &PipelineOptions {
             validate: true,
             no_fallback: false,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -240,6 +241,7 @@ fn no_fallback_turns_exhaustion_into_budget_exhausted() {
         &PipelineOptions {
             validate: false,
             no_fallback: true,
+            ..Default::default()
         },
     )
     .unwrap_err();
@@ -304,4 +306,63 @@ fn spilled_code_stays_inside_the_file() {
             }
         }
     }
+}
+
+#[test]
+fn multi_cycle_latency_violation_is_a_bad_schedule() {
+    // A schedule legal on a unit-latency machine packs dependent mul
+    // chains back to back; rechecking it against the same FU shape with
+    // classic multi-cycle latencies must trip the dependence check.
+    let p = parse(FIG2).unwrap();
+    let ddg = ursa::ir::ddg::DependenceDag::from_entry_block(&p);
+    let unit = Machine::homogeneous(3, 16);
+    let schedule = ursa::sched::list_schedule(&ddg, &unit);
+    validate::check_schedule(&ddg, &schedule, &unit).unwrap();
+    let slow = Machine::builder("slow-homogeneous")
+        .fu(ursa::machine::FuClass::Universal, 3)
+        .registers(16)
+        .latencies(ursa::machine::LatencyModel::classic())
+        .build();
+    let err = validate::check_schedule(&ddg, &schedule, &slow).unwrap_err();
+    assert!(
+        matches!(err, ursa::sched::ValidationError::BadSchedule { .. }),
+        "{err}"
+    );
+    assert!(err.to_string().contains("before"), "{err}");
+}
+
+#[test]
+fn register_file_bound_is_exact_at_the_cap() {
+    // Index file-1 is the last legal register; index == file is the
+    // first illegal one — the bound is exact, not off by one.
+    use ursa::ir::instr::Instr;
+    use ursa::ir::value::VirtualReg;
+    use ursa::machine::FuClass;
+    use ursa::sched::{MachineOp, VliwProgram};
+    let machine = Machine::homogeneous(1, 4);
+    let program_with_dst = |reg: u32| VliwProgram {
+        words: vec![vec![MachineOp {
+            op: SlotOp::Instr(Instr::Const {
+                dst: VirtualReg(reg),
+                value: 7,
+            }),
+            fu: (FuClass::Universal, 0),
+        }]],
+        symbols: Vec::new(),
+        num_regs: machine.registers(),
+        live_in: Vec::new(),
+    };
+    validate::check_words(&program_with_dst(3), &machine, 1).unwrap();
+    let err = validate::check_words(&program_with_dst(4), &machine, 1).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ursa::sched::ValidationError::RegisterOutOfFile {
+                reg: 4,
+                file: 4,
+                ..
+            }
+        ),
+        "{err}"
+    );
 }

@@ -1,0 +1,342 @@
+//! Miscompile-injection tests for the static translation validator.
+//!
+//! Each test compiles a program normally, checks the clean code
+//! validates, then corrupts the emitted VLIW words in a way that
+//! preserves surface plausibility (ops still well-formed, units still
+//! assigned) but breaks a semantic obligation — and asserts the
+//! validator statically rejects it with the *specific* stable code the
+//! registry promises for that miscompile class:
+//!
+//! * a live register clobbered by a redirected destination → `U0001`,
+//! * a spill reload hoisted to its store's issue cycle → `U0004`,
+//! * a sequentialization edge inverted by swapping two ops → `U0009`.
+//!
+//! The corruptions are searched over candidate sites (the first site
+//! is not always observable — e.g. a clobbered value may be dead), so
+//! each test retries until the targeted diagnostic fires and fails
+//! only when *no* candidate site is rejected.
+
+use ursa::core::{Strategy, UrsaConfig};
+use ursa::graph::dag::EdgeKind;
+use ursa::ir::ddg::DependenceDag;
+use ursa::ir::instr::Instr;
+use ursa::ir::value::VirtualReg;
+use ursa::ir::{Program, Trace};
+use ursa::lint::{validate_translation, Code, Severity};
+use ursa::machine::Machine;
+use ursa::sched::vliw::{SlotOp, VliwProgram};
+use ursa::sched::{is_spill_symbol, try_compile, CompileStrategy, Compiled};
+use ursa::workloads::kernels::kernel_suite;
+use ursa::workloads::paper::figure2_block;
+use ursa_rng::Rng;
+use ursa_workloads::random::{random_block, RandomShape};
+
+fn ursa_strategy(strategy: Strategy) -> CompileStrategy {
+    CompileStrategy::Ursa(UrsaConfig {
+        strategy,
+        ..UrsaConfig::default()
+    })
+}
+
+/// A small deterministic menu of random programs (plus figure 2).
+fn test_programs() -> Vec<Program> {
+    let mut programs = vec![figure2_block()];
+    for seed in 0..6u64 {
+        let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+        programs.push(random_block(
+            seed,
+            RandomShape {
+                ops: rng.gen_range(12usize..48),
+                seeds: rng.gen_range(2usize..6),
+                window: rng.gen_range(3usize..12),
+                store_pct: rng.gen_range(0u32..30),
+            },
+        ));
+    }
+    programs
+}
+
+/// The DAG the code was generated from (URSA's transformed DAG when
+/// available, the original otherwise).
+fn reference_dag(compiled: &Compiled, program: &Program) -> DependenceDag {
+    match &compiled.outcome {
+        Some(o) => o.ddg.clone(),
+        None => DependenceDag::build(program, &Trace::single(0)),
+    }
+}
+
+fn error_codes(ddg: &DependenceDag, vliw: &VliwProgram, machine: &Machine) -> Vec<Code> {
+    validate_translation(ddg, vliw, machine)
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity() == Severity::Error)
+        .map(|d| d.code)
+        .collect()
+}
+
+fn assert_clean(ddg: &DependenceDag, vliw: &VliwProgram, machine: &Machine) {
+    let report = validate_translation(ddg, vliw, machine);
+    let errors: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity() == Severity::Error)
+        .map(|d| d.to_string())
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "clean code must validate, got:\n{}",
+        errors.join("\n")
+    );
+}
+
+/// `instr` with its destination redirected to `dst`.
+fn with_dst(instr: &Instr, dst: VirtualReg) -> Instr {
+    match instr.clone() {
+        Instr::Const { value, .. } => Instr::Const { dst, value },
+        Instr::Bin { op, a, b, .. } => Instr::Bin { op, dst, a, b },
+        Instr::Un { op, a, .. } => Instr::Un { op, dst, a },
+        Instr::Load { mem, .. } => Instr::Load { dst, mem },
+        store @ Instr::Store { .. } => store,
+    }
+}
+
+/// Every `(cycle, slot, instr)` in issue order.
+fn flat_instrs(vliw: &VliwProgram) -> Vec<(usize, usize, Instr)> {
+    let mut out = Vec::new();
+    for (cycle, word) in vliw.words.iter().enumerate() {
+        for (slot, op) in word.iter().enumerate() {
+            if let SlotOp::Instr(i) = &op.op {
+                out.push((cycle, slot, i.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Redirecting an intermediate op's destination onto a register that is
+/// still live (defined earlier, read later) must be rejected as a
+/// clobbered live register — the reader observes the wrong value and
+/// the validator names the clobbering write.
+#[test]
+fn injected_register_clobber_is_rejected_as_u0001() {
+    let machine = Machine::homogeneous(2, 8);
+    let mut attempts = 0usize;
+    for program in test_programs() {
+        let Ok(compiled) = try_compile(
+            &program,
+            &Trace::single(0),
+            &machine,
+            ursa_strategy(Strategy::Integrated),
+        ) else {
+            continue;
+        };
+        let ddg = reference_dag(&compiled, &program);
+        assert_clean(&ddg, &compiled.vliw, &machine);
+        let flat = flat_instrs(&compiled.vliw);
+        // Candidate sites: a writer issued strictly between a value's
+        // (latest reaching) definition and one of its reads.
+        for (rc, _, reader) in &flat {
+            for y in reader.uses() {
+                // Latest def of y before the read; live-ins count as
+                // defined before cycle 0.
+                let def_cycle: i64 = flat
+                    .iter()
+                    .filter(|(dc, _, di)| dc < rc && di.def() == Some(y))
+                    .map(|(dc, _, _)| *dc as i64)
+                    .max()
+                    .unwrap_or(-1);
+                for (wc, ws, writer) in &flat {
+                    let between = (*wc as i64) > def_cycle && wc < rc;
+                    if !between || writer.def().is_none() || writer.def() == Some(y) {
+                        continue;
+                    }
+                    attempts += 1;
+                    if attempts > 500 {
+                        break;
+                    }
+                    let mut corrupted = compiled.vliw.clone();
+                    if let SlotOp::Instr(i) = &mut corrupted.words[*wc][*ws].op {
+                        *i = with_dst(writer, y);
+                    }
+                    if error_codes(&ddg, &corrupted, &machine)
+                        .contains(&Code::ClobberedLiveRegister)
+                    {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+    panic!("no destination redirection produced U0001 in {attempts} attempts");
+}
+
+/// Hoisting a spill reload up to its store's issue cycle violates the
+/// store-commit obligation (the cell's value is not yet architecturally
+/// visible) and must be rejected as a premature reload.
+#[test]
+fn injected_early_reload_is_rejected_as_u0004() {
+    // Tight register file + spill-only discipline: guaranteed spill
+    // store/reload pairs.
+    let machine = Machine::homogeneous(2, 3);
+    let mut attempts = 0usize;
+    for program in test_programs() {
+        let Ok(compiled) = try_compile(
+            &program,
+            &Trace::single(0),
+            &machine,
+            ursa_strategy(Strategy::SpillOnly),
+        ) else {
+            continue;
+        };
+        if compiled.stats.spill_loads == 0 {
+            continue;
+        }
+        let ddg = reference_dag(&compiled, &program);
+        assert_clean(&ddg, &compiled.vliw, &machine);
+        let spill_cell = |i: &Instr| match i {
+            Instr::Load { mem, .. } | Instr::Store { mem, .. }
+                if is_spill_symbol(&compiled.vliw.symbols[mem.base.index()]) =>
+            {
+                Some((mem.base, mem.index))
+            }
+            _ => None,
+        };
+        let flat = flat_instrs(&compiled.vliw);
+        for (sc, _, store) in &flat {
+            let (Instr::Store { .. }, Some(cell)) = (store, spill_cell(store)) else {
+                continue;
+            };
+            for (lc, ls, load) in &flat {
+                let is_reload =
+                    matches!(load, Instr::Load { .. }) && spill_cell(load) == Some(cell);
+                if !is_reload || lc <= sc {
+                    continue;
+                }
+                attempts += 1;
+                // Reissue the reload in the store's own cycle (after the
+                // store's slot, so the cell is known but uncommitted).
+                let mut corrupted = compiled.vliw.clone();
+                let op = corrupted.words[*lc].remove(*ls);
+                corrupted.words[*sc].push(op);
+                if error_codes(&ddg, &corrupted, &machine).contains(&Code::ReloadBeforeStoreCommit)
+                {
+                    return;
+                }
+            }
+        }
+    }
+    panic!("no hoisted reload produced U0004 in {attempts} attempts");
+}
+
+/// Swapping the two endpoints of a sequentialization edge inverts the
+/// issue order URSA's reduction transformation depends on (the edge is
+/// what bounds register/unit pressure) and must be rejected as a
+/// dropped sequence edge.
+#[test]
+fn injected_sequence_inversion_is_rejected_as_u0009() {
+    // Machines tight enough that integrated URSA sequentializes.
+    let machines = [
+        Machine::homogeneous(1, 8),
+        Machine::homogeneous(2, 3),
+        Machine::homogeneous(2, 4),
+        Machine::homogeneous(1, 16),
+    ];
+    let mut attempts = 0usize;
+    for machine in &machines {
+        for program in test_programs() {
+            let Ok(compiled) = try_compile(
+                &program,
+                &Trace::single(0),
+                machine,
+                ursa_strategy(Strategy::Integrated),
+            ) else {
+                continue;
+            };
+            if compiled.stats.sequence_edges == 0 {
+                continue;
+            }
+            let ddg = reference_dag(&compiled, &program);
+            let clean = validate_translation(&ddg, &compiled.vliw, machine);
+            assert!(
+                !clean
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.severity() == Severity::Error),
+                "clean code must validate"
+            );
+            for e in ddg.dag().edges() {
+                if e.kind != EdgeKind::Sequence {
+                    continue;
+                }
+                let (Some(&(cu, su)), Some(&(cv, sv))) =
+                    (clean.matches.get(&e.from), clean.matches.get(&e.to))
+                else {
+                    continue;
+                };
+                // Structurally identical endpoints are interchangeable
+                // values — swapping them yields an equally valid
+                // assignment, not a violation.
+                if cu >= cv || ddg.instr(e.from) == ddg.instr(e.to) {
+                    continue;
+                }
+                attempts += 1;
+                let mut corrupted = compiled.vliw.clone();
+                let a = corrupted.words[cu as usize][su].clone();
+                let b = corrupted.words[cv as usize][sv].clone();
+                corrupted.words[cu as usize][su] = b;
+                corrupted.words[cv as usize][sv] = a;
+                if error_codes(&ddg, &corrupted, machine).contains(&Code::DroppedSequenceEdge) {
+                    return;
+                }
+            }
+        }
+    }
+    panic!("no endpoint swap produced U0009 in {attempts} attempts");
+}
+
+/// The validator accepts everything the real pipeline produces: every
+/// URSA ladder rung plus postpass patching, on comfortable, tight, and
+/// classed machines, over the paper workloads and a random menu.
+#[test]
+fn validator_accepts_all_strategies_on_workload_menu() {
+    let strategies = [
+        ("integrated", ursa_strategy(Strategy::Integrated)),
+        ("phased", ursa_strategy(Strategy::Phased)),
+        ("phased-fu-first", ursa_strategy(Strategy::PhasedFuFirst)),
+        ("spill-only", ursa_strategy(Strategy::SpillOnly)),
+        ("postpass", CompileStrategy::Postpass),
+    ];
+    let machines = [
+        Machine::homogeneous(4, 16),
+        Machine::homogeneous(2, 3),
+        Machine::classic_vliw(),
+    ];
+    let mut programs = test_programs();
+    programs.extend(kernel_suite().into_iter().map(|k| k.program));
+    let mut checked = 0usize;
+    for program in &programs {
+        for machine in &machines {
+            for (name, strategy) in &strategies {
+                let Ok(compiled) =
+                    try_compile(program, &Trace::single(0), machine, strategy.clone())
+                else {
+                    continue;
+                };
+                let ddg = reference_dag(&compiled, program);
+                let errors: Vec<String> = validate_translation(&ddg, &compiled.vliw, machine)
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.severity() == Severity::Error)
+                    .map(|d| d.to_string())
+                    .collect();
+                assert!(
+                    errors.is_empty(),
+                    "[{machine}, {name}] rejected a pipeline-produced schedule:\n{}",
+                    errors.join("\n")
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 50, "menu too small: only {checked} compilations");
+}

@@ -9,15 +9,27 @@
 #
 # With --with-build, additionally proves the stress harness (the
 # seeded differential fuzzer CI runs) builds with no registry access.
+# With --with-lint, does the same for the ursalint static-diagnostics
+# binary (which pulls in ursa-lint and the whole pipeline).
 #
-# Usage: tools/check_hermetic.sh [--with-build] [repo-root]
+# Usage: tools/check_hermetic.sh [--with-build] [--with-lint] [repo-root]
 set -euo pipefail
 
 with_build=0
-if [ "${1:-}" = "--with-build" ]; then
-    with_build=1
-    shift
-fi
+with_lint=0
+while :; do
+    case "${1:-}" in
+    --with-build)
+        with_build=1
+        shift
+        ;;
+    --with-lint)
+        with_lint=1
+        shift
+        ;;
+    *) break ;;
+    esac
+done
 
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 cd "$root"
@@ -66,4 +78,10 @@ if [ "$with_build" -eq 1 ]; then
     echo "building the stress harness offline..."
     cargo build --release --offline -p ursa-bench --bin stress
     echo "OK: stress harness builds with no registry access"
+fi
+
+if [ "$with_lint" -eq 1 ]; then
+    echo "building ursalint offline..."
+    cargo build --release --offline --bin ursalint
+    echo "OK: ursalint builds with no registry access"
 fi
