@@ -3,7 +3,7 @@
 //! measurement`; add `-- --json out.json` for a machine-readable table.
 
 use ursa_bench::harness::Runner;
-use ursa_core::{measure, AllocCtx, KillMode, MeasureOptions};
+use ursa_core::{allocate, measure, AllocCtx, KillMode, MeasureOptions, UrsaConfig};
 use ursa_ir::ddg::DependenceDag;
 use ursa_machine::Machine;
 use ursa_workloads::paper::figure2_block;
@@ -67,6 +67,66 @@ fn main() {
                         plain_matching: plain,
                     },
                 )
+            });
+        }
+    }
+
+    // The reduce loop end to end, scratch vs. incremental candidate
+    // scoring — the perf-gate trajectory. The machine is derived from a
+    // pre-measurement of each trace: functional units sized to the
+    // trace's own FU requirement and registers set a fixed slack below
+    // the register requirement. That pins the workload in the
+    // measurement-bound regime the engine targets — every round is
+    // find-excessive + tentative sequentializations scored by
+    // re-measurement, the loop the paper's §5 integrated evaluation
+    // iterates — instead of degenerating into spill construction, whose
+    // node insertion can never be probed incrementally.
+    {
+        use ursa_core::ResourceKind;
+        use ursa_machine::FuClass;
+        const REG_SLACK: u32 = 4;
+        let derive = |n: usize| {
+            let program = random_block(
+                9,
+                RandomShape {
+                    ops: n,
+                    seeds: 8,
+                    window: 16,
+                    store_pct: 10,
+                },
+            );
+            let roomy = Machine::homogeneous(4096, 1 << 20);
+            let ddg = DependenceDag::from_entry_block(&program);
+            let mut ctx = AllocCtx::new(ddg, &roomy);
+            let m = measure(&mut ctx, MeasureOptions::default());
+            let fu_req = m
+                .of(ResourceKind::Fu(FuClass::Universal))
+                .map_or(4, |r| r.requirement.required);
+            let reg_req = m
+                .of(ResourceKind::Registers)
+                .map_or(8, |r| r.requirement.required);
+            let machine = Machine::homogeneous(fu_req, reg_req.saturating_sub(REG_SLACK).max(2));
+            (program, machine)
+        };
+        for n in [64usize, 128, 256, 1024] {
+            let (program, machine) = derive(n);
+            runner.bench(&format!("reduce_scratch/{n}"), || {
+                let ddg = DependenceDag::from_entry_block(&program);
+                allocate(
+                    ddg,
+                    &machine,
+                    &UrsaConfig {
+                        incremental: false,
+                        ..UrsaConfig::default()
+                    },
+                )
+            });
+        }
+        for n in [64usize, 128, 256, 1024] {
+            let (program, machine) = derive(n);
+            runner.bench(&format!("reduce_incremental/{n}"), || {
+                let ddg = DependenceDag::from_entry_block(&program);
+                allocate(ddg, &machine, &UrsaConfig::default())
             });
         }
     }

@@ -1,0 +1,178 @@
+//! `perf_compare` — the CI perf gate over `BENCH_*.json` tables.
+//!
+//! Compares a freshly-measured bench table against a committed baseline
+//! (both written by the harness's `--json` flag) and fails when any
+//! shared benchmark's **median** regressed past the threshold:
+//!
+//! ```text
+//! perf_compare BENCH_baseline.json current.json              # 25% gate
+//! perf_compare --threshold 1.10 baseline.json current.json   # 10% gate
+//! ```
+//!
+//! Only medians are gated — min/mean/max wobble too much on shared CI
+//! runners. Benchmarks present on one side only are reported but never
+//! fail the gate, so adding or retiring benchmarks does not require a
+//! lockstep baseline update. Improvements print as such; refreshing the
+//! committed baseline after a genuine speedup is a deliberate, reviewed
+//! act (see README "Performance trajectory").
+//!
+//! Exit status: 0 when every shared benchmark is within threshold,
+//! 1 on regression, 2 on usage or file-format errors.
+
+use std::process::ExitCode;
+use ursa_json::Value;
+
+/// Median table of one `BENCH_*.json` file: `(name, median_ns)` rows
+/// plus the header fields the gate reports.
+struct BenchTable {
+    git: String,
+    rows: Vec<(String, f64)>,
+}
+
+/// Reads and shape-checks one bench table. The `schema` header is
+/// required and must be `1`; refusing unknown layouts beats silently
+/// comparing fields that moved.
+fn load_table(path: &str) -> Result<BenchTable, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = ursa_json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    match doc.get("schema").and_then(Value::as_u64) {
+        Some(1) => {}
+        Some(v) => return Err(format!("{path}: unsupported schema {v} (expected 1)")),
+        None => return Err(format!("{path}: missing schema header")),
+    }
+    let git = doc
+        .get("git")
+        .and_then(Value::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let results = doc
+        .get("results")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: missing results array"))?;
+    let mut rows = Vec::with_capacity(results.len());
+    for r in results {
+        let name = r
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}: result without a name"))?;
+        let median = r
+            .get("median_ns")
+            .and_then(Value::as_f64)
+            .filter(|m| *m > 0.0)
+            .ok_or_else(|| format!("{path}: {name}: missing or non-positive median_ns"))?;
+        rows.push((name.to_string(), median));
+    }
+    Ok(BenchTable { git, rows })
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2}µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut threshold = 1.25f64;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = args.next().ok_or("--threshold needs a value")?;
+                threshold = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| *t > 1.0)
+                    .ok_or_else(|| format!("--threshold wants a ratio > 1.0, got '{v}'"))?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: perf_compare [--threshold RATIO] BASELINE.json CURRENT.json"
+                        .to_string(),
+                )
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        return Err("expected exactly two files: BASELINE.json CURRENT.json".to_string());
+    };
+    let baseline = load_table(baseline_path)?;
+    let current = load_table(current_path)?;
+    println!(
+        "perf gate: baseline {} (git {}) vs current {} (git {}), threshold {:.0}%",
+        baseline_path,
+        baseline.git,
+        current_path,
+        current.git,
+        (threshold - 1.0) * 100.0
+    );
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (name, cur) in &current.rows {
+        let Some((_, base)) = baseline.rows.iter().find(|(n, _)| n == name) else {
+            println!(
+                "  new      {name}: {} (no baseline, not gated)",
+                format_ns(*cur)
+            );
+            continue;
+        };
+        compared += 1;
+        let ratio = cur / base;
+        if ratio > threshold {
+            regressions += 1;
+            println!(
+                "  REGRESS  {name}: {} -> {} ({:+.1}%)",
+                format_ns(*base),
+                format_ns(*cur),
+                (ratio - 1.0) * 100.0
+            );
+        } else if ratio < 1.0 / threshold {
+            println!(
+                "  improve  {name}: {} -> {} ({:+.1}%)",
+                format_ns(*base),
+                format_ns(*cur),
+                (ratio - 1.0) * 100.0
+            );
+        } else {
+            println!(
+                "  ok       {name}: {} -> {} ({:+.1}%)",
+                format_ns(*base),
+                format_ns(*cur),
+                (ratio - 1.0) * 100.0
+            );
+        }
+    }
+    for (name, _) in &baseline.rows {
+        if !current.rows.iter().any(|(n, _)| n == name) {
+            println!("  retired  {name}: in baseline only (not gated)");
+        }
+    }
+    if compared == 0 {
+        return Err("no shared benchmarks between the two tables".to_string());
+    }
+    println!(
+        "perf gate: {compared} compared, {regressions} regression(s) past {:.0}%",
+        (threshold - 1.0) * 100.0
+    );
+    Ok(regressions == 0)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("perf_compare: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

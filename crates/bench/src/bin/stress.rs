@@ -17,6 +17,7 @@
 //! stress --seeds 0..256           # acceptance sweep
 //! stress --seeds 41..42           # one seed (repro)
 //! stress --validate               # stage invariant checks on
+//! stress --paranoid-measure       # differential incremental-measure checks
 //! stress --machine vliw2r3        # filter machines by name substring
 //! stress --strategy ursa-phased   # filter strategies by name
 //! ```
@@ -39,6 +40,7 @@ use ursa_workloads::random::{random_block, RandomShape};
 struct Options {
     seeds: std::ops::Range<u64>,
     validate: bool,
+    paranoid_measure: bool,
     machine_filter: Option<String>,
     strategy_filter: Option<String>,
 }
@@ -47,6 +49,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         seeds: 0..64,
         validate: false,
+        paranoid_measure: false,
         machine_filter: None,
         strategy_filter: None,
     };
@@ -66,12 +69,15 @@ fn parse_args() -> Result<Options, String> {
                 opts.seeds = lo..hi;
             }
             "--validate" => opts.validate = true,
+            "--paranoid-measure" => opts.paranoid_measure = true,
             "--machine" => opts.machine_filter = Some(take("--machine")?),
             "--strategy" => opts.strategy_filter = Some(take("--strategy")?),
             "--help" | "-h" => {
-                return Err("usage: stress [--seeds A..B] [--validate] \
+                return Err(
+                    "usage: stress [--seeds A..B] [--validate] [--paranoid-measure] \
                             [--machine NAME] [--strategy NAME]"
-                    .to_string())
+                        .to_string(),
+                )
             }
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -96,10 +102,15 @@ fn machine_grid() -> Vec<Machine> {
 
 /// Strategy menu: the four public kinds plus URSA's alternate
 /// disciplines, so every rung of the degradation ladder gets exercised.
-fn strategy_menu() -> Vec<(&'static str, CompileStrategy)> {
+/// With `paranoid_measure` the URSA strategies cross-check every
+/// incremental measurement probe against a from-scratch measurement
+/// (`ParanoidMeasure`); any disagreement panics and is reported as a
+/// failure with its seed.
+fn strategy_menu(paranoid_measure: bool) -> Vec<(&'static str, CompileStrategy)> {
     let ursa = |strategy| {
         CompileStrategy::Ursa(UrsaConfig {
             strategy,
+            paranoid_measure,
             ..UrsaConfig::default()
         })
     };
@@ -271,7 +282,7 @@ fn main() -> ExitCode {
     // default per-panic banner would drown the summary.
     std::panic::set_hook(Box::new(|_| {}));
     let machines = machine_grid();
-    let strategies = strategy_menu();
+    let strategies = strategy_menu(opts.paranoid_measure);
     let pipeline = PipelineOptions {
         validate: opts.validate,
         no_fallback: false,
@@ -305,13 +316,18 @@ fn main() -> ExitCode {
                         static_rejects += u64::from(static_reject);
                         disagreements += u64::from(disagreement);
                         let validate = if opts.validate { " --validate" } else { "" };
+                        let paranoid = if opts.paranoid_measure {
+                            " --paranoid-measure"
+                        } else {
+                            ""
+                        };
                         println!(
                             "FAIL seed={seed} machine={} strategy={name}: {why}",
                             machine.name()
                         );
                         println!(
                             "  repro: cargo run --release -p ursa-bench --bin stress -- \
-                             --seeds {seed}..{} --machine {} --strategy {name}{validate}",
+                             --seeds {seed}..{} --machine {} --strategy {name}{validate}{paranoid}",
                             seed + 1,
                             machine.name(),
                         );

@@ -87,16 +87,25 @@ pub struct Runner {
 
 impl Runner {
     /// Creates a runner named after the bench target, reading `--json
-    /// <path>`, `--list` and an optional substring filter from the
-    /// command line (cargo's own `--bench` flag is ignored).
+    /// <path>`, `--samples <n>`, `--list` and an optional substring
+    /// filter from the command line (cargo's own `--bench` flag is
+    /// ignored).
     pub fn from_args(target: &str) -> Runner {
         let mut filter = None;
         let mut json_path = None;
         let mut list_only = false;
+        let mut samples = 11usize;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--json" => json_path = args.next(),
+                "--samples" => {
+                    samples = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| panic!("--samples wants a positive integer"));
+                }
                 "--list" => list_only = true,
                 // Flags cargo bench forwards that we don't need.
                 "--bench" | "--exact" | "--nocapture" => {}
@@ -107,7 +116,7 @@ impl Runner {
         Runner {
             target: target.to_owned(),
             calibration: Duration::from_millis(120),
-            samples: 11,
+            samples,
             filter,
             list_only,
             json_path,
@@ -193,7 +202,14 @@ impl Runner {
             self.results.len()
         );
         if let Some(path) = &self.json_path {
+            // The `schema` field versions the file layout so the perf
+            // gate (`perf_compare`) can refuse files it does not
+            // understand; `git` records which commit produced the
+            // numbers, so a committed `BENCH_*.json` baseline is
+            // traceable to its source tree.
             let doc = Value::object([
+                ("schema", Value::from(1u64)),
+                ("git", Value::from(git_short_sha().as_str())),
                 ("target", Value::from(self.target.as_str())),
                 (
                     "results",
@@ -205,6 +221,21 @@ impl Runner {
             println!("wrote {path}");
         }
     }
+}
+
+/// The short commit hash of the working tree, or `"unknown"` outside a
+/// git checkout (e.g. a source tarball). Best-effort by design: bench
+/// numbers must never fail to serialize because git is absent.
+pub fn git_short_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 #[cfg(test)]

@@ -2,8 +2,9 @@
 //! URSA's measurement and transformations consult.
 
 use crate::resource::ResourceKind;
+use std::sync::Arc;
 use ursa_graph::dag::NodeId;
-use ursa_graph::hammock::HammockAnalysis;
+use ursa_graph::hammock::{HammockAnalysis, HammockCache};
 use ursa_graph::order::Levels;
 use ursa_graph::reach::Reachability;
 use ursa_ir::ddg::{DependenceDag, NodeKind, SpillPair};
@@ -17,13 +18,21 @@ use ursa_machine::{Machine, OpKind};
 /// recomputes levels; hammock structure is recomputed lazily since only
 /// measurement consults it. Spill insertion (new nodes) refreshes
 /// everything.
+///
+/// Hammock analyses are memoized in a [`HammockCache`] keyed by the
+/// DAG's structural fingerprint. The cache is *shared across clones* of
+/// the context (the reduce loop clones the context for every tentative
+/// transformation), so a trial whose edit leaves the graph structure
+/// unchanged — or whose edit is reverted — reuses the base analysis
+/// instead of redoing the O(N²·pairs) hammock scan.
 #[derive(Clone)]
 pub struct AllocCtx<'m> {
     machine: &'m Machine,
     ddg: DependenceDag,
     reach: Reachability,
     levels: Levels,
-    hammocks: Option<HammockAnalysis>,
+    hammocks: Option<Arc<HammockAnalysis>>,
+    hammock_cache: HammockCache,
 }
 
 impl<'m> AllocCtx<'m> {
@@ -41,6 +50,7 @@ impl<'m> AllocCtx<'m> {
             reach,
             levels,
             hammocks: None,
+            hammock_cache: HammockCache::new(),
         }
     }
 
@@ -86,21 +96,64 @@ impl<'m> AllocCtx<'m> {
         &self.levels
     }
 
-    /// The hammock structure (recomputed on demand after mutations).
+    /// The hammock structure (served from the shared fingerprint-keyed
+    /// cache; recomputed only for structures never seen before).
     pub fn hammocks(&mut self) -> &HammockAnalysis {
         if self.hammocks.is_none() {
             self.hammocks = Some(
-                HammockAnalysis::analyze(self.ddg.dag())
+                self.hammock_cache
+                    .analyze(self.ddg.dag())
                     .expect("dependence DAGs have a single root and leaf"),
             );
         }
-        self.hammocks.as_ref().expect("just computed")
+        self.hammocks.as_deref().expect("just computed")
     }
 
     /// The hammock structure if it is currently materialized (use
     /// [`AllocCtx::hammocks`] to force computation).
     pub fn hammocks_ref(&self) -> Option<&HammockAnalysis> {
-        self.hammocks.as_ref()
+        self.hammocks.as_deref()
+    }
+
+    /// The current hammock handle without forcing computation (the
+    /// transaction layer snapshots this so rollback can restore the
+    /// analysis without re-running it).
+    pub(crate) fn hammocks_handle(&self) -> Option<Arc<HammockAnalysis>> {
+        self.hammocks.clone()
+    }
+
+    /// Restores a previously captured hammock handle (rollback path).
+    pub(crate) fn set_hammocks(&mut self, h: Option<Arc<HammockAnalysis>>) {
+        self.hammocks = h;
+    }
+
+    /// Restores previously captured levels (rollback path).
+    pub(crate) fn set_levels(&mut self, levels: Levels) {
+        self.levels = levels;
+    }
+
+    /// Direct mutable access to the reachability relation for the
+    /// transaction layer's logged insert / undo cycle.
+    pub(crate) fn reach_mut(&mut self) -> &mut Reachability {
+        &mut self.reach
+    }
+
+    /// Direct mutable access to the DAG for the transaction layer
+    /// (sequence-edge removal on rollback).
+    pub(crate) fn ddg_mut(&mut self) -> &mut DependenceDag {
+        &mut self.ddg
+    }
+
+    /// Recomputes levels after the transaction layer touched the DAG
+    /// without going through [`AllocCtx::add_sequence_edge`].
+    pub(crate) fn recompute_levels(&mut self) {
+        self.levels = Self::compute_levels(&self.ddg, self.machine);
+    }
+
+    /// Invalidates the materialized hammock handle (the cache itself is
+    /// untouched, so re-materializing a known structure stays cheap).
+    pub(crate) fn invalidate_hammocks(&mut self) {
+        self.hammocks = None;
     }
 
     /// Latency of node `n` on this machine (0 for pseudo nodes).

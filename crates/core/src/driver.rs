@@ -21,6 +21,7 @@
 
 use crate::ctx::AllocCtx;
 use crate::excess::find_excessive;
+use crate::incremental::IncrementalEngine;
 use crate::kill::KillMode;
 use crate::measure::{measure, summary_fast, MeasureOptions, MeasurementSummary};
 use crate::resource::ResourceKind;
@@ -30,6 +31,14 @@ use crate::transform::{
 use std::fmt;
 use ursa_ir::ddg::DependenceDag;
 use ursa_machine::Machine;
+
+/// Largest register excess at which spill scoring is skipped whenever
+/// register sequencing already reduced the excess this round (the
+/// "lazy spill" fast path). Small excesses are the measurement-bound
+/// regime where sequencing closes the gap by itself; past this bound
+/// every spill candidate is scored so high-pressure allocations keep
+/// the paper's full §5 comparison.
+const LAZY_SPILL_MAX_EXCESS: u32 = 8;
 
 /// How transformations are scheduled across resources (§5).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -66,6 +75,18 @@ pub struct UrsaConfig {
     /// checks themselves live in `ursa-sched::validate`; this flag only
     /// requests them.
     pub paranoid: bool,
+    /// Score tentative spill-free candidates with the delta-propagating
+    /// [`IncrementalEngine`] instead of cloning the context and
+    /// re-measuring from scratch. Decision-neutral: every maximum
+    /// matching of a relation has the same cardinality, so the loop
+    /// adopts identical steps either way (the integration tests assert
+    /// byte-identical outcomes on all paper kernels).
+    pub incremental: bool,
+    /// `ParanoidMeasure`: differentially check every incremental probe
+    /// against a from-scratch measurement and panic on any
+    /// disagreement. Costs the full scratch measurement per probe, so
+    /// it is for CI stress slices and debugging, not production runs.
+    pub paranoid_measure: bool,
 }
 
 impl Default for UrsaConfig {
@@ -76,6 +97,8 @@ impl Default for UrsaConfig {
             plain_matching: false,
             max_iterations: 256,
             paranoid: false,
+            incremental: true,
+            paranoid_measure: false,
         }
     }
 }
@@ -172,6 +195,12 @@ pub fn allocate(ddg: DependenceDag, machine: &Machine, config: &UrsaConfig) -> A
     let initial_measurement = meas.summary();
     let mut steps = Vec::new();
     let mut hit_iteration_limit = false;
+    // The incremental engine is primed against the current base context
+    // and answers probes by delta propagation; it must be rebuilt
+    // whenever the base changes, i.e. after every adopted step.
+    let mut engine = (config.incremental && !meas.fits()).then(|| {
+        IncrementalEngine::new(&ctx, &meas.kills, config.kill_mode, config.paranoid_measure)
+    });
 
     // Phase structure (§5). In *integrated* mode the allowed set is
     // chosen dynamically each round: while any register excess exists,
@@ -207,16 +236,29 @@ pub fn allocate(ddg: DependenceDag, machine: &Machine, config: &UrsaConfig) -> A
                 .of(ResourceKind::Registers)
                 .is_some_and(|rm| !rm.requirement.fits());
 
+            // A winning candidate: its score, the transformed trial
+            // context, the step record, and the sequence edges it added.
+            type Found<'m> = (
+                CandidateScore,
+                AllocCtx<'m>,
+                Step,
+                Vec<(ursa_graph::dag::NodeId, ursa_graph::dag::NodeId)>,
+            );
+
             // Generates the best candidate among the allowed kinds.
+            // `ctx` is only borrowed mutably so incremental probes can
+            // apply-and-revert tentative edges in place; on return it is
+            // structurally untouched.
             fn try_kinds<'m>(
                 allowed: &[StepKind],
-                ctx: &AllocCtx<'m>,
+                ctx: &mut AllocCtx<'m>,
+                mut engine: Option<&mut IncrementalEngine>,
                 meas: &crate::measure::Measurement,
                 opts: MeasureOptions,
                 kill_mode: KillMode,
                 excess_before: u32,
-            ) -> Option<(CandidateScore, AllocCtx<'m>, Step)> {
-                let mut best: Option<(CandidateScore, AllocCtx<'m>, Step)> = None;
+            ) -> Option<Found<'m>> {
+                let mut best: Option<Found<'m>> = None;
                 for rm in &meas.resources {
                     if rm.requirement.fits() {
                         continue;
@@ -227,8 +269,24 @@ pub fn allocate(ddg: DependenceDag, machine: &Machine, config: &UrsaConfig) -> A
                             &[StepKind::RegisterSequentialization, StepKind::Spill]
                         }
                     };
+                    // §5 prefers sequencing over spilling at equal
+                    // excess; when register sequencing already reduces
+                    // a *small* excess this round, sequencing alone can
+                    // close the remaining gap, spill candidates cannot
+                    // win that preference, and their (expensive, node-
+                    // inserting, scratch-scored) evaluation is skipped.
+                    // Under heavy pressure spilling's larger per-step
+                    // excess reduction must stay in the running — on
+                    // high-pressure kernels an all-sequencing path can
+                    // walk into Kill() under-measurement territory
+                    // (tests/pipeline_guarantees.rs guards this).
+                    let lazy_spill = rm.requirement.excess() <= LAZY_SPILL_MAX_EXCESS;
+                    let mut reg_seq_reduced = false;
                     for &kind in kinds {
                         if !allowed.contains(&kind) {
+                            continue;
+                        }
+                        if kind == StepKind::Spill && reg_seq_reduced && lazy_spill {
                             continue;
                         }
                         let mut trial = ctx.clone();
@@ -239,18 +297,33 @@ pub fn allocate(ddg: DependenceDag, machine: &Machine, config: &UrsaConfig) -> A
                             StepKind::FuSequentialization => {
                                 sequentialize_fus(&mut trial, &ex, &meas.kills)
                             }
-                            StepKind::RegisterSequentialization => {
-                                sequentialize_registers(&mut trial, &ex, &meas.kills, opts)
-                            }
+                            StepKind::RegisterSequentialization => sequentialize_registers(
+                                &mut trial,
+                                &ex,
+                                &meas.kills,
+                                opts,
+                                engine.as_deref_mut(),
+                            ),
                             StepKind::Spill => spill_registers(&mut trial, &ex, &meas.kills, opts),
                         };
                         let Ok(report) = result else { continue };
-                        // Score with the fast matching; the full staged
-                        // measurement runs once on the adopted candidate.
-                        let trial_summary = summary_fast(&trial, kill_mode);
+                        // Score the candidate. Spill-free transforms only
+                        // added `report.edges_added` to the base context,
+                        // so the incremental engine can probe those edges
+                        // directly; spilling grows the node set and keeps
+                        // the from-scratch path (the "scratch island").
+                        // Either way the full staged measurement runs once
+                        // on the adopted candidate.
+                        let (trial_summary, trial_cp) = match engine.as_deref_mut() {
+                            Some(e) if report.spills.is_empty() => {
+                                let probe = e.probe(ctx, &report.edges_added);
+                                (probe.summary, probe.critical_path)
+                            }
+                            _ => (summary_fast(&trial, kill_mode), trial.critical_path()),
+                        };
                         let score = CandidateScore {
                             excess_after: trial_summary.total_excess(),
-                            critical_path: trial.critical_path(),
+                            critical_path: trial_cp,
                             spills: report.spills.len(),
                             rank: kind_rank(kind),
                         };
@@ -261,10 +334,15 @@ pub fn allocate(ddg: DependenceDag, machine: &Machine, config: &UrsaConfig) -> A
                             spills: report.spills.len(),
                             excess_before,
                             excess_after: trial_summary.total_excess(),
-                            critical_path_after: trial.critical_path(),
+                            critical_path_after: trial_cp,
                         };
+                        if kind == StepKind::RegisterSequentialization
+                            && score.excess_after < excess_before
+                        {
+                            reg_seq_reduced = true;
+                        }
                         if best.as_ref().is_none_or(|(b, ..)| score < *b) {
-                            best = Some((score, trial, step));
+                            best = Some((score, trial, step, report.edges_added));
                         }
                     }
                 }
@@ -279,19 +357,32 @@ pub fn allocate(ddg: DependenceDag, machine: &Machine, config: &UrsaConfig) -> A
                 // the register transformations get another chance.
                 let preferred = if reg_excess { REG_KINDS } else { FU_KINDS };
                 let fallback = if reg_excess { FU_KINDS } else { REG_KINDS };
-                try_kinds(
+                let mut found = try_kinds(
                     preferred,
-                    &ctx,
+                    &mut ctx,
+                    engine.as_mut(),
                     &meas,
                     opts,
                     config.kill_mode,
                     excess_before,
-                )
-                .or_else(|| try_kinds(fallback, &ctx, &meas, opts, config.kill_mode, excess_before))
+                );
+                if found.is_none() {
+                    found = try_kinds(
+                        fallback,
+                        &mut ctx,
+                        engine.as_mut(),
+                        &meas,
+                        opts,
+                        config.kill_mode,
+                        excess_before,
+                    );
+                }
+                found
             } else {
                 try_kinds(
                     phase_allowed,
-                    &ctx,
+                    &mut ctx,
+                    engine.as_mut(),
                     &meas,
                     opts,
                     config.kill_mode,
@@ -300,14 +391,41 @@ pub fn allocate(ddg: DependenceDag, machine: &Machine, config: &UrsaConfig) -> A
             };
 
             match best {
-                Some((_, chosen_ctx, step)) => {
+                Some((_, chosen_ctx, step, edges)) => {
                     // Every applied candidate strictly grows the partial
                     // order (sequence edges) or the node set (spills), so
                     // the loop terminates even when a single step does
                     // not lower total excess; `max_iterations` backstops.
+                    let spill_step = step.spills > 0;
                     steps.push(step);
-                    ctx = chosen_ctx;
+                    // Spill-free steps only added `edges` to the base:
+                    // commit them through the engine (one delta pass)
+                    // instead of adopting the scratch-built trial and
+                    // re-priming from zero. Spills grow the node set, so
+                    // they keep the scratch rebuild.
+                    let committed = match engine.as_mut() {
+                        Some(e) if !spill_step => {
+                            e.commit(&mut ctx, &edges);
+                            true
+                        }
+                        _ => {
+                            ctx = chosen_ctx;
+                            false
+                        }
+                    };
                     meas = measure(&mut ctx, opts);
+                    if engine.is_some() {
+                        if meas.fits() {
+                            engine = None;
+                        } else if !committed {
+                            engine = Some(IncrementalEngine::new(
+                                &ctx,
+                                &meas.kills,
+                                config.kill_mode,
+                                config.paranoid_measure,
+                            ));
+                        }
+                    }
                     let _ = excess_before;
                 }
                 None => break, // nothing applies in this phase

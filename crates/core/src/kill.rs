@@ -95,35 +95,46 @@ pub fn select_kills(ctx: &AllocCtx<'_>, mode: KillMode) -> KillMap {
                 kill[p.index()] = Some(maximal[0]);
             }
         }
-        KillMode::MinCover => {
-            // Greedy minimum cover: repeatedly pick the use node that
-            // kills the most still-uncovered values.
-            while !pending.is_empty() {
-                let mut counts: Vec<(NodeId, usize)> = Vec::new();
-                for (_, cands) in &pending {
-                    for &u in cands {
-                        match counts.iter_mut().find(|(c, _)| *c == u) {
-                            Some((_, k)) => *k += 1,
-                            None => counts.push((u, 1)),
-                        }
-                    }
-                }
-                let &(best, _) = counts
-                    .iter()
-                    .max_by_key(|&&(u, k)| (k, std::cmp::Reverse(u)))
-                    .expect("pending entries have candidates");
-                pending.retain(|(p, cands)| {
-                    if cands.contains(&best) {
-                        kill[p.index()] = Some(best);
-                        false
-                    } else {
-                        true
-                    }
-                });
-            }
-        }
+        KillMode::MinCover => greedy_min_cover(&mut kill, pending, n),
     }
     KillMap { kill }
+}
+
+/// Greedy minimum cover over the values with several candidate killers,
+/// with per-node counts maintained across picks (decrement-on-cover)
+/// instead of rebuilt per round. The pick order — largest count first,
+/// lowest node id on ties — is exactly the one the naive rebuild-a-round
+/// loop produces, so the selected kills are identical.
+fn greedy_min_cover(
+    kill: &mut [Option<NodeId>],
+    mut pending: Vec<(NodeId, Vec<NodeId>)>,
+    n: usize,
+) {
+    let mut count = vec![0usize; n];
+    for (_, cands) in &pending {
+        for &u in cands {
+            count[u.index()] += 1;
+        }
+    }
+    while !pending.is_empty() {
+        let best = NodeId(
+            (0..n)
+                .max_by_key(|&u| (count[u], std::cmp::Reverse(u)))
+                .expect("nonempty DAG") as u32,
+        );
+        debug_assert!(count[best.index()] > 0, "pending entries have candidates");
+        pending.retain(|(p, cands)| {
+            if cands.contains(&best) {
+                kill[p.index()] = Some(best);
+                for &u in cands {
+                    count[u.index()] -= 1;
+                }
+                false
+            } else {
+                true
+            }
+        });
+    }
 }
 
 #[cfg(test)]

@@ -41,6 +41,7 @@
 pub mod ctx;
 pub mod driver;
 pub mod excess;
+pub mod incremental;
 pub mod kill;
 pub mod measure;
 pub mod resource;
@@ -50,6 +51,7 @@ pub mod transform;
 pub use ctx::AllocCtx;
 pub use driver::{allocate, AllocationOutcome, Step, StepKind, Strategy, UrsaConfig};
 pub use excess::{find_excessive, ExcessiveChainSet};
+pub use incremental::{CtxTxn, IncrementalEngine, ProbeResult};
 pub use kill::{select_kills, KillMap, KillMode};
 pub use measure::{
     measure, measure_resource, MeasureOptions, Measurement, MeasurementSummary, ResourceMeasure,

@@ -18,12 +18,40 @@
 
 use crate::ctx::AllocCtx;
 use crate::excess::ExcessiveChainSet;
+use crate::incremental::IncrementalEngine;
 use crate::kill::{select_kills, KillMap};
 use crate::measure::{requirement_only, MeasureOptions};
 use crate::resource::ResourceKind;
 use crate::transform::{TransformError, TransformReport};
 use ursa_graph::bitset::BitSet;
 use ursa_graph::dag::NodeId;
+
+/// Scores a tentative edge batch: `(register requirement, critical
+/// path)` as if `edges` were added to `ctx`. With an engine the probe
+/// is delta-incremental and reverts itself; without one it pays for a
+/// context clone and a from-scratch kill selection + matching.
+fn score_edges(
+    ctx: &mut AllocCtx<'_>,
+    engine: &mut Option<&mut IncrementalEngine>,
+    edges: &[(NodeId, NodeId)],
+    options: MeasureOptions,
+) -> (u32, u64) {
+    if let Some(e) = engine.as_deref_mut() {
+        let probe = e.probe(ctx, edges);
+        let required = probe
+            .summary
+            .of(ResourceKind::Registers)
+            .map_or(0, |r| r.required);
+        return (required, probe.critical_path);
+    }
+    let mut trial = ctx.clone();
+    for &(a, b) in edges {
+        trial.add_sequence_edge(a, b);
+    }
+    let trial_kills = select_kills(&trial, options.kill_mode);
+    let required = requirement_only(&trial, &trial_kills, ResourceKind::Registers);
+    (required, trial.critical_path())
+}
 
 /// A candidate staging: `(register requirement, critical path, sequence
 /// edges to insert)` — lower requirement wins, critical path breaks
@@ -100,6 +128,7 @@ pub fn sequentialize_registers(
     excess_set: &ExcessiveChainSet,
     kills: &KillMap,
     options: MeasureOptions,
+    mut engine: Option<&mut IncrementalEngine>,
 ) -> Result<TransformReport, TransformError> {
     let capacity = excess_set.resource.capacity(ctx.machine());
     if excess_set.excess_over(capacity) == 0 {
@@ -150,15 +179,9 @@ pub fn sequentialize_registers(
         if edges.is_empty() {
             continue; // split already implied; no schedule removed
         }
-        // Tentatively apply and re-measure registers only (fast
-        // matching — only the count matters for scoring).
-        let mut trial = ctx.clone();
-        for &(a, b) in &edges {
-            trial.add_sequence_edge(a, b);
-        }
-        let trial_kills = select_kills(&trial, options.kill_mode);
-        let required = requirement_only(&trial, &trial_kills, ResourceKind::Registers);
-        let cp = trial.critical_path();
+        // Tentatively apply and re-measure registers only (only the
+        // count matters for scoring).
+        let (required, cp) = score_edges(ctx, &mut engine, &edges, options);
         // Reducing below capacity buys nothing; don't pay critical path
         // for it.
         if best
@@ -180,7 +203,7 @@ pub fn sequentialize_registers(
         }
         // No boundary split helps (already-serialized DAGs, interleaved
         // kills): fall back to direct lifetime staggering.
-        _ => stagger_lifetimes(ctx, excess_set, kills, options),
+        _ => stagger_lifetimes(ctx, excess_set, kills, options, engine),
     }
 }
 
@@ -195,6 +218,7 @@ fn stagger_lifetimes(
     excess_set: &ExcessiveChainSet,
     kills: &KillMap,
     options: MeasureOptions,
+    engine: Option<&mut IncrementalEngine>,
 ) -> Result<TransformReport, TransformError> {
     let capacity = excess_set.resource.capacity(ctx.machine());
     let required_before = excess_set.chains.len() as u32;
@@ -243,8 +267,17 @@ fn stagger_lifetimes(
             "no lifetime pair can be staggered",
         ));
     }
-    let trial_kills = select_kills(&trial, options.kill_mode);
-    let required_after = requirement_only(&trial, &trial_kills, ResourceKind::Registers);
+    // The greedy picker above needed the progressively-updated trial;
+    // the acceptance check can go through the incremental engine.
+    let required_after = if let Some(e) = engine {
+        e.probe(ctx, &edges)
+            .summary
+            .of(ResourceKind::Registers)
+            .map_or(0, |r| r.required)
+    } else {
+        let trial_kills = select_kills(&trial, options.kill_mode);
+        requirement_only(&trial, &trial_kills, ResourceKind::Registers)
+    };
     if required_after >= required_before {
         return Err(TransformError::NoCandidate(
             "staggering does not reduce the requirement either",
@@ -302,7 +335,8 @@ mod tests {
         let regs = m.of(ResourceKind::Registers).unwrap().clone();
         let ex = find_excessive(&mut ctx, &regs, &m.kills).unwrap();
         let report =
-            sequentialize_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default()).unwrap();
+            sequentialize_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default(), None)
+                .unwrap();
         assert!(!report.edges_added.is_empty());
         assert_eq!(reg_requirement(&mut ctx), 4, "paper: exactly 5 → 4");
         assert!(ctx.ddg().dag().is_acyclic());
@@ -315,7 +349,8 @@ mod tests {
         let regs = m.of(ResourceKind::Registers).unwrap().clone();
         let ex = find_excessive(&mut ctx, &regs, &m.kills).unwrap();
         let report =
-            sequentialize_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default()).unwrap();
+            sequentialize_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default(), None)
+                .unwrap();
         let roots: Vec<NodeId> = report.edges_added.iter().map(|&(_, r)| r).collect();
         let st = stages(&ctx, &roots);
         for &r in &roots {
@@ -333,7 +368,8 @@ mod tests {
         let regs = m.of(ResourceKind::Registers).unwrap().clone();
         let ex = find_excessive(&mut ctx, &regs, &m.kills).unwrap();
         let report =
-            sequentialize_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default()).unwrap();
+            sequentialize_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default(), None)
+                .unwrap();
         let sources: Vec<NodeId> = report.edges_added.iter().map(|&(s, _)| s).collect();
         assert!(
             sources.windows(2).all(|w| w[0] == w[1]),
@@ -351,7 +387,7 @@ mod tests {
         let m = measure(&mut ctx, MeasureOptions::default());
         let regs = m.of(ResourceKind::Registers).unwrap().clone();
         let ex = find_excessive(&mut ctx, &regs, &m.kills).unwrap();
-        let err = sequentialize_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default())
+        let err = sequentialize_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default(), None)
             .unwrap_err();
         assert!(matches!(err, TransformError::NoCandidate(_)));
     }
@@ -367,7 +403,8 @@ mod tests {
         let m = measure(&mut ctx, MeasureOptions::default());
         let regs = m.of(ResourceKind::Registers).unwrap().clone();
         if let Some(ex) = find_excessive(&mut ctx, &regs, &m.kills) {
-            let r = sequentialize_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default());
+            let r =
+                sequentialize_registers(&mut ctx, &ex, &m.kills, MeasureOptions::default(), None);
             assert!(r.is_err(), "both operands must be live together: {r:?}");
         }
     }

@@ -23,6 +23,10 @@ use crate::transform::{TransformError, TransformReport};
 use ursa_graph::bitset::BitSet;
 use ursa_graph::dag::NodeId;
 
+/// Most spill candidates evaluated by tentative re-measurement per
+/// invocation (the counterpart of [`cap_boundaries`]'s boundary cap).
+const MAX_SCORED_CANDIDATES: usize = 12;
+
 /// A candidate stage boundary with its bridging victims.
 #[derive(Clone)]
 struct Candidate {
@@ -228,6 +232,13 @@ pub fn spill_registers(
             "no value bridges any stage boundary",
         ));
     }
+    // Each scored candidate pays a full tentative apply + re-measurement,
+    // and node insertion cannot be probed incrementally, so cap the
+    // fully-evaluated set. Generation order already ranks candidates:
+    // family 1 (delayed sub-DAG) before family 2, boundaries in
+    // chains-ended order, spill-just-enough before spill-everything —
+    // truncation keeps the paper-preferred prefix deterministically.
+    candidates.truncate(MAX_SCORED_CANDIDATES);
 
     // Tentatively apply each candidate and keep the best.
     let mut best: Option<(u32, u64, usize, usize)> = None; // (req, cp, spills, idx)

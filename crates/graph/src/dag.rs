@@ -100,6 +100,21 @@ pub struct Dag {
     succs: Vec<Vec<(NodeId, EdgeKind)>>,
     preds: Vec<Vec<(NodeId, EdgeKind)>>,
     edge_count: usize,
+    /// XOR of [`edge_hash`] over every present edge (plus a node-count
+    /// term). Because XOR is self-inverse, add/remove of the same edge
+    /// round-trips the fingerprint exactly — a tentative edit that is
+    /// reverted leaves the fingerprint, and thus any cache keyed on it,
+    /// untouched.
+    fingerprint: u64,
+}
+
+/// splitmix64-style mix of an edge triple into a 64-bit contribution.
+fn edge_hash(from: NodeId, to: NodeId, kind: EdgeKind) -> u64 {
+    let mut z = (u64::from(from.0) << 35) ^ (u64::from(to.0) << 3) ^ (kind as u64);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Dag {
@@ -109,7 +124,18 @@ impl Dag {
             succs: vec![Vec::new(); n],
             preds: vec![Vec::new(); n],
             edge_count: 0,
+            fingerprint: (n as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93),
         }
+    }
+
+    /// A structural fingerprint of the graph: a commutative hash over
+    /// the node count and every `(from, to, kind)` edge. Two graphs with
+    /// the same fingerprint are (with overwhelming probability) the same
+    /// graph, so caches of structure-derived analyses — hammock
+    /// decompositions in particular — can key on it. Adding then
+    /// removing an edge restores the fingerprint exactly.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Number of nodes.
@@ -143,6 +169,9 @@ impl Dag {
 
     /// Appends a fresh node with no edges and returns its id.
     pub fn add_node(&mut self) -> NodeId {
+        let old = self.node_count() as u64;
+        self.fingerprint ^=
+            old.wrapping_mul(0xD6E8_FEB8_6659_FD93) ^ (old + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93);
         self.succs.push(Vec::new());
         self.preds.push(Vec::new());
         NodeId::from(self.node_count() - 1)
@@ -165,6 +194,7 @@ impl Dag {
         self.succs[from.index()].push((to, kind));
         self.preds[to.index()].push((from, kind));
         self.edge_count += 1;
+        self.fingerprint ^= edge_hash(from, to, kind);
         true
     }
 
@@ -183,6 +213,7 @@ impl Dag {
             .expect("pred list mirrors succ list");
         p.swap_remove(pos);
         self.edge_count -= 1;
+        self.fingerprint ^= edge_hash(from, to, kind);
         true
     }
 
@@ -437,5 +468,42 @@ mod tests {
         let g = diamond();
         assert_eq!(g.edges().count(), 4);
         assert!(g.edges().all(|e| e.kind == EdgeKind::Data));
+    }
+
+    #[test]
+    fn fingerprint_round_trips_under_add_remove() {
+        let mut g = diamond();
+        let fp = g.fingerprint();
+        g.add_edge(NodeId(1), NodeId(2), EdgeKind::Sequence);
+        assert_ne!(g.fingerprint(), fp, "adding an edge moves the print");
+        g.remove_edge(NodeId(1), NodeId(2), EdgeKind::Sequence);
+        assert_eq!(g.fingerprint(), fp, "removing it restores the print");
+    }
+
+    #[test]
+    fn fingerprint_is_insertion_order_independent() {
+        let mut a = Dag::new(3);
+        a.add_edge(NodeId(0), NodeId(1), EdgeKind::Data);
+        a.add_edge(NodeId(1), NodeId(2), EdgeKind::Sequence);
+        let mut b = Dag::new(3);
+        b.add_edge(NodeId(1), NodeId(2), EdgeKind::Sequence);
+        b.add_edge(NodeId(0), NodeId(1), EdgeKind::Data);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_kind_and_shape() {
+        let mut a = Dag::new(2);
+        a.add_edge(NodeId(0), NodeId(1), EdgeKind::Data);
+        let mut b = Dag::new(2);
+        b.add_edge(NodeId(0), NodeId(1), EdgeKind::Sequence);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(Dag::new(2).fingerprint(), Dag::new(3).fingerprint());
+        let mut c = Dag::new(3);
+        let fp2 = Dag::new(2).fingerprint();
+        assert_ne!(c.fingerprint(), fp2);
+        c.add_node();
+        assert_eq!(c.node_count(), 4);
+        assert_eq!(c.fingerprint(), Dag::new(4).fingerprint());
     }
 }

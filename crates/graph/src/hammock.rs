@@ -13,7 +13,9 @@
 
 use crate::bitset::{BitMatrix, BitSet};
 use crate::dag::{Dag, NodeId};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from [`HammockAnalysis::analyze`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -146,6 +148,11 @@ pub struct HammockAnalysis {
     pdom: BitMatrix,
     nesting: Vec<u32>,
     pairs: Vec<(NodeId, NodeId)>,
+    /// `regions[i]` is the node set of `pairs[i]`, boundary included —
+    /// precomputed so [`HammockAnalysis::region`] and
+    /// [`HammockAnalysis::innermost_containing`] are lookups rather than
+    /// O(N) / O(pairs·N) scans on every query.
+    regions: Vec<BitSet>,
 }
 
 impl HammockAnalysis {
@@ -204,6 +211,19 @@ impl HammockAnalysis {
             }
         }
 
+        let regions = pairs
+            .iter()
+            .map(|&(u, v)| {
+                let mut out = BitSet::new(n);
+                for x in 0..n {
+                    if dom.get(x, u.index()) && pdom.get(x, v.index()) {
+                        out.insert(x);
+                    }
+                }
+                out
+            })
+            .collect();
+
         Ok(HammockAnalysis {
             root,
             leaf,
@@ -211,6 +231,7 @@ impl HammockAnalysis {
             pdom,
             nesting,
             pairs,
+            regions,
         })
     }
 
@@ -253,7 +274,12 @@ impl HammockAnalysis {
     }
 
     /// Every node of the hammock `(entry, exit)`, boundary included.
+    /// Known `(entry, exit)` pairs are served from the precomputed
+    /// region table; other pairs are computed on the fly.
     pub fn region(&self, entry: NodeId, exit: NodeId) -> BitSet {
+        if let Some(i) = self.pairs.iter().position(|&p| p == (entry, exit)) {
+            return self.regions[i].clone();
+        }
         let n = self.nesting.len();
         let mut out = BitSet::new(n);
         for x in 0..n {
@@ -267,23 +293,96 @@ impl HammockAnalysis {
     /// The smallest hammock whose region contains every node of `nodes`;
     /// falls back to the whole-DAG hammock. Returns the pair and region.
     pub fn innermost_containing(&self, nodes: &BitSet) -> ((NodeId, NodeId), BitSet) {
-        let mut best: Option<((NodeId, NodeId), BitSet)> = None;
-        for &(u, v) in &self.pairs {
-            let region = self.region(u, v);
-            if nodes.is_subset(&region) {
-                let better = match &best {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, region) in self.regions.iter().enumerate() {
+            if nodes.is_subset(region) {
+                let better = match best {
                     None => true,
-                    Some((_, r)) => region.len() < r.len(),
+                    Some((_, len)) => region.len() < len,
                 };
                 if better {
-                    best = Some(((u, v), region));
+                    best = Some((i, region.len()));
                 }
             }
         }
-        best.unwrap_or_else(|| {
-            let region = self.region(self.root, self.leaf);
-            ((self.root, self.leaf), region)
-        })
+        match best {
+            Some((i, _)) => (self.pairs[i], self.regions[i].clone()),
+            None => {
+                let region = self.region(self.root, self.leaf);
+                ((self.root, self.leaf), region)
+            }
+        }
+    }
+}
+
+/// A memo of [`HammockAnalysis`] results keyed by DAG structural
+/// fingerprint ([`Dag::fingerprint`]).
+///
+/// The reduce loop's probe/revert cycle visits a small set of graph
+/// structures over and over: the base graph between probes, and each
+/// tentative edit's graph once. Because the fingerprint is XOR-composed,
+/// reverting an edit restores the key exactly, so the base analysis is a
+/// guaranteed hit after every rollback — hammocks that an edit could not
+/// reach are never re-analyzed.
+///
+/// # Examples
+///
+/// ```
+/// use ursa_graph::dag::{Dag, EdgeKind, NodeId};
+/// use ursa_graph::hammock::HammockCache;
+///
+/// let mut g = Dag::new(3);
+/// g.add_edge(NodeId(0), NodeId(1), EdgeKind::Data);
+/// g.add_edge(NodeId(1), NodeId(2), EdgeKind::Data);
+/// let cache = HammockCache::new();
+/// let first = cache.analyze(&g).unwrap();
+/// let again = cache.analyze(&g).unwrap();
+/// assert!(std::sync::Arc::ptr_eq(&first, &again), "second call is a hit");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct HammockCache {
+    memo: std::sync::Arc<std::sync::Mutex<HashMap<u64, Arc<HammockAnalysis>>>>,
+}
+
+impl HammockCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        HammockCache::default()
+    }
+
+    /// Returns the analysis of `g`, computing and memoizing it on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AnalyzeHammockError`] from a miss; errors are not
+    /// cached (they are cheap to rediscover and should be impossible on
+    /// the allocator's anchored DAGs).
+    pub fn analyze(&self, g: &Dag) -> Result<Arc<HammockAnalysis>, AnalyzeHammockError> {
+        let key = g.fingerprint();
+        if let Some(hit) = self.memo.lock().expect("hammock cache lock").get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let analysis = Arc::new(HammockAnalysis::analyze(g)?);
+        let mut memo = self.memo.lock().expect("hammock cache lock");
+        // The reduce loop only moves forward structurally: old entries
+        // are never revisited once a round is adopted, so a full clear
+        // at the cap bounds memory without hurting the hit rate that
+        // matters (re-analysis of the current base between probes).
+        if memo.len() >= 64 {
+            memo.clear();
+        }
+        memo.insert(key, Arc::clone(&analysis));
+        Ok(analysis)
+    }
+
+    /// Number of memoized analyses.
+    pub fn len(&self) -> usize {
+        self.memo.lock().expect("hammock cache lock").len()
+    }
+
+    /// `true` if nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -436,5 +535,43 @@ mod tests {
     fn error_display_is_informative() {
         let e = AnalyzeHammockError::RootNotUnique(3);
         assert!(e.to_string().contains("exactly one root"));
+    }
+
+    #[test]
+    fn cache_hits_after_edit_and_revert() {
+        let mut g = nested();
+        let cache = HammockCache::new();
+        let base = cache.analyze(&g).unwrap();
+        assert_eq!(cache.len(), 1);
+        // A tentative sequence edge changes the structure → miss.
+        g.add_edge(NodeId(2), NodeId(3), EdgeKind::Sequence);
+        let edited = cache.analyze(&g).unwrap();
+        assert!(!Arc::ptr_eq(&base, &edited));
+        assert_eq!(cache.len(), 2);
+        // Reverting restores the fingerprint → guaranteed hit, no
+        // third analysis.
+        g.remove_edge(NodeId(2), NodeId(3), EdgeKind::Sequence);
+        let back = cache.analyze(&g).unwrap();
+        assert!(Arc::ptr_eq(&base, &back));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cached_regions_match_on_the_fly_computation() {
+        let g = nested();
+        let h = HammockAnalysis::analyze(&g).unwrap();
+        for &(u, v) in h.pairs() {
+            let cached = h.region(u, v);
+            // Recompute by the definition.
+            let n = 7;
+            let mut expect = Vec::new();
+            for x in 0..n {
+                let x_id = NodeId::from(x);
+                if h.dominates(u, x_id) && h.postdominates(v, x_id) {
+                    expect.push(x);
+                }
+            }
+            assert_eq!(cached.iter().collect::<Vec<_>>(), expect, "({u}, {v})");
+        }
     }
 }

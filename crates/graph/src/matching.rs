@@ -11,12 +11,14 @@
 //!
 //! * [`hopcroft_karp`] — the O(E·√V) algorithm, used when any maximum
 //!   matching will do.
-//! * [`IncrementalMatcher`] — Kuhn's augmenting-path algorithm that
-//!   accepts edges in batches while preserving the matching found so far.
+//! * [`IncrementalMatcher`] — warm-start augmentation that accepts edges
+//!   in batches while preserving the matching found so far.
 //!   This implements the paper's *modified* algorithm: edges are added in
 //!   priority tiers (by hammock-nesting-level difference) and augmentation
-//!   is re-run after each tier, so earlier tiers are preferred. Worst case
-//!   O(V·E) ⊆ O(N³) for dense relations, matching the paper's bound.
+//!   is re-run after each tier (by the same Hopcroft–Karp phase loop,
+//!   started from the carried matching), so earlier tiers are preferred.
+//!   Worst case O(V·E) ⊆ O(N³) for dense relations, matching the paper's
+//!   bound.
 
 /// A matching between `n_left` left vertices and `n_right` right vertices.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -92,8 +94,22 @@ pub fn hopcroft_karp(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> Match
             assert!(r < n_right, "right vertex {r} out of range (edge from {l})");
         }
     }
-    const INF: u32 = u32::MAX;
     let mut m = Matching::empty(n_left, n_right);
+    hk_phases(adj, &mut m);
+    debug_assert!(m.is_consistent());
+    m
+}
+
+/// Runs Hopcroft–Karp BFS/DFS phases over `adj` until `m` is maximum.
+///
+/// Warm-start safe: `m` may already hold a partial matching (e.g. one
+/// carried across incremental edits); phases only ever *augment*, so
+/// cardinality never decreases and the O(E√V) phase bound still holds.
+/// When no augmenting path exists, a single O(E) BFS proves it for every
+/// free left vertex at once.
+fn hk_phases(adj: &[Vec<usize>], m: &mut Matching) {
+    const INF: u32 = u32::MAX;
+    let n_left = adj.len();
     let mut dist = vec![INF; n_left];
     let mut queue = Vec::with_capacity(n_left);
 
@@ -148,22 +164,23 @@ pub fn hopcroft_karp(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> Match
         }
         for l in 0..n_left {
             if m.left_to_right[l].is_none() && dist[l] == 0 {
-                dfs(l, adj, &mut m, &mut dist);
+                dfs(l, adj, m, &mut dist);
             }
         }
     }
-    debug_assert!(m.is_consistent());
-    m
 }
 
-/// Kuhn's algorithm with incremental edge insertion.
+/// Maximum matching with incremental edge insertion.
 ///
 /// The paper's hammock-aware decomposition (§3.1) adds bipartite edges in
 /// sets of decreasing priority and re-runs the "normal augmenting path
 /// matching algorithm" after each set, so that the final maximum matching
 /// prefers high-priority edges wherever possible. `IncrementalMatcher`
 /// keeps the matching across [`IncrementalMatcher::add_edge`] /
-/// [`IncrementalMatcher::maximize`] rounds to realize exactly that.
+/// [`IncrementalMatcher::maximize`] rounds to realize exactly that;
+/// `maximize` warm-starts the Hopcroft–Karp phase loop from the carried
+/// matching, so each round costs O(E·√V) instead of one Kuhn DFS per
+/// unmatched vertex.
 ///
 /// # Examples
 ///
@@ -197,55 +214,122 @@ impl IncrementalMatcher {
         }
     }
 
-    /// Inserts the edge `(l, r)`. Duplicates are ignored.
+    /// Inserts the edge `(l, r)`. Duplicates are ignored; returns `true`
+    /// when the edge was actually new (callers journaling edits for a
+    /// later revert use this to know whether the row grew).
     ///
     /// # Panics
     ///
     /// Panics if either endpoint is out of range.
-    pub fn add_edge(&mut self, l: usize, r: usize) {
+    pub fn add_edge(&mut self, l: usize, r: usize) -> bool {
         assert!(l < self.adj.len(), "left vertex {l} out of range");
         assert!(r < self.n_right, "right vertex {r} out of range");
-        if !self.adj[l].contains(&r) {
+        if self.adj[l].contains(&r) {
+            false
+        } else {
             self.adj[l].push(r);
+            true
         }
+    }
+
+    /// Number of left vertices.
+    pub fn n_left(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of right vertices.
+    pub fn n_right(&self) -> usize {
+        self.n_right
+    }
+
+    /// The current adjacency row of left vertex `l`.
+    pub fn row(&self, l: usize) -> &[usize] {
+        &self.adj[l]
+    }
+
+    /// Replaces the adjacency row of `l` wholesale, returning the old
+    /// row. If `l` was matched to a right vertex the new row no longer
+    /// contains, the pair is dissolved (the matching stays consistent but
+    /// may drop below maximum — call [`IncrementalMatcher::maximize`]
+    /// afterwards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any right vertex in `row` is out of range.
+    pub fn set_row(&mut self, l: usize, row: Vec<usize>) -> Vec<usize> {
+        for &r in &row {
+            assert!(r < self.n_right, "right vertex {r} out of range");
+        }
+        if let Some(r) = self.matching.left_to_right[l] {
+            if !row.contains(&r) {
+                self.matching.left_to_right[l] = None;
+                self.matching.right_to_left[r] = None;
+            }
+        }
+        std::mem::replace(&mut self.adj[l], row)
+    }
+
+    /// Truncates the adjacency row of `l` back to `len` entries,
+    /// dissolving `l`'s pair if its partner falls off the end. This is
+    /// the exact inverse of a run of successful
+    /// [`IncrementalMatcher::add_edge`] calls on `l` (appends preserve
+    /// prefix order), so reverting an edit needs only the old length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the current row length.
+    pub fn truncate_row(&mut self, l: usize, len: usize) {
+        assert!(len <= self.adj[l].len(), "cannot grow a row by truncation");
+        if let Some(r) = self.matching.left_to_right[l] {
+            if !self.adj[l][..len].contains(&r) {
+                self.matching.left_to_right[l] = None;
+                self.matching.right_to_left[r] = None;
+            }
+        }
+        self.adj[l].truncate(len);
+    }
+
+    /// Dissolves `l`'s matched pair, if any.
+    pub fn unmatch_left(&mut self, l: usize) {
+        if let Some(r) = self.matching.left_to_right[l].take() {
+            self.matching.right_to_left[r] = None;
+        }
+    }
+
+    /// Replaces the current matching wholesale (used to restore a
+    /// snapshot when reverting a batch of edits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's class sizes disagree with the matcher's,
+    /// or if any matched edge is absent from the current adjacency.
+    pub fn restore_matching(&mut self, m: Matching) {
+        assert_eq!(m.left_to_right.len(), self.adj.len(), "left size mismatch");
+        assert_eq!(m.right_to_left.len(), self.n_right, "right size mismatch");
+        debug_assert!(m.is_consistent());
+        debug_assert!(
+            m.left_to_right
+                .iter()
+                .enumerate()
+                .all(|(l, r)| r.is_none_or(|r| self.adj[l].contains(&r))),
+            "restored matching uses an edge absent from the adjacency"
+        );
+        self.matching = m;
     }
 
     /// Augments until maximum over the edges inserted so far; returns the
     /// matching cardinality. Previously matched pairs may be re-routed but
     /// cardinality never decreases.
+    ///
+    /// Runs Hopcroft–Karp phases warm-started from the carried matching:
+    /// when an edit leaves most pairs intact, only the freed vertices are
+    /// re-augmented, and a single BFS certifies maximality for all of
+    /// them together — per-free-vertex O(E) scans would dominate
+    /// incremental probes on large dense reuse graphs.
     pub fn maximize(&mut self) -> usize {
-        let n_left = self.adj.len();
-        let mut visited = vec![false; n_left];
-        for l in 0..n_left {
-            if self.matching.left_to_right[l].is_none() {
-                for v in visited.iter_mut() {
-                    *v = false;
-                }
-                self.try_augment(l, &mut visited);
-            }
-        }
+        hk_phases(&self.adj, &mut self.matching);
         debug_assert!(self.matching.is_consistent());
         self.matching.len()
-    }
-
-    fn try_augment(&mut self, l: usize, visited: &mut [bool]) -> bool {
-        if visited[l] {
-            return false;
-        }
-        visited[l] = true;
-        for i in 0..self.adj[l].len() {
-            let r = self.adj[l][i];
-            let free = match self.matching.right_to_left[r] {
-                None => true,
-                Some(l2) => self.try_augment(l2, visited),
-            };
-            if free {
-                self.matching.left_to_right[l] = Some(r);
-                self.matching.right_to_left[r] = Some(l);
-                return true;
-            }
-        }
-        false
     }
 
     /// The matching accumulated so far.
@@ -422,8 +506,114 @@ mod tests {
     #[test]
     fn duplicate_edges_ignored() {
         let mut m = IncrementalMatcher::new(1, 1);
-        m.add_edge(0, 0);
-        m.add_edge(0, 0);
+        assert!(m.add_edge(0, 0));
+        assert!(!m.add_edge(0, 0));
         assert_eq!(m.maximize(), 1);
+    }
+
+    #[test]
+    fn set_row_dissolves_lost_partner_and_returns_old_row() {
+        let mut m = IncrementalMatcher::new(2, 2);
+        m.add_edge(0, 0);
+        m.add_edge(1, 1);
+        assert_eq!(m.maximize(), 2);
+        let old = m.set_row(0, vec![1]);
+        assert_eq!(old, vec![0]);
+        // 0 lost its partner; 1 keeps r1.
+        assert_eq!(m.matching().left_to_right[0], None);
+        assert_eq!(m.matching().right_to_left[0], None);
+        assert_eq!(m.matching().left_to_right[1], Some(1));
+        assert!(m.matching().is_consistent());
+        // Maximizing re-routes: 0 takes r1, 1 is pushed nowhere (1's row
+        // is still [1]) — cardinality over the new edge set is 1.
+        assert_eq!(m.maximize(), 1);
+    }
+
+    #[test]
+    fn truncate_row_reverts_appends_exactly() {
+        let mut m = IncrementalMatcher::new(2, 3);
+        m.add_edge(0, 0);
+        m.add_edge(1, 1);
+        m.maximize();
+        let before_rows: Vec<Vec<usize>> = (0..2).map(|l| m.row(l).to_vec()).collect();
+        let snapshot = m.matching().clone();
+        let old_len = m.row(0).len();
+        assert!(m.add_edge(0, 2));
+        m.maximize();
+        m.truncate_row(0, old_len);
+        m.restore_matching(snapshot.clone());
+        for (l, row) in before_rows.iter().enumerate() {
+            assert_eq!(m.row(l), row.as_slice(), "row {l}");
+        }
+        assert_eq!(*m.matching(), snapshot);
+        assert_eq!(m.maximize(), 2);
+    }
+
+    #[test]
+    fn edit_revert_edit_revert_keeps_matcher_exact() {
+        // Revert-after-revert: two independent probe rounds against the
+        // same base must each restore the matcher bit-for-bit, and the
+        // final cardinality must equal a from-scratch computation.
+        let base_edges = [(0usize, 0usize), (1, 1), (2, 0), (2, 2)];
+        let mut m = IncrementalMatcher::new(4, 4);
+        for &(l, r) in &base_edges {
+            m.add_edge(l, r);
+        }
+        m.maximize();
+        let base_rows: Vec<Vec<usize>> = (0..4).map(|l| m.row(l).to_vec()).collect();
+        let base_match = m.matching().clone();
+        for probe_edges in [vec![(3usize, 3usize)], vec![(0, 3), (3, 1)]] {
+            let snapshot = m.matching().clone();
+            let mut journal: Vec<(usize, usize)> = Vec::new();
+            for &(l, r) in &probe_edges {
+                let old_len = m.row(l).len();
+                if m.add_edge(l, r) {
+                    journal.push((l, old_len));
+                }
+            }
+            m.maximize();
+            for &(l, old_len) in journal.iter().rev() {
+                m.truncate_row(l, old_len);
+            }
+            m.restore_matching(snapshot);
+            for (l, row) in base_rows.iter().enumerate() {
+                assert_eq!(m.row(l), row.as_slice(), "row {l}");
+            }
+            assert_eq!(*m.matching(), base_match);
+        }
+        let hk = hopcroft_karp(4, 4, &to_adj(4, &base_edges));
+        assert_eq!(m.maximize(), hk.len());
+    }
+
+    #[test]
+    fn unmatch_left_frees_both_sides() {
+        let mut m = IncrementalMatcher::new(2, 2);
+        m.add_edge(0, 0);
+        m.add_edge(1, 0);
+        assert_eq!(m.maximize(), 1);
+        m.unmatch_left(0);
+        m.unmatch_left(0); // idempotent
+        assert!(m.matching().is_empty());
+        assert!(m.matching().is_consistent());
+        assert_eq!(m.maximize(), 1);
+    }
+
+    #[test]
+    fn set_row_then_maximize_matches_scratch() {
+        // Replace rows repeatedly (the engine does this when a producer's
+        // killer changes) and check cardinality against Hopcroft–Karp on
+        // the final edge set.
+        let mut m = IncrementalMatcher::new(3, 3);
+        m.add_edge(0, 0);
+        m.add_edge(1, 0);
+        m.add_edge(2, 2);
+        m.maximize();
+        m.set_row(0, vec![1, 2]);
+        m.set_row(1, vec![0, 1]);
+        m.maximize();
+        let adj = vec![vec![1, 2], vec![0, 1], vec![2]];
+        let hk = hopcroft_karp(3, 3, &adj);
+        assert_eq!(m.matching().len(), hk.len());
+        assert!(m.matching().is_consistent());
     }
 }

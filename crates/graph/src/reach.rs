@@ -10,6 +10,56 @@
 use crate::bitset::{BitMatrix, BitSet};
 use crate::dag::{Dag, NodeId};
 
+/// The exact set of `(src, dst)` reachability pairs that one edge
+/// insertion newly established, as recorded by
+/// [`Reachability::add_edge_logged`].
+///
+/// Because [`Reachability::add_edge`] is monotone — it only ever *sets*
+/// bits, and only bits that were clear before — unsetting precisely the
+/// recorded pairs restores the closure bit-for-bit. That makes a
+/// sequence of tentative edge insertions revertible in LIFO order
+/// without recomputing anything.
+///
+/// # Examples
+///
+/// ```
+/// use ursa_graph::dag::{Dag, EdgeKind, NodeId};
+/// use ursa_graph::reach::Reachability;
+///
+/// let mut g = Dag::new(3);
+/// g.add_edge(NodeId(0), NodeId(1), EdgeKind::Data);
+/// let mut r = Reachability::of(&g);
+/// let delta = r.add_edge_logged(NodeId(1), NodeId(2));
+/// assert!(r.reaches(NodeId(0), NodeId(2)));
+/// r.undo(&delta);
+/// assert!(!r.reaches(NodeId(0), NodeId(2)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ReachDelta {
+    /// Pairs `(src, dst)` that became reachable by this insertion.
+    pairs: Vec<(usize, usize)>,
+}
+
+impl ReachDelta {
+    /// Number of newly established pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` when the inserted edge was already implied and nothing
+    /// changed.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates over the newly established `(src, dst)` pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.pairs
+            .iter()
+            .map(|&(s, d)| (NodeId::from(s), NodeId::from(d)))
+    }
+}
+
 /// Materialized transitive closure of a [`Dag`].
 ///
 /// # Examples
@@ -126,13 +176,25 @@ impl Reachability {
     /// Panics if the edge would create a cycle (call
     /// [`Reachability::would_cycle`] first).
     pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        self.add_edge_logged(a, b);
+    }
+
+    /// Like [`Reachability::add_edge`], but returns the exact set of
+    /// pairs that became reachable, so the insertion can be reverted
+    /// with [`Reachability::undo`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge would create a cycle.
+    pub fn add_edge_logged(&mut self, a: NodeId, b: NodeId) -> ReachDelta {
         assert!(
             !self.would_cycle(a, b),
             "edge {a} -> {b} would create a cycle"
         );
+        let mut delta = ReachDelta::default();
         if self.reaches(a, b) {
             // Already implied; nothing changes.
-            return;
+            return delta;
         }
         let gained: Vec<usize> = std::iter::once(b.index())
             .chain(self.desc.row_iter(b.index()))
@@ -142,11 +204,26 @@ impl Reachability {
             .collect();
         for &s in &sources {
             for &d in &gained {
-                if s != d {
+                if s != d && !self.desc.get(s, d) {
                     self.desc.set(s, d);
                     self.anc.set(d, s);
+                    delta.pairs.push((s, d));
                 }
             }
+        }
+        delta
+    }
+
+    /// Reverts a delta produced by [`Reachability::add_edge_logged`].
+    ///
+    /// Deltas must be undone in LIFO order with respect to the
+    /// insertions that produced them; each delta records only pairs that
+    /// were newly set at its own insertion time, so out-of-order undo
+    /// could clear a pair a later insertion still relies on.
+    pub fn undo(&mut self, delta: &ReachDelta) {
+        for &(s, d) in &delta.pairs {
+            self.desc.unset(s, d);
+            self.anc.unset(d, s);
         }
     }
 }
@@ -252,5 +329,99 @@ mod tests {
         let g = chain(2);
         let mut r = Reachability::of(&g);
         r.add_edge(NodeId(1), NodeId(0));
+    }
+
+    fn assert_same(a: &Reachability, b: &Reachability, what: &str) {
+        let n = a.len() as u32;
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(
+                    a.reaches(NodeId(i), NodeId(j)),
+                    b.reaches(NodeId(i), NodeId(j)),
+                    "{what}: desc ({i},{j})"
+                );
+                assert_eq!(
+                    a.ancestors(NodeId(i)).contains(j as usize),
+                    b.ancestors(NodeId(i)).contains(j as usize),
+                    "{what}: anc ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn logged_add_then_undo_restores_closure_exactly() {
+        let mut g = Dag::new(6);
+        g.add_edge(NodeId(0), NodeId(1), EdgeKind::Data);
+        g.add_edge(NodeId(2), NodeId(3), EdgeKind::Data);
+        g.add_edge(NodeId(4), NodeId(5), EdgeKind::Data);
+        let before = Reachability::of(&g);
+        let mut r = before.clone();
+        let delta = r.add_edge_logged(NodeId(1), NodeId(2));
+        assert!(!delta.is_empty());
+        assert!(r.reaches(NodeId(0), NodeId(3)));
+        r.undo(&delta);
+        assert_same(&r, &before, "after undo");
+    }
+
+    #[test]
+    fn lifo_undo_of_stacked_deltas() {
+        let mut g = Dag::new(8);
+        for i in (0..8).step_by(2) {
+            g.add_edge(NodeId::from(i), NodeId::from(i + 1), EdgeKind::Data);
+        }
+        let base = Reachability::of(&g);
+        let mut r = base.clone();
+        let d1 = r.add_edge_logged(NodeId(1), NodeId(2));
+        let mid = r.clone();
+        let d2 = r.add_edge_logged(NodeId(3), NodeId(4));
+        let d3 = r.add_edge_logged(NodeId(5), NodeId(6));
+        assert!(r.reaches(NodeId(0), NodeId(7)));
+        r.undo(&d3);
+        r.undo(&d2);
+        assert_same(&r, &mid, "after undoing d3, d2");
+        r.undo(&d1);
+        assert_same(&r, &base, "after undoing everything");
+    }
+
+    #[test]
+    fn revert_after_revert_and_reapply() {
+        // Undo, re-apply the same edge, undo again: the closure must land
+        // back at base both times (the engine's probe/rollback loop does
+        // exactly this with different candidates between rounds).
+        let mut g = Dag::new(4);
+        g.add_edge(NodeId(0), NodeId(1), EdgeKind::Data);
+        g.add_edge(NodeId(2), NodeId(3), EdgeKind::Data);
+        let base = Reachability::of(&g);
+        let mut r = base.clone();
+        for _ in 0..3 {
+            let d = r.add_edge_logged(NodeId(1), NodeId(2));
+            assert!(r.reaches(NodeId(0), NodeId(3)));
+            r.undo(&d);
+            assert_same(&r, &base, "round-trip");
+        }
+    }
+
+    #[test]
+    fn implied_edge_delta_is_empty_and_undo_is_noop() {
+        let g = chain(3);
+        let mut r = Reachability::of(&g);
+        let snapshot = r.clone();
+        let d = r.add_edge_logged(NodeId(0), NodeId(2));
+        assert!(d.is_empty());
+        r.undo(&d);
+        assert_same(&r, &snapshot, "implied edge");
+    }
+
+    #[test]
+    fn delta_pairs_enumerate_new_reachability() {
+        let mut g = Dag::new(4);
+        g.add_edge(NodeId(0), NodeId(1), EdgeKind::Data);
+        g.add_edge(NodeId(2), NodeId(3), EdgeKind::Data);
+        let mut r = Reachability::of(&g);
+        let d = r.add_edge_logged(NodeId(1), NodeId(2));
+        let mut pairs: Vec<(u32, u32)> = d.pairs().map(|(a, b)| (a.0, b.0)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 2), (0, 3), (1, 2), (1, 3)]);
     }
 }

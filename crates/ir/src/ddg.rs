@@ -253,6 +253,13 @@ impl DependenceDag {
         self.dag.add_edge(from, to, EdgeKind::Sequence)
     }
 
+    /// Removes a URSA sequence edge, if present. Only [`EdgeKind::Sequence`]
+    /// edges may be removed — they carry no program semantics, so deleting
+    /// one merely re-admits schedules. Returns whether the edge existed.
+    pub fn remove_sequence_edge(&mut self, from: NodeId, to: NodeId) -> bool {
+        self.dag.remove_edge(from, to, EdgeKind::Sequence)
+    }
+
     /// Inserts spill code for the value of `value_node` (paper §4.3):
     /// a store of the value right after its definition and a reload that
     /// the listed `reload_uses` are rewired to read.

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# The CI perf gate: re-runs the measurement benchmarks and compares
+# their medians against the committed baseline (BENCH_baseline.json at
+# the repo root), failing on any regression past the threshold
+# (default 25%, matching shared-runner noise; see README "Performance
+# trajectory").
+#
+# The heavy lifting — JSON parsing, median comparison, exit status —
+# lives in the in-tree `perf_compare` binary so the gate logic is
+# itself under test and needs no jq/python on the runner.
+#
+# Usage: tools/check_perf.sh [--threshold RATIO] [--update] [repo-root]
+#   --threshold 1.25   gate ratio handed to perf_compare
+#   --update           re-measure and overwrite the committed baseline
+#                      (for deliberate, reviewed refreshes after a
+#                      genuine speedup — never run this in CI)
+set -euo pipefail
+
+threshold=1.25
+update=0
+while :; do
+    case "${1:-}" in
+    --threshold)
+        threshold="$2"
+        shift 2
+        ;;
+    --update)
+        update=1
+        shift
+        ;;
+    *) break ;;
+    esac
+done
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root"
+
+# Absolute paths: `cargo bench` runs the harness with the *package*
+# directory (crates/bench) as cwd, so relative --json paths would land
+# there instead of the repo root.
+baseline="$root/BENCH_baseline.json"
+current="$root/target/BENCH_current.json"
+
+echo "building benchmarks (release, offline)..."
+cargo build --release --offline -p ursa-bench --benches --bin perf_compare
+
+if [ "$update" -eq 1 ]; then
+    echo "re-measuring the committed baseline ($baseline)..."
+    cargo bench --offline -p ursa-bench --bench measurement -- --json "$baseline"
+    echo "baseline refreshed; review and commit $baseline deliberately"
+    exit 0
+fi
+
+if [ ! -f "$baseline" ]; then
+    echo "FAIL: $baseline missing; run tools/check_perf.sh --update to create it" >&2
+    exit 1
+fi
+
+mkdir -p "$(dirname "$current")"
+echo "measuring current tree..."
+cargo bench --offline -p ursa-bench --bench measurement -- --json "$current"
+
+./target/release/perf_compare --threshold "$threshold" "$baseline" "$current"
