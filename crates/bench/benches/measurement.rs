@@ -3,7 +3,10 @@
 //! measurement`; add `-- --json out.json` for a machine-readable table.
 
 use ursa_bench::harness::Runner;
-use ursa_core::{allocate, measure, AllocCtx, KillMode, MeasureOptions, UrsaConfig};
+use ursa_core::{
+    allocate, allocate_budgeted, measure, AllocCtx, CompileBudget, KillMode, MeasureOptions,
+    UrsaConfig,
+};
 use ursa_ir::ddg::DependenceDag;
 use ursa_machine::Machine;
 use ursa_workloads::paper::figure2_block;
@@ -127,6 +130,18 @@ fn main() {
             runner.bench(&format!("reduce_incremental/{n}"), || {
                 let ddg = DependenceDag::from_entry_block(&program);
                 allocate(ddg, &machine, &UrsaConfig::default())
+            });
+        }
+        // The same loop through `allocate_budgeted` with a budget that
+        // never trips: the delta against `reduce_incremental/{n}` is
+        // the cost of the cooperative cancellation checkpoints alone
+        // (the ≤2% bound README states for --deadline-ms support).
+        for n in [64usize, 128, 256, 1024] {
+            let (program, machine) = derive(n);
+            runner.bench(&format!("reduce_budgeted/{n}"), || {
+                let ddg = DependenceDag::from_entry_block(&program);
+                let budget = CompileBudget::with_max_steps(u64::MAX);
+                allocate_budgeted(ddg, &machine, &UrsaConfig::default(), &budget)
             });
         }
     }

@@ -20,7 +20,20 @@
 //! stress --paranoid-measure       # differential incremental-measure checks
 //! stress --machine vliw2r3        # filter machines by name substring
 //! stress --strategy ursa-phased   # filter strategies by name
+//! stress --chaos                  # fault injection: programs × fault plans
+//! stress --chaos --plans 8        # fault plans per (seed, machine, strategy)
+//! stress --chaos --fault-seed 7   # base seed for the fault-plan derivation
+//! stress --deadline-ms 50         # wall-clock budget per compilation
+//! stress --max-steps 100000       # cooperative work-step cap per compilation
 //! ```
+//!
+//! **Chaos mode** arms one seeded [`ursa_core::FaultPlan`] per case
+//! (allocation refusals, poisoned matching rows, widening-cap hits,
+//! synthetic panics, budget starvation — each at a named stage site)
+//! and compiles with panic isolation on. The contract it enforces:
+//! every case ends in working verified code **or a typed error — never
+//! a raw panic, never a miscompile**. Successful compiles still run
+//! both oracles; a typed error is counted, attributed, and accepted.
 //!
 //! Exit status: 0 when every case passes, 1 otherwise.
 
@@ -43,6 +56,11 @@ struct Options {
     paranoid_measure: bool,
     machine_filter: Option<String>,
     strategy_filter: Option<String>,
+    chaos: bool,
+    fault_seed: u64,
+    plans: u64,
+    deadline_ms: Option<u64>,
+    max_steps: Option<u64>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -52,6 +70,11 @@ fn parse_args() -> Result<Options, String> {
         paranoid_measure: false,
         machine_filter: None,
         strategy_filter: None,
+        chaos: false,
+        fault_seed: 0,
+        plans: 8,
+        deadline_ms: None,
+        max_steps: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -72,10 +95,39 @@ fn parse_args() -> Result<Options, String> {
             "--paranoid-measure" => opts.paranoid_measure = true,
             "--machine" => opts.machine_filter = Some(take("--machine")?),
             "--strategy" => opts.strategy_filter = Some(take("--strategy")?),
+            "--chaos" => opts.chaos = true,
+            "--fault-seed" => {
+                opts.fault_seed = take("--fault-seed")?
+                    .parse()
+                    .map_err(|e| format!("--fault-seed: {e}"))?
+            }
+            "--plans" => {
+                opts.plans = take("--plans")?
+                    .parse()
+                    .map_err(|e| format!("--plans: {e}"))?;
+                if opts.plans == 0 {
+                    return Err("--plans must be at least 1".to_string());
+                }
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(
+                    take("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
+            "--max-steps" => {
+                opts.max_steps = Some(
+                    take("--max-steps")?
+                        .parse()
+                        .map_err(|e| format!("--max-steps: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: stress [--seeds A..B] [--validate] [--paranoid-measure] \
-                            [--machine NAME] [--strategy NAME]"
+                            [--machine NAME] [--strategy NAME] [--chaos] [--fault-seed N] \
+                            [--plans N] [--deadline-ms N] [--max-steps N]"
                         .to_string(),
                 )
             }
@@ -142,6 +194,12 @@ enum CaseResult {
     /// The strategy refused the input for an expected, typed reason
     /// (Goodman–Hsu cannot spill, so honest overflow refusals count).
     Refused,
+    /// Chaos mode: the injected fault surfaced as a typed
+    /// [`CompileError`] — exactly the contract. `internal` marks a
+    /// synthetic panic converted by the isolation boundary.
+    Typed {
+        internal: bool,
+    },
     Fail {
         why: String,
         /// The static validator rejected the code.
@@ -167,10 +225,14 @@ fn run_case(
     strategy_name: &str,
     strategy: &CompileStrategy,
     opts: &PipelineOptions,
+    chaos: bool,
 ) -> CaseResult {
     let program = random_block(seed, shape_for(seed));
     let trace = Trace::single(0);
     let gh = matches!(strategy, CompileStrategy::GoodmanHsu);
+    // The outer catch_unwind is the harness backstop: with isolation on
+    // (chaos mode) a panic reaching it means the isolation boundary
+    // itself failed, which is a reportable bug, not a typed error.
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         try_compile_with(&program, &trace, machine, strategy.clone(), opts)
     }));
@@ -184,6 +246,13 @@ fn run_case(
             return CaseResult::fail(format!("panic: {msg}"));
         }
         Ok(Err(CompileError::RegisterOverflow { .. })) if gh => return CaseResult::Refused,
+        Ok(Err(e)) if chaos => {
+            // Chaos contract: a typed error is a pass. Only record
+            // whether it was a converted synthetic panic.
+            return CaseResult::Typed {
+                internal: matches!(e, CompileError::Internal { .. }),
+            };
+        }
         Ok(Err(e)) => return CaseResult::fail(format!("compile error: {e}")),
         Ok(Ok(c)) => c,
     };
@@ -286,10 +355,17 @@ fn main() -> ExitCode {
     let pipeline = PipelineOptions {
         validate: opts.validate,
         no_fallback: false,
+        deadline: opts.deadline_ms.map(std::time::Duration::from_millis),
+        max_steps: opts.max_steps,
+        // Chaos plans include synthetic panics; the pipeline must
+        // convert them to typed errors at the trace boundary.
+        isolate: opts.chaos,
         ..Default::default()
     };
+    let plans = if opts.chaos { opts.plans } else { 1 };
     let (mut cases, mut refusals, mut failures) = (0u64, 0u64, 0u64);
     let (mut static_rejects, mut disagreements) = (0u64, 0u64);
+    let (mut typed_errors, mut isolated_panics) = (0u64, 0u64);
     for seed in opts.seeds.clone() {
         for machine in &machines {
             if let Some(f) = &opts.machine_filter {
@@ -303,43 +379,89 @@ fn main() -> ExitCode {
                         continue;
                     }
                 }
-                cases += 1;
-                match run_case(seed, machine, name, strategy, &pipeline) {
-                    CaseResult::Pass => {}
-                    CaseResult::Refused => refusals += 1,
-                    CaseResult::Fail {
-                        why,
-                        static_reject,
-                        disagreement,
-                    } => {
-                        failures += 1;
-                        static_rejects += u64::from(static_reject);
-                        disagreements += u64::from(disagreement);
-                        let validate = if opts.validate { " --validate" } else { "" };
-                        let paranoid = if opts.paranoid_measure {
-                            " --paranoid-measure"
-                        } else {
-                            ""
-                        };
-                        println!(
-                            "FAIL seed={seed} machine={} strategy={name}: {why}",
-                            machine.name()
-                        );
-                        println!(
-                            "  repro: cargo run --release -p ursa-bench --bin stress -- \
-                             --seeds {seed}..{} --machine {} --strategy {name}{validate}{paranoid}",
-                            seed + 1,
-                            machine.name(),
-                        );
+                for plan_idx in 0..plans {
+                    // Every program seed sweeps the same plan set, so a
+                    // failing case reproduces with `--fault-seed
+                    // <derived> --plans 1` regardless of filters.
+                    let fault_seed = opts.fault_seed.wrapping_add(plan_idx);
+                    if opts.chaos {
+                        ursa_core::fault::arm(ursa_core::FaultPlan::from_seed(fault_seed));
+                    }
+                    cases += 1;
+                    let result = run_case(seed, machine, name, strategy, &pipeline, opts.chaos);
+                    // A plan whose site was never reached stays armed;
+                    // clear it so it cannot leak into the next case.
+                    let _ = ursa_core::fault::disarm();
+                    match result {
+                        CaseResult::Pass => {}
+                        CaseResult::Refused => refusals += 1,
+                        CaseResult::Typed { internal } => {
+                            typed_errors += 1;
+                            isolated_panics += u64::from(internal);
+                        }
+                        CaseResult::Fail {
+                            why,
+                            static_reject,
+                            disagreement,
+                        } => {
+                            failures += 1;
+                            static_rejects += u64::from(static_reject);
+                            disagreements += u64::from(disagreement);
+                            let validate = if opts.validate { " --validate" } else { "" };
+                            let paranoid = if opts.paranoid_measure {
+                                " --paranoid-measure"
+                            } else {
+                                ""
+                            };
+                            let mut budget = String::new();
+                            if let Some(ms) = opts.deadline_ms {
+                                budget.push_str(&format!(" --deadline-ms {ms}"));
+                            }
+                            if let Some(n) = opts.max_steps {
+                                budget.push_str(&format!(" --max-steps {n}"));
+                            }
+                            let chaos = if opts.chaos {
+                                format!(
+                                    " --chaos --fault-seed {fault_seed} --plans 1 (plan {})",
+                                    ursa_core::FaultPlan::from_seed(fault_seed)
+                                )
+                            } else {
+                                String::new()
+                            };
+                            println!(
+                                "FAIL seed={seed} machine={} strategy={name}{}: {why}",
+                                machine.name(),
+                                if opts.chaos {
+                                    format!(" fault-seed={fault_seed}")
+                                } else {
+                                    String::new()
+                                }
+                            );
+                            println!(
+                                "  repro: cargo run --release -p ursa-bench --bin stress -- \
+                                 --seeds {seed}..{} --machine {} --strategy \
+                                 {name}{validate}{paranoid}{budget}{chaos}",
+                                seed + 1,
+                                machine.name(),
+                            );
+                        }
                     }
                 }
             }
         }
     }
     let _ = std::panic::take_hook();
+    let chaos_note = if opts.chaos {
+        format!(
+            ", {typed_errors} typed errors under fault injection \
+             ({isolated_panics} isolated panics)"
+        )
+    } else {
+        String::new()
+    };
     println!(
         "stress: {cases} cases over seeds {}..{}, {refusals} typed refusals, {failures} failures \
-         ({static_rejects} static rejects, {disagreements} oracle disagreements)",
+         ({static_rejects} static rejects, {disagreements} oracle disagreements){chaos_note}",
         opts.seeds.start, opts.seeds.end
     );
     if failures > 0 {

@@ -219,6 +219,34 @@ impl<'m> AllocCtx<'m> {
         true
     }
 
+    /// Like [`AllocCtx::add_sequence_edge`], but returns the exact set of
+    /// newly established reachability pairs (`None` if the edge was
+    /// already implied). FU sequentialization feeds the delta straight
+    /// into its persistent comparability matcher instead of rescanning
+    /// all node pairs per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge would create a cycle.
+    pub(crate) fn add_sequence_edge_delta(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+    ) -> Option<ursa_graph::reach::ReachDelta> {
+        assert!(
+            !self.would_cycle(from, to),
+            "sequence edge {from} -> {to} would create a cycle"
+        );
+        if self.reach.reaches(from, to) {
+            return None;
+        }
+        self.ddg.add_sequence_edge(from, to);
+        let delta = self.reach.add_edge_logged(from, to);
+        self.levels = Self::compute_levels(&self.ddg, self.machine);
+        self.hammocks = None;
+        Some(delta)
+    }
+
     /// Inserts spill code (see [`DependenceDag::insert_spill`]) and
     /// refreshes every analysis.
     pub fn insert_spill(&mut self, value_node: NodeId, reload_uses: &[NodeId]) -> SpillPair {

@@ -19,16 +19,20 @@
 //! unit sequentialization in a second, the ordering §5's interaction
 //! analysis recommends.
 
+use crate::budget::CompileBudget;
 use crate::ctx::AllocCtx;
 use crate::excess::find_excessive;
+use crate::fault::{self, FaultKind, FaultSite};
 use crate::incremental::IncrementalEngine;
 use crate::kill::KillMode;
-use crate::measure::{measure, summary_fast, MeasureOptions, MeasurementSummary};
+use crate::measure::{measure_metered, summary_fast_metered, MeasureOptions, MeasurementSummary};
 use crate::resource::ResourceKind;
 use crate::transform::{
-    fu_seq::sequentialize_fus, reg_seq::sequentialize_registers, spill::spill_registers,
+    fu_seq::sequentialize_fus_metered, reg_seq::sequentialize_registers_metered,
+    spill::spill_registers_metered,
 };
 use std::fmt;
+use ursa_graph::meter::WorkMeter;
 use ursa_ir::ddg::DependenceDag;
 use ursa_machine::Machine;
 
@@ -171,6 +175,10 @@ pub struct AllocationOutcome {
     pub critical_path: u64,
     /// `true` if `max_iterations` stopped the loop early.
     pub hit_iteration_limit: bool,
+    /// `true` if the [`CompileBudget`] exhausted during the run: the
+    /// outcome is the best-so-far state (anytime semantics), possibly
+    /// with residual excess the assignment phase must absorb.
+    pub budget_exhausted: bool,
 }
 
 impl AllocationOutcome {
@@ -189,16 +197,41 @@ impl AllocationOutcome {
 /// schedule can exceed `machine`'s resources (or until no heuristic
 /// applies; see [`AllocationOutcome::residual_excess`]).
 pub fn allocate(ddg: DependenceDag, machine: &Machine, config: &UrsaConfig) -> AllocationOutcome {
+    allocate_budgeted(ddg, machine, config, &CompileBudget::unlimited())
+}
+
+/// [`allocate`] under a [`CompileBudget`]: the reduce loop, measurement
+/// matchings, and transform searches all checkpoint cooperatively
+/// against `budget`. When it exhausts, the loop stops at the next
+/// checkpoint and returns the best-so-far transformed DAG with
+/// [`AllocationOutcome::budget_exhausted`] set — anytime semantics;
+/// allocation never hangs and never returns an inconsistent DAG.
+pub fn allocate_budgeted(
+    ddg: DependenceDag,
+    machine: &Machine,
+    config: &UrsaConfig,
+    budget: &CompileBudget,
+) -> AllocationOutcome {
+    if let Some(plan) = fault::trip(FaultSite::Driver) {
+        match plan.kind {
+            FaultKind::Panic => fault::trip_panic(FaultSite::Driver),
+            _ => budget.starve(),
+        }
+    }
+    let meter: &dyn WorkMeter = budget;
     let mut ctx = AllocCtx::new(ddg, machine);
     let opts = config.measure_options();
-    let mut meas = measure(&mut ctx, opts);
+    let mut meas = measure_metered(&mut ctx, opts, meter);
     let initial_measurement = meas.summary();
     let mut steps = Vec::new();
     let mut hit_iteration_limit = false;
     // The incremental engine is primed against the current base context
     // and answers probes by delta propagation; it must be rebuilt
     // whenever the base changes, i.e. after every adopted step.
-    let mut engine = (config.incremental && !meas.fits()).then(|| {
+    // `charge(0)` consumes nothing: it only skips the (expensive,
+    // unmetered) engine priming when the budget is already gone — the
+    // loop below will stop at its first checkpoint anyway.
+    let mut engine = (config.incremental && !meas.fits() && meter.charge(0)).then(|| {
         IncrementalEngine::new(&ctx, &meas.kills, config.kill_mode, config.paranoid_measure)
     });
 
@@ -230,6 +263,20 @@ pub fn allocate(ddg: DependenceDag, machine: &Machine, config: &UrsaConfig) -> A
                 hit_iteration_limit = true;
                 break 'phases;
             }
+            // Round-head checkpoint: charge one node-count unit (every
+            // round is at least one full scan) and sample the deadline.
+            // Exhaustion stops the loop with the best-so-far DAG.
+            if !meter.charge(ctx.ddg().dag().node_count() as u64) {
+                break 'phases;
+            }
+            // Peak-memory estimate: each tentative candidate clones the
+            // context, whose footprint is dominated by the n×n
+            // reachability closure (two bit matrices) plus per-node
+            // tables.
+            {
+                let n = ctx.ddg().dag().node_count() as u64;
+                budget.note_mem(n * n / 4 + 128 * n);
+            }
             iterations += 1;
             let excess_before = meas.total_excess();
             let reg_excess = meas
@@ -249,6 +296,7 @@ pub fn allocate(ddg: DependenceDag, machine: &Machine, config: &UrsaConfig) -> A
             // `ctx` is only borrowed mutably so incremental probes can
             // apply-and-revert tentative edges in place; on return it is
             // structurally untouched.
+            #[allow(clippy::too_many_arguments)]
             fn try_kinds<'m>(
                 allowed: &[StepKind],
                 ctx: &mut AllocCtx<'m>,
@@ -257,6 +305,7 @@ pub fn allocate(ddg: DependenceDag, machine: &Machine, config: &UrsaConfig) -> A
                 opts: MeasureOptions,
                 kill_mode: KillMode,
                 excess_before: u32,
+                meter: &dyn WorkMeter,
             ) -> Option<Found<'m>> {
                 let mut best: Option<Found<'m>> = None;
                 for rm in &meas.resources {
@@ -295,16 +344,19 @@ pub fn allocate(ddg: DependenceDag, machine: &Machine, config: &UrsaConfig) -> A
                         };
                         let result = match kind {
                             StepKind::FuSequentialization => {
-                                sequentialize_fus(&mut trial, &ex, &meas.kills)
+                                sequentialize_fus_metered(&mut trial, &ex, &meas.kills, meter)
                             }
-                            StepKind::RegisterSequentialization => sequentialize_registers(
+                            StepKind::RegisterSequentialization => sequentialize_registers_metered(
                                 &mut trial,
                                 &ex,
                                 &meas.kills,
                                 opts,
                                 engine.as_deref_mut(),
+                                meter,
                             ),
-                            StepKind::Spill => spill_registers(&mut trial, &ex, &meas.kills, opts),
+                            StepKind::Spill => {
+                                spill_registers_metered(&mut trial, &ex, &meas.kills, opts, meter)
+                            }
                         };
                         let Ok(report) = result else { continue };
                         // Score the candidate. Spill-free transforms only
@@ -316,10 +368,13 @@ pub fn allocate(ddg: DependenceDag, machine: &Machine, config: &UrsaConfig) -> A
                         // on the adopted candidate.
                         let (trial_summary, trial_cp) = match engine.as_deref_mut() {
                             Some(e) if report.spills.is_empty() => {
-                                let probe = e.probe(ctx, &report.edges_added);
+                                let probe = e.probe_metered(ctx, &report.edges_added, meter);
                                 (probe.summary, probe.critical_path)
                             }
-                            _ => (summary_fast(&trial, kill_mode), trial.critical_path()),
+                            _ => (
+                                summary_fast_metered(&trial, kill_mode, meter),
+                                trial.critical_path(),
+                            ),
                         };
                         let score = CandidateScore {
                             excess_after: trial_summary.total_excess(),
@@ -365,6 +420,7 @@ pub fn allocate(ddg: DependenceDag, machine: &Machine, config: &UrsaConfig) -> A
                     opts,
                     config.kill_mode,
                     excess_before,
+                    meter,
                 );
                 if found.is_none() {
                     found = try_kinds(
@@ -375,6 +431,7 @@ pub fn allocate(ddg: DependenceDag, machine: &Machine, config: &UrsaConfig) -> A
                         opts,
                         config.kill_mode,
                         excess_before,
+                        meter,
                     );
                 }
                 found
@@ -387,6 +444,7 @@ pub fn allocate(ddg: DependenceDag, machine: &Machine, config: &UrsaConfig) -> A
                     opts,
                     config.kill_mode,
                     excess_before,
+                    meter,
                 )
             };
 
@@ -413,7 +471,7 @@ pub fn allocate(ddg: DependenceDag, machine: &Machine, config: &UrsaConfig) -> A
                             false
                         }
                     };
-                    meas = measure(&mut ctx, opts);
+                    meas = measure_metered(&mut ctx, opts, meter);
                     if engine.is_some() {
                         if meas.fits() {
                             engine = None;
@@ -443,6 +501,7 @@ pub fn allocate(ddg: DependenceDag, machine: &Machine, config: &UrsaConfig) -> A
         steps,
         residual_excess,
         hit_iteration_limit,
+        budget_exhausted: budget.is_exhausted(),
     }
 }
 

@@ -39,12 +39,13 @@
 //! every probe.
 
 use crate::ctx::AllocCtx;
-use crate::kill::{select_kills, KillMap, KillMode};
+use crate::kill::{select_kills, select_kills_metered, KillMap, KillMode};
 use crate::measure::{summary_fast, MeasurementSummary};
 use crate::resource::{Requirement, ResourceKind};
 use ursa_graph::bitset::BitSet;
 use ursa_graph::dag::NodeId;
 use ursa_graph::matching::{IncrementalMatcher, Matching};
+use ursa_graph::meter::{Unmetered, WorkMeter};
 use ursa_graph::order::Levels;
 use ursa_graph::reach::ReachDelta;
 
@@ -238,6 +239,7 @@ impl ResState {
         base_kills: &KillMap,
         new_kills: &KillMap,
         deltas: impl Iterator<Item = &'d ReachDelta>,
+        meter: &dyn WorkMeter,
     ) -> StateUndo {
         let k = self.nodes.len();
         let snapshot = self.matcher.matching().clone();
@@ -291,7 +293,7 @@ impl ResState {
                 }
             }
         }
-        self.matcher.maximize();
+        self.matcher.maximize_metered(meter);
         StateUndo { snapshot, journal }
     }
 
@@ -375,17 +377,33 @@ impl IncrementalEngine {
     /// Panics if an edge would create a cycle, or (in paranoid mode) if
     /// the incremental and from-scratch measurements disagree.
     pub fn probe(&mut self, ctx: &mut AllocCtx<'_>, edges: &[(NodeId, NodeId)]) -> ProbeResult {
+        self.probe_metered(ctx, edges, &Unmetered)
+    }
+
+    /// [`IncrementalEngine::probe`] with a cooperative [`WorkMeter`].
+    /// When the meter exhausts mid-probe, the re-augmentation may stop
+    /// below the maximum matching, so the reported requirements are
+    /// *over*-estimates (conservative: never under-books a resource);
+    /// the `ParanoidMeasure` equality is only asserted while the meter
+    /// is live, since an early-stopped probe legitimately diverges from
+    /// scratch.
+    pub fn probe_metered(
+        &mut self,
+        ctx: &mut AllocCtx<'_>,
+        edges: &[(NodeId, NodeId)],
+        meter: &dyn WorkMeter,
+    ) -> ProbeResult {
         let mut txn = CtxTxn::begin(ctx);
         for &(from, to) in edges {
             txn.add_sequence_edge(ctx, from, to);
         }
         ctx.recompute_levels();
-        let new_kills = select_kills(ctx, self.kill_mode);
+        let new_kills = select_kills_metered(ctx, self.kill_mode, meter);
 
         let mut requirements = Vec::with_capacity(self.states.len());
         let mut undos = Vec::with_capacity(self.states.len());
         for state in &mut self.states {
-            let undo = state.apply(ctx, &self.base_kills, &new_kills, txn.deltas());
+            let undo = state.apply(ctx, &self.base_kills, &new_kills, txn.deltas(), meter);
             requirements.push(Requirement {
                 resource: state.resource,
                 capacity: state.capacity,
@@ -396,7 +414,9 @@ impl IncrementalEngine {
         let summary = MeasurementSummary { requirements };
         let critical_path = ctx.critical_path();
 
-        if self.paranoid {
+        // charge(0) consumes nothing but reports whether the meter is
+        // already exhausted.
+        if self.paranoid && meter.charge(0) {
             let scratch = summary_fast(ctx, self.kill_mode);
             assert_eq!(
                 summary, scratch,
@@ -436,7 +456,9 @@ impl IncrementalEngine {
         ctx.recompute_levels();
         let new_kills = select_kills(ctx, self.kill_mode);
         for state in &mut self.states {
-            let _ = state.apply(ctx, &self.base_kills, &new_kills, txn.deltas());
+            // Adoption is never budget-stopped: the committed engine
+            // state must stay scoring-exact against the new base.
+            let _ = state.apply(ctx, &self.base_kills, &new_kills, txn.deltas(), &Unmetered);
             state.rebase_kills(&new_kills);
         }
         self.base_kills = new_kills;

@@ -13,7 +13,9 @@
 //! Cover (Theorem 2), so a greedy set-cover heuristic is used.
 
 use crate::ctx::AllocCtx;
+use crate::fault::{self, FaultKind, FaultSite};
 use ursa_graph::dag::NodeId;
+use ursa_graph::meter::{Unmetered, WorkMeter};
 
 /// How `Kill()` is chosen for values with several candidate killers.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -51,6 +53,21 @@ impl KillMap {
 
 /// Computes `Kill()` for every producer in the DAG.
 pub fn select_kills(ctx: &AllocCtx<'_>, mode: KillMode) -> KillMap {
+    select_kills_metered(ctx, mode, &Unmetered)
+}
+
+/// [`select_kills`] with a cooperative [`WorkMeter`]. If the meter
+/// exhausts mid-cover, every still-pending value falls back to its
+/// lowest-id maximal use (the `Naive` rule) — any maximal use is a legal
+/// kill, so the map stays valid; only the min-cover sharing optimality
+/// degrades.
+pub fn select_kills_metered(ctx: &AllocCtx<'_>, mode: KillMode, meter: &dyn WorkMeter) -> KillMap {
+    if let Some(plan) = fault::trip(FaultSite::KillSelect) {
+        match plan.kind {
+            FaultKind::Panic => fault::trip_panic(FaultSite::KillSelect),
+            _ => meter.starve(),
+        }
+    }
     let ddg = ctx.ddg();
     let reach = ctx.reach();
     let n = ddg.dag().node_count();
@@ -95,7 +112,7 @@ pub fn select_kills(ctx: &AllocCtx<'_>, mode: KillMode) -> KillMap {
                 kill[p.index()] = Some(maximal[0]);
             }
         }
-        KillMode::MinCover => greedy_min_cover(&mut kill, pending, n),
+        KillMode::MinCover => greedy_min_cover(&mut kill, pending, n, meter),
     }
     KillMap { kill }
 }
@@ -109,6 +126,7 @@ fn greedy_min_cover(
     kill: &mut [Option<NodeId>],
     mut pending: Vec<(NodeId, Vec<NodeId>)>,
     n: usize,
+    meter: &dyn WorkMeter,
 ) {
     let mut count = vec![0usize; n];
     for (_, cands) in &pending {
@@ -117,6 +135,16 @@ fn greedy_min_cover(
         }
     }
     while !pending.is_empty() {
+        // Checkpoint: each pick scans the count table once. On
+        // exhaustion the remaining values take their lowest-id maximal
+        // use — still a legal kill for each, just without sharing.
+        if !meter.charge(n as u64) {
+            for (p, mut maximal) in pending {
+                maximal.sort_unstable();
+                kill[p.index()] = Some(maximal[0]);
+            }
+            return;
+        }
         let best = NodeId(
             (0..n)
                 .max_by_key(|&u| (count[u], std::cmp::Reverse(u)))

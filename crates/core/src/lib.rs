@@ -38,9 +38,11 @@
 //! assert!(outcome.final_measurement.fits(&machine));
 //! ```
 
+pub mod budget;
 pub mod ctx;
 pub mod driver;
 pub mod excess;
+pub mod fault;
 pub mod incremental;
 pub mod kill;
 pub mod measure;
@@ -48,9 +50,13 @@ pub mod resource;
 pub mod reuse;
 pub mod transform;
 
+pub use budget::{BudgetCause, CompileBudget};
 pub use ctx::AllocCtx;
-pub use driver::{allocate, AllocationOutcome, Step, StepKind, Strategy, UrsaConfig};
+pub use driver::{
+    allocate, allocate_budgeted, AllocationOutcome, Step, StepKind, Strategy, UrsaConfig,
+};
 pub use excess::{find_excessive, ExcessiveChainSet};
+pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use incremental::{CtxTxn, IncrementalEngine, ProbeResult};
 pub use kill::{select_kills, KillMap, KillMode};
 pub use measure::{

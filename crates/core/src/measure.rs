@@ -13,11 +13,28 @@
 //! any leftover excess to the assignment phase.
 
 use crate::ctx::AllocCtx;
-use crate::kill::{select_kills, KillMap, KillMode};
+use crate::fault::{self, FaultKind, FaultSite};
+use crate::kill::{select_kills_metered, KillMap, KillMode};
 use crate::resource::{Requirement, ResourceKind};
 use std::fmt;
-use ursa_graph::chains::{decompose_prioritized, ChainDecomposition};
+use ursa_graph::chains::{decompose_prioritized_metered, ChainDecomposition};
 use ursa_graph::dag::NodeId;
+use ursa_graph::meter::{Unmetered, WorkMeter};
+
+/// Consumes any fault armed for the measurement site, translating it
+/// into either an immediate action (panic, budget starvation) or a
+/// poisoned-row index the adjacency builders apply once.
+fn trip_measure_fault(meter: &dyn WorkMeter) -> Option<u32> {
+    let plan = fault::trip(FaultSite::Measure)?;
+    match plan.kind {
+        FaultKind::Panic => fault::trip_panic(FaultSite::Measure),
+        FaultKind::PoisonRow => Some(plan.payload),
+        _ => {
+            meter.starve();
+            None
+        }
+    }
+}
 
 /// Options controlling measurement.
 #[derive(Clone, Copy, Debug, Default)]
@@ -158,6 +175,17 @@ pub fn measure_resource(
     resource: ResourceKind,
     options: MeasureOptions,
 ) -> ResourceMeasure {
+    measure_resource_inner(ctx, kills, resource, options, &Unmetered, None)
+}
+
+fn measure_resource_inner(
+    ctx: &mut AllocCtx<'_>,
+    kills: &KillMap,
+    resource: ResourceKind,
+    options: MeasureOptions,
+    meter: &dyn WorkMeter,
+    poison_row: Option<u32>,
+) -> ResourceMeasure {
     let nodes = ctx.resource_nodes(resource);
     let capacity = resource.capacity(ctx.machine());
     // Hammock priorities need the (lazily computed) hammock analysis;
@@ -165,17 +193,28 @@ pub fn measure_resource(
     if !options.plain_matching {
         let _ = ctx.hammocks();
     }
+    let poisoned = poison_row.and_then(|p| nodes.get(p as usize % nodes.len().max(1)).copied());
     let decomposition = {
         let ctx_ref: &AllocCtx<'_> = ctx;
-        let mut relation = |a: NodeId, b: NodeId| match resource {
-            ResourceKind::Fu(_) => can_reuse_fu(ctx_ref, a, b),
-            ResourceKind::Registers => can_reuse_reg(ctx_ref, kills, a, b),
+        let mut relation = |a: NodeId, b: NodeId| {
+            if poisoned == Some(a) {
+                return false;
+            }
+            match resource {
+                ResourceKind::Fu(_) => can_reuse_fu(ctx_ref, a, b),
+                ResourceKind::Registers => can_reuse_reg(ctx_ref, kills, a, b),
+            }
         };
         if options.plain_matching {
-            decompose_prioritized(&nodes, &mut relation, |_, _| 0)
+            decompose_prioritized_metered(&nodes, &mut relation, |_, _| 0, meter)
         } else {
             let hammocks = ctx_ref.hammocks_ref().expect("hammocks computed above");
-            decompose_prioritized(&nodes, &mut relation, |a, b| hammocks.edge_priority(a, b))
+            decompose_prioritized_metered(
+                &nodes,
+                &mut relation,
+                |a, b| hammocks.edge_priority(a, b),
+                meter,
+            )
         }
     };
     let required = decomposition.num_chains() as u32;
@@ -196,10 +235,27 @@ pub fn measure_resource(
 /// (§5's "tentatively applied, and the resource requirements … are
 /// measured").
 pub fn requirement_only(ctx: &AllocCtx<'_>, kills: &KillMap, resource: ResourceKind) -> u32 {
+    requirement_only_metered(ctx, kills, resource, &Unmetered)
+}
+
+/// [`requirement_only`] with a cooperative [`WorkMeter`]. On exhaustion
+/// the matching may stop sub-maximum, so the returned count can only
+/// *over*-state the true requirement (conservative).
+pub fn requirement_only_metered(
+    ctx: &AllocCtx<'_>,
+    kills: &KillMap,
+    resource: ResourceKind,
+    meter: &dyn WorkMeter,
+) -> u32 {
     let nodes = ctx.resource_nodes(resource);
     let k = nodes.len();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); k];
     for (i, &a) in nodes.iter().enumerate() {
+        // Row-granular checkpoint; dropped rows only shrink the
+        // matching, over-stating the requirement (conservative).
+        if !meter.charge(k as u64) {
+            break;
+        }
         for (j, &b) in nodes.iter().enumerate() {
             let related = i != j
                 && match resource {
@@ -211,20 +267,30 @@ pub fn requirement_only(ctx: &AllocCtx<'_>, kills: &KillMap, resource: ResourceK
             }
         }
     }
-    let m = ursa_graph::matching::hopcroft_karp(k, k, &adj);
+    let m = ursa_graph::matching::hopcroft_karp_metered(k, k, &adj, meter);
     (k - m.len()) as u32
 }
 
 /// Cheap requirement counts for every machine resource (see
 /// [`requirement_only`]).
 pub fn summary_fast(ctx: &AllocCtx<'_>, kill_mode: KillMode) -> MeasurementSummary {
-    let kills = select_kills(ctx, kill_mode);
+    summary_fast_metered(ctx, kill_mode, &Unmetered)
+}
+
+/// [`summary_fast`] with a cooperative [`WorkMeter`] (conservative on
+/// exhaustion, like every metered measurement).
+pub fn summary_fast_metered(
+    ctx: &AllocCtx<'_>,
+    kill_mode: KillMode,
+    meter: &dyn WorkMeter,
+) -> MeasurementSummary {
+    let kills = select_kills_metered(ctx, kill_mode, meter);
     let requirements = ResourceKind::all_for(ctx.machine())
         .into_iter()
         .map(|resource| Requirement {
             resource,
             capacity: resource.capacity(ctx.machine()),
-            required: requirement_only(ctx, &kills, resource),
+            required: requirement_only_metered(ctx, &kills, resource, meter),
         })
         .collect();
     MeasurementSummary { requirements }
@@ -233,10 +299,25 @@ pub fn summary_fast(ctx: &AllocCtx<'_>, kill_mode: KillMode) -> MeasurementSumma
 /// Measures every resource of the machine (paper Figure 1, step
 /// "Measure the requirements for both functional units and registers").
 pub fn measure(ctx: &mut AllocCtx<'_>, options: MeasureOptions) -> Measurement {
-    let kills = select_kills(ctx, options.kill_mode);
+    measure_metered(ctx, options, &Unmetered)
+}
+
+/// [`measure`] with a cooperative [`WorkMeter`]: augmentation inside the
+/// staged matchings checkpoints against `meter`, and an exhausted meter
+/// yields a decomposition that over-counts rather than under-counts.
+/// This is also the site where a `poison-row` fault (chaos harness)
+/// lands: the first resource measured loses one producer's `CanReuse`
+/// row, which likewise only raises the measured requirement.
+pub fn measure_metered(
+    ctx: &mut AllocCtx<'_>,
+    options: MeasureOptions,
+    meter: &dyn WorkMeter,
+) -> Measurement {
+    let mut poison_row = trip_measure_fault(meter);
+    let kills = select_kills_metered(ctx, options.kill_mode, meter);
     let resources = ResourceKind::all_for(ctx.machine())
         .into_iter()
-        .map(|r| measure_resource(ctx, &kills, r, options))
+        .map(|r| measure_resource_inner(ctx, &kills, r, options, meter, poison_row.take()))
         .collect();
     Measurement { resources, kills }
 }

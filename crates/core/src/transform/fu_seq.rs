@@ -12,9 +12,12 @@
 
 use crate::ctx::AllocCtx;
 use crate::excess::ExcessiveChainSet;
+use crate::fault::{self, FaultKind, FaultSite};
 use crate::kill::KillMap;
 use crate::transform::{TransformError, TransformReport};
 use ursa_graph::dag::NodeId;
+use ursa_graph::matching::IncrementalMatcher;
+use ursa_graph::meter::{Unmetered, WorkMeter};
 
 /// 1 if sequencing `u -> v` would keep `u`'s value alive through `v`'s
 /// execution (paper §5: FU sequentialization "will force long lifetimes
@@ -45,6 +48,29 @@ pub fn sequentialize_fus(
     excess_set: &ExcessiveChainSet,
     kills: &KillMap,
 ) -> Result<TransformReport, TransformError> {
+    sequentialize_fus_metered(ctx, excess_set, kills, &Unmetered)
+}
+
+/// [`sequentialize_fus`] with a cooperative [`WorkMeter`]. Checkpoints
+/// sit between pairing rounds and between antichain repeat rounds; on
+/// exhaustion the edges added so far are returned (each one only
+/// *narrows* the DAG, so a partial application is always sound — the
+/// caller re-measures and either fits, keeps reducing, or demotes).
+pub fn sequentialize_fus_metered(
+    ctx: &mut AllocCtx<'_>,
+    excess_set: &ExcessiveChainSet,
+    kills: &KillMap,
+    meter: &dyn WorkMeter,
+) -> Result<TransformReport, TransformError> {
+    if let Some(plan) = fault::trip(FaultSite::FuSeq) {
+        match plan.kind {
+            FaultKind::Panic => fault::trip_panic(FaultSite::FuSeq),
+            FaultKind::Refuse => {
+                return Err(TransformError::NoCandidate("injected allocation failure"))
+            }
+            _ => meter.starve(),
+        }
+    }
     let capacity = excess_set.resource.capacity(ctx.machine());
     let x = excess_set.excess_over(capacity) as usize;
     if x == 0 {
@@ -56,6 +82,9 @@ pub fn sequentialize_fus(
     let mut report = TransformReport::default();
 
     for _ in 0..x {
+        if !meter.charge((n_chains * n_chains) as u64) {
+            break;
+        }
         let mut best: Option<(u64, NodeId, NodeId, usize, usize)> = None;
         for (i, ci) in excess_set.chains.iter().enumerate() {
             if !tail_available[i] {
@@ -122,45 +151,94 @@ pub fn sequentialize_fus(
     // "There are cases when the transformation must be applied several
     // times within the same hammock … the transformation is applied
     // again" (§4.1): keep sequencing fresh witnesses until the
-    // requirement fits. Each round computes a maximum antichain of the
+    // requirement fits. Each round extracts a maximum antichain of the
     // remaining parallelism — its members are mutually independent, so
     // a legal pairing always exists while more than `capacity` remain.
+    //
+    // FU requirements are monotone under this loop: sequence edges only
+    // ever *grow* the comparability relation, so the bipartite matching
+    // only grows and the width `k − |M|` only shrinks — once the class
+    // fits it stays fitting. One persistent matcher is therefore built
+    // once, fed each round's new reachability pairs, and warm-start
+    // re-maximized; the König antichain extraction is O(E) per round.
+    // (The old per-round scratch `max_antichain` made this loop the
+    // ~90 s worst case at 1024 ops.)
     let nodes = ctx.resource_nodes(excess_set.resource);
-    loop {
-        let antichain = ursa_graph::chains::max_antichain(&nodes, |a, b| ctx.reach().reaches(a, b));
-        let width = antichain.len() as u32;
-        if width <= capacity {
-            break;
+    let k = nodes.len();
+    if meter.charge((k * k) as u64) {
+        let mut pos = vec![usize::MAX; ctx.ddg().dag().node_count()];
+        for (i, &n) in nodes.iter().enumerate() {
+            pos[n.index()] = i;
         }
-        let x = (width - capacity) as usize;
-        let mut sources: Vec<NodeId> = antichain.clone();
-        let mut targets: Vec<NodeId> = antichain;
-        let mut added = false;
-        for _ in 0..x {
-            let mut best: Option<(u64, NodeId, NodeId)> = None;
-            for &u in &sources {
-                for &v in &targets {
-                    if u == v || ctx.reach().reaches(u, v) || ctx.would_cycle(u, v) {
-                        continue;
-                    }
-                    let cost = lifetime_penalty(ctx, kills, u, v) * 1_000_000
-                        + ctx.levels().asap(u)
-                        + ctx.latency(u)
-                        + (ctx.critical_path() - ctx.levels().alap(v));
-                    if best.is_none_or(|b| (b.0, b.1, b.2) > (cost, u, v)) {
-                        best = Some((cost, u, v));
-                    }
+        let mut matcher = IncrementalMatcher::new(k, k);
+        for (i, &a) in nodes.iter().enumerate() {
+            for (j, &b) in nodes.iter().enumerate() {
+                if i != j && ctx.reach().reaches(a, b) {
+                    matcher.add_edge(i, j);
                 }
             }
-            let Some((_, u, v)) = best else { break };
-            ctx.add_sequence_edge(u, v);
-            report.edges_added.push((u, v));
-            sources.retain(|&s| s != u);
-            targets.retain(|&t| t != v);
-            added = true;
         }
-        if !added {
-            break;
+        matcher.maximize_metered(meter);
+        loop {
+            if !meter.charge(k as u64) {
+                // An exhausted meter can leave the matching sub-maximum,
+                // in which case the König set is not a true antichain;
+                // stop here with whatever edges are already in.
+                break;
+            }
+            let width = (k - matcher.matching().len()) as u32;
+            if width <= capacity {
+                break;
+            }
+            let antichain: Vec<NodeId> = matcher
+                .konig_independent_set()
+                .into_iter()
+                .map(|i| nodes[i])
+                .collect();
+            let x = (width - capacity) as usize;
+            let mut sources: Vec<NodeId> = antichain.clone();
+            let mut targets: Vec<NodeId> = antichain;
+            let mut added = false;
+            for _ in 0..x {
+                if !meter.charge((sources.len() * targets.len()) as u64) {
+                    break;
+                }
+                let mut best: Option<(u64, NodeId, NodeId)> = None;
+                for &u in &sources {
+                    for &v in &targets {
+                        if u == v || ctx.reach().reaches(u, v) || ctx.would_cycle(u, v) {
+                            continue;
+                        }
+                        let cost = lifetime_penalty(ctx, kills, u, v) * 1_000_000
+                            + ctx.levels().asap(u)
+                            + ctx.latency(u)
+                            + (ctx.critical_path() - ctx.levels().alap(v));
+                        if best.is_none_or(|b| (b.0, b.1, b.2) > (cost, u, v)) {
+                            best = Some((cost, u, v));
+                        }
+                    }
+                }
+                let Some((_, u, v)) = best else { break };
+                if let Some(delta) = ctx.add_sequence_edge_delta(u, v) {
+                    report.edges_added.push((u, v));
+                    // Feed every newly comparable pair of class nodes to
+                    // the matcher; pairs outside the class are irrelevant
+                    // to this decomposition.
+                    for (s, d) in delta.pairs() {
+                        let (si, di) = (pos[s.index()], pos[d.index()]);
+                        if si != usize::MAX && di != usize::MAX {
+                            matcher.add_edge(si, di);
+                        }
+                    }
+                }
+                sources.retain(|&s| s != u);
+                targets.retain(|&t| t != v);
+                added = true;
+            }
+            if !added {
+                break;
+            }
+            matcher.maximize_metered(meter);
         }
     }
 
@@ -275,5 +353,33 @@ mod tests {
         for (a, b) in report.edges_added {
             assert!(ctx.ddg().dag().has_edge_kind(a, b, EdgeKind::Sequence));
         }
+    }
+
+    /// Regression for the persistent-matcher repeat loop under high FU
+    /// pressure: a 64-wide antichain on a 2-FU machine needs dozens of
+    /// rounds, the requirement must descend monotonically (sequence
+    /// edges only ever constrain more), and the final DAG stays acyclic.
+    #[test]
+    fn high_pressure_descent_is_monotone() {
+        let mut src = String::from("v0 = load a[0]\n");
+        for i in 1..=64 {
+            src.push_str(&format!("v{i} = mul v0, {i}\n"));
+        }
+        let mut ctx = ctx_of(&src, Machine::homogeneous(2, 1 << 12));
+        let mut last = fu_requirement(&mut ctx);
+        assert!(last > 32, "expected heavy initial pressure, got {last}");
+        for _ in 0..128 {
+            let m = measure(&mut ctx, MeasureOptions::default());
+            let fu = m.of(ResourceKind::Fu(FuClass::Universal)).unwrap().clone();
+            let Some(ex) = find_excessive(&mut ctx, &fu, &m.kills) else {
+                break;
+            };
+            sequentialize_fus(&mut ctx, &ex, &m.kills).unwrap();
+            let now = fu_requirement(&mut ctx);
+            assert!(now <= last, "requirement rose {last} -> {now}");
+            last = now;
+        }
+        assert!(last <= 2, "descent stalled at {last} FUs");
+        assert!(ctx.ddg().dag().is_acyclic());
     }
 }

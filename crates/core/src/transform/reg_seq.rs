@@ -18,13 +18,15 @@
 
 use crate::ctx::AllocCtx;
 use crate::excess::ExcessiveChainSet;
+use crate::fault::{self, FaultKind, FaultSite};
 use crate::incremental::IncrementalEngine;
-use crate::kill::{select_kills, KillMap};
-use crate::measure::{requirement_only, MeasureOptions};
+use crate::kill::{select_kills_metered, KillMap};
+use crate::measure::{requirement_only_metered, MeasureOptions};
 use crate::resource::ResourceKind;
 use crate::transform::{TransformError, TransformReport};
 use ursa_graph::bitset::BitSet;
 use ursa_graph::dag::NodeId;
+use ursa_graph::meter::{Unmetered, WorkMeter};
 
 /// Scores a tentative edge batch: `(register requirement, critical
 /// path)` as if `edges` were added to `ctx`. With an engine the probe
@@ -35,9 +37,10 @@ fn score_edges(
     engine: &mut Option<&mut IncrementalEngine>,
     edges: &[(NodeId, NodeId)],
     options: MeasureOptions,
+    meter: &dyn WorkMeter,
 ) -> (u32, u64) {
     if let Some(e) = engine.as_deref_mut() {
-        let probe = e.probe(ctx, edges);
+        let probe = e.probe_metered(ctx, edges, meter);
         let required = probe
             .summary
             .of(ResourceKind::Registers)
@@ -48,8 +51,8 @@ fn score_edges(
     for &(a, b) in edges {
         trial.add_sequence_edge(a, b);
     }
-    let trial_kills = select_kills(&trial, options.kill_mode);
-    let required = requirement_only(&trial, &trial_kills, ResourceKind::Registers);
+    let trial_kills = select_kills_metered(&trial, options.kill_mode, meter);
+    let required = requirement_only_metered(&trial, &trial_kills, ResourceKind::Registers, meter);
     (required, trial.critical_path())
 }
 
@@ -128,8 +131,32 @@ pub fn sequentialize_registers(
     excess_set: &ExcessiveChainSet,
     kills: &KillMap,
     options: MeasureOptions,
-    mut engine: Option<&mut IncrementalEngine>,
+    engine: Option<&mut IncrementalEngine>,
 ) -> Result<TransformReport, TransformError> {
+    sequentialize_registers_metered(ctx, excess_set, kills, options, engine, &Unmetered)
+}
+
+/// [`sequentialize_registers`] with a cooperative [`WorkMeter`]. Each
+/// stage-boundary candidate costs a tentative re-measurement; on
+/// exhaustion the remaining candidates are skipped and the best split
+/// found so far (if any) is applied — anytime behaviour, never a hang.
+pub fn sequentialize_registers_metered(
+    ctx: &mut AllocCtx<'_>,
+    excess_set: &ExcessiveChainSet,
+    kills: &KillMap,
+    options: MeasureOptions,
+    mut engine: Option<&mut IncrementalEngine>,
+    meter: &dyn WorkMeter,
+) -> Result<TransformReport, TransformError> {
+    if let Some(plan) = fault::trip(FaultSite::RegSeq) {
+        match plan.kind {
+            FaultKind::Panic => fault::trip_panic(FaultSite::RegSeq),
+            FaultKind::Refuse => {
+                return Err(TransformError::NoCandidate("injected allocation failure"))
+            }
+            _ => meter.starve(),
+        }
+    }
     let capacity = excess_set.resource.capacity(ctx.machine());
     if excess_set.excess_over(capacity) == 0 {
         return Err(TransformError::NoCandidate("no excess to remove"));
@@ -160,7 +187,13 @@ pub fn sequentialize_registers(
 
     let heads: Vec<NodeId> = excess_set.heads();
     let mut best: Option<SequencingPlan> = None;
+    let n = ctx.ddg().dag().node_count();
     for &s in &boundaries {
+        // Checkpoint: each boundary costs a tentative re-measurement.
+        // On exhaustion, keep whatever best split is already in hand.
+        if !meter.charge(n as u64) {
+            break;
+        }
         // SD2: chains whose heads can execute after `s`.
         let delayed: Vec<NodeId> = heads
             .iter()
@@ -181,7 +214,7 @@ pub fn sequentialize_registers(
         }
         // Tentatively apply and re-measure registers only (only the
         // count matters for scoring).
-        let (required, cp) = score_edges(ctx, &mut engine, &edges, options);
+        let (required, cp) = score_edges(ctx, &mut engine, &edges, options, meter);
         // Reducing below capacity buys nothing; don't pay critical path
         // for it.
         if best
@@ -203,7 +236,7 @@ pub fn sequentialize_registers(
         }
         // No boundary split helps (already-serialized DAGs, interleaved
         // kills): fall back to direct lifetime staggering.
-        _ => stagger_lifetimes(ctx, excess_set, kills, options, engine),
+        _ => stagger_lifetimes(ctx, excess_set, kills, options, engine, meter),
     }
 }
 
@@ -219,6 +252,7 @@ fn stagger_lifetimes(
     kills: &KillMap,
     options: MeasureOptions,
     engine: Option<&mut IncrementalEngine>,
+    meter: &dyn WorkMeter,
 ) -> Result<TransformReport, TransformError> {
     let capacity = excess_set.resource.capacity(ctx.machine());
     let required_before = excess_set.chains.len() as u32;
@@ -231,6 +265,12 @@ fn stagger_lifetimes(
     let mut used_source = Vec::new();
     let mut used_target = Vec::new();
     for _ in 0..x.max(1) {
+        // Checkpoint: each round scans all member pairs. On exhaustion,
+        // keep the edges staggered so far (the acceptance re-measure
+        // below still decides whether they help).
+        if !meter.charge((members.len() * members.len()) as u64) {
+            break;
+        }
         let mut best: Option<(u64, NodeId, NodeId, NodeId)> = None; // (cost, k, u, v)
         for &u in &members {
             if used_source.contains(&u) {
@@ -270,13 +310,13 @@ fn stagger_lifetimes(
     // The greedy picker above needed the progressively-updated trial;
     // the acceptance check can go through the incremental engine.
     let required_after = if let Some(e) = engine {
-        e.probe(ctx, &edges)
+        e.probe_metered(ctx, &edges, meter)
             .summary
             .of(ResourceKind::Registers)
             .map_or(0, |r| r.required)
     } else {
-        let trial_kills = select_kills(&trial, options.kill_mode);
-        requirement_only(&trial, &trial_kills, ResourceKind::Registers)
+        let trial_kills = select_kills_metered(&trial, options.kill_mode, meter);
+        requirement_only_metered(&trial, &trial_kills, ResourceKind::Registers, meter)
     };
     if required_after >= required_before {
         return Err(TransformError::NoCandidate(

@@ -15,13 +15,15 @@
 
 use crate::ctx::AllocCtx;
 use crate::excess::ExcessiveChainSet;
-use crate::kill::{select_kills, KillMap};
-use crate::measure::{requirement_only, MeasureOptions};
+use crate::fault::{self, FaultKind, FaultSite};
+use crate::kill::{select_kills_metered, KillMap};
+use crate::measure::{requirement_only_metered, MeasureOptions};
 use crate::resource::ResourceKind;
 use crate::transform::reg_seq::cap_boundaries;
 use crate::transform::{TransformError, TransformReport};
 use ursa_graph::bitset::BitSet;
 use ursa_graph::dag::NodeId;
+use ursa_graph::meter::{Unmetered, WorkMeter};
 
 /// Most spill candidates evaluated by tentative re-measurement per
 /// invocation (the counterpart of [`cap_boundaries`]'s boundary cap).
@@ -52,6 +54,30 @@ pub fn spill_registers(
     kills: &KillMap,
     options: MeasureOptions,
 ) -> Result<TransformReport, TransformError> {
+    spill_registers_metered(ctx, excess_set, kills, options, &Unmetered)
+}
+
+/// [`spill_registers`] with a cooperative [`WorkMeter`]. Candidate
+/// generation is cheap and always runs; the tentative apply+re-measure
+/// scoring loop checkpoints per candidate and, on exhaustion, picks the
+/// best candidate scored so far (a typed `NoCandidate` error if none
+/// was).
+pub fn spill_registers_metered(
+    ctx: &mut AllocCtx<'_>,
+    excess_set: &ExcessiveChainSet,
+    kills: &KillMap,
+    options: MeasureOptions,
+    meter: &dyn WorkMeter,
+) -> Result<TransformReport, TransformError> {
+    if let Some(plan) = fault::trip(FaultSite::Spill) {
+        match plan.kind {
+            FaultKind::Panic => fault::trip_panic(FaultSite::Spill),
+            FaultKind::Refuse => {
+                return Err(TransformError::NoCandidate("injected allocation failure"))
+            }
+            _ => meter.starve(),
+        }
+    }
     let capacity = excess_set.resource.capacity(ctx.machine());
     let x = excess_set.excess_over(capacity) as usize;
     if x == 0 {
@@ -243,10 +269,17 @@ pub fn spill_registers(
     // Tentatively apply each candidate and keep the best.
     let mut best: Option<(u32, u64, usize, usize)> = None; // (req, cp, spills, idx)
     for (idx, cand) in candidates.iter().enumerate() {
+        // Checkpoint: each candidate pays a context clone plus a full
+        // re-measurement. On exhaustion, settle for the best scored so
+        // far (typed NoCandidate below if none was).
+        if !meter.charge(n as u64) {
+            break;
+        }
         let mut trial = ctx.clone();
         apply_candidate(&mut trial, cand);
-        let trial_kills = select_kills(&trial, options.kill_mode);
-        let required = requirement_only(&trial, &trial_kills, ResourceKind::Registers);
+        let trial_kills = select_kills_metered(&trial, options.kill_mode, meter);
+        let required =
+            requirement_only_metered(&trial, &trial_kills, ResourceKind::Registers, meter);
         // Reducing below capacity buys nothing; don't pay critical path
         // or extra spills for it.
         let key = (
@@ -259,7 +292,12 @@ pub fn spill_registers(
             best = Some(key);
         }
     }
-    let (required_after, _, _, idx) = best.expect("candidates nonempty");
+    let Some((required_after, _, _, idx)) = best else {
+        // Meter exhausted before any candidate could be scored.
+        return Err(TransformError::NoCandidate(
+            "budget exhausted before any spill candidate was scored",
+        ));
+    };
     if required_after >= required_before {
         return Err(TransformError::NoCandidate(
             "no spill candidate reduces the requirement",

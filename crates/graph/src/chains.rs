@@ -10,7 +10,8 @@
 //! optionally with the paper's hammock-priority staging.
 
 use crate::dag::NodeId;
-use crate::matching::staged_matching;
+use crate::matching::{staged_matching_metered, IncrementalMatcher};
+use crate::meter::{Unmetered, WorkMeter};
 
 /// A decomposition of a node subset into chains, each ordered head → tail.
 ///
@@ -86,18 +87,38 @@ pub fn decompose(
 pub fn decompose_prioritized(
     nodes: &[NodeId],
     can_reuse: &mut impl FnMut(NodeId, NodeId) -> bool,
+    priority: impl FnMut(NodeId, NodeId) -> u32,
+) -> ChainDecomposition {
+    decompose_prioritized_metered(nodes, can_reuse, priority, &Unmetered)
+}
+
+/// [`decompose_prioritized`] with a cooperative [`WorkMeter`]. If the
+/// meter exhausts mid-matching the decomposition is still a valid chain
+/// partition, just possibly not minimum — it *over-counts* the
+/// requirement, which is the conservative direction for URSA (a resource
+/// is never reported to fit when some schedule could exceed it).
+pub fn decompose_prioritized_metered(
+    nodes: &[NodeId],
+    can_reuse: &mut impl FnMut(NodeId, NodeId) -> bool,
     mut priority: impl FnMut(NodeId, NodeId) -> u32,
+    meter: &dyn WorkMeter,
 ) -> ChainDecomposition {
     let k = nodes.len();
     let mut edges: Vec<(usize, usize, u32)> = Vec::new();
     for (i, &a) in nodes.iter().enumerate() {
+        // Relation rows are O(k) probes each; on exhaustion the
+        // remaining rows are dropped, which can only shrink the
+        // matching and thus over-state the requirement (conservative).
+        if !meter.charge(k as u64) {
+            break;
+        }
         for (j, &b) in nodes.iter().enumerate() {
             if i != j && can_reuse(a, b) {
                 edges.push((i, j, priority(a, b)));
             }
         }
     }
-    let m = staged_matching(k, k, &edges);
+    let m = staged_matching_metered(k, k, &edges, meter);
 
     // Chain heads are the nodes never matched on the right side.
     let mut chains = Vec::with_capacity(k - m.len());
@@ -133,46 +154,26 @@ pub fn max_antichain(
     mut related: impl FnMut(NodeId, NodeId) -> bool,
 ) -> Vec<NodeId> {
     let k = nodes.len();
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut matcher = IncrementalMatcher::new(k, k);
     for (i, &a) in nodes.iter().enumerate() {
         for (j, &b) in nodes.iter().enumerate() {
             if i != j && related(a, b) {
-                adj[i].push(j);
+                // Distinct (i, j) pairs by enumeration.
+                matcher.add_edge_unchecked(i, j);
             }
         }
     }
-    let m = crate::matching::hopcroft_karp(k, k, &adj);
-
-    // Alternating-path reachability from unmatched left vertices.
-    let mut left_z = vec![false; k];
-    let mut right_z = vec![false; k];
-    let mut stack: Vec<usize> = (0..k).filter(|&l| m.left_to_right[l].is_none()).collect();
-    for &l in &stack {
-        left_z[l] = true;
-    }
-    while let Some(l) = stack.pop() {
-        for &r in &adj[l] {
-            if m.left_to_right[l] == Some(r) || right_z[r] {
-                continue;
-            }
-            right_z[r] = true;
-            if let Some(l2) = m.right_to_left[r] {
-                if !left_z[l2] {
-                    left_z[l2] = true;
-                    stack.push(l2);
-                }
-            }
-        }
-    }
+    let matched = matcher.maximize();
     // Minimum vertex cover = (L \ Z) ∪ (R ∩ Z); antichain = nodes with
     // neither copy in the cover.
-    let antichain: Vec<NodeId> = (0..k)
-        .filter(|&i| left_z[i] && !right_z[i])
+    let antichain: Vec<NodeId> = matcher
+        .konig_independent_set()
+        .into_iter()
         .map(|i| nodes[i])
         .collect();
     debug_assert_eq!(
         antichain.len(),
-        k - m.len(),
+        k - matched,
         "antichain size equals minimum chain count"
     );
     antichain
@@ -310,6 +311,25 @@ mod tests {
         let dp = decompose_prioritized(&nodes, &mut rel2, |a, b| b.0 - a.0);
         assert_eq!(d0.num_chains(), dp.num_chains());
         assert!(dp.is_valid_under(rel));
+    }
+
+    #[test]
+    fn exhausted_meter_overcounts_but_partitions() {
+        use crate::meter::FixedMeter;
+        let nodes = ids(6);
+        let rel = |a: NodeId, b: NodeId| a.0 < b.0;
+        let full = decompose(&nodes, rel);
+        assert_eq!(full.num_chains(), 1);
+        for units in 0..40 {
+            let mut r = rel;
+            let d =
+                decompose_prioritized_metered(&nodes, &mut r, |_, _| 0, &FixedMeter::new(units));
+            // Always a valid chain partition of all six nodes...
+            assert_eq!(d.node_count(), 6);
+            assert!(d.is_valid_under(rel));
+            // ...that never under-counts the requirement.
+            assert!(d.num_chains() >= full.num_chains());
+        }
     }
 
     #[test]

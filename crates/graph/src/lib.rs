@@ -10,6 +10,7 @@
 //! * [`matching`] — maximum bipartite matching (Hopcroft–Karp and the
 //!   paper's staged, priority-tiered Kuhn variant).
 //! * [`chains`] — minimum chain decomposition via Dilworth's theorem.
+//! * [`meter`] — cooperative work metering for cancellable algorithms.
 //! * [`hammock`] — dominators, postdominators, and single-entry /
 //!   single-exit (hammock) region structure with nesting levels.
 //!
@@ -38,6 +39,7 @@ pub mod chains;
 pub mod dag;
 pub mod hammock;
 pub mod matching;
+pub mod meter;
 pub mod order;
 pub mod reach;
 
@@ -46,5 +48,6 @@ pub use chains::ChainDecomposition;
 pub use dag::{Dag, Edge, EdgeKind, NodeId};
 pub use hammock::HammockAnalysis;
 pub use matching::Matching;
+pub use meter::{Unmetered, WorkMeter};
 pub use order::Levels;
 pub use reach::Reachability;

@@ -20,6 +20,8 @@
 //!   Worst case O(V·E) ⊆ O(N³) for dense relations, matching the paper's
 //!   bound.
 
+use crate::meter::{Unmetered, WorkMeter};
+
 /// A matching between `n_left` left vertices and `n_right` right vertices.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Matching {
@@ -95,25 +97,58 @@ pub fn hopcroft_karp(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> Match
         }
     }
     let mut m = Matching::empty(n_left, n_right);
-    hk_phases(adj, &mut m);
+    hk_phases(adj, &mut m, &Unmetered);
     debug_assert!(m.is_consistent());
     m
 }
 
-/// Runs Hopcroft–Karp BFS/DFS phases over `adj` until `m` is maximum.
+/// [`hopcroft_karp`] with a cooperative [`WorkMeter`]: if the meter
+/// exhausts between augmentation phases, the returned matching is valid
+/// and consistent but possibly sub-maximum.
+///
+/// # Panics
+///
+/// Panics if any adjacency entry is out of range.
+pub fn hopcroft_karp_metered(
+    n_left: usize,
+    n_right: usize,
+    adj: &[Vec<usize>],
+    meter: &dyn WorkMeter,
+) -> Matching {
+    assert_eq!(adj.len(), n_left, "one adjacency list per left vertex");
+    for (l, row) in adj.iter().enumerate() {
+        for &r in row {
+            assert!(r < n_right, "right vertex {r} out of range (edge from {l})");
+        }
+    }
+    let mut m = Matching::empty(n_left, n_right);
+    hk_phases(adj, &mut m, meter);
+    debug_assert!(m.is_consistent());
+    m
+}
+
+/// Runs Hopcroft–Karp BFS/DFS phases over `adj` until `m` is maximum —
+/// or until `meter` exhausts, in which case `m` is left a valid,
+/// consistent, possibly sub-maximum matching (the augmentation-phase
+/// cancellation point: a smaller matching measures a strictly *higher*
+/// chain count, so early exit is always conservative for URSA).
 ///
 /// Warm-start safe: `m` may already hold a partial matching (e.g. one
 /// carried across incremental edits); phases only ever *augment*, so
 /// cardinality never decreases and the O(E√V) phase bound still holds.
 /// When no augmenting path exists, a single O(E) BFS proves it for every
-/// free left vertex at once.
-fn hk_phases(adj: &[Vec<usize>], m: &mut Matching) {
+/// free left vertex at once. The meter is charged once per phase, with
+/// the number of left vertices as the unit weight.
+fn hk_phases(adj: &[Vec<usize>], m: &mut Matching, meter: &dyn WorkMeter) {
     const INF: u32 = u32::MAX;
     let n_left = adj.len();
     let mut dist = vec![INF; n_left];
     let mut queue = Vec::with_capacity(n_left);
 
     loop {
+        if !meter.charge(1 + n_left as u64) {
+            break;
+        }
         // BFS phase: layer the free left vertices.
         queue.clear();
         for (l, d) in dist.iter_mut().enumerate() {
@@ -232,6 +267,18 @@ impl IncrementalMatcher {
         }
     }
 
+    /// [`Self::add_edge`] without the duplicate scan — the scan is
+    /// O(degree) per call, which turns bulk loading of a dense relation
+    /// into O(Σ degree²). Callers must guarantee `(l, r)` has not been
+    /// inserted before (e.g. enumeration of distinct index pairs); a
+    /// duplicate would let augmentation revisit the edge pointlessly
+    /// but never produce an inconsistent matching.
+    pub fn add_edge_unchecked(&mut self, l: usize, r: usize) {
+        assert!(l < self.adj.len(), "left vertex {l} out of range");
+        assert!(r < self.n_right, "right vertex {r} out of range");
+        self.adj[l].push(r);
+    }
+
     /// Number of left vertices.
     pub fn n_left(&self) -> usize {
         self.adj.len()
@@ -327,9 +374,61 @@ impl IncrementalMatcher {
     /// them together — per-free-vertex O(E) scans would dominate
     /// incremental probes on large dense reuse graphs.
     pub fn maximize(&mut self) -> usize {
-        hk_phases(&self.adj, &mut self.matching);
+        hk_phases(&self.adj, &mut self.matching, &Unmetered);
         debug_assert!(self.matching.is_consistent());
         self.matching.len()
+    }
+
+    /// [`IncrementalMatcher::maximize`] with a cooperative [`WorkMeter`].
+    /// If the meter exhausts between augmentation phases the carried
+    /// matching stays valid and consistent but may be sub-maximum;
+    /// `charge(0)` on the meter tells the caller which case occurred.
+    pub fn maximize_metered(&mut self, meter: &dyn WorkMeter) -> usize {
+        hk_phases(&self.adj, &mut self.matching, meter);
+        debug_assert!(self.matching.is_consistent());
+        self.matching.len()
+    }
+
+    /// Extracts a maximum independent set of *nodes* (König's theorem)
+    /// from the carried matching, as indices into the shared left/right
+    /// vertex class: alternating-path reachability from the unmatched
+    /// left vertices yields a minimum vertex cover, and the returned
+    /// indices are exactly those with neither copy in the cover.
+    ///
+    /// For URSA's Dilworth setup (left and right classes are both copies
+    /// of the same node set, edges are the comparability relation) the
+    /// result is a maximum antichain of size `n − |M|` — **provided the
+    /// matching is currently maximum** (call
+    /// [`IncrementalMatcher::maximize`] first). On a sub-maximum matching
+    /// the set may contain comparable pairs and its size overestimates
+    /// the true width; callers that stopped `maximize_metered` early must
+    /// treat it accordingly.
+    pub fn konig_independent_set(&self) -> Vec<usize> {
+        let k = self.adj.len();
+        let m = &self.matching;
+        let mut left_z = vec![false; k];
+        let mut right_z = vec![false; self.n_right];
+        let mut stack: Vec<usize> = (0..k).filter(|&l| m.left_to_right[l].is_none()).collect();
+        for &l in &stack {
+            left_z[l] = true;
+        }
+        while let Some(l) = stack.pop() {
+            for &r in &self.adj[l] {
+                if m.left_to_right[l] == Some(r) || right_z[r] {
+                    continue;
+                }
+                right_z[r] = true;
+                if let Some(l2) = m.right_to_left[r] {
+                    if !left_z[l2] {
+                        left_z[l2] = true;
+                        stack.push(l2);
+                    }
+                }
+            }
+        }
+        (0..k)
+            .filter(|&i| left_z[i] && !right_z.get(i).copied().unwrap_or(false))
+            .collect()
     }
 
     /// The matching accumulated so far.
@@ -363,17 +462,40 @@ impl IncrementalMatcher {
 /// assert_eq!(m.left_to_right[1], None);
 /// ```
 pub fn staged_matching(n_left: usize, n_right: usize, edges: &[(usize, usize, u32)]) -> Matching {
-    let mut tiers: Vec<u32> = edges.iter().map(|&(_, _, p)| p).collect();
-    tiers.sort_unstable();
-    tiers.dedup();
+    staged_matching_metered(n_left, n_right, edges, &Unmetered)
+}
+
+/// [`staged_matching`] with a cooperative [`WorkMeter`]. All edges are
+/// always admitted (insertion is cheap and keeps tier preference
+/// deterministic); only the augmentation work between tiers is metered,
+/// so on exhaustion the result is a valid but possibly sub-maximum
+/// matching of the full edge set.
+pub fn staged_matching_metered(
+    n_left: usize,
+    n_right: usize,
+    edges: &[(usize, usize, u32)],
+    meter: &dyn WorkMeter,
+) -> Matching {
+    // One stable sort instead of a rescan of all edges per tier: the
+    // per-tier insertion order (and therefore the matching) is
+    // identical, but the setup cost drops from O(tiers × edges) to
+    // O(edges log edges).
+    let mut order: Vec<u32> = (0..edges.len() as u32).collect();
+    order.sort_by_key(|&i| edges[i as usize].2);
     let mut matcher = IncrementalMatcher::new(n_left, n_right);
-    for tier in tiers {
-        for &(l, r, p) in edges {
-            if p == tier {
-                matcher.add_edge(l, r);
+    let mut idx = 0;
+    while idx < order.len() {
+        let tier = edges[order[idx] as usize].2;
+        while idx < order.len() {
+            let (l, r, p) = edges[order[idx] as usize];
+            if p != tier {
+                break;
             }
+            // The caller's edge list enumerates distinct pairs.
+            matcher.add_edge_unchecked(l, r);
+            idx += 1;
         }
-        matcher.maximize();
+        matcher.maximize_metered(meter);
     }
     matcher.into_matching()
 }
@@ -583,6 +705,69 @@ mod tests {
         }
         let hk = hopcroft_karp(4, 4, &to_adj(4, &base_edges));
         assert_eq!(m.maximize(), hk.len());
+    }
+
+    #[test]
+    fn exhausted_meter_leaves_valid_submaximum_matching() {
+        use crate::meter::FixedMeter;
+        // A long alternating structure that needs several phases.
+        let n = 12;
+        let mut adj = vec![Vec::new(); n];
+        for l in 0..n {
+            for r in 0..n {
+                if (l + r) % 3 != 1 {
+                    adj[l].push(r);
+                }
+            }
+        }
+        let full = hopcroft_karp(n, n, &adj);
+        // Zero units: first phase never starts, matching stays empty.
+        let starved = hopcroft_karp_metered(n, n, &adj, &FixedMeter::new(0));
+        assert!(starved.is_consistent());
+        assert_eq!(starved.len(), 0);
+        // One phase's worth: valid, consistent, no larger than maximum.
+        let partial = hopcroft_karp_metered(n, n, &adj, &FixedMeter::new(n as u64 + 1));
+        assert!(partial.is_consistent());
+        assert!(partial.len() <= full.len());
+        // A generous meter reaches the true maximum.
+        let done = hopcroft_karp_metered(n, n, &adj, &FixedMeter::new(1 << 20));
+        assert_eq!(done.len(), full.len());
+    }
+
+    #[test]
+    fn metered_maximize_never_decreases_cardinality() {
+        use crate::meter::FixedMeter;
+        let mut m = IncrementalMatcher::new(4, 4);
+        for (l, r) in [(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2), (3, 3)] {
+            m.add_edge(l, r);
+        }
+        let full = m.clone().maximize();
+        let mut last = 0;
+        for units in 0..20 {
+            let mut trial = m.clone();
+            let got = trial.maximize_metered(&FixedMeter::new(units));
+            assert!(trial.matching().is_consistent());
+            assert!(got >= last, "more budget can only help");
+            assert!(got <= full);
+            last = got;
+        }
+        assert_eq!(last, full);
+    }
+
+    #[test]
+    fn konig_independent_set_witnesses_dilworth() {
+        // Comparability of the order 0 < 1 < 2 with 3 incomparable:
+        // width 2, so the independent set has n - |M| = 2 members.
+        let mut m = IncrementalMatcher::new(4, 4);
+        m.add_edge(0, 1);
+        m.add_edge(0, 2);
+        m.add_edge(1, 2);
+        m.maximize();
+        let set = m.konig_independent_set();
+        assert_eq!(set.len(), 4 - m.matching().len());
+        assert_eq!(set.len(), 2);
+        // Members must be pairwise incomparable: 3 plus one of {0,1,2}.
+        assert!(set.contains(&3));
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Cooperative work metering.
+//!
+//! Long-running graph algorithms (matching augmentation, chain
+//! decomposition) accept a [`WorkMeter`] and *charge* it at natural
+//! checkpoint boundaries — once per augmentation phase, once per tier,
+//! never inside an inner loop. When the meter reports exhaustion the
+//! algorithm stops early and returns whatever partial result it holds;
+//! every caller in this workspace is written so that a partial result is
+//! *conservative* (a sub-maximum matching measures a higher resource
+//! requirement, never a lower one), so early exit degrades precision but
+//! never correctness.
+//!
+//! The meter takes `&self` so one meter can be threaded through deep call
+//! chains and closures without mutable-borrow gymnastics; implementations
+//! use interior mutability (`ursa-core`'s `CompileBudget` is the real
+//! one, built on `Cell`s).
+
+use std::cell::Cell;
+
+/// A cooperative budget consulted at algorithm checkpoints.
+pub trait WorkMeter {
+    /// Charges `units` of abstract work. Returns `false` once the meter
+    /// is exhausted — the caller must stop starting new work and unwind
+    /// with its current partial state. Exhaustion is sticky: after the
+    /// first `false`, every later call returns `false` too.
+    ///
+    /// Charging zero units is a pure exhaustion query.
+    fn charge(&self, units: u64) -> bool;
+
+    /// Marks the meter exhausted without doing work. This is the
+    /// budget-starvation hook for fault injection; meters that cannot be
+    /// exhausted ignore it.
+    fn starve(&self) {}
+}
+
+/// The meter that never runs out (the default for callers without a
+/// budget, and for tests).
+///
+/// # Examples
+///
+/// ```
+/// use ursa_graph::meter::{Unmetered, WorkMeter};
+/// assert!(Unmetered.charge(u64::MAX));
+/// Unmetered.starve(); // ignored
+/// assert!(Unmetered.charge(0));
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Unmetered;
+
+impl WorkMeter for Unmetered {
+    fn charge(&self, _units: u64) -> bool {
+        true
+    }
+}
+
+/// A meter holding a fixed number of units. Exists so tests (here and in
+/// dependent crates) can exercise early-exit paths deterministically
+/// without constructing a full compile budget.
+///
+/// # Examples
+///
+/// ```
+/// use ursa_graph::meter::{FixedMeter, WorkMeter};
+/// let m = FixedMeter::new(2);
+/// assert!(m.charge(2));
+/// assert!(!m.charge(1));
+/// assert!(!m.charge(0), "exhaustion is sticky");
+/// ```
+#[derive(Debug)]
+pub struct FixedMeter {
+    left: Cell<i64>,
+}
+
+impl FixedMeter {
+    /// A meter with `units` of work available.
+    pub fn new(units: u64) -> Self {
+        FixedMeter {
+            left: Cell::new(units.min(i64::MAX as u64) as i64),
+        }
+    }
+}
+
+impl WorkMeter for FixedMeter {
+    fn charge(&self, units: u64) -> bool {
+        if self.left.get() < 0 {
+            return false;
+        }
+        let left = self
+            .left
+            .get()
+            .saturating_sub(units.min(i64::MAX as u64) as i64);
+        self.left.set(left);
+        left >= 0
+    }
+
+    fn starve(&self) {
+        self.left.set(-1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_meter_exhausts_and_sticks() {
+        let m = FixedMeter::new(2);
+        assert!(m.charge(1));
+        assert!(m.charge(1));
+        assert!(!m.charge(1));
+        assert!(!m.charge(0), "exhaustion is sticky");
+    }
+
+    #[test]
+    fn starve_exhausts_immediately() {
+        let m = FixedMeter::new(100);
+        m.starve();
+        assert!(!m.charge(0));
+    }
+
+    #[test]
+    fn zero_charge_queries_without_spending() {
+        let m = FixedMeter::new(1);
+        assert!(m.charge(0));
+        assert!(m.charge(1));
+        assert!(!m.charge(1));
+    }
+}

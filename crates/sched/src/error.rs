@@ -8,6 +8,7 @@
 
 use crate::validate::ValidationError;
 use std::fmt;
+use ursa_core::BudgetCause;
 use ursa_machine::FuClass;
 
 /// Why a compilation was refused.
@@ -73,6 +74,23 @@ pub enum CompileError {
     },
     /// A stage invariant check failed (see [`crate::validate`]).
     Validation(ValidationError),
+    /// The [`ursa_core::CompileBudget`] exhausted (wall-clock deadline,
+    /// work-step cap, or memory estimate) and the degradation ladder was
+    /// disabled, so no cheaper rung could absorb the partial result.
+    DeadlineExceeded {
+        /// Which budget dimension ran out.
+        cause: BudgetCause,
+        /// Work units charged before exhaustion.
+        steps: u64,
+    },
+    /// A pipeline stage panicked. The panic was caught at the trace
+    /// boundary (fault isolation) and converted into this typed error
+    /// instead of unwinding through the caller.
+    Internal {
+        /// The stage marker current when the panic unwound (see
+        /// `ursa_core::fault::set_stage`).
+        stage: &'static str,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -114,6 +132,16 @@ impl fmt::Display for CompileError {
                 write!(f, "{scheduler} failed to make progress by cycle {cycle}")
             }
             CompileError::Validation(e) => write!(f, "invariant violated: {e}"),
+            CompileError::DeadlineExceeded { cause, steps } => write!(
+                f,
+                "compile budget exhausted ({cause}) after {steps} work units \
+                 and the degradation ladder is disabled"
+            ),
+            CompileError::Internal { stage } => write!(
+                f,
+                "internal error: the {stage} stage panicked (isolated at \
+                 the trace boundary)"
+            ),
         }
     }
 }
@@ -164,5 +192,27 @@ mod tests {
         assert!(e.to_string().contains('9'));
         let e = CompileError::from(ValidationError::CyclicDag { stage: Stage::Ddg });
         assert!(e.to_string().contains("invariant"));
+    }
+
+    #[test]
+    fn budget_and_isolation_messages_are_informative() {
+        let e = CompileError::DeadlineExceeded {
+            cause: BudgetCause::Deadline,
+            steps: 4096,
+        };
+        let s = e.to_string();
+        assert!(s.contains("budget exhausted"), "{s}");
+        assert!(s.contains("4096"), "{s}");
+        assert!(s.contains(&BudgetCause::Deadline.to_string()), "{s}");
+        let e = CompileError::DeadlineExceeded {
+            cause: BudgetCause::Steps,
+            steps: 7,
+        };
+        assert!(e.to_string().contains(&BudgetCause::Steps.to_string()));
+        let e = CompileError::Internal { stage: "schedule" };
+        let s = e.to_string();
+        assert!(s.contains("internal error"), "{s}");
+        assert!(s.contains("schedule"), "{s}");
+        assert!(s.contains("panicked"), "{s}");
     }
 }

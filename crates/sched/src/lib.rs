@@ -64,7 +64,10 @@ pub use schedule::{list_schedule, try_list_schedule, Schedule, ScheduledOp};
 pub use validate::{is_spill_symbol, Stage, ValidationError, SPILL_PREFIX};
 pub use vliw::{MachineOp, SlotOp, VliwProgram};
 
-use ursa_core::{allocate, AllocationOutcome, Strategy, UrsaConfig};
+use std::time::Duration;
+use ursa_core::fault::{self, FaultKind, FaultSite};
+use ursa_core::{allocate_budgeted, AllocationOutcome, BudgetCause, CompileBudget};
+use ursa_core::{Strategy, UrsaConfig};
 use ursa_ir::ddg::{DdgOptions, DependenceDag};
 use ursa_ir::program::Program;
 use ursa_ir::trace::Trace;
@@ -148,12 +151,24 @@ pub struct PipelineOptions {
     pub validate: bool,
     /// Disable the degradation ladder: an URSA allocation that exhausts
     /// its budget or leaves residual excess becomes
-    /// [`CompileError::BudgetExhausted`] instead of retrying down the
-    /// fallback rungs.
+    /// [`CompileError::BudgetExhausted`] (or
+    /// [`CompileError::DeadlineExceeded`] for a [`CompileBudget`])
+    /// instead of retrying down the fallback rungs.
     pub no_fallback: bool,
     /// How `ursa-lint` treats diagnostics for this compilation (pure
     /// data here; see [`LintLevel`]).
     pub lint: LintLevel,
+    /// Wall-clock budget for the whole compilation (one
+    /// [`CompileBudget`] shared by every ladder rung). `None` means no
+    /// deadline.
+    pub deadline: Option<Duration>,
+    /// Cooperative work-step cap for the whole compilation. `None`
+    /// means no cap.
+    pub max_steps: Option<u64>,
+    /// Catch panics at the trace boundary and convert them into
+    /// [`CompileError::Internal`] with stage attribution, instead of
+    /// unwinding through the caller.
+    pub isolate: bool,
 }
 
 /// One rung of the degradation ladder.
@@ -198,6 +213,14 @@ pub enum RungFailure {
         /// The overflowing cycle.
         cycle: u64,
     },
+    /// The shared [`CompileBudget`] exhausted during this rung; the
+    /// ladder demotes straight to the terminal rung carrying the
+    /// best-so-far DAG (retrying cheaper allocation rungs cannot
+    /// un-exhaust a sticky budget).
+    Budget {
+        /// Which budget dimension ran out.
+        cause: BudgetCause,
+    },
 }
 
 impl std::fmt::Display for RungFailure {
@@ -211,6 +234,9 @@ impl std::fmt::Display for RungFailure {
             }
             RungFailure::AssignOverflow { cycle } => {
                 write!(f, "assignment overflowed at cycle {cycle}")
+            }
+            RungFailure::Budget { cause } => {
+                write!(f, "compile budget exhausted ({cause})")
             }
         }
     }
@@ -314,7 +340,40 @@ pub fn try_compile(
 }
 
 /// [`try_compile`] with explicit [`PipelineOptions`].
+///
+/// With [`PipelineOptions::isolate`] set, any panic below this frame is
+/// caught at the trace boundary and converted into
+/// [`CompileError::Internal`] attributed to the stage marker current
+/// when the panic unwound.
 pub fn try_compile_with(
+    program: &Program,
+    trace: &Trace,
+    machine: &Machine,
+    strategy: CompileStrategy,
+    opts: &PipelineOptions,
+) -> Result<Compiled, CompileError> {
+    fault::set_stage("setup");
+    if opts.isolate {
+        // UnwindSafe audit: the closure borrows `program`, `trace`, and
+        // `machine` immutably and owns every value it mutates; a panic
+        // drops all partial products with the unwound stack, so no
+        // caller-visible state can be observed torn. The only shared
+        // state is the fault/stage thread-local, which is exactly what
+        // the recovery path reads.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            try_compile_inner(program, trace, machine, strategy, opts)
+        })) {
+            Ok(result) => result,
+            Err(_) => Err(CompileError::Internal {
+                stage: fault::current_stage(),
+            }),
+        }
+    } else {
+        try_compile_inner(program, trace, machine, strategy, opts)
+    }
+}
+
+fn try_compile_inner(
     program: &Program,
     trace: &Trace,
     machine: &Machine,
@@ -344,10 +403,12 @@ pub fn try_compile_with(
             if checking {
                 validate::check_dag(Stage::Ddg, &ddg)?;
             }
+            fault::set_stage("schedule");
             let schedule = try_list_schedule(&ddg, machine)?;
             if checking {
                 validate::check_schedule(&ddg, &schedule, machine)?;
             }
+            fault::set_stage("patch");
             let (vliw, patch_stats) = try_patch_spills(&ddg, &schedule, machine)?;
             if checking {
                 validate::check_words(&vliw, machine, real_ops)?;
@@ -376,6 +437,7 @@ pub fn try_compile_with(
                     blocks: trace.blocks.len(),
                 });
             }
+            fault::set_stage("allocation");
             let (allocated, pre_stats) = try_prepass_allocate(program, trace.blocks[0], machine)?;
             let ddg = DependenceDag::build_with(
                 &allocated,
@@ -388,10 +450,12 @@ pub fn try_compile_with(
             if checking {
                 validate::check_dag(Stage::Ddg, &ddg)?;
             }
+            fault::set_stage("schedule");
             let schedule = try_list_schedule(&ddg, machine)?;
             if checking {
                 validate::check_schedule(&ddg, &schedule, machine)?;
             }
+            fault::set_stage("assign");
             let vliw = emit_physical(&ddg, &schedule, machine);
             if checking {
                 let expected = validate::real_op_count(&DependenceDag::build(program, trace));
@@ -420,6 +484,7 @@ pub fn try_compile_with(
             if checking {
                 validate::check_dag(Stage::Ddg, &ddg)?;
             }
+            fault::set_stage("schedule");
             let (schedule, ips_stats) = try_ips_schedule(&ddg, machine)?;
             if checking {
                 validate::check_schedule(&ddg, &schedule, machine)?;
@@ -429,6 +494,7 @@ pub fn try_compile_with(
             // (widening further if in-flight dead writes demand it),
             // within a hard cap — widening past it would mean the
             // widening loop itself is broken, not the input.
+            fault::set_stage("assign");
             let start = machine.registers().max(ips_stats.max_live);
             let cap = machine.registers() as u64 + ips_stats.max_live as u64 + schedule.length();
             let (vliw, file) = widen_and_assign(&ddg, &schedule, machine, start, cap)?;
@@ -494,6 +560,9 @@ fn compile_ursa(
     } else {
         ladder_for(config.strategy)
     };
+    // ONE budget for the whole ladder: a rung that burns the wall-clock
+    // allowance must not hand the next rung a fresh deadline.
+    let budget = CompileBudget::new(opts.deadline, opts.max_steps, None);
     let mut attempts: Vec<(FallbackRung, RungFailure)> = Vec::new();
     let mut last_outcome: Option<AllocationOutcome> = None;
     for rung_strategy in rungs {
@@ -501,12 +570,28 @@ fn compile_ursa(
             strategy: rung_strategy,
             ..config
         };
-        let outcome = allocate(ddg0.clone(), machine, &rung_config);
+        fault::set_stage("allocation");
+        let outcome = allocate_budgeted(ddg0.clone(), machine, &rung_config, &budget);
         if checking {
             validate::check_dag(Stage::Allocation, &outcome.ddg)?;
             validate::check_conservation(Stage::Allocation, real_ops, &outcome.ddg)?;
         }
         let rung = FallbackRung::Allocation(rung_strategy);
+        if outcome.budget_exhausted && (outcome.residual_excess > 0 || outcome.hit_iteration_limit)
+        {
+            // The budget is sticky; cheaper allocation rungs would stop
+            // at their first checkpoint. Demote straight to the terminal
+            // rung carrying this rung's best-so-far DAG (anytime
+            // semantics).
+            attempts.push((
+                rung,
+                RungFailure::Budget {
+                    cause: budget.cause().unwrap_or(BudgetCause::Steps),
+                },
+            ));
+            last_outcome = Some(outcome);
+            break;
+        }
         if outcome.hit_iteration_limit {
             attempts.push((
                 rung,
@@ -527,10 +612,12 @@ fn compile_ursa(
             last_outcome = Some(outcome);
             continue;
         }
+        fault::set_stage("schedule");
         let schedule = try_list_schedule(&outcome.ddg, machine)?;
         if checking {
             validate::check_schedule(&outcome.ddg, &schedule, machine)?;
         }
+        fault::set_stage("assign");
         match assign_registers(&outcome.ddg, &schedule, machine) {
             Ok(vliw) => {
                 if checking {
@@ -551,6 +638,12 @@ fn compile_ursa(
     }
     let outcome = last_outcome.expect("at least one allocation rung ran");
     if opts.no_fallback {
+        if let Some(cause) = budget.cause() {
+            return Err(CompileError::DeadlineExceeded {
+                cause,
+                steps: budget.steps(),
+            });
+        }
         return Err(CompileError::BudgetExhausted {
             iterations: config.max_iterations,
             residual_excess: outcome.residual_excess,
@@ -558,11 +651,15 @@ fn compile_ursa(
     }
     // Terminal rung: postpass spill patching of the most-transformed DAG
     // (paper §2 makes the assignment phase responsible for residual
-    // excess; §4.3 spilling is always applicable).
+    // excess; §4.3 spilling is always applicable). It runs unmetered:
+    // the epilogue is bounded work, and an exhausted budget must still
+    // yield code, never a hang or a hard failure.
+    fault::set_stage("schedule");
     let schedule = try_list_schedule(&outcome.ddg, machine)?;
     if checking {
         validate::check_schedule(&outcome.ddg, &schedule, machine)?;
     }
+    fault::set_stage("patch");
     let (vliw, patch_stats) = try_patch_spills(&outcome.ddg, &schedule, machine)?;
     if checking {
         validate::check_words(&vliw, machine, real_ops)?;
@@ -610,8 +707,16 @@ fn widen_and_assign(
     schedule: &Schedule,
     machine: &Machine,
     start: u32,
-    cap: u64,
+    mut cap: u64,
 ) -> Result<(VliwProgram, u32), CompileError> {
+    if let Some(plan) = fault::trip(FaultSite::Widen) {
+        match plan.kind {
+            FaultKind::Panic => fault::trip_panic(FaultSite::Widen),
+            // Collapse the widening cap: any widening attempt now hits
+            // it and surfaces as a typed RegisterOverflow.
+            _ => cap = 0,
+        }
+    }
     let mut file = start;
     loop {
         let widened = if file > machine.registers() {
@@ -762,6 +867,148 @@ mod tests {
         let report = c.fallback.expect("ursa reports fallback");
         assert!(!report.degraded());
         assert_eq!(report.rung, FallbackRung::Allocation(Strategy::Integrated));
+    }
+
+    #[test]
+    fn budget_demotion_is_recorded_and_code_still_emitted() {
+        // A one-step cap exhausts during the first allocation rung; the
+        // ladder must demote straight to the terminal rung, record the
+        // Budget failure, and still emit all the code (anytime
+        // semantics — a budget stop is never a hard failure).
+        let p = parse(FIG2).unwrap();
+        let machine = Machine::homogeneous(3, 4);
+        let opts = PipelineOptions {
+            max_steps: Some(1),
+            ..Default::default()
+        };
+        let c = try_compile_with(
+            &p,
+            &Trace::single(0),
+            &machine,
+            CompileStrategy::Ursa(UrsaConfig::default()),
+            &opts,
+        )
+        .expect("budget exhaustion must degrade, not fail");
+        assert!(c.vliw.op_count() >= 11, "operations were lost");
+        let report = c.fallback.expect("ursa reports fallback");
+        assert!(report.degraded());
+        assert_eq!(report.rung, FallbackRung::PostpassPatch);
+        assert!(
+            report.attempts.iter().any(|(_, why)| matches!(
+                why,
+                RungFailure::Budget {
+                    cause: ursa_core::BudgetCause::Steps
+                }
+            )),
+            "no Budget rung failure recorded: {report}"
+        );
+        // Exactly one allocation rung was attempted: a sticky budget
+        // makes retrying cheaper allocation rungs pointless.
+        assert_eq!(report.attempts.len(), 1, "{report}");
+    }
+
+    #[test]
+    fn no_fallback_budget_is_a_typed_deadline_error() {
+        let p = parse(FIG2).unwrap();
+        let machine = Machine::homogeneous(3, 4);
+        let opts = PipelineOptions {
+            no_fallback: true,
+            max_steps: Some(1),
+            ..Default::default()
+        };
+        let err = try_compile_with(
+            &p,
+            &Trace::single(0),
+            &machine,
+            CompileStrategy::Ursa(UrsaConfig::default()),
+            &opts,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CompileError::DeadlineExceeded {
+                    cause: ursa_core::BudgetCause::Steps,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_to_a_typed_internal_error() {
+        use ursa_core::FaultPlan;
+        let p = parse(FIG2).unwrap();
+        let machine = Machine::homogeneous(3, 4);
+        fault::arm(FaultPlan {
+            site: FaultSite::Driver,
+            kind: FaultKind::Panic,
+            payload: 0,
+        });
+        let opts = PipelineOptions {
+            isolate: true,
+            ..Default::default()
+        };
+        let result = try_compile_with(
+            &p,
+            &Trace::single(0),
+            &machine,
+            CompileStrategy::Ursa(UrsaConfig::default()),
+            &opts,
+        );
+        let _ = fault::disarm();
+        let err = result.unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CompileError::Internal {
+                    stage: "allocation"
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn deadline_bounds_a_1024_op_fu_pressure_compile() {
+        use std::time::Instant;
+        use ursa_workloads::random::{random_block, RandomShape};
+        // Two universal FUs against a ~64-wide DAG force round after
+        // round of fu_seq; the register file is generous so FU
+        // sequentialization is the only pressured transform. The
+        // deadline must stop the reduce loop at a checkpoint and the
+        // terminal rung must still emit every operation, well inside
+        // the 2 s acceptance bound.
+        let p = random_block(
+            11,
+            RandomShape {
+                ops: 1024,
+                seeds: 8,
+                window: 16,
+                store_pct: 10,
+            },
+        );
+        let machine = Machine::homogeneous(2, 1 << 14);
+        let opts = PipelineOptions {
+            deadline: Some(Duration::from_millis(100)),
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let c = try_compile_with(
+            &p,
+            &Trace::single(0),
+            &machine,
+            CompileStrategy::Ursa(UrsaConfig::default()),
+            &opts,
+        )
+        .expect("a deadline stop must degrade, not fail");
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "compile took {elapsed:?} under a 100 ms deadline"
+        );
+        assert!(c.vliw.op_count() >= 1024, "operations were lost");
     }
 
     #[test]

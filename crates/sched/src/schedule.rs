@@ -172,6 +172,21 @@ pub fn list_schedule(ddg: &DependenceDag, machine: &Machine) -> Schedule {
 /// bound on scheduling cycles trips (a correct scheduler stays well
 /// within it).
 pub fn try_list_schedule(ddg: &DependenceDag, machine: &Machine) -> Result<Schedule, CompileError> {
+    if let Some(plan) = ursa_core::fault::trip(ursa_core::FaultSite::Schedule) {
+        match plan.kind {
+            ursa_core::FaultKind::Panic => {
+                ursa_core::fault::trip_panic(ursa_core::FaultSite::Schedule)
+            }
+            // The scheduler has no cooperative meter; any other injected
+            // fault surfaces as the stage's typed no-progress error.
+            _ => {
+                return Err(CompileError::SchedulerStalled {
+                    scheduler: "list (injected fault)",
+                    cycle: 0,
+                })
+            }
+        }
+    }
     let weights: Vec<u64> = ddg
         .dag()
         .nodes()

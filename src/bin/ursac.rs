@@ -21,11 +21,15 @@
 //! ursac program.tac --lint                 # static lint, warn level
 //! ursac program.tac --lint=deny            # lint warnings fail too
 //! ursac program.tac --dot-annotated        # DOT + pressure/lint colors
+//! ursac program.tac --deadline-ms 2000     # wall-clock compile budget
+//! ursac program.tac --max-steps 1000000    # cooperative work-step cap
+//! ursac program.tac --chaos-seed 7         # arm one seeded fault plan
 //! ```
 //!
-//! Exit status: 0 on success, 1 on any compilation, simulation, or lint
-//! failure (including an exhausted allocation budget under
-//! `--no-fallback`), 2 on usage errors.
+//! Exit status: 0 on success, 1 on compilation or simulation failure,
+//! 2 on usage errors and lint denials, 3 when the compile budget
+//! (`--deadline-ms` / `--max-steps`, or the allocation iteration budget
+//! under `--no-fallback`) was exhausted.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -36,7 +40,7 @@ use ursa::ir::unroll::{find_self_loop, unroll_self_loop};
 use ursa::ir::{parse, Trace};
 use ursa::lint::{lint_compiled, Severity};
 use ursa::machine::Machine;
-use ursa::sched::{try_compile_with, CompileStrategy, LintLevel, PipelineOptions};
+use ursa::sched::{try_compile_with, CompileError, CompileStrategy, LintLevel, PipelineOptions};
 use ursa::vm::equiv::seeded_memory;
 use ursa::vm::wide::run_vliw;
 
@@ -57,6 +61,9 @@ struct Options {
     no_fallback: bool,
     lint: LintLevel,
     dot_annotated: bool,
+    deadline_ms: Option<u64>,
+    max_steps: Option<u64>,
+    chaos_seed: Option<u64>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -77,6 +84,9 @@ fn parse_args() -> Result<Options, String> {
         no_fallback: false,
         lint: LintLevel::Allow,
         dot_annotated: false,
+        deadline_ms: None,
+        max_steps: None,
+        chaos_seed: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -115,6 +125,27 @@ fn parse_args() -> Result<Options, String> {
                 )
             }
             "--no-fallback" => opts.no_fallback = true,
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(
+                    take("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
+            "--max-steps" => {
+                opts.max_steps = Some(
+                    take("--max-steps")?
+                        .parse()
+                        .map_err(|e| format!("--max-steps: {e}"))?,
+                )
+            }
+            "--chaos-seed" => {
+                opts.chaos_seed = Some(
+                    take("--chaos-seed")?
+                        .parse()
+                        .map_err(|e| format!("--chaos-seed: {e}"))?,
+                )
+            }
             "--lint" => opts.lint = LintLevel::Warn,
             "--dot-annotated" => opts.dot_annotated = true,
             other if other.starts_with("--lint=") => {
@@ -248,12 +279,31 @@ fn main() -> ExitCode {
         validate: opts.validate,
         no_fallback: opts.no_fallback,
         lint: opts.lint,
+        deadline: opts.deadline_ms.map(std::time::Duration::from_millis),
+        max_steps: opts.max_steps,
+        // An armed fault plan may inject a synthetic panic; isolate it
+        // at the trace boundary so it surfaces as a typed error.
+        isolate: opts.chaos_seed.is_some(),
     };
+    if let Some(seed) = opts.chaos_seed {
+        let plan = ursa::core::FaultPlan::from_seed(seed);
+        eprintln!("ursac: chaos: armed fault plan {plan} (seed {seed})");
+        ursa::core::fault::arm(plan);
+        // An injected panic is caught at the trace boundary and
+        // reported as a typed error; silence the default hook so the
+        // isolated unwind does not spray a backtrace banner first.
+        std::panic::set_hook(Box::new(|_| {}));
+    }
     let compiled = match try_compile_with(&program, &trace, &machine, strategy.clone(), &pipeline) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("ursac: {e}");
-            return ExitCode::FAILURE;
+            return match e {
+                CompileError::DeadlineExceeded { .. } | CompileError::BudgetExhausted { .. } => {
+                    ExitCode::from(3)
+                }
+                _ => ExitCode::FAILURE,
+            };
         }
     };
     if opts.dot_annotated {
@@ -300,7 +350,7 @@ fn main() -> ExitCode {
         eprint!("{report}");
         if report.fails_at(opts.lint) {
             eprintln!("ursac: lint failed at level '{}'", opts.lint);
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     }
     if let Some(report) = compiled.fallback.as_ref().filter(|r| r.degraded()) {

@@ -26,6 +26,22 @@ const SMALL: &str = "\
     v2 = add v1, v0\n\
     store a[1], v2\n";
 
+/// Wide enough that a tight machine (`--fus 4 --regs 3`) needs real
+/// transform work before any legal schedule fits.
+const PRESSURE: &str = "\
+    v0 = load a[0]\n\
+    v1 = mul v0, 2\n\
+    v2 = mul v0, 3\n\
+    v3 = add v0, 5\n\
+    v4 = add v1, v2\n\
+    v5 = mul v1, v2\n\
+    v6 = mul v3, 2\n\
+    v7 = div v3, 3\n\
+    v8 = div v4, v5\n\
+    v9 = add v6, v7\n\
+    v10 = add v8, v9\n\
+    store b[0], v10\n";
+
 #[test]
 fn compiles_and_exits_zero() {
     let input = write_temp("ok.tac", SMALL);
@@ -181,20 +197,7 @@ fn unroll_zero_is_rejected_without_panic() {
 fn max_iterations_zero_degrades_but_succeeds() {
     // Budget 0 on a tight machine forces the degradation ladder to the
     // postpass-patch rung; the compile must still succeed and say so.
-    let pressure = "\
-        v0 = load a[0]\n\
-        v1 = mul v0, 2\n\
-        v2 = mul v0, 3\n\
-        v3 = add v0, 5\n\
-        v4 = add v1, v2\n\
-        v5 = mul v1, v2\n\
-        v6 = mul v3, 2\n\
-        v7 = div v3, 3\n\
-        v8 = div v4, v5\n\
-        v9 = add v6, v7\n\
-        v10 = add v8, v9\n\
-        store b[0], v10\n";
-    let input = write_temp("pressure.tac", pressure);
+    let input = write_temp("pressure.tac", PRESSURE);
     let out = ursac()
         .arg(&input)
         .args(["--fus", "4", "--regs", "3", "--max-iterations", "0"])
@@ -209,21 +212,8 @@ fn max_iterations_zero_degrades_but_succeeds() {
 }
 
 #[test]
-fn no_fallback_budget_exhaustion_exits_one() {
-    let pressure = "\
-        v0 = load a[0]\n\
-        v1 = mul v0, 2\n\
-        v2 = mul v0, 3\n\
-        v3 = add v0, 5\n\
-        v4 = add v1, v2\n\
-        v5 = mul v1, v2\n\
-        v6 = mul v3, 2\n\
-        v7 = div v3, 3\n\
-        v8 = div v4, v5\n\
-        v9 = add v6, v7\n\
-        v10 = add v8, v9\n\
-        store b[0], v10\n";
-    let input = write_temp("pressure2.tac", pressure);
+fn no_fallback_budget_exhaustion_exits_three() {
+    let input = write_temp("pressure2.tac", PRESSURE);
     let out = ursac()
         .arg(&input)
         .args([
@@ -237,10 +227,110 @@ fn no_fallback_budget_exhaustion_exits_one() {
         ])
         .output()
         .unwrap();
-    assert_eq!(out.status.code(), Some(1), "{}", stderr_of(&out));
+    // Budget exhaustion is distinguishable from ordinary compile
+    // failures (1) and usage errors (2): callers can retry with a
+    // bigger budget.
+    assert_eq!(out.status.code(), Some(3), "{}", stderr_of(&out));
     assert!(
         stderr_of(&out).contains("budget"),
         "stderr: {}",
         stderr_of(&out)
     );
+}
+
+#[test]
+fn generous_deadline_compiles_and_exits_zero() {
+    let input = write_temp("deadline.tac", SMALL);
+    let out = ursac()
+        .arg(&input)
+        .args(["--deadline-ms", "60000"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr_of(&out));
+}
+
+#[test]
+fn starved_step_budget_without_fallback_exits_three() {
+    // The budget must starve a compile that genuinely needs transform
+    // work: a tiny trace can exhaust the budget during measurement and
+    // still fit the machine (conservative over-statement), which is a
+    // legitimate success. PRESSURE on a tight machine is not.
+    let input = write_temp("steps.tac", PRESSURE);
+    let out = ursac()
+        .arg(&input)
+        .args([
+            "--fus",
+            "4",
+            "--regs",
+            "3",
+            "--max-steps",
+            "1",
+            "--no-fallback",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{}", stderr_of(&out));
+    assert!(
+        stderr_of(&out).contains("budget exhausted"),
+        "stderr: {}",
+        stderr_of(&out)
+    );
+}
+
+#[test]
+fn starved_step_budget_with_ladder_still_emits_code() {
+    // Anytime semantics: with the degradation ladder on, an exhausted
+    // budget demotes to the terminal rung instead of failing.
+    let input = write_temp("steps2.tac", SMALL);
+    let out = ursac()
+        .arg(&input)
+        .args(["--max-steps", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("# machine:"));
+}
+
+#[test]
+fn bad_budget_flag_values_exit_two() {
+    let input = write_temp("badbudget.tac", SMALL);
+    for args in [
+        ["--deadline-ms", "zero"],
+        ["--max-steps", "-1"],
+        ["--chaos-seed", "many"],
+    ] {
+        let out = ursac().arg(&input).args(args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+    }
+}
+
+#[test]
+fn chaos_seed_never_panics() {
+    // Each seed arms one fault plan (possibly a synthetic panic) with
+    // isolation on; every outcome must be a clean exit code — code
+    // emitted (0), a typed compile error (1), or budget exhaustion (3)
+    // — and never a raw panic.
+    let input = write_temp("chaos.tac", SMALL);
+    for seed in 0..16u64 {
+        let out = ursac()
+            .arg(&input)
+            .args(["--chaos-seed", &seed.to_string()])
+            .output()
+            .unwrap();
+        let code = out.status.code().expect("killed by signal");
+        assert!(
+            [0, 1, 3].contains(&code),
+            "seed {seed}: exit {code}: {}",
+            stderr_of(&out)
+        );
+        // An isolated panic is *reported* with the word "panicked"
+        // ("the … stage panicked (isolated at the trace boundary)");
+        // what must never appear is the raw std banner "panicked at
+        // <file>:<line>" from an unwound thread.
+        assert!(
+            !stderr_of(&out).contains("panicked at"),
+            "seed {seed} leaked a panic: {}",
+            stderr_of(&out)
+        );
+    }
 }

@@ -11,12 +11,18 @@
 # seeded differential fuzzer CI runs) builds with no registry access.
 # With --with-lint, does the same for the ursalint static-diagnostics
 # binary (which pulls in ursa-lint and the whole pipeline).
+# With --with-chaos, builds the stress harness offline and runs a
+# fault-injection smoke slice (programs × fault plans, budget flags on):
+# the run must end with zero failures — typed errors are expected,
+# panics and miscompiles are not.
 #
-# Usage: tools/check_hermetic.sh [--with-build] [--with-lint] [repo-root]
+# Usage: tools/check_hermetic.sh [--with-build] [--with-lint]
+#        [--with-chaos] [repo-root]
 set -euo pipefail
 
 with_build=0
 with_lint=0
+with_chaos=0
 while :; do
     case "${1:-}" in
     --with-build)
@@ -25,6 +31,10 @@ while :; do
         ;;
     --with-lint)
         with_lint=1
+        shift
+        ;;
+    --with-chaos)
+        with_chaos=1
         shift
         ;;
     *) break ;;
@@ -84,4 +94,15 @@ if [ "$with_lint" -eq 1 ]; then
     echo "building ursalint offline..."
     cargo build --release --offline --bin ursalint
     echo "OK: ursalint builds with no registry access"
+fi
+
+if [ "$with_chaos" -eq 1 ]; then
+    echo "building the stress harness offline..."
+    cargo build --release --offline -p ursa-bench --bin stress
+    echo "running the chaos smoke slice..."
+    cargo run --release --offline -p ursa-bench --bin stress -- \
+        --seeds 0..8 --chaos --plans 8 --validate
+    cargo run --release --offline -p ursa-bench --bin stress -- \
+        --seeds 0..4 --chaos --plans 4 --deadline-ms 50 --max-steps 2000000
+    echo "OK: chaos smoke passed (typed errors only, no panics, no miscompiles)"
 fi
