@@ -146,5 +146,31 @@ fn main() {
         }
     }
 
+    // The whole-program driver end to end on the shipped examples:
+    // trace selection, liveness, per-unit compilation, and cross-block
+    // compensation, as `ursac --whole-program` runs it.
+    {
+        use ursa_ir::parser::parse;
+        use ursa_sched::{try_compile_program, CompileStrategy, PipelineOptions};
+        let machine = Machine::homogeneous(4, 8);
+        for name in ["hydro", "loop"] {
+            let path = format!(
+                "{}/../../examples/data/{name}.tac",
+                env!("CARGO_MANIFEST_DIR")
+            );
+            let src = std::fs::read_to_string(&path).expect("example source");
+            let program = parse(&src).expect("example parses");
+            runner.bench(&format!("compile_program/{name}"), || {
+                try_compile_program(
+                    &program,
+                    &machine,
+                    CompileStrategy::Ursa(Default::default()),
+                    &PipelineOptions::default(),
+                )
+                .expect("example compiles")
+            });
+        }
+    }
+
     runner.finish();
 }

@@ -20,12 +20,22 @@
 //! stress --paranoid-measure       # differential incremental-measure checks
 //! stress --machine vliw2r3        # filter machines by name substring
 //! stress --strategy ursa-phased   # filter strategies by name
+//! stress --programs               # multi-block CFGs through the whole-program driver
 //! stress --chaos                  # fault injection: programs × fault plans
 //! stress --chaos --plans 8        # fault plans per (seed, machine, strategy)
 //! stress --chaos --fault-seed 7   # base seed for the fault-plan derivation
 //! stress --deadline-ms 50         # wall-clock budget per compilation
 //! stress --max-steps 100000       # cooperative work-step cap per compilation
 //! ```
+//!
+//! **Programs mode** (`--programs`) swaps the straight-line generator
+//! for seeded multi-block CFGs (diamonds, counted loops, side exits)
+//! and the per-trace pipeline for the whole-program driver
+//! (`ursa_sched::compile_program`). The oracles scale with it: the
+//! static side is `ursa_lint::lint_program` (per-unit validator replay
+//! plus the boundary hand-off contract), the dynamic side is
+//! `check_program_equivalence` (sequential reference vs. the stitched
+//! unit schedules on one seeded input).
 //!
 //! **Chaos mode** arms one seeded [`ursa_core::FaultPlan`] per case
 //! (allocation refusals, poisoned matching rows, widening-cap hits,
@@ -43,12 +53,15 @@ use std::process::ExitCode;
 use ursa_core::{Strategy, UrsaConfig};
 use ursa_ir::ddg::DependenceDag;
 use ursa_ir::Trace;
-use ursa_lint::validate_translation;
+use ursa_lint::{lint_program, validate_translation};
 use ursa_machine::Machine;
 use ursa_rng::Rng;
-use ursa_sched::{try_compile_with, CompileError, CompileStrategy, PipelineOptions};
+use ursa_sched::{
+    try_compile_program, try_compile_with, CompileError, CompileStrategy, PipelineOptions,
+};
 use ursa_vm::equiv::{check_equivalence, seeded_memory};
-use ursa_workloads::random::{random_block, RandomShape};
+use ursa_vm::program::check_program_equivalence;
+use ursa_workloads::random::{random_block, random_cfg, CfgShape, RandomShape};
 
 struct Options {
     seeds: std::ops::Range<u64>,
@@ -56,6 +69,7 @@ struct Options {
     paranoid_measure: bool,
     machine_filter: Option<String>,
     strategy_filter: Option<String>,
+    programs: bool,
     chaos: bool,
     fault_seed: u64,
     plans: u64,
@@ -70,6 +84,7 @@ fn parse_args() -> Result<Options, String> {
         paranoid_measure: false,
         machine_filter: None,
         strategy_filter: None,
+        programs: false,
         chaos: false,
         fault_seed: 0,
         plans: 8,
@@ -95,6 +110,7 @@ fn parse_args() -> Result<Options, String> {
             "--paranoid-measure" => opts.paranoid_measure = true,
             "--machine" => opts.machine_filter = Some(take("--machine")?),
             "--strategy" => opts.strategy_filter = Some(take("--strategy")?),
+            "--programs" => opts.programs = true,
             "--chaos" => opts.chaos = true,
             "--fault-seed" => {
                 opts.fault_seed = take("--fault-seed")?
@@ -126,8 +142,8 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: stress [--seeds A..B] [--validate] [--paranoid-measure] \
-                            [--machine NAME] [--strategy NAME] [--chaos] [--fault-seed N] \
-                            [--plans N] [--deadline-ms N] [--max-steps N]"
+                            [--machine NAME] [--strategy NAME] [--programs] [--chaos] \
+                            [--fault-seed N] [--plans N] [--deadline-ms N] [--max-steps N]"
                         .to_string(),
                 )
             }
@@ -189,6 +205,18 @@ fn shape_for(seed: u64) -> RandomShape {
     }
 }
 
+/// CFG shape drawn deterministically from the seed, spanning short
+/// single-region programs to chains of nested control flow.
+fn cfg_shape_for(seed: u64) -> CfgShape {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x4347_5748);
+    CfgShape {
+        regions: rng.gen_range(1usize..5),
+        block_ops: rng.gen_range(2usize..10),
+        loop_pct: rng.gen_range(0u32..60),
+        exit_pct: rng.gen_range(0u32..50),
+    }
+}
+
 enum CaseResult {
     Pass,
     /// The strategy refused the input for an expected, typed reason
@@ -228,7 +256,7 @@ fn run_case(
     chaos: bool,
 ) -> CaseResult {
     let program = random_block(seed, shape_for(seed));
-    let trace = Trace::single(0);
+    let trace = Trace::entry();
     let gh = matches!(strategy, CompileStrategy::GoodmanHsu);
     // The outer catch_unwind is the harness backstop: with isolation on
     // (chaos mode) a panic reaching it means the isolation boundary
@@ -339,6 +367,122 @@ fn run_case(
     }
 }
 
+/// Programs-mode analog of [`run_case`]: a random multi-block CFG
+/// through the whole-program driver, checked by the whole-program
+/// oracle pair.
+fn run_program_case(
+    seed: u64,
+    machine: &Machine,
+    strategy_name: &str,
+    strategy: &CompileStrategy,
+    opts: &PipelineOptions,
+    chaos: bool,
+) -> CaseResult {
+    let program = random_cfg(seed, cfg_shape_for(seed));
+    let gh = matches!(strategy, CompileStrategy::GoodmanHsu);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        try_compile_program(&program, machine, strategy.clone(), opts)
+    }));
+    let sched = match outcome {
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            return CaseResult::fail(format!("panic: {msg}"));
+        }
+        Ok(Err(CompileError::RegisterOverflow { .. })) if gh => return CaseResult::Refused,
+        Ok(Err(e)) if chaos => {
+            return CaseResult::Typed {
+                internal: matches!(e, CompileError::Internal { .. }),
+            };
+        }
+        Ok(Err(e)) => return CaseResult::fail(format!("compile error: {e}")),
+        Ok(Ok(s)) => s,
+    };
+    // The fault plan targets the pipeline. A plan whose site was never
+    // reached during a successful compile stays armed, and unlike the
+    // single-block oracles, `lint_program` replays measurement code and
+    // would trip it; disarm before judging the artifact.
+    if chaos {
+        let _ = ursa_core::fault::disarm();
+    }
+    // Oracle 1: whole-program lint — per-unit validator replay plus the
+    // boundary hand-off contract (U0201/U0202). Prepass code is
+    // pre-colored before its DAG exists, so the validator cannot map
+    // its live-ins; skip it there, as in single-block mode.
+    let static_verdict: Option<Vec<String>> = if matches!(strategy, CompileStrategy::Prepass) {
+        None
+    } else {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            lint_program(&program, &sched, machine, strategy, opts)
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity() == ursa_lint::Severity::Error)
+                .map(|d| d.to_string())
+                .collect::<Vec<String>>()
+        }));
+        match run {
+            Err(_) => return CaseResult::fail("panic during whole-program lint"),
+            Ok(errors) => Some(errors),
+        }
+    };
+    // Oracle 2: differential execution of the stitched unit schedules
+    // against the sequential reference. Goodman–Hsu declares the file
+    // it truly needs; execute on the widest unit's file.
+    let widest = sched
+        .units
+        .iter()
+        .map(|u| u.compiled.vliw.num_regs)
+        .max()
+        .unwrap_or(0);
+    let exec_machine = if widest > machine.registers() {
+        machine.with_registers(widest)
+    } else {
+        machine.clone()
+    };
+    let memory = seeded_memory(&program, 256, seed);
+    let check = catch_unwind(AssertUnwindSafe(|| {
+        check_program_equivalence(&program, &sched, &exec_machine, &memory, &HashMap::new())
+    }));
+    let dynamic_err: Option<String> = match check {
+        Err(_) => Some("panic during differential execution".to_string()),
+        Ok(Err(e)) => Some(format!("differential check ({strategy_name}): {e}")),
+        Ok(Ok(())) => None,
+    };
+    let static_errs = static_verdict.as_ref().filter(|e| !e.is_empty());
+    match (static_errs, dynamic_err) {
+        (None, None) => CaseResult::Pass,
+        (Some(se), None) => CaseResult::Fail {
+            why: format!(
+                "static validator rejected, dynamic oracle passed (ORACLE DISAGREEMENT): {}",
+                se.join("; ")
+            ),
+            static_reject: true,
+            disagreement: true,
+        },
+        (None, Some(de)) => {
+            let disagreement = static_verdict.is_some();
+            let note = if disagreement {
+                " — static validator accepted (ORACLE DISAGREEMENT)"
+            } else {
+                ""
+            };
+            CaseResult::Fail {
+                why: format!("{de}{note}"),
+                static_reject: false,
+                disagreement,
+            }
+        }
+        (Some(se), Some(de)) => CaseResult::Fail {
+            why: format!("{de}; static validator agrees: {}", se.join("; ")),
+            static_reject: true,
+            disagreement: false,
+        },
+    }
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -388,7 +532,11 @@ fn main() -> ExitCode {
                         ursa_core::fault::arm(ursa_core::FaultPlan::from_seed(fault_seed));
                     }
                     cases += 1;
-                    let result = run_case(seed, machine, name, strategy, &pipeline, opts.chaos);
+                    let result = if opts.programs {
+                        run_program_case(seed, machine, name, strategy, &pipeline, opts.chaos)
+                    } else {
+                        run_case(seed, machine, name, strategy, &pipeline, opts.chaos)
+                    };
                     // A plan whose site was never reached stays armed;
                     // clear it so it cannot leak into the next case.
                     let _ = ursa_core::fault::disarm();
@@ -407,6 +555,7 @@ fn main() -> ExitCode {
                             failures += 1;
                             static_rejects += u64::from(static_reject);
                             disagreements += u64::from(disagreement);
+                            let programs = if opts.programs { " --programs" } else { "" };
                             let validate = if opts.validate { " --validate" } else { "" };
                             let paranoid = if opts.paranoid_measure {
                                 " --paranoid-measure"
@@ -440,7 +589,7 @@ fn main() -> ExitCode {
                             println!(
                                 "  repro: cargo run --release -p ursa-bench --bin stress -- \
                                  --seeds {seed}..{} --machine {} --strategy \
-                                 {name}{validate}{paranoid}{budget}{chaos}",
+                                 {name}{programs}{validate}{paranoid}{budget}{chaos}",
                                 seed + 1,
                                 machine.name(),
                             );
@@ -459,9 +608,15 @@ fn main() -> ExitCode {
     } else {
         String::new()
     };
+    let mode = if opts.programs {
+        " (whole-program mode)"
+    } else {
+        ""
+    };
     println!(
-        "stress: {cases} cases over seeds {}..{}, {refusals} typed refusals, {failures} failures \
-         ({static_rejects} static rejects, {disagreements} oracle disagreements){chaos_note}",
+        "stress: {cases} cases{mode} over seeds {}..{}, {refusals} typed refusals, \
+         {failures} failures ({static_rejects} static rejects, {disagreements} oracle \
+         disagreements){chaos_note}",
         opts.seeds.start, opts.seeds.end
     );
     if failures > 0 {

@@ -51,6 +51,12 @@ pub enum NodeKind {
         cond: Operand,
         /// Index of the source block within the program.
         block: usize,
+        /// Polarity of the trace exit: execution leaves the trace when
+        /// `(cond != 0) == exit_on_true`. A branch whose on-trace
+        /// successor is the `else` target exits on a *true* condition;
+        /// one whose on-trace successor is the `then` target exits on
+        /// *false*.
+        exit_on_true: bool,
     },
 }
 
@@ -78,6 +84,12 @@ pub struct DdgOptions {
     /// edges instead — modeling code that a prepass register allocator
     /// has already committed to a finite register file.
     pub rename: bool,
+    /// Materialize the trace-final conditional branch as a DAG node
+    /// instead of subsuming it under `Exit`. The whole-program driver
+    /// needs the final branch executed so the runtime can pick the
+    /// successor unit; single-trace callers keep the default (`false`),
+    /// where falling off the end of the trace is the only exit.
+    pub materialize_final_branch: bool,
 }
 
 impl Default for DdgOptions {
@@ -85,6 +97,7 @@ impl Default for DdgOptions {
         DdgOptions {
             speculative_loads: true,
             rename: true,
+            materialize_final_branch: false,
         }
     }
 }
@@ -143,7 +156,7 @@ impl DependenceDag {
     /// Builds the DAG of the entry block alone — the common case for
     /// straight-line kernels.
     pub fn from_entry_block(program: &Program) -> Self {
-        Self::build(program, &Trace::single(0))
+        Self::build(program, &Trace::entry())
     }
 
     /// Builds the DAG of `trace` with explicit options.
@@ -456,7 +469,9 @@ impl<'a> Builder<'a> {
                 self.add_instr(instr.clone(), b);
             }
             // On-trace conditional branches become nodes; the final
-            // block's control transfer is subsumed by Exit.
+            // block's control transfer is subsumed by Exit unless the
+            // caller asked for it (whole-program compilation). A branch
+            // with identical targets is really a jump and needs no node.
             let on_trace_next = self.trace.blocks.get(ti + 1).copied();
             if let Terminator::Branch {
                 cond,
@@ -464,7 +479,9 @@ impl<'a> Builder<'a> {
                 else_block,
             } = block.term
             {
-                if on_trace_next.is_some() {
+                if then_block != else_block
+                    && (on_trace_next.is_some() || self.options.materialize_final_branch)
+                {
                     self.add_branch(cond, b, then_block, else_block, on_trace_next, &lv);
                 }
             }
@@ -580,7 +597,19 @@ impl<'a> Builder<'a> {
             let (_, renamed) = self.mapping_for(orig);
             cond = Operand::Reg(renamed);
         }
-        let n = self.ddg.push_node(NodeKind::Branch { cond, block }, None);
+        // Staying on trace through the `else` target means a true
+        // condition leaves the trace; a materialized final branch
+        // (no on-trace successor) falls through to `then_block` and
+        // exits to `else_block`, matching sequential semantics.
+        let exit_on_true = on_trace_next == Some(else_block);
+        let n = self.ddg.push_node(
+            NodeKind::Branch {
+                cond,
+                block,
+                exit_on_true,
+            },
+            None,
+        );
         if let Operand::Reg(r) = cond {
             let def_node = self.def_node_of(r);
             self.ddg.dag.add_edge(def_node, n, EdgeKind::Data);

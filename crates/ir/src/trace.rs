@@ -27,6 +27,13 @@ impl Trace {
         }
     }
 
+    /// The trace covering only the program entry block. The canonical
+    /// spelling for "compile the entry block" — every hard-coded
+    /// `Trace::single(0)` call site routes through this.
+    pub fn entry() -> Self {
+        Trace::single(0)
+    }
+
     /// Number of blocks on the trace.
     pub fn len(&self) -> usize {
         self.blocks.len()
@@ -103,6 +110,51 @@ pub fn select_traces(program: &Program) -> Vec<Trace> {
         traces.push(Trace { blocks });
     }
     traces
+}
+
+/// Partitions all blocks of `program` into *units*: traces restricted so
+/// a block joins one only when its on-trace predecessor is its **sole**
+/// CFG predecessor. The restriction buys whole-program compilation a
+/// strong invariant — every CFG edge that *leaves* a unit targets a
+/// unit head, and every value reaching a unit head arrives via the
+/// head's live-in set — so cross-unit values can be handed off through
+/// memory at heads alone.
+///
+/// Seeds are chosen hottest-first with the same tie rule as
+/// [`select_traces`], but growth is forward-only (backward growth would
+/// move the head, invalidating the head-handoff contract). The entry
+/// block is never appended mid-unit: control can start there.
+pub fn select_units(program: &Program) -> Vec<Trace> {
+    let n = program.blocks.len();
+    let mut visited = vec![false; n];
+    let mut units = Vec::new();
+    let hottest_unvisited = |visited: &[bool]| {
+        (0..n).filter(|&b| !visited[b]).max_by(|&a, &b| {
+            program.blocks[a]
+                .weight
+                .partial_cmp(&program.blocks[b].weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.cmp(&a))
+        })
+    };
+    while let Some(seed) = hottest_unvisited(&visited) {
+        visited[seed] = true;
+        let mut blocks = vec![seed];
+        loop {
+            let last = *blocks.last().expect("nonempty");
+            let next = best_neighbor(program, &visited, program.successors(last)).filter(|&s| {
+                let preds = program.predecessors(s);
+                s != 0 && !preds.is_empty() && preds.iter().all(|&p| p == last)
+            });
+            let Some(next) = next else {
+                break;
+            };
+            visited[next] = true;
+            blocks.push(next);
+        }
+        units.push(Trace { blocks });
+    }
+    units
 }
 
 fn best_neighbor(program: &Program, visited: &[bool], candidates: Vec<usize>) -> Option<usize> {
@@ -250,6 +302,82 @@ mod tests {
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
         assert_eq!(t.blocks, vec![2]);
+        assert_eq!(Trace::entry(), Trace::single(0));
+    }
+
+    #[test]
+    fn units_cover_all_blocks_once() {
+        let p = diamond();
+        let units = select_units(&p);
+        let mut seen: Vec<usize> = units.iter().flat_map(|u| u.blocks.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unit_growth_requires_a_unique_predecessor() {
+        let p = diamond();
+        let units = select_units(&p);
+        // `hot` has the sole predecessor `entry`, so it joins entry's
+        // unit; `out` has two predecessors and must head its own unit.
+        assert!(units.contains(&Trace { blocks: vec![0, 1] }));
+        assert!(units.contains(&Trace::single(2)));
+        assert!(units.contains(&Trace::single(3)));
+    }
+
+    #[test]
+    fn every_cross_unit_edge_targets_a_unit_head() {
+        for p in [
+            diamond(),
+            parse(
+                "block entry:\n\
+                 v0 = const 0\n\
+                 jmp head\n\
+                 block head @ 24:\n\
+                 v1 = add v0, 1\n\
+                 v2 = cmplt v1, 24\n\
+                 br v2, head, done\n\
+                 block done:\n\
+                 ret\n",
+            )
+            .unwrap(),
+        ] {
+            let units = select_units(&p);
+            let heads: Vec<usize> = units.iter().map(|u| u.blocks[0]).collect();
+            assert!(heads.contains(&0), "entry block must head a unit");
+            for u in &units {
+                for (i, &b) in u.blocks.iter().enumerate() {
+                    let internal_next = u.blocks.get(i + 1).copied();
+                    for t in p.successors(b) {
+                        if Some(t) == internal_next {
+                            continue;
+                        }
+                        assert!(heads.contains(&t), "edge {b}→{t} targets a non-head");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loop_body_units_grow_into_straightline_successors() {
+        let p = parse(
+            "block entry:\n\
+             v0 = const 0\n\
+             jmp head\n\
+             block head @ 24:\n\
+             v1 = add v0, 1\n\
+             v2 = cmplt v1, 24\n\
+             br v2, head, done\n\
+             block done:\n\
+             ret\n",
+        )
+        .unwrap();
+        let units = select_units(&p);
+        // The hot loop head seeds first and grows into `done` (its only
+        // predecessor); `entry` stands alone (block 0 is never appended).
+        assert_eq!(units[0].blocks, vec![1, 2]);
+        assert_eq!(units[1].blocks, vec![0]);
     }
 
     #[test]

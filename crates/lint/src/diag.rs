@@ -32,8 +32,9 @@ impl fmt::Display for Severity {
 }
 
 /// The diagnostic-code registry. `U00xx` codes are validator errors,
-/// `U01xx` codes are lint findings. Codes are stable: they are never
-/// renumbered or reused.
+/// `U01xx` codes are lint findings, `U02xx` codes are whole-program
+/// boundary-handoff errors. Codes are stable: they are never renumbered
+/// or reused.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Code {
     /// A register holding a live value was overwritten before its last
@@ -83,11 +84,19 @@ pub enum Code {
     /// A program symbol collides with the reserved `__` spill prefix,
     /// exempting its memory traffic from conservation checks.
     SpillSymbolCollision,
+    /// A whole-program unit takes an off-trace edge along which a live
+    /// value was never stored to the `__boundary` hand-off area: the
+    /// successor unit would reload a stale value.
+    MissingCompensation,
+    /// A whole-program unit declares a non-empty register live-in set:
+    /// a register value would have to survive a unit switch, which the
+    /// boundary hand-off contract forbids.
+    ClobberedLiveOut,
 }
 
 impl Code {
     /// Every code, for registry listings.
-    pub const ALL: [Code; 17] = [
+    pub const ALL: [Code; 19] = [
         Code::ClobberedLiveRegister,
         Code::WrongOperandValue,
         Code::ReadBeforeCommit,
@@ -105,6 +114,8 @@ impl Code {
         Code::InconsistentMachine,
         Code::RegisterPressureHotspot,
         Code::SpillSymbolCollision,
+        Code::MissingCompensation,
+        Code::ClobberedLiveOut,
     ];
 
     /// The stable code string, e.g. `"U0001"`.
@@ -127,6 +138,8 @@ impl Code {
             Code::InconsistentMachine => "U0104",
             Code::RegisterPressureHotspot => "U0105",
             Code::SpillSymbolCollision => "U0106",
+            Code::MissingCompensation => "U0201",
+            Code::ClobberedLiveOut => "U0202",
         }
     }
 
@@ -150,6 +163,8 @@ impl Code {
             Code::InconsistentMachine => "inconsistent-machine",
             Code::RegisterPressureHotspot => "register-pressure-hotspot",
             Code::SpillSymbolCollision => "spill-symbol-collision",
+            Code::MissingCompensation => "missing-compensation",
+            Code::ClobberedLiveOut => "clobbered-live-out",
         }
     }
 
@@ -167,7 +182,9 @@ impl Code {
             | Code::StoreValueMismatch
             | Code::DroppedSequenceEdge
             | Code::RegisterOutOfFile
-            | Code::UnitConflict => Severity::Error,
+            | Code::UnitConflict
+            | Code::MissingCompensation
+            | Code::ClobberedLiveOut => Severity::Error,
             Code::DeadValue
             | Code::RedundantSpillPair
             | Code::NonMinimalChainDecomposition
@@ -341,6 +358,11 @@ mod tests {
         );
         assert_eq!(Code::ReloadBeforeStoreCommit.as_str(), "U0004");
         assert_eq!(Code::DroppedSequenceEdge.as_str(), "U0009");
+        assert_eq!(Code::MissingCompensation.as_str(), "U0201");
+        assert_eq!(Code::MissingCompensation.name(), "missing-compensation");
+        assert_eq!(Code::ClobberedLiveOut.as_str(), "U0202");
+        assert_eq!(Code::MissingCompensation.severity(), Severity::Error);
+        assert_eq!(Code::ClobberedLiveOut.severity(), Severity::Error);
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //!   bound), inconsistent machine descriptions, register-pressure
 //!   hotspots, and `__`-prefixed symbol collisions. Findings are
 //!   `U01xx` warnings/notes.
+//! * **Whole-program checks** ([`pipeline::lint_program`]) replay every
+//!   unit of a [`ursa_sched::program::ProgramSchedule`] through both
+//!   layers and then verify the boundary hand-off contract: every
+//!   off-unit edge commits its live values to the `__boundary` area, and
+//!   no unit expects a register to survive a unit switch. Violations are
+//!   `U02xx` errors.
 //!
 //! # Code registry
 //!
@@ -39,6 +45,8 @@
 //! | U0104 | inconsistent-machine           | warning  |
 //! | U0105 | register-pressure-hotspot      | note     |
 //! | U0106 | spill-symbol-collision         | warning  |
+//! | U0201 | missing-compensation           | error    |
+//! | U0202 | clobbered-live-out             | error    |
 //!
 //! # Examples
 //!
@@ -78,6 +86,6 @@ pub mod vn;
 
 pub use diag::{Code, Diagnostic, LintLevel, LintReport, Severity};
 pub use passes::{default_passes, LintContext, LintPass};
-pub use pipeline::{lint_compiled, try_compile_linted};
+pub use pipeline::{lint_compiled, lint_compiled_with, lint_program, try_compile_linted};
 pub use validator::{validate_translation, ValidationResult};
 pub use vn::{ValueNumbering, Vn, VnOperand};

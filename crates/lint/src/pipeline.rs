@@ -8,13 +8,17 @@
 //! honors [`PipelineOptions::lint`]: at `Allow` no linting runs at all;
 //! the caller decides pass/fail from [`LintReport::fails_at`].
 
-use crate::diag::LintReport;
+use crate::diag::{Code, Diagnostic, LintReport};
 use crate::passes::{default_passes, LintContext};
 use crate::validator::validate_translation;
-use ursa_ir::ddg::DependenceDag;
+use ursa_ir::ddg::{DdgOptions, DependenceDag};
+use ursa_ir::instr::Instr;
 use ursa_ir::program::Program;
-use ursa_ir::trace::Trace;
+use ursa_ir::trace::{liveness, Trace};
+use ursa_ir::value::Operand;
 use ursa_machine::Machine;
+use ursa_sched::program::{ProgramSchedule, BOUNDARY_SYMBOL};
+use ursa_sched::vliw::{SlotOp, VliwProgram};
 use ursa_sched::{
     try_compile_with, CompileError, CompileStrategy, Compiled, LintLevel, PipelineOptions,
 };
@@ -36,8 +40,30 @@ pub fn lint_compiled(
     strategy: &CompileStrategy,
     compiled: &Compiled,
 ) -> LintReport {
+    lint_compiled_with(
+        program,
+        trace,
+        machine,
+        strategy,
+        compiled,
+        DdgOptions::default(),
+    )
+}
+
+/// [`lint_compiled`] with explicit DAG-construction options. The
+/// rebuilt reference DAG must be shaped exactly like the one the code
+/// was generated from — the whole-program driver compiles its units
+/// with a materialized final branch, so its lint replay must too.
+pub fn lint_compiled_with(
+    program: &Program,
+    trace: &Trace,
+    machine: &Machine,
+    strategy: &CompileStrategy,
+    compiled: &Compiled,
+    ddg_opts: DdgOptions,
+) -> LintReport {
     let mut report = LintReport::new();
-    let original = DependenceDag::build(program, trace);
+    let original = DependenceDag::build_with(program, trace, ddg_opts);
     if !matches!(strategy, CompileStrategy::Prepass) {
         let reference = match &compiled.outcome {
             Some(o) => &o.ddg,
@@ -80,9 +106,144 @@ pub fn try_compile_linted(
     let report = if opts.lint == LintLevel::Allow {
         LintReport::new()
     } else {
-        lint_compiled(program, trace, machine, &strategy, &compiled)
+        lint_compiled_with(program, trace, machine, &strategy, &compiled, opts.ddg)
     };
     Ok((compiled, report))
+}
+
+/// `true` when `vliw` stores to `__boundary[r]` no later than word
+/// `limit` (any word when `limit` is `None`).
+fn stores_to_boundary(vliw: &VliwProgram, r: usize, limit: Option<usize>) -> bool {
+    vliw.words.iter().enumerate().any(|(w, word)| {
+        limit.is_none_or(|l| w <= l)
+            && word.iter().any(|op| match &op.op {
+                SlotOp::Instr(Instr::Store { mem, .. }) => {
+                    vliw.symbols.get(mem.base.index()).map(String::as_str) == Some(BOUNDARY_SYMBOL)
+                        && mem.index == Operand::Imm(r as i64)
+                }
+                _ => false,
+            })
+    })
+}
+
+/// Lints a whole [`ProgramSchedule`]: each unit goes through the full
+/// per-trace battery ([`lint_compiled_with`], against the *compensated*
+/// program its code was generated from), then the boundary hand-off
+/// contract is checked across units:
+///
+/// * **U0201 missing-compensation** — a unit takes an off-unit edge
+///   (branch exit or fall-through) along which some value live into the
+///   target block was never stored to the `__boundary` area. Exit edges
+///   additionally require the store to issue no later than the branch's
+///   word, since later words never execute on the exiting path.
+/// * **U0202 clobbered-live-out** — a unit's code declares register
+///   live-ins. Registers do not survive a unit switch: every cross-unit
+///   value must arrive through the boundary area.
+///
+/// `program` is the *original* program — liveness for the hand-off
+/// checks is computed on it, exactly as [`ursa_sched::compensate`] did.
+pub fn lint_program(
+    program: &Program,
+    sched: &ProgramSchedule,
+    machine: &Machine,
+    strategy: &CompileStrategy,
+    opts: &PipelineOptions,
+) -> LintReport {
+    let mut report = LintReport::new();
+    let mut ddg_opts = opts.ddg;
+    ddg_opts.materialize_final_branch = true;
+    let lv = liveness(program);
+    for unit in &sched.units {
+        let head = unit.trace.blocks[0];
+        let unit_report = lint_compiled_with(
+            &sched.compensated,
+            &unit.trace,
+            machine,
+            strategy,
+            &unit.compiled,
+            ddg_opts,
+        );
+        // Two per-unit findings are expected shapes at program level:
+        // the driver itself appended `__boundary` to the compensated
+        // program (the collision lint is about *user* symbols), and
+        // boundary cells are stored for *other* units to reload (the
+        // redundant-spill-pair lint only sees one unit at a time).
+        report.extend(
+            unit_report
+                .diagnostics
+                .into_iter()
+                .filter(|d| {
+                    !(d.message.contains(BOUNDARY_SYMBOL)
+                        && matches!(
+                            d.code,
+                            Code::SpillSymbolCollision | Code::RedundantSpillPair
+                        ))
+                })
+                .map(|d| d.note(format!("in the unit headed by block {head}"))),
+        );
+        let vliw = &unit.compiled.vliw;
+        // Branch words in issue order — ordinal k is the k-th branch.
+        let branch_words: Vec<usize> = vliw
+            .words
+            .iter()
+            .enumerate()
+            .flat_map(|(w, word)| {
+                word.iter()
+                    .filter(|op| matches!(op.op, SlotOp::Branch { .. }))
+                    .map(move |_| w)
+            })
+            .collect();
+        for (k, &target) in unit.exits.iter().enumerate() {
+            let limit = branch_words.get(k).copied();
+            for r in lv.live_in[target].iter() {
+                if !stores_to_boundary(vliw, r, limit) {
+                    let mut d = Diagnostic::new(
+                        Code::MissingCompensation,
+                        format!(
+                            "unit headed by block {head} exits to block {target} \
+                             without committing v{r} to {BOUNDARY_SYMBOL}[{r}]"
+                        ),
+                    );
+                    if let Some(w) = limit {
+                        d = d.at_cycle(w as u64).note(format!(
+                            "the exit branch issues at cycle {w}; the store must \
+                             issue no later"
+                        ));
+                    }
+                    report.push(d);
+                }
+            }
+        }
+        if let Some(target) = unit.fallthrough {
+            for r in lv.live_in[target].iter() {
+                if !stores_to_boundary(vliw, r, None) {
+                    report.push(Diagnostic::new(
+                        Code::MissingCompensation,
+                        format!(
+                            "unit headed by block {head} falls through to block \
+                             {target} without committing v{r} to {BOUNDARY_SYMBOL}[{r}]"
+                        ),
+                    ));
+                }
+            }
+        }
+        if !vliw.live_in.is_empty() {
+            let regs: Vec<String> = vliw
+                .live_in
+                .iter()
+                .map(|&(phys, vreg)| format!("{vreg} in r{phys}"))
+                .collect();
+            report.push(Diagnostic::new(
+                Code::ClobberedLiveOut,
+                format!(
+                    "unit headed by block {head} expects register live-ins \
+                     ({}); registers do not survive unit switches",
+                    regs.join(", ")
+                ),
+            ));
+        }
+    }
+    report
 }
 
 #[cfg(test)]
@@ -130,5 +291,95 @@ mod tests {
             try_compile_linted(&program, &trace, &machine, CompileStrategy::Postpass, &opts)
                 .unwrap();
         assert!(report.is_clean());
+    }
+
+    const LOOP: &str = "\
+        block entry:\n\
+        v0 = const 0\n\
+        jmp head\n\
+        block head @ 8:\n\
+        v1 = load a[v0]\n\
+        v2 = mul v1, 3\n\
+        store b[v0], v2\n\
+        v0 = add v0, 1\n\
+        v3 = cmplt v0, 8\n\
+        br v3, head, done\n\
+        block done:\n\
+        ret\n";
+
+    #[test]
+    fn whole_program_lint_is_deny_clean_on_every_strategy() {
+        let p = ursa_ir::parser::parse(LOOP).unwrap();
+        let machine = Machine::homogeneous(2, 4);
+        let opts = PipelineOptions::default();
+        let strategies = [
+            CompileStrategy::Ursa(Default::default()),
+            CompileStrategy::Postpass,
+            CompileStrategy::Prepass,
+            CompileStrategy::GoodmanHsu,
+        ];
+        for strategy in strategies {
+            let name = strategy.name();
+            let sched =
+                ursa_sched::program::try_compile_program(&p, &machine, strategy.clone(), &opts)
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let report = lint_program(&p, &sched, &machine, &strategy, &opts);
+            assert!(
+                !report.fails_at(LintLevel::Deny),
+                "{name} fails deny-level lint:\n{report}"
+            );
+        }
+    }
+
+    #[test]
+    fn dropped_boundary_store_is_missing_compensation() {
+        let p = ursa_ir::parser::parse(LOOP).unwrap();
+        let machine = Machine::homogeneous(2, 4);
+        let opts = PipelineOptions::default();
+        let strategy = CompileStrategy::Postpass;
+        let mut sched =
+            ursa_sched::program::try_compile_program(&p, &machine, strategy.clone(), &opts)
+                .unwrap();
+        // Sabotage: strip every boundary store from every unit.
+        for unit in &mut sched.units {
+            let vliw = &mut unit.compiled.vliw;
+            let boundary: Vec<bool> = vliw.symbols.iter().map(|s| s == BOUNDARY_SYMBOL).collect();
+            for word in &mut vliw.words {
+                word.retain(|op| {
+                    !matches!(
+                        &op.op,
+                        SlotOp::Instr(Instr::Store { mem, .. })
+                            if boundary.get(mem.base.index()).copied().unwrap_or(false)
+                    )
+                });
+            }
+        }
+        let report = lint_program(&p, &sched, &machine, &strategy, &opts);
+        assert!(
+            report.has(Code::MissingCompensation),
+            "stripped stores must be reported:\n{report}"
+        );
+    }
+
+    #[test]
+    fn unit_register_live_ins_are_clobbered_live_out() {
+        let p = ursa_ir::parser::parse(LOOP).unwrap();
+        let machine = Machine::homogeneous(2, 4);
+        let opts = PipelineOptions::default();
+        let strategy = CompileStrategy::Postpass;
+        let mut sched =
+            ursa_sched::program::try_compile_program(&p, &machine, strategy.clone(), &opts)
+                .unwrap();
+        // Sabotage: pretend a unit expects v0 to arrive in a register.
+        sched.units[0]
+            .compiled
+            .vliw
+            .live_in
+            .push((0, ursa_ir::value::VirtualReg(0)));
+        let report = lint_program(&p, &sched, &machine, &strategy, &opts);
+        assert!(
+            report.has(Code::ClobberedLiveOut),
+            "register live-ins must be reported:\n{report}"
+        );
     }
 }

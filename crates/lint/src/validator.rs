@@ -129,6 +129,7 @@ impl<'a> Walker<'a> {
 
     fn run(mut self) -> ValidationResult {
         self.init_live_in();
+        self.seed_boundary_cells();
         for (c, word) in self.vliw.words.iter().enumerate() {
             for (slot, op) in word.iter().enumerate() {
                 self.step(c as u64, slot, op);
@@ -159,6 +160,39 @@ impl<'a> Walker<'a> {
                     commit: 0,
                 });
             }
+        }
+    }
+
+    /// Seeds the memory cells that hold values *before* this trace
+    /// runs. A spill-area load with no Memory-edge predecessor in the
+    /// DAG reads a cell some earlier unit filled — the whole-program
+    /// driver's `__boundary` hand-off loads are the canonical case.
+    /// (Allocator-inserted spill reloads always follow their spill
+    /// store through a Memory edge, so they are never seeded.)
+    fn seed_boundary_cells(&mut self) {
+        let mut seeds = Vec::new();
+        for n in self.ddg.fu_nodes() {
+            let Some(Instr::Load { mem, .. }) = self.ddg.instr(n) else {
+                continue;
+            };
+            let name = self.ddg.symbol_name(mem.base);
+            if !is_spill_symbol(name) {
+                continue;
+            }
+            if self.mem_preds.get(&n).is_some_and(|ps| !ps.is_empty()) {
+                continue;
+            }
+            let (Some(idx), Some(vn)) = (self.dag_operand(mem.index), self.vn.vn_of(n)) else {
+                continue;
+            };
+            seeds.push(((name.to_string(), mem_key(idx)), vn));
+        }
+        for (key, vn) in seeds {
+            self.cells.entry(key).or_insert(Write {
+                vn,
+                issued: 0,
+                commit: 0,
+            });
         }
     }
 
@@ -334,7 +368,7 @@ impl<'a> Walker<'a> {
         };
         self.book_unit(op.fu, kind, cycle);
         match &op.op {
-            SlotOp::Branch { cond } => self.step_branch(*cond, cycle, slot),
+            SlotOp::Branch { cond, .. } => self.step_branch(*cond, cycle, slot),
             SlotOp::Instr(i) => match i {
                 Instr::Const { dst, value } => {
                     let vn = self.vn.observe_const(*value);

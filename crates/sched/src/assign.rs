@@ -139,14 +139,19 @@ pub fn assign_registers(
                 });
                 SlotOp::Instr(instr)
             }
-            NodeKind::Branch { cond, .. } => {
+            NodeKind::Branch {
+                cond, exit_on_true, ..
+            } => {
                 let cond = match cond {
                     ursa_ir::value::Operand::Reg(r) => {
                         ursa_ir::value::Operand::Reg(VirtualReg(binding[r]))
                     }
                     imm => *imm,
                 };
-                SlotOp::Branch { cond }
+                SlotOp::Branch {
+                    cond,
+                    exit_on_true: *exit_on_true,
+                }
             }
             other => unreachable!("pseudo node {other:?} in schedule"),
         };
@@ -178,7 +183,12 @@ pub fn emit_physical(ddg: &DependenceDag, schedule: &Schedule, machine: &Machine
     for op in schedule.ops() {
         let slot = match ddg.kind(op.node) {
             NodeKind::Op { instr, .. } => SlotOp::Instr(instr.clone()),
-            NodeKind::Branch { cond, .. } => SlotOp::Branch { cond: *cond },
+            NodeKind::Branch {
+                cond, exit_on_true, ..
+            } => SlotOp::Branch {
+                cond: *cond,
+                exit_on_true: *exit_on_true,
+            },
             other => unreachable!("pseudo node {other:?} in schedule"),
         };
         words[op.cycle as usize].push(MachineOp {

@@ -28,7 +28,10 @@ pub enum CompileError {
     },
     /// The trace has a shape the strategy cannot compile (e.g. the
     /// prepass baseline allocates one block at a time, or the trace is
-    /// empty).
+    /// empty). Multi-block *programs* are not compiled through a single
+    /// trace at all: route them through the whole-program driver
+    /// ([`crate::compile_program`], `ursac --whole-program`), which
+    /// splits the CFG into single-entry units first.
     UnsupportedTrace {
         /// The strategy that refused.
         strategy: &'static str,
@@ -102,7 +105,12 @@ impl fmt::Display for CompileError {
                 write!(f, "trace block {block} out of range ({blocks} blocks)")
             }
             CompileError::UnsupportedTrace { strategy, blocks } => {
-                write!(f, "{strategy} cannot compile a {blocks}-block trace")
+                write!(
+                    f,
+                    "{strategy} cannot compile a {blocks}-block trace; use the \
+                     whole-program driver (`ursac --whole-program` / \
+                     `compile_program`) to split a CFG into per-trace units"
+                )
             }
             CompileError::MissingUnit { class } => {
                 write!(

@@ -51,6 +51,7 @@ pub mod error;
 pub mod ips;
 pub mod patch;
 pub mod prepass;
+pub mod program;
 pub mod schedule;
 pub mod validate;
 pub mod vliw;
@@ -60,6 +61,10 @@ pub use error::CompileError;
 pub use ips::{ips_schedule, try_ips_schedule, IpsStats};
 pub use patch::{patch_spills, try_patch_spills, PatchStats};
 pub use prepass::{prepass_allocate, try_prepass_allocate, PrepassStats};
+pub use program::{
+    compensate, compile_program, try_compile_program, units_for_strategy, CompiledUnit,
+    ProgramSchedule, BOUNDARY_SYMBOL,
+};
 pub use schedule::{list_schedule, try_list_schedule, Schedule, ScheduledOp};
 pub use validate::{is_spill_symbol, Stage, ValidationError, SPILL_PREFIX};
 pub use vliw::{MachineOp, SlotOp, VliwProgram};
@@ -169,6 +174,11 @@ pub struct PipelineOptions {
     /// [`CompileError::Internal`] with stage attribution, instead of
     /// unwinding through the caller.
     pub isolate: bool,
+    /// Dependence-construction options for every DAG the pipeline
+    /// builds. The whole-program driver sets
+    /// [`DdgOptions::materialize_final_branch`] so unit code carries its
+    /// final conditional branch.
+    pub ddg: DdgOptions,
 }
 
 /// One rung of the degradation ladder.
@@ -398,7 +408,7 @@ fn try_compile_inner(
     match strategy {
         CompileStrategy::Ursa(config) => compile_ursa(program, trace, machine, config, opts),
         CompileStrategy::Postpass => {
-            let ddg = DependenceDag::build(program, trace);
+            let ddg = DependenceDag::build_with(program, trace, opts.ddg);
             let real_ops = validate::real_op_count(&ddg);
             if checking {
                 validate::check_dag(Stage::Ddg, &ddg)?;
@@ -444,7 +454,7 @@ fn try_compile_inner(
                 trace,
                 DdgOptions {
                     rename: false,
-                    ..DdgOptions::default()
+                    ..opts.ddg
                 },
             );
             if checking {
@@ -458,7 +468,8 @@ fn try_compile_inner(
             fault::set_stage("assign");
             let vliw = emit_physical(&ddg, &schedule, machine);
             if checking {
-                let expected = validate::real_op_count(&DependenceDag::build(program, trace));
+                let expected =
+                    validate::real_op_count(&DependenceDag::build_with(program, trace, opts.ddg));
                 validate::check_words(&vliw, machine, expected)?;
             }
             let stats = CompileStats {
@@ -479,7 +490,7 @@ fn try_compile_inner(
             })
         }
         CompileStrategy::GoodmanHsu => {
-            let ddg = DependenceDag::build(program, trace);
+            let ddg = DependenceDag::build_with(program, trace, opts.ddg);
             let real_ops = validate::real_op_count(&ddg);
             if checking {
                 validate::check_dag(Stage::Ddg, &ddg)?;
@@ -549,7 +560,7 @@ fn compile_ursa(
     opts: &PipelineOptions,
 ) -> Result<Compiled, CompileError> {
     let checking = opts.validate || config.paranoid || cfg!(debug_assertions);
-    let ddg0 = DependenceDag::build(program, trace);
+    let ddg0 = DependenceDag::build_with(program, trace, opts.ddg);
     if checking {
         validate::check_dag(Stage::Ddg, &ddg0)?;
     }
@@ -745,7 +756,7 @@ pub fn compile_entry_block(
     machine: &Machine,
     strategy: CompileStrategy,
 ) -> Compiled {
-    compile(program, &Trace::single(0), machine, strategy)
+    compile(program, &Trace::entry(), machine, strategy)
 }
 
 #[cfg(test)]

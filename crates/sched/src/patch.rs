@@ -214,6 +214,9 @@ pub fn try_patch_spills(
     }
 
     let mut last_issue: u64 = 0;
+    // End cycle (issue + latency) of the latest branch issued so far;
+    // stores and later branches may not issue before it.
+    let mut last_branch_end: u64 = 0;
     // Registers of dead definitions, reusable once the write commits.
     let mut deferred_frees: Vec<(u64, u32)> = Vec::new();
     // Memory commit times: a load must not issue before the last store
@@ -233,12 +236,14 @@ pub fn try_patch_spills(
         let lat = node_latency(ddg, machine, node);
         let (mut instr, is_branch_cond) = match ddg.kind(node) {
             NodeKind::Op { instr, .. } => (Some(instr.clone()), None),
-            NodeKind::Branch { cond, .. } => (None, Some(*cond)),
+            NodeKind::Branch {
+                cond, exit_on_true, ..
+            } => (None, Some((*cond, *exit_on_true))),
             other => unreachable!("{other:?} in schedule"),
         };
         let reads: Vec<VirtualReg> = match (&instr, is_branch_cond) {
             (Some(i), _) => i.uses(),
-            (None, Some(Operand::Reg(r))) => vec![r],
+            (None, Some((Operand::Reg(r), _))) => vec![r],
             _ => Vec::new(),
         };
 
@@ -295,6 +300,14 @@ pub fn try_patch_spills(
         //    operand register is recycled).
         for &r in &reads {
             earliest = earliest.max(avail.get(&r).copied().unwrap_or(0));
+        }
+        // Ops with observable effects must resolve every earlier
+        // branch first: a firing branch cancels later words, but an op
+        // sharing the branch's word still executes — a store there
+        // would land on the wrong path. Branches themselves are spaced
+        // the same way so exit ordinals stay in word-major trace order.
+        if is_branch_cond.is_some() || instr.as_ref().and_then(Instr::mem_write).is_some() {
+            earliest = earliest.max(last_branch_end);
         }
         if let Some(m) = instr.as_ref().and_then(Instr::mem_read) {
             let ready = match m.index {
@@ -372,17 +385,21 @@ pub fn try_patch_spills(
                 i.map_registers(|r| VirtualReg(binding[&r]));
                 SlotOp::Instr(i.clone())
             }
-            (None, Some(cond)) => SlotOp::Branch {
+            (None, Some((cond, exit_on_true))) => SlotOp::Branch {
                 cond: match cond {
                     Operand::Reg(r) => Operand::Reg(VirtualReg(binding[&r])),
                     imm => imm,
                 },
+                exit_on_true,
             },
             _ => unreachable!(),
         };
         let occ = crate::schedule::node_occupancy(ddg, machine, node);
         let t = emitter.issue(earliest.max(floor), class, lat, occ, slot_op)?;
         last_issue = t;
+        if is_branch_cond.is_some() {
+            last_branch_end = last_branch_end.max(t + lat);
+        }
         if let Some(m) = instr.as_ref().and_then(Instr::mem_write) {
             let key = match m.index {
                 Operand::Imm(k) => (m.base, Some(k)),

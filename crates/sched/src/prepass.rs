@@ -11,10 +11,10 @@
 
 use crate::error::CompileError;
 use std::collections::{BTreeSet, HashMap};
-use ursa_ir::instr::Instr;
+use ursa_ir::instr::{Instr, Terminator};
 use ursa_ir::program::{BasicBlock, Program};
 use ursa_ir::trace::liveness;
-use ursa_ir::value::{MemRef, SymbolId, VirtualReg};
+use ursa_ir::value::{MemRef, Operand, SymbolId, VirtualReg};
 use ursa_machine::Machine;
 
 /// Spill activity of the prepass allocator.
@@ -227,14 +227,15 @@ pub fn try_prepass_allocate(
             Some(_) => Some(st.grab(&reads, |v| next_use(v, i + 1))?),
             None => None,
         };
+        // Rewrite the uses through the pre-instruction bindings, then
+        // place the def. The two must be kept apart: a self-redefinition
+        // (`v0 = add v0, 1`) reads the *old* home of `v0`, which need
+        // not be the register the new definition lands in.
         let mut rewritten = instr.clone();
-        rewritten.map_registers(|r| {
-            if Some(r) == def {
-                VirtualReg(def_phys.expect("allocated"))
-            } else {
-                VirtualReg(binding[&r])
-            }
-        });
+        rewritten.map_registers(|r| VirtualReg(binding.get(&r).copied().unwrap_or(r.0)));
+        if let Some(p) = def_phys {
+            rewritten.replace_def(VirtualReg(p));
+        }
         st.out.push(rewritten);
         if let (Some(d), Some(p)) = (def, def_phys) {
             // A redefinition invalidates any stale spill slot.
@@ -244,12 +245,35 @@ pub fn try_prepass_allocate(
         }
     }
 
+    // Rewrite the terminator through the final bindings: a branch
+    // condition must name a physical register, reloading the value
+    // first if the scan left it in its spill slot.
+    let mut term = program.blocks[block].term.clone();
+    if let Terminator::Branch { cond, .. } = &mut term {
+        if let Operand::Reg(orig) = *cond {
+            if let Some(Loc::Mem(slot)) = st.loc.get(&orig).copied() {
+                let phys = st.grab(&[], |v| next_use(v, instrs.len()))?;
+                st.out.push(Instr::Load {
+                    dst: VirtualReg(phys),
+                    mem: MemRef::new(spill_sym, slot),
+                });
+                st.stats.loads += 1;
+                st.loc.insert(orig, Loc::Reg(phys));
+                st.owner.insert(phys, orig);
+            }
+            match st.loc.get(&orig).copied() {
+                Some(Loc::Reg(p)) => *cond = Operand::Reg(VirtualReg(p)),
+                _ => unreachable!("branch condition {orig} has no location"),
+            }
+        }
+    }
+
     let mut new_program = program.clone();
     new_program.symbols = symbols;
     new_program.blocks[block] = BasicBlock {
         label: program.blocks[block].label.clone(),
         instrs: st.out,
-        term: program.blocks[block].term.clone(),
+        term,
         weight: program.blocks[block].weight,
     };
     new_program.num_vregs = new_program.num_vregs.max(regs);
@@ -354,6 +378,30 @@ mod tests {
             try_prepass_allocate(&p, 0, &machine),
             Err(CompileError::FileTooSmall { registers: 2, .. })
         ));
+    }
+
+    #[test]
+    fn self_redefinition_reads_the_old_home() {
+        // `v0 = add v0, 1` redefines the register it reads. The use must
+        // be rewritten through v0's binding *before* the instruction,
+        // not the register the new definition lands in.
+        let src = "\
+            v0 = load a[0]\n\
+            v1 = load a[1]\n\
+            v0 = add v0, 1\n\
+            store b[0], v0\n\
+            store b[1], v1\n";
+        let p = parse(src).unwrap();
+        let machine = Machine::homogeneous(4, 16);
+        let (q, stats) = prepass_allocate(&p, 0, &machine);
+        assert_eq!(stats.stores + stats.loads, 0);
+        let instrs = &q.blocks[0].instrs;
+        let v0_home = instrs[0].def().unwrap();
+        assert_eq!(
+            instrs[2].uses(),
+            vec![v0_home],
+            "the add must read the register the first load defined"
+        );
     }
 
     #[test]

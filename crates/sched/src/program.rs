@@ -1,0 +1,409 @@
+//! Whole-program compilation: lifting the per-trace pipeline to full
+//! control-flow graphs.
+//!
+//! The paper compiles one trace at a time; real programs are CFGs. The
+//! driver here partitions the CFG into *units* (single-entry trace
+//! segments, [`ursa_ir::trace::select_units`]), rewrites the program so
+//! every value crossing a unit boundary travels through a compiler-owned
+//! memory area (`__boundary`, one slot per virtual register), then runs
+//! the existing per-trace pipeline over each unit unchanged — budget,
+//! fault isolation, degradation ladder and all.
+//!
+//! # The boundary handoff contract
+//!
+//! [`compensate`] establishes the invariant that the whole-program
+//! simulator and the lint layer both rely on:
+//!
+//! * every unit head block begins with `vR = load __boundary[R]` for
+//!   each register `R` live into the head, so no unit ever expects a
+//!   value to arrive in a register (per-unit code has an empty
+//!   `live_in` table);
+//! * every block ends (before its terminator) with
+//!   `store __boundary[R], vR` for each register live into any
+//!   successor that is *not* the next block of the same unit, so every
+//!   off-unit edge sees its live values committed to the boundary area.
+//!
+//! Stores are pinned below the previous branch and above the block's own
+//! branch by the DAG builder's `Control` edges, and the runtime drains
+//! every issued store even when a branch exits the trace mid-word —
+//! together this guarantees an exiting path always observes its
+//! compensation stores, while stores of *later* blocks (wrong-path
+//! stores) cannot issue before an earlier branch fires.
+//!
+//! The `__boundary` symbol is appended after the program's own symbols,
+//! so semantic equivalence checks over the original symbol range ignore
+//! it, and its `__` prefix exempts its traffic from operation
+//! conservation like any other spill area.
+
+use crate::error::CompileError;
+use crate::{try_compile_with, CompileStrategy, Compiled, PipelineOptions};
+use std::collections::BTreeSet;
+use ursa_ir::instr::{Instr, Terminator};
+use ursa_ir::program::Program;
+use ursa_ir::trace::{liveness, select_units, Trace};
+use ursa_ir::value::{MemRef, Operand, SymbolId, VirtualReg};
+use ursa_machine::Machine;
+
+/// Name of the compiler-owned cross-unit handoff area. Slot `R` of the
+/// area carries the value of virtual register `R` across unit
+/// boundaries.
+pub const BOUNDARY_SYMBOL: &str = "__boundary";
+
+/// One compiled unit plus the control map the runtime needs to stitch
+/// units together.
+#[derive(Clone, Debug)]
+pub struct CompiledUnit {
+    /// The blocks this unit covers, in execution order.
+    pub trace: Trace,
+    /// The unit's code, straight from the per-trace pipeline.
+    pub compiled: Compiled,
+    /// `exits[k]` is the CFG block targeted by the unit's `k`-th
+    /// conditional branch in trace order (the ordinal
+    /// `ursa_vm::wide::VliwResult::exit_branch` reports).
+    pub exits: Vec<usize>,
+    /// Block control transfers to when no branch fires; `None` means
+    /// the program returns.
+    pub fallthrough: Option<usize>,
+}
+
+/// A whole program compiled unit-by-unit.
+#[derive(Clone, Debug)]
+pub struct ProgramSchedule {
+    /// Compiled units; `units[0]` is not necessarily the entry.
+    pub units: Vec<CompiledUnit>,
+    /// The compensated program the units were compiled from (the
+    /// original plus boundary loads/stores and the `__boundary`
+    /// symbol).
+    pub compensated: Program,
+    /// The handoff symbol (always the last symbol of `compensated`).
+    pub boundary_sym: SymbolId,
+}
+
+impl ProgramSchedule {
+    /// Index of the unit whose head is `block`, if any. Every CFG edge
+    /// that leaves a unit targets a unit head by construction.
+    pub fn unit_for_block(&self, block: usize) -> Option<usize> {
+        self.units
+            .iter()
+            .position(|u| u.trace.blocks.first() == Some(&block))
+    }
+
+    /// The unit containing the program entry (block 0).
+    pub fn entry_unit(&self) -> usize {
+        self.unit_for_block(0)
+            .expect("block 0 is always a unit head")
+    }
+
+    /// Total operations emitted across all units.
+    pub fn op_count(&self) -> usize {
+        self.units.iter().map(|u| u.compiled.stats.ops).sum()
+    }
+
+    /// Sum of the per-unit schedule lengths (a static size measure, not
+    /// a runtime cycle count — loops re-run units).
+    pub fn schedule_length(&self) -> u64 {
+        self.units
+            .iter()
+            .map(|u| u.compiled.stats.schedule_length)
+            .sum()
+    }
+
+    /// Total spill operations (stores + loads) across all units.
+    pub fn spill_ops(&self) -> usize {
+        self.units
+            .iter()
+            .map(|u| u.compiled.stats.spill_stores + u.compiled.stats.spill_loads)
+            .sum()
+    }
+
+    /// Total memory traffic across all units (includes boundary
+    /// handoff traffic).
+    pub fn memory_traffic(&self) -> usize {
+        self.units
+            .iter()
+            .map(|u| u.compiled.stats.memory_traffic)
+            .sum()
+    }
+}
+
+/// Rewrites `program` so every value crossing a unit boundary travels
+/// through the `__boundary` memory area: loads at each unit head for the
+/// head's live-in registers, stores at the end of each block for every
+/// register live into an off-unit successor. Returns the rewritten
+/// program and the boundary symbol.
+///
+/// Liveness is computed on the *original* program: the compensation ops
+/// themselves must not perturb what counts as live across an edge.
+pub fn compensate(program: &Program, units: &[Trace]) -> (Program, SymbolId) {
+    let mut comp = program.clone();
+    let boundary = SymbolId(comp.symbols.len() as u32);
+    comp.symbols.push(BOUNDARY_SYMBOL.to_string());
+    let lv = liveness(program);
+    for unit in units {
+        let head = unit.blocks[0];
+        let mut prefix: Vec<Instr> = lv.live_in[head]
+            .iter()
+            .map(|r| Instr::Load {
+                dst: VirtualReg(r as u32),
+                mem: MemRef::new(boundary, r as i64),
+            })
+            .collect();
+        prefix.append(&mut comp.blocks[head].instrs);
+        comp.blocks[head].instrs = prefix;
+        for (i, &b) in unit.blocks.iter().enumerate() {
+            let internal_next = unit.blocks.get(i + 1).copied();
+            // Union of live-ins over every successor the unit does not
+            // fall through to internally; BTreeSet for deterministic
+            // emission order.
+            let mut outs: BTreeSet<usize> = BTreeSet::new();
+            for t in program.successors(b) {
+                if Some(t) == internal_next {
+                    continue;
+                }
+                outs.extend(lv.live_in[t].iter());
+            }
+            for r in outs {
+                comp.blocks[b].instrs.push(Instr::Store {
+                    mem: MemRef::new(boundary, r as i64),
+                    src: Operand::Reg(VirtualReg(r as u32)),
+                });
+            }
+        }
+    }
+    (comp, boundary)
+}
+
+/// The unit partition a strategy compiles: prepass allocates one block
+/// at a time (its allocator is block-local), every other strategy takes
+/// the multi-block units of [`select_units`].
+pub fn units_for_strategy(program: &Program, strategy: &CompileStrategy) -> Vec<Trace> {
+    match strategy {
+        CompileStrategy::Prepass => (0..program.blocks.len()).map(Trace::single).collect(),
+        _ => select_units(program),
+    }
+}
+
+/// Maps a unit's conditional branches (in trace order, the order their
+/// ordinals are reported by the simulator) to CFG exit targets, and
+/// finds the fall-through block.
+///
+/// Mirrors the DAG builder exactly: a branch becomes a node iff its two
+/// targets differ (a `br c, X, X` is a jump and gets no node); the
+/// trace-final branch falls through to `then_block` and exits to
+/// `else_block`.
+fn trace_exits(program: &Program, trace: &Trace) -> (Vec<usize>, Option<usize>) {
+    let mut exits = Vec::new();
+    let mut fallthrough = None;
+    for (i, &b) in trace.blocks.iter().enumerate() {
+        let internal_next = trace.blocks.get(i + 1).copied();
+        match program.blocks[b].term {
+            Terminator::Branch {
+                then_block,
+                else_block,
+                ..
+            } if then_block != else_block => match internal_next {
+                Some(next) => {
+                    exits.push(if next == then_block {
+                        else_block
+                    } else {
+                        then_block
+                    });
+                }
+                None => {
+                    exits.push(else_block);
+                    fallthrough = Some(then_block);
+                }
+            },
+            Terminator::Branch { then_block, .. } => {
+                // Both targets equal: effectively a jump, no branch node.
+                if internal_next.is_none() {
+                    fallthrough = Some(then_block);
+                }
+            }
+            Terminator::Jump(target) => {
+                if internal_next.is_none() {
+                    fallthrough = Some(target);
+                }
+            }
+            Terminator::Ret => {}
+        }
+    }
+    (exits, fallthrough)
+}
+
+/// Compiles a whole program: unit selection, boundary compensation,
+/// then the per-trace pipeline over each unit (each unit gets the full
+/// degradation ladder, budget metering, and fault isolation of
+/// [`try_compile_with`]).
+///
+/// # Errors
+///
+/// The first unit that fails aborts the compilation with its
+/// [`CompileError`] — partial programs are not runnable.
+pub fn try_compile_program(
+    program: &Program,
+    machine: &Machine,
+    strategy: CompileStrategy,
+    opts: &PipelineOptions,
+) -> Result<ProgramSchedule, CompileError> {
+    if program.blocks.is_empty() {
+        return Err(CompileError::UnsupportedTrace {
+            strategy: strategy.name(),
+            blocks: 0,
+        });
+    }
+    let units = units_for_strategy(program, &strategy);
+    let (compensated, boundary_sym) = compensate(program, &units);
+    // Units need their final conditional branch in the code so the
+    // runtime can pick the successor.
+    let mut unit_opts = *opts;
+    unit_opts.ddg.materialize_final_branch = true;
+    let mut out = Vec::with_capacity(units.len());
+    for trace in units {
+        let compiled =
+            try_compile_with(&compensated, &trace, machine, strategy.clone(), &unit_opts)?;
+        let (exits, fallthrough) = trace_exits(&compensated, &trace);
+        out.push(CompiledUnit {
+            trace,
+            compiled,
+            exits,
+            fallthrough,
+        });
+    }
+    Ok(ProgramSchedule {
+        units: out,
+        compensated,
+        boundary_sym,
+    })
+}
+
+/// [`try_compile_program`] with default options, panicking on error.
+pub fn compile_program(
+    program: &Program,
+    machine: &Machine,
+    strategy: CompileStrategy,
+) -> ProgramSchedule {
+    try_compile_program(program, machine, strategy, &PipelineOptions::default())
+        .unwrap_or_else(|e| panic!("compile_program: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_ir::parser::parse;
+
+    fn diamond() -> Program {
+        parse(
+            "block entry:\n\
+             v0 = load a[0]\n\
+             br v0, hot, cold\n\
+             block hot @ 0.8:\n\
+             v1 = add v0, 1\n\
+             jmp out\n\
+             block cold @ 0.2:\n\
+             v1 = sub v0, 1\n\
+             jmp out\n\
+             block out:\n\
+             store a[0], v1\n\
+             ret\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compensate_adds_boundary_symbol_last() {
+        let p = diamond();
+        let units = select_units(&p);
+        let (comp, sym) = compensate(&p, &units);
+        assert_eq!(sym.0 as usize, p.symbols.len());
+        assert_eq!(comp.symbols.last().unwrap(), BOUNDARY_SYMBOL);
+        assert_eq!(comp.num_vregs, p.num_vregs);
+        comp.validate().expect("compensated program stays valid");
+    }
+
+    #[test]
+    fn every_off_unit_edge_has_its_live_values_stored() {
+        let p = diamond();
+        let units = select_units(&p);
+        let (comp, sym) = compensate(&p, &units);
+        let lv = liveness(&p);
+        for unit in &units {
+            for (i, &b) in unit.blocks.iter().enumerate() {
+                let internal_next = unit.blocks.get(i + 1).copied();
+                for t in p.successors(b) {
+                    if Some(t) == internal_next {
+                        continue;
+                    }
+                    for r in lv.live_in[t].iter() {
+                        let stored = comp.blocks[b].instrs.iter().any(|ins| {
+                            matches!(
+                                ins,
+                                Instr::Store { mem, src: Operand::Reg(v) }
+                                    if mem.base == sym
+                                        && mem.index == Operand::Imm(r as i64)
+                                        && v.index() == r
+                            )
+                        });
+                        assert!(
+                            stored,
+                            "block {b} misses boundary store of v{r} for edge to {t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_heads_load_their_live_ins_first() {
+        let p = diamond();
+        let units = select_units(&p);
+        let (comp, sym) = compensate(&p, &units);
+        let lv = liveness(&p);
+        for unit in &units {
+            let head = unit.blocks[0];
+            let expect = lv.live_in[head].iter().count();
+            let got = comp.blocks[head]
+                .instrs
+                .iter()
+                .take_while(|ins| matches!(ins, Instr::Load { mem, .. } if mem.base == sym))
+                .count();
+            assert_eq!(got, expect, "head {head} boundary prologue");
+        }
+    }
+
+    #[test]
+    fn exit_map_matches_branch_polarity() {
+        let p = diamond();
+        // Unit [entry, hot]: entry's branch exits to cold (off-trace),
+        // hot falls through to out.
+        let trace = Trace { blocks: vec![0, 1] };
+        let (exits, fallthrough) = trace_exits(&p, &trace);
+        assert_eq!(exits, vec![2]);
+        assert_eq!(fallthrough, Some(3));
+        // Single-block unit over entry: final branch exits to the zero
+        // target (cold), falls through to the nonzero target (hot).
+        let (exits, fallthrough) = trace_exits(&p, &Trace::single(0));
+        assert_eq!(exits, vec![2]);
+        assert_eq!(fallthrough, Some(1));
+        // The return block neither exits nor falls through.
+        let (exits, fallthrough) = trace_exits(&p, &Trace::single(3));
+        assert!(exits.is_empty());
+        assert_eq!(fallthrough, None);
+    }
+
+    #[test]
+    fn degenerate_branch_is_a_fallthrough_not_an_exit() {
+        let p = parse(
+            "block a:\n\
+             v0 = const 1\n\
+             br v0, b, b\n\
+             block b:\n\
+             ret\n",
+        )
+        .unwrap();
+        let (exits, fallthrough) = trace_exits(&p, &Trace::single(0));
+        assert!(exits.is_empty(), "br c, X, X must not produce an exit");
+        assert_eq!(fallthrough, Some(1));
+    }
+}

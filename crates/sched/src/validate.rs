@@ -146,11 +146,20 @@ impl std::error::Error for ValidationError {}
 
 /// Counts the *original* (non-synthesized) operations of a DAG: real
 /// instructions and branches that came from the program, excluding
-/// spill code inserted by transformations.
+/// spill code inserted by transformations and compensation memory
+/// operations against compiler-private (`__`-prefixed) areas — those
+/// are placed into real blocks by the whole-program driver but are not
+/// program operations.
 pub fn real_op_count(ddg: &DependenceDag) -> usize {
     ddg.fu_nodes()
         .filter(|&n| match ddg.kind(n) {
-            NodeKind::Op { block, .. } => *block != usize::MAX,
+            NodeKind::Op { instr, block } => {
+                *block != usize::MAX
+                    && !instr
+                        .mem_read()
+                        .or_else(|| instr.mem_write())
+                        .is_some_and(|m| is_spill_symbol(ddg.symbol_name(m.base)))
+            }
             NodeKind::Branch { .. } => true,
             _ => false,
         })
@@ -219,8 +228,9 @@ pub fn check_schedule(
 pub const SPILL_PREFIX: &str = "__";
 
 /// `true` for symbols naming compiler-private spill areas (`__spill`,
-/// `__patch_spill`, `__prepass_spill`). Memory operations against them
-/// are spill code, not program operations.
+/// `__patch_spill`, `__prepass_spill`, `__boundary`). Memory operations
+/// against them are spill or cross-unit compensation code, not program
+/// operations.
 pub fn is_spill_symbol(name: &str) -> bool {
     name.starts_with(SPILL_PREFIX)
 }
@@ -249,7 +259,7 @@ pub fn check_words(
         for op in word {
             let (kind, reads, def): (OpKind, Vec<VirtualReg>, Option<VirtualReg>) = match &op.op {
                 SlotOp::Instr(i) => (OpKind::of_instr(i), i.uses(), i.def()),
-                SlotOp::Branch { cond } => (
+                SlotOp::Branch { cond, .. } => (
                     OpKind::Branch,
                     match cond {
                         Operand::Reg(r) => vec![*r],

@@ -11,11 +11,14 @@ pub enum SlotOp {
     /// A regular instruction; all registers are physical (index below
     /// the machine's register count).
     Instr(Instr),
-    /// An on-trace conditional branch: if `cond` is zero, execution
-    /// leaves the trace.
+    /// An on-trace conditional branch: execution leaves the trace when
+    /// `(cond != 0) == exit_on_true`.
     Branch {
         /// Condition operand (physical register or immediate).
         cond: Operand,
+        /// Polarity of the exit: `true` means a nonzero condition
+        /// leaves the trace, `false` means a zero condition does.
+        exit_on_true: bool,
     },
 }
 
@@ -91,7 +94,10 @@ impl fmt::Display for VliwProgram {
                 }
                 match &op.op {
                     SlotOp::Instr(instr) => write!(f, "{instr}")?,
-                    SlotOp::Branch { cond } => write!(f, "br {cond}")?,
+                    SlotOp::Branch { cond, exit_on_true } => {
+                        let mnem = if *exit_on_true { "br.nz" } else { "br.z" };
+                        write!(f, "{mnem} {cond}")?
+                    }
                 }
                 write!(f, " @{}{}", op.fu.0, op.fu.1)?;
             }

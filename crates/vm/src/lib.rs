@@ -11,6 +11,10 @@
 //! * [`wide`] — wide-word simulation with non-pipelined latencies and
 //!   structural validation (unit conflicts, register bounds).
 //! * [`equiv`] — end-to-end equivalence checking.
+//! * [`program`] — whole-program execution over a
+//!   [`ursa_sched::program::ProgramSchedule`]: units are run one at a
+//!   time and stitched through branch exit tables and the `__boundary`
+//!   hand-off area.
 //!
 //! # Examples
 //!
@@ -34,12 +38,16 @@
 
 pub mod equiv;
 pub mod memory;
+pub mod program;
 pub mod seq;
 pub mod verify;
 pub mod wide;
 
 pub use equiv::{check_equivalence, seeded_memory, EquivalenceError};
 pub use memory::Memory;
+pub use program::{
+    check_program_equivalence, run_program, ProgramEquivalenceError, ProgramFault, ProgramRunResult,
+};
 pub use seq::{run_sequential, ExecError, SeqResult};
 pub use verify::{verify, VerifyError};
 pub use wide::{run_vliw, VliwFault, VliwResult};

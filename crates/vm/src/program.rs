@@ -1,0 +1,362 @@
+//! Whole-program execution: stitching compiled units together.
+//!
+//! A [`ProgramSchedule`] is a set of per-unit VLIW programs plus a
+//! control map. Execution starts at the unit containing block 0 and
+//! repeatedly runs one unit to completion: if a branch fired, its
+//! ordinal indexes the unit's exit table; otherwise control falls
+//! through. Either way the next block is a unit head (a guarantee of
+//! unit selection), and all values cross the boundary through the
+//! `__boundary` memory area — no registers survive a unit switch.
+
+use crate::memory::Memory;
+use crate::seq::run_sequential;
+use crate::wide::run_vliw;
+use std::collections::HashMap;
+use std::fmt;
+use ursa_ir::program::Program;
+use ursa_ir::value::{SymbolId, VirtualReg};
+use ursa_machine::Machine;
+use ursa_sched::program::ProgramSchedule;
+
+/// Why a whole-program run stopped abnormally.
+#[derive(Clone, Debug)]
+pub enum ProgramFault {
+    /// A unit's VLIW simulation faulted.
+    Unit {
+        /// Head block of the faulting unit.
+        block: usize,
+        /// The underlying fault.
+        fault: crate::wide::VliwFault,
+    },
+    /// Control reached a block that heads no unit — a broken control
+    /// map (should be impossible for driver-built schedules).
+    NotAUnitHead {
+        /// The orphaned block.
+        block: usize,
+    },
+    /// A unit reported a branch ordinal outside its exit table.
+    BadExitOrdinal {
+        /// Head block of the unit.
+        block: usize,
+        /// The out-of-range ordinal.
+        ordinal: usize,
+    },
+    /// The run exceeded its unit-iteration allowance (a runaway loop).
+    UnitRunLimit {
+        /// The allowance that was exhausted.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ProgramFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramFault::Unit { block, fault } => {
+                write!(f, "unit at block {block} faulted: {fault}")
+            }
+            ProgramFault::NotAUnitHead { block } => {
+                write!(f, "control reached block {block}, which heads no unit")
+            }
+            ProgramFault::BadExitOrdinal { block, ordinal } => {
+                write!(
+                    f,
+                    "unit at block {block} reported exit ordinal {ordinal} outside its exit table"
+                )
+            }
+            ProgramFault::UnitRunLimit { limit } => {
+                write!(f, "exceeded {limit} unit runs (runaway loop?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramFault {}
+
+/// The result of a whole-program run.
+#[derive(Clone, Debug)]
+pub struct ProgramRunResult {
+    /// Final memory (including the `__boundary` scratch area).
+    pub memory: Memory,
+    /// Total cycles across all unit runs.
+    pub cycles: u64,
+    /// Total operations executed across all unit runs.
+    pub ops_executed: usize,
+    /// How many unit executions the run took.
+    pub unit_runs: usize,
+    /// Head block of each unit executed, in order.
+    pub block_path: Vec<usize>,
+}
+
+/// Runs `sched` from block 0 until a unit returns (no exit fired and no
+/// fall-through), bounding the run at `max_unit_runs` unit executions.
+///
+/// Register inputs are delivered the same way the compiled code expects
+/// all cross-unit values: through the `__boundary` area (slot `R` holds
+/// register `R`).
+///
+/// # Errors
+///
+/// See [`ProgramFault`].
+pub fn run_program(
+    sched: &ProgramSchedule,
+    machine: &Machine,
+    initial: &Memory,
+    reg_inputs: &HashMap<VirtualReg, i64>,
+    max_unit_runs: usize,
+) -> Result<ProgramRunResult, ProgramFault> {
+    let mut memory = initial.clone();
+    for (&r, &v) in reg_inputs {
+        memory.store(sched.boundary_sym, r.0 as i64, v);
+    }
+    let mut cycles = 0u64;
+    let mut ops_executed = 0usize;
+    let mut block_path = Vec::new();
+    let mut unit_runs = 0usize;
+    let mut block = 0usize;
+    loop {
+        if unit_runs >= max_unit_runs {
+            return Err(ProgramFault::UnitRunLimit {
+                limit: max_unit_runs,
+            });
+        }
+        unit_runs += 1;
+        block_path.push(block);
+        let ui = sched
+            .unit_for_block(block)
+            .ok_or(ProgramFault::NotAUnitHead { block })?;
+        let unit = &sched.units[ui];
+        let vliw = &unit.compiled.vliw;
+        // Goodman–Hsu units may declare a wider file than the machine.
+        let exec_machine = if vliw.num_regs > machine.registers() {
+            machine.with_registers(vliw.num_regs)
+        } else {
+            machine.clone()
+        };
+        let result = run_vliw(vliw, &exec_machine, &memory, &HashMap::new())
+            .map_err(|fault| ProgramFault::Unit { block, fault })?;
+        cycles += result.cycles;
+        ops_executed += result.ops_executed;
+        memory = result.memory;
+        block = match result.exit_branch {
+            Some(k) => *unit
+                .exits
+                .get(k)
+                .ok_or(ProgramFault::BadExitOrdinal { block, ordinal: k })?,
+            None => match unit.fallthrough {
+                Some(t) => t,
+                None => break,
+            },
+        };
+    }
+    Ok(ProgramRunResult {
+        memory,
+        cycles,
+        ops_executed,
+        unit_runs,
+        block_path,
+    })
+}
+
+/// Why a whole-program equivalence check failed.
+#[derive(Clone, Debug)]
+pub enum ProgramEquivalenceError {
+    /// The sequential reference interpreter faulted.
+    Reference(crate::seq::ExecError),
+    /// The compiled program faulted.
+    Program(ProgramFault),
+    /// Final memories differ on the original program's symbols.
+    MemoryMismatch {
+        /// Symbol of the differing cell.
+        symbol: SymbolId,
+        /// Index of the differing cell.
+        index: i64,
+        /// Value the reference computed.
+        expected: i64,
+        /// Value the compiled program computed.
+        actual: i64,
+    },
+}
+
+impl fmt::Display for ProgramEquivalenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramEquivalenceError::Reference(e) => write!(f, "reference faulted: {e}"),
+            ProgramEquivalenceError::Program(e) => write!(f, "compiled program faulted: {e}"),
+            ProgramEquivalenceError::MemoryMismatch {
+                symbol,
+                index,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "memory mismatch at {symbol:?}[{index}]: reference {expected}, program {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProgramEquivalenceError {}
+
+/// Runs the sequential reference over the *original* program and the
+/// compiled [`ProgramSchedule`], comparing final memories over the
+/// original symbol range (the `__boundary` area and any spill areas are
+/// compiler scratch and excluded).
+///
+/// # Errors
+///
+/// See [`ProgramEquivalenceError`].
+pub fn check_program_equivalence(
+    program: &Program,
+    sched: &ProgramSchedule,
+    machine: &Machine,
+    initial: &Memory,
+    reg_inputs: &HashMap<VirtualReg, i64>,
+) -> Result<(), ProgramEquivalenceError> {
+    let reference = run_sequential(program, initial, reg_inputs, 1_000_000)
+        .map_err(ProgramEquivalenceError::Reference)?;
+    let wide = run_program(sched, machine, initial, reg_inputs, 100_000)
+        .map_err(ProgramEquivalenceError::Program)?;
+    let bound = program.symbols.len() as u32;
+    if let Some((symbol, index, expected, actual)) =
+        reference.memory.diff_below(&wide.memory, bound)
+    {
+        return Err(ProgramEquivalenceError::MemoryMismatch {
+            symbol,
+            index,
+            expected,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::seeded_memory;
+    use ursa_ir::parser::parse;
+    use ursa_sched::program::try_compile_program;
+    use ursa_sched::{CompileStrategy, PipelineOptions};
+
+    const DIAMOND: &str = "\
+        block entry:\n\
+        v0 = load a[0]\n\
+        br v0, hot, cold\n\
+        block hot @ 0.8:\n\
+        v1 = add v0, 1\n\
+        jmp out\n\
+        block cold @ 0.2:\n\
+        v1 = sub v0, 1\n\
+        jmp out\n\
+        block out:\n\
+        store b[0], v1\n\
+        ret\n";
+
+    const LOOP: &str = "\
+        block entry:\n\
+        v0 = const 0\n\
+        jmp head\n\
+        block head @ 8:\n\
+        v1 = load a[v0]\n\
+        v2 = mul v1, 3\n\
+        store b[v0], v2\n\
+        v0 = add v0, 1\n\
+        v3 = cmplt v0, 8\n\
+        br v3, head, done\n\
+        block done:\n\
+        ret\n";
+
+    fn strategies() -> Vec<CompileStrategy> {
+        vec![
+            CompileStrategy::Ursa(Default::default()),
+            CompileStrategy::Postpass,
+            CompileStrategy::Prepass,
+            CompileStrategy::GoodmanHsu,
+        ]
+    }
+
+    #[test]
+    fn diamond_takes_both_arms_correctly() {
+        let p = parse(DIAMOND).unwrap();
+        let machine = Machine::homogeneous(2, 4);
+        for strategy in strategies() {
+            let name = strategy.name();
+            let sched = try_compile_program(&p, &machine, strategy, &PipelineOptions::default())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            for a0 in [0i64, 7] {
+                let mut memory = Memory::new();
+                memory.store(SymbolId(0), 0, a0);
+                let r = run_program(&sched, &machine, &memory, &HashMap::new(), 100)
+                    .unwrap_or_else(|e| panic!("{name} (a0={a0}): {e}"));
+                let expect = if a0 != 0 { a0 + 1 } else { a0 - 1 };
+                assert_eq!(
+                    r.memory.load(SymbolId(1), 0),
+                    expect,
+                    "{name} with a[0]={a0}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loop_runs_to_completion_on_every_strategy() {
+        let p = parse(LOOP).unwrap();
+        let machine = Machine::homogeneous(2, 4);
+        for strategy in strategies() {
+            let name = strategy.name();
+            let sched = try_compile_program(&p, &machine, strategy, &PipelineOptions::default())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let memory = seeded_memory(&p, 8, 3);
+            check_program_equivalence(&p, &sched, &machine, &memory, &HashMap::new())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn runaway_loop_is_a_typed_fault() {
+        let p = parse(
+            "block spin:\n\
+             v0 = const 1\n\
+             br v0, spin, spin2\n\
+             block spin2:\n\
+             v1 = const 1\n\
+             br v1, spin, spin2\n",
+        )
+        .unwrap();
+        let machine = Machine::homogeneous(2, 4);
+        let sched = try_compile_program(
+            &p,
+            &machine,
+            CompileStrategy::Postpass,
+            &PipelineOptions::default(),
+        )
+        .unwrap();
+        let err = run_program(&sched, &machine, &Memory::new(), &HashMap::new(), 16).unwrap_err();
+        assert!(matches!(err, ProgramFault::UnitRunLimit { limit: 16 }));
+        assert!(err.to_string().contains("16"));
+    }
+
+    #[test]
+    fn register_inputs_arrive_through_the_boundary() {
+        // v9 is read before any definition: the sequential interpreter
+        // takes it from reg_inputs, the compiled program from the
+        // boundary area seeded by run_program.
+        let p = parse(
+            "block entry:\n\
+             v0 = add v9, 1\n\
+             store b[0], v0\n\
+             ret\n",
+        )
+        .unwrap();
+        let machine = Machine::homogeneous(2, 4);
+        let sched = try_compile_program(
+            &p,
+            &machine,
+            CompileStrategy::Postpass,
+            &PipelineOptions::default(),
+        )
+        .unwrap();
+        let inputs: HashMap<VirtualReg, i64> = [(VirtualReg(9), 41)].into_iter().collect();
+        check_program_equivalence(&p, &sched, &machine, &Memory::new(), &inputs).unwrap();
+    }
+}

@@ -101,7 +101,7 @@ pub fn verify(vliw: &VliwProgram, machine: &Machine) -> Vec<VerifyError> {
             // Unit occupancy.
             let (kind, reads, def): (OpKind, Vec<VirtualReg>, Option<VirtualReg>) = match &op.op {
                 SlotOp::Instr(i) => (OpKind::of_instr(i), i.uses(), i.def()),
-                SlotOp::Branch { cond } => (
+                SlotOp::Branch { cond, .. } => (
                     OpKind::Branch,
                     match cond {
                         Operand::Reg(r) => vec![*r],

@@ -65,6 +65,11 @@ pub struct VliwResult {
     pub ops_executed: usize,
     /// `Some(cycle)` if a branch slot left the trace.
     pub exited_trace_at: Option<u64>,
+    /// Ordinal (in execution order) of the branch slot that left the
+    /// trace, if any. The whole-program driver maps this to the exit
+    /// target: branch `k` of a trace corresponds to the `k`-th
+    /// conditional branch in trace order.
+    pub exit_branch: Option<usize>,
 }
 
 /// Simulates `vliw` on `machine`.
@@ -96,6 +101,8 @@ pub fn run_vliw(
 
     let mut ops_executed = 0usize;
     let mut exited_trace_at = None;
+    let mut exit_branch = None;
+    let mut branch_ordinal = 0usize;
 
     let read = |regs: &Vec<i64>, o: Operand, cycle: u64| -> Result<i64, VliwFault> {
         match o {
@@ -181,10 +188,15 @@ pub fn run_vliw(
                         mem_writes.push((cycle + lat, mem.base, idx, v));
                     }
                 },
-                SlotOp::Branch { cond } => {
-                    if read(&regs, *cond, cycle)? == 0 {
+                SlotOp::Branch { cond, exit_on_true } => {
+                    let taken = (read(&regs, *cond, cycle)? != 0) == *exit_on_true;
+                    // The first firing branch wins; later branches in
+                    // the same word are wrong-path and ignored.
+                    if taken && exited_trace_at.is_none() {
                         exited_trace_at = Some(cycle);
+                        exit_branch = Some(branch_ordinal);
                     }
+                    branch_ordinal += 1;
                 }
             }
         }
@@ -202,6 +214,7 @@ pub fn run_vliw(
         cycles: drain.max(vliw.words.len() as u64),
         ops_executed,
         exited_trace_at,
+        exit_branch,
     })
 }
 

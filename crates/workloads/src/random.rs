@@ -1,9 +1,9 @@
 //! Random program generators for stress tests, property tests and the
 //! compile-time scaling experiment (T4).
 
-use ursa_ir::instr::BinOp;
+use ursa_ir::instr::{BinOp, Instr, Terminator};
 use ursa_ir::program::{Program, ProgramBuilder};
-use ursa_ir::value::VirtualReg;
+use ursa_ir::value::{Operand, SymbolId, VirtualReg};
 use ursa_rng::Rng;
 
 /// Shape parameters for [`random_block`].
@@ -81,6 +81,187 @@ pub fn random_block(seed: u64, shape: RandomShape) -> Program {
     // Always produce at least one observable result.
     let last = *pool.last().expect("nonempty pool");
     b.store(output, stores, last);
+    b.finish()
+}
+
+/// Shape parameters for [`random_cfg`].
+#[derive(Clone, Copy, Debug)]
+pub struct CfgShape {
+    /// Number of diamond/loop regions chained between entry and exit.
+    pub regions: usize,
+    /// Arithmetic operations emitted per block.
+    pub block_ops: usize,
+    /// Probability (percent) that a region is a counted loop instead of
+    /// a diamond.
+    pub loop_pct: u32,
+    /// Probability (percent) that a diamond's cold arm side-exits the
+    /// program instead of rejoining.
+    pub exit_pct: u32,
+}
+
+impl Default for CfgShape {
+    fn default() -> Self {
+        CfgShape {
+            regions: 3,
+            block_ops: 5,
+            loop_pct: 35,
+            exit_pct: 25,
+        }
+    }
+}
+
+/// Emits `ops` random arithmetic instructions into the current block,
+/// drawing operands from the tail of `pool` and appending each result.
+/// Callers that must not leak conditionally-defined values truncate the
+/// pool back afterwards.
+fn emit_ops(
+    b: &mut ProgramBuilder,
+    rng: &mut Rng,
+    pool: &mut Vec<VirtualReg>,
+    ops: usize,
+    output: SymbolId,
+    stores: &mut i64,
+) {
+    for _ in 0..ops {
+        let w = pool.len().min(8);
+        let lo = pool.len() - w;
+        let a = pool[rng.gen_range(lo..pool.len())];
+        let c = pool[rng.gen_range(lo..pool.len())];
+        let op = SAFE_OPS[rng.gen_range(0..SAFE_OPS.len())];
+        let r = b.bin(op, a, c);
+        if rng.gen_range(0..100) < 20 {
+            b.store(output, *stores, r);
+            *stores += 1;
+        }
+        pool.push(r);
+    }
+}
+
+/// Generates a deterministic random multi-block CFG: a chain of diamond
+/// and counted-loop regions between an entry and a shared exit block,
+/// with optional side exits out of diamond cold arms.
+///
+/// Every program terminates (loops are counted, 2–4 trips), executes
+/// fault-free (division-free operators), and carries values across
+/// block boundaries: region blocks consume results from earlier
+/// regions, loop bodies redefine their induction counter, and diamond
+/// arms both define the same merge register so joins stay well-defined
+/// on either path.
+///
+/// # Examples
+///
+/// ```
+/// use ursa_workloads::random::{random_cfg, CfgShape};
+///
+/// let p = random_cfg(42, CfgShape::default());
+/// let q = random_cfg(42, CfgShape::default());
+/// assert_eq!(p, q, "same seed, same program");
+/// assert!(p.blocks.len() > 1, "multi-block by construction");
+/// ```
+pub fn random_cfg(seed: u64, shape: CfgShape) -> Program {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x4347_4643);
+    let mut b = ProgramBuilder::new();
+    let (input, output) = (b.symbol("in"), b.symbol("out"));
+    // Entry loads dominate every block, so the exit block may use them
+    // no matter which side exit reached it.
+    let seeds: Vec<VirtualReg> = (0..4).map(|i| b.load(input, i as i64)).collect();
+    let mut pool = seeds.clone();
+    let mut stores = 0i64;
+    let exit = b.add_block("exit");
+    for r in 0..shape.regions.max(1) {
+        if rng.gen_range(0..100) < shape.loop_pct {
+            // Counted loop: `pre -> head -> head* -> seg`. The counter
+            // is initialised before the loop and redefined in the body,
+            // and body values stay in the pool — the body runs at least
+            // once, so they are defined on every path out.
+            let ctr = b.constant(0);
+            let head = b.add_block(format!("loop{r}"));
+            let next = b.add_block(format!("seg{r}"));
+            b.terminate(Terminator::Jump(head));
+            b.switch_to(head);
+            b.set_weight(head, 8.0);
+            emit_ops(
+                &mut b,
+                &mut rng,
+                &mut pool,
+                shape.block_ops,
+                output,
+                &mut stores,
+            );
+            b.emit(Instr::Bin {
+                op: BinOp::Add,
+                dst: ctr,
+                a: Operand::Reg(ctr),
+                b: Operand::Imm(1),
+            });
+            let trips = 2 + rng.gen_range(0..3) as i64;
+            let again = b.bin(BinOp::CmpLt, ctr, trips);
+            b.terminate(Terminator::Branch {
+                cond: Operand::Reg(again),
+                then_block: head,
+                else_block: next,
+            });
+            b.switch_to(next);
+        } else {
+            // Diamond: both arms define the same merge register, so the
+            // join (and everything after it) sees one well-defined
+            // value whichever way the data-dependent branch went.
+            // Arm-local temporaries are truncated out of the pool.
+            let x = pool[rng.gen_range(0..pool.len())];
+            let y = pool[rng.gen_range(0..pool.len())];
+            let cond = b.bin(BinOp::CmpLt, x, y);
+            let merged = b.fresh_reg();
+            let then_b = b.add_block(format!("then{r}"));
+            let else_b = b.add_block(format!("else{r}"));
+            let join = b.add_block(format!("join{r}"));
+            b.terminate(Terminator::Branch {
+                cond: Operand::Reg(cond),
+                then_block: then_b,
+                else_block: else_b,
+            });
+            let base = pool.len();
+            for (arm, weight) in [(then_b, 4.0), (else_b, 1.0)] {
+                b.switch_to(arm);
+                b.set_weight(arm, weight);
+                emit_ops(
+                    &mut b,
+                    &mut rng,
+                    &mut pool,
+                    shape.block_ops,
+                    output,
+                    &mut stores,
+                );
+                let a = pool[rng.gen_range(0..pool.len())];
+                let c = pool[rng.gen_range(0..pool.len())];
+                let op = SAFE_OPS[rng.gen_range(0..SAFE_OPS.len())];
+                b.emit(Instr::Bin {
+                    op,
+                    dst: merged,
+                    a: Operand::Reg(a),
+                    b: Operand::Reg(c),
+                });
+                pool.truncate(base);
+                if arm == else_b && rng.gen_range(0..100) < shape.exit_pct {
+                    b.store(output, stores, merged);
+                    stores += 1;
+                    b.terminate(Terminator::Jump(exit));
+                } else {
+                    b.terminate(Terminator::Jump(join));
+                }
+            }
+            b.switch_to(join);
+            pool.push(merged);
+        }
+    }
+    // Tail of the hot path: one observable result, then the shared exit.
+    let last = *pool.last().expect("nonempty pool");
+    b.store(output, stores, last);
+    stores += 1;
+    b.terminate(Terminator::Jump(exit));
+    b.switch_to(exit);
+    let s = b.bin(BinOp::Xor, seeds[0], seeds[1]);
+    b.store(output, stores, s);
+    b.terminate(Terminator::Ret);
     b.finish()
 }
 
@@ -195,6 +376,73 @@ mod tests {
             c
         };
         assert!(count_pairs(&chainy) < count_pairs(&wide));
+    }
+
+    #[test]
+    fn random_cfgs_are_deterministic_and_multi_block() {
+        let a = random_cfg(9, CfgShape::default());
+        let b = random_cfg(9, CfgShape::default());
+        let c = random_cfg(10, CfgShape::default());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.blocks.len() > 1);
+    }
+
+    #[test]
+    fn random_cfgs_execute_fault_free_and_terminate() {
+        let mut saw_loop = false;
+        let mut saw_diamond = false;
+        let mut saw_side_exit = false;
+        for seed in 0..40 {
+            let p = random_cfg(seed, CfgShape::default());
+            p.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            saw_loop |= p.blocks.iter().any(|b| b.label.starts_with("loop"));
+            saw_diamond |= p.blocks.iter().any(|b| b.label.starts_with("join"));
+            let exit = p.blocks.iter().position(|b| b.label == "exit").unwrap();
+            saw_side_exit |= p
+                .blocks
+                .iter()
+                .filter(|b| b.term.successors().contains(&exit))
+                .count()
+                > 1;
+            let m = seeded_memory(&p, 64, seed);
+            run_sequential(&p, &m, &HashMap::new(), 100_000)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+        assert!(saw_loop, "no seed in 0..40 produced a counted loop");
+        assert!(saw_diamond, "no seed in 0..40 produced a diamond");
+        assert!(saw_side_exit, "no seed in 0..40 produced a side exit");
+    }
+
+    #[test]
+    fn cfg_shape_controls_structure() {
+        let all_loops = random_cfg(
+            4,
+            CfgShape {
+                regions: 2,
+                loop_pct: 100,
+                ..CfgShape::default()
+            },
+        );
+        assert_eq!(
+            all_loops
+                .blocks
+                .iter()
+                .filter(|b| b.label.starts_with("loop"))
+                .count(),
+            2
+        );
+        let all_diamonds = random_cfg(
+            4,
+            CfgShape {
+                regions: 2,
+                loop_pct: 0,
+                exit_pct: 0,
+                ..CfgShape::default()
+            },
+        );
+        // entry + exit + 2 regions * (then/else/join).
+        assert_eq!(all_diamonds.blocks.len(), 8);
     }
 
     #[test]

@@ -24,7 +24,16 @@
 //! ursac program.tac --deadline-ms 2000     # wall-clock compile budget
 //! ursac program.tac --max-steps 1000000    # cooperative work-step cap
 //! ursac program.tac --chaos-seed 7         # arm one seeded fault plan
+//! ursac program.tac --whole-program        # compile the full CFG
 //! ```
+//!
+//! Multi-block programs compile **whole-program by default**: the CFG is
+//! partitioned into single-entry units, cross-unit values travel through
+//! the `__boundary` hand-off area, and every unit runs through the full
+//! per-trace pipeline. `--unroll`, `--dot`, `--measure` and
+//! `--dot-annotated` keep the classic single-trace view (the hottest
+//! block); `--whole-program` forces the program driver even for
+//! single-block inputs.
 //!
 //! Exit status: 0 on success, 1 on compilation or simulation failure,
 //! 2 on usage errors and lint denials, 3 when the compile budget
@@ -36,12 +45,17 @@ use std::process::ExitCode;
 use ursa::core::{find_excessive, measure, AllocCtx, MeasureOptions, UrsaConfig};
 use ursa::ir::ddg::DependenceDag;
 use ursa::ir::dot::{to_dot, to_dot_annotated, DotAnnotation};
+use ursa::ir::program::Program;
 use ursa::ir::unroll::{find_self_loop, unroll_self_loop};
 use ursa::ir::{parse, Trace};
-use ursa::lint::{lint_compiled, Severity};
+use ursa::lint::{lint_compiled, lint_program, Severity};
 use ursa::machine::Machine;
-use ursa::sched::{try_compile_with, CompileError, CompileStrategy, LintLevel, PipelineOptions};
+use ursa::sched::{
+    try_compile_program, try_compile_with, CompileError, CompileStrategy, LintLevel,
+    PipelineOptions,
+};
 use ursa::vm::equiv::seeded_memory;
+use ursa::vm::program::run_program;
 use ursa::vm::wide::run_vliw;
 
 struct Options {
@@ -64,6 +78,7 @@ struct Options {
     deadline_ms: Option<u64>,
     max_steps: Option<u64>,
     chaos_seed: Option<u64>,
+    whole_program: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -87,6 +102,7 @@ fn parse_args() -> Result<Options, String> {
         deadline_ms: None,
         max_steps: None,
         chaos_seed: None,
+        whole_program: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -148,6 +164,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--lint" => opts.lint = LintLevel::Warn,
             "--dot-annotated" => opts.dot_annotated = true,
+            "--whole-program" => opts.whole_program = true,
             other if other.starts_with("--lint=") => {
                 let level = &other["--lint=".len()..];
                 opts.lint = LintLevel::parse(level)
@@ -192,6 +209,106 @@ fn build_machine(opts: &Options) -> Result<Machine, String> {
     } else {
         Machine::try_homogeneous(opts.fus, opts.regs.unwrap_or(16)).map_err(|e| e.to_string())
     }
+}
+
+/// The whole-program path: unit selection + boundary compensation +
+/// per-unit pipeline, program-level lint, stitched simulation.
+fn compile_whole_program(
+    program: &Program,
+    machine: &Machine,
+    strategy: CompileStrategy,
+    pipeline: &PipelineOptions,
+    opts: &Options,
+) -> ExitCode {
+    let sched = match try_compile_program(program, machine, strategy.clone(), pipeline) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ursac: {e}");
+            return match e {
+                CompileError::DeadlineExceeded { .. } | CompileError::BudgetExhausted { .. } => {
+                    ExitCode::from(3)
+                }
+                _ => ExitCode::FAILURE,
+            };
+        }
+    };
+    if opts.lint != LintLevel::Allow {
+        let report = lint_program(program, &sched, machine, &strategy, pipeline);
+        eprint!("{report}");
+        if report.fails_at(opts.lint) {
+            eprintln!("ursac: lint failed at level '{}'", opts.lint);
+            return ExitCode::from(2);
+        }
+    }
+    for unit in &sched.units {
+        if let Some(report) = unit.compiled.fallback.as_ref().filter(|r| r.degraded()) {
+            eprintln!(
+                "ursac: warning: unit at block {} degraded — {report}",
+                unit.trace.blocks[0]
+            );
+        }
+    }
+    let label_of = |b: usize| program.blocks[b].label.as_str();
+    println!("# machine: {machine}");
+    println!(
+        "# whole program: {} units, {} ops, {} memory ops, {} spill ops, \
+         {} total schedule cycles",
+        sched.units.len(),
+        sched.op_count(),
+        sched.memory_traffic(),
+        sched.spill_ops(),
+        sched.schedule_length()
+    );
+    for unit in &sched.units {
+        let blocks: Vec<&str> = unit.trace.blocks.iter().map(|&b| label_of(b)).collect();
+        let exits: Vec<&str> = unit.exits.iter().map(|&b| label_of(b)).collect();
+        let next = match unit.fallthrough {
+            Some(t) => label_of(t),
+            None => "return",
+        };
+        println!(
+            "\n# unit [{}]: {} cycles, {} ops, exits [{}], then {next}",
+            blocks.join(", "),
+            unit.compiled.stats.schedule_length,
+            unit.compiled.stats.ops,
+            exits.join(", "),
+        );
+        print!("{}", unit.compiled.vliw);
+    }
+    if opts.run {
+        let memory = seeded_memory(program, 64, 1);
+        match run_program(&sched, machine, &memory, &HashMap::new(), 1_000_000) {
+            Ok(result) => {
+                println!(
+                    "\n# simulated {} cycles, {} ops, {} unit runs",
+                    result.cycles, result.ops_executed, result.unit_runs
+                );
+                // Show only the program's own cells the run changed (the
+                // boundary area is compiler scratch).
+                let mut cells: Vec<_> = result
+                    .memory
+                    .iter()
+                    .filter(|&(sym, idx, value)| {
+                        sym.index() < program.symbols.len() && memory.load(sym, idx) != value
+                    })
+                    .collect();
+                cells.sort();
+                for (sym, idx, value) in cells {
+                    let name = program
+                        .symbols
+                        .get(sym.index())
+                        .cloned()
+                        .unwrap_or_else(|| format!("{sym:?}"));
+                    println!("# {name}[{idx}] = {value}");
+                }
+            }
+            Err(e) => {
+                eprintln!("ursac: simulation fault: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -284,6 +401,7 @@ fn main() -> ExitCode {
         // An armed fault plan may inject a synthetic panic; isolate it
         // at the trace boundary so it surfaces as a typed error.
         isolate: opts.chaos_seed.is_some(),
+        ..PipelineOptions::default()
     };
     if let Some(seed) = opts.chaos_seed {
         let plan = ursa::core::FaultPlan::from_seed(seed);
@@ -293,6 +411,15 @@ fn main() -> ExitCode {
         // reported as a typed error; silence the default hook so the
         // isolated unwind does not spray a backtrace banner first.
         std::panic::set_hook(Box::new(|_| {}));
+    }
+    // Multi-block programs go through the whole-program driver unless a
+    // single-trace view was requested; `--whole-program` forces it even
+    // for single-block inputs.
+    if (opts.whole_program || program.blocks.len() > 1)
+        && opts.unroll.is_none()
+        && !opts.dot_annotated
+    {
+        return compile_whole_program(&program, &machine, strategy, &pipeline, &opts);
     }
     let compiled = match try_compile_with(&program, &trace, &machine, strategy.clone(), &pipeline) {
         Ok(c) => c,

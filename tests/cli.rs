@@ -194,6 +194,43 @@ fn unroll_zero_is_rejected_without_panic() {
 }
 
 #[test]
+fn multi_block_input_defaults_to_whole_program() {
+    // A CFG with a real loop used to require --unroll; now it routes
+    // through the whole-program driver by default.
+    let looped = "\
+        block entry:\n\
+        v0 = const 0\n\
+        br v0, body, done\n\
+        block body:\n\
+        v1 = load a[0]\n\
+        v2 = add v1, 1\n\
+        store a[0], v2\n\
+        br v2, body, done\n\
+        block done:\n\
+        ret\n";
+    let input = write_temp("wholeprog.tac", looped);
+    let out = ursac().arg(&input).output().unwrap();
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("# whole program:"),
+        "expected the whole-program header, got: {stdout}"
+    );
+}
+
+#[test]
+fn whole_program_flag_works_on_a_single_block() {
+    let input = write_temp("wholesingle.tac", SMALL);
+    let out = ursac().arg(&input).arg("--whole-program").output().unwrap();
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("# whole program: 1 units"),
+        "expected a one-unit program, got: {stdout}"
+    );
+}
+
+#[test]
 fn max_iterations_zero_degrades_but_succeeds() {
     // Budget 0 on a tight machine forces the degradation ladder to the
     // postpass-patch rung; the compile must still succeed and say so.

@@ -1,0 +1,122 @@
+//! Golden tests over the shipped example programs: the parser, trace
+//! and unit selection, and the whole-program driver must keep agreeing
+//! on `examples/data/*.tac`.
+
+use std::collections::HashMap;
+use ursa::ir::parse;
+use ursa::ir::program::Program;
+use ursa::ir::trace::{select_traces, select_units};
+use ursa::machine::Machine;
+use ursa::sched::{try_compile_program, CompileStrategy, PipelineOptions};
+use ursa::vm::equiv::seeded_memory;
+use ursa::vm::program::{check_program_equivalence, run_program};
+use ursa::vm::Memory;
+
+fn example(name: &str) -> Program {
+    let path = format!("{}/examples/data/{name}", env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    parse(&source).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn strategies() -> Vec<CompileStrategy> {
+    vec![
+        CompileStrategy::Ursa(Default::default()),
+        CompileStrategy::Postpass,
+        CompileStrategy::Prepass,
+        CompileStrategy::GoodmanHsu,
+    ]
+}
+
+#[test]
+fn hydro_parses_to_one_block_of_twelve_instructions() {
+    let p = example("hydro.tac");
+    assert_eq!(p.blocks.len(), 1);
+    assert_eq!(p.blocks[0].instrs.len(), 12);
+    assert_eq!(p.symbols, vec!["z", "y", "x"]);
+}
+
+#[test]
+fn loop_parses_to_the_documented_cfg() {
+    let p = example("loop.tac");
+    let labels: Vec<&str> = p.blocks.iter().map(|b| b.label.as_str()).collect();
+    assert_eq!(labels, vec!["entry", "head", "done"]);
+    assert_eq!(p.blocks[1].weight, 24.0, "head block carries its weight");
+    assert_eq!(p.symbols, vec!["a", "b"]);
+    assert_eq!(p.successors(1), vec![1, 2], "head branches to itself/done");
+}
+
+#[test]
+fn traces_cover_every_block_exactly_once() {
+    for name in ["hydro.tac", "loop.tac"] {
+        let p = example(name);
+        for (what, traces) in [
+            ("select_traces", select_traces(&p)),
+            ("select_units", select_units(&p)),
+        ] {
+            let mut seen = vec![0usize; p.blocks.len()];
+            for t in &traces {
+                for &b in &t.blocks {
+                    seen[b] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&n| n == 1),
+                "{name}/{what}: cover counts {seen:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hottest_path_forms_the_main_trace() {
+    let p = example("loop.tac");
+    let traces = select_traces(&p);
+    assert!(
+        traces[0].blocks.contains(&1),
+        "the weight-24 loop head must anchor the first trace, got {:?}",
+        traces[0].blocks
+    );
+    // Unit selection grows the loop head into its straight-line
+    // successor, and the entry block ends up alone.
+    let units = select_units(&p);
+    let blocks: Vec<&[usize]> = units.iter().map(|u| u.blocks.as_slice()).collect();
+    assert_eq!(blocks, vec![&[1, 2][..], &[0][..]]);
+}
+
+#[test]
+fn hydro_compiles_whole_program_on_every_strategy() {
+    let p = example("hydro.tac");
+    let machine = Machine::homogeneous(4, 8);
+    for strategy in strategies() {
+        let name = strategy.name();
+        let sched = try_compile_program(&p, &machine, strategy, &PipelineOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let memory = seeded_memory(&p, 16, 11);
+        check_program_equivalence(&p, &sched, &machine, &memory, &HashMap::new())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn loop_computes_b_equals_three_a_on_every_strategy() {
+    let p = example("loop.tac");
+    let machine = Machine::homogeneous(4, 8);
+    for strategy in strategies() {
+        let name = strategy.name();
+        let sched = try_compile_program(&p, &machine, strategy, &PipelineOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut memory = Memory::new();
+        let a = ursa::ir::value::SymbolId(0);
+        let b = ursa::ir::value::SymbolId(1);
+        for i in 0..24 {
+            memory.store(a, i, 10 * i + 1);
+        }
+        let r = run_program(&sched, &machine, &memory, &HashMap::new(), 10_000)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        for i in 0..24 {
+            assert_eq!(r.memory.load(b, i), 3 * (10 * i + 1), "{name}: b[{i}]");
+        }
+        check_program_equivalence(&p, &sched, &machine, &memory, &HashMap::new())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}

@@ -75,6 +75,12 @@ fn prepass_refuses_multi_block_traces() {
             blocks: 2,
         }
     ));
+    // The refusal must route the user to the path that does handle
+    // multi-block inputs.
+    assert!(
+        err.to_string().contains("whole-program driver"),
+        "refusal should point at compile_program: {err}"
+    );
 }
 
 #[test]

@@ -15,14 +15,19 @@
 # fault-injection smoke slice (programs × fault plans, budget flags on):
 # the run must end with zero failures — typed errors are expected,
 # panics and miscompiles are not.
+# With --with-programs, builds the stress harness and the ursac driver
+# offline, runs a whole-program smoke slice (multi-block CFGs through
+# the whole-program driver and both program-level oracles), and compiles
+# the shipped multi-block examples end-to-end under --lint=deny.
 #
 # Usage: tools/check_hermetic.sh [--with-build] [--with-lint]
-#        [--with-chaos] [repo-root]
+#        [--with-chaos] [--with-programs] [repo-root]
 set -euo pipefail
 
 with_build=0
 with_lint=0
 with_chaos=0
+with_programs=0
 while :; do
     case "${1:-}" in
     --with-build)
@@ -35,6 +40,10 @@ while :; do
         ;;
     --with-chaos)
         with_chaos=1
+        shift
+        ;;
+    --with-programs)
+        with_programs=1
         shift
         ;;
     *) break ;;
@@ -105,4 +114,19 @@ if [ "$with_chaos" -eq 1 ]; then
     cargo run --release --offline -p ursa-bench --bin stress -- \
         --seeds 0..4 --chaos --plans 4 --deadline-ms 50 --max-steps 2000000
     echo "OK: chaos smoke passed (typed errors only, no panics, no miscompiles)"
+fi
+
+if [ "$with_programs" -eq 1 ]; then
+    echo "building the stress harness and ursac offline..."
+    cargo build --release --offline -p ursa-bench --bin stress
+    cargo build --release --offline --bin ursac
+    echo "running the whole-program smoke slice..."
+    cargo run --release --offline -p ursa-bench --bin stress -- \
+        --seeds 0..8 --programs
+    cargo run --release --offline -p ursa-bench --bin stress -- \
+        --seeds 0..4 --programs --chaos --plans 4
+    echo "compiling the shipped multi-block examples under --lint=deny..."
+    ./target/release/ursac --whole-program examples/data/hydro.tac --lint=deny >/dev/null
+    ./target/release/ursac --whole-program examples/data/loop.tac --lint=deny --run >/dev/null
+    echo "OK: whole-program smoke passed (both oracles, both examples)"
 fi
