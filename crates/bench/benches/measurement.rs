@@ -74,6 +74,72 @@ fn main() {
         }
     }
 
+    // Kill selection, cold vs. delta: the cold path derives maximal-use
+    // sets and the greedy cover from scratch; the delta path probes a
+    // primed `KillSelector` against one journaled sequence edge (the
+    // txn open/insert/probe/rollback cycle the reduce loop pays per
+    // candidate). The gap between the two series is what incremental
+    // kill selection saves on every probe.
+    {
+        use ursa_core::kill::KillSelector;
+        use ursa_core::{select_kills, CtxTxn};
+        use ursa_graph::meter::Unmetered;
+        let machine = Machine::homogeneous(4, 16);
+        for n in [256usize, 1024] {
+            let program = random_block(
+                9,
+                RandomShape {
+                    ops: n,
+                    seeds: 8,
+                    window: 16,
+                    store_pct: 10,
+                },
+            );
+            let ddg = DependenceDag::from_entry_block(&program);
+            let mut ctx = AllocCtx::new(ddg, &machine);
+            runner.bench(&format!("kill_select/cold/{n}"), || {
+                select_kills(&ctx, KillMode::MinCover)
+            });
+            let kills = select_kills(&ctx, KillMode::MinCover);
+            let selector = KillSelector::prime(&ctx, kills, KillMode::MinCover);
+            let order = ctx.ddg().dag().topo_order().expect("trace DAG is acyclic");
+            let (from, to) = order
+                .iter()
+                .flat_map(|&u| order.iter().map(move |&v| (u, v)))
+                .find(|&(u, v)| u != v && !ctx.reach().reaches(u, v) && !ctx.would_cycle(u, v))
+                .expect("some independent pair exists");
+            runner.bench(&format!("kill_select/delta/{n}"), || {
+                let mut txn = CtxTxn::begin(&ctx);
+                txn.add_sequence_edge(&mut ctx, from, to);
+                let probed = selector.probe_metered(&ctx, txn.deltas(), &Unmetered);
+                txn.rollback(&mut ctx);
+                probed
+            });
+        }
+    }
+
+    // FU sequentialization under pressure: a `w`-wide fan on a 2-FU
+    // machine drives the antichain repeat loop through dozens of
+    // rounds. 64 stays on the exact per-pick rescan; 256 crosses
+    // `SMALL_ANTICHAIN`/`PHASE1_CHAIN_CAP` and runs the frozen-cost
+    // picker (the old exact scan made this shape the ~90 s worst case
+    // at 1024 ops).
+    {
+        use ursa_ir::parser::parse;
+        let machine = Machine::homogeneous(2, 1 << 12);
+        for w in [64usize, 256] {
+            let mut src = String::from("v0 = load a[0]\n");
+            for i in 1..=w {
+                src.push_str(&format!("v{i} = mul v0, {i}\n"));
+            }
+            let program = parse(&src).expect("fan parses");
+            runner.bench(&format!("fu_seq_pressure/{w}"), || {
+                let ddg = DependenceDag::from_entry_block(&program);
+                allocate(ddg, &machine, &UrsaConfig::default())
+            });
+        }
+    }
+
     // The reduce loop end to end, scratch vs. incremental candidate
     // scoring — the perf-gate trajectory. The machine is derived from a
     // pre-measurement of each trace: functional units sized to the
@@ -125,7 +191,7 @@ fn main() {
                 )
             });
         }
-        for n in [64usize, 128, 256, 1024] {
+        for n in [64usize, 128, 256, 512, 1024] {
             let (program, machine) = derive(n);
             runner.bench(&format!("reduce_incremental/{n}"), || {
                 let ddg = DependenceDag::from_entry_block(&program);

@@ -7,7 +7,13 @@
 //! ```text
 //! perf_compare BENCH_baseline.json current.json              # 25% gate
 //! perf_compare --threshold 1.10 baseline.json current.json   # 10% gate
+//! perf_compare --ratios A.json B.json                        # speedup table
 //! ```
+//!
+//! `--ratios` replaces the gate with a per-series speedup report
+//! (`A_median / B_median`, so >1.00× means B is faster) and always
+//! exits 0 when both tables parse — it regenerates EXPERIMENTS.md
+//! tables mechanically rather than guarding CI.
 //!
 //! Only medians are gated — min/mean/max wobble too much on shared CI
 //! runners. Benchmarks present on one side only are reported but never
@@ -77,8 +83,47 @@ fn format_ns(ns: f64) -> String {
     }
 }
 
+/// Prints the `--ratios` speedup table: every series shared by both
+/// tables as `A_median / B_median`. Never gates.
+fn print_ratios(a_path: &str, a: &BenchTable, b_path: &str, b: &BenchTable) -> Result<(), String> {
+    println!(
+        "speedup: {a_path} (git {}) vs {b_path} (git {})",
+        a.git, b.git
+    );
+    println!("  {:<40} {:>10} {:>10} {:>9}", "series", "A", "B", "A/B");
+    let mut shared = 0usize;
+    for (name, a_ns) in &a.rows {
+        let Some((_, b_ns)) = b.rows.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        shared += 1;
+        println!(
+            "  {:<40} {:>10} {:>10} {:>8.2}x",
+            name,
+            format_ns(*a_ns),
+            format_ns(*b_ns),
+            a_ns / b_ns
+        );
+    }
+    if shared == 0 {
+        return Err("no shared benchmarks between the two tables".to_string());
+    }
+    for (name, _) in &a.rows {
+        if !b.rows.iter().any(|(n, _)| n == name) {
+            println!("  {name}: in {a_path} only");
+        }
+    }
+    for (name, _) in &b.rows {
+        if !a.rows.iter().any(|(n, _)| n == name) {
+            println!("  {name}: in {b_path} only");
+        }
+    }
+    Ok(())
+}
+
 fn run() -> Result<bool, String> {
     let mut threshold = 1.25f64;
+    let mut ratios = false;
     let mut paths: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -91,9 +136,10 @@ fn run() -> Result<bool, String> {
                     .filter(|t| *t > 1.0)
                     .ok_or_else(|| format!("--threshold wants a ratio > 1.0, got '{v}'"))?;
             }
+            "--ratios" => ratios = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: perf_compare [--threshold RATIO] BASELINE.json CURRENT.json"
+                    "usage: perf_compare [--threshold RATIO | --ratios] BASELINE.json CURRENT.json"
                         .to_string(),
                 )
             }
@@ -106,6 +152,10 @@ fn run() -> Result<bool, String> {
     };
     let baseline = load_table(baseline_path)?;
     let current = load_table(current_path)?;
+    if ratios {
+        print_ratios(baseline_path, &baseline, current_path, &current)?;
+        return Ok(true);
+    }
     println!(
         "perf gate: baseline {} (git {}) vs current {} (git {}), threshold {:.0}%",
         baseline_path,

@@ -163,6 +163,11 @@ fn machine_grid() -> Vec<Machine> {
             machines.push(Machine::homogeneous(fus, regs));
         }
     }
+    // High FU pressure with a register file wide enough to never spill:
+    // allocation is pure FU sequentialization, driving the monotone
+    // antichain repeat loop (and, on wide traces, its frozen-cost
+    // picker) under the ParanoidMeasure differential oracle.
+    machines.push(Machine::homogeneous(2, 1 << 12));
     machines.push(Machine::classic_vliw());
     machines.push(Machine::pipelined_vliw());
     machines

@@ -127,6 +127,16 @@ impl<'m> AllocCtx<'m> {
         self.hammocks = h;
     }
 
+    /// Installs an analysis derived elsewhere (the incremental engine's
+    /// delta application) as the current handle *and* memoizes it under
+    /// the DAG's present fingerprint, so both this context and every
+    /// clone sharing the cache hit it instead of re-analyzing.
+    pub(crate) fn install_hammocks(&mut self, h: Arc<HammockAnalysis>) {
+        self.hammock_cache
+            .insert(self.ddg.dag().fingerprint(), Arc::clone(&h));
+        self.hammocks = Some(h);
+    }
+
     /// Restores previously captured levels (rollback path).
     pub(crate) fn set_levels(&mut self, levels: Levels) {
         self.levels = levels;

@@ -25,7 +25,10 @@ use crate::excess::find_excessive;
 use crate::fault::{self, FaultKind, FaultSite};
 use crate::incremental::IncrementalEngine;
 use crate::kill::KillMode;
-use crate::measure::{measure_metered, summary_fast_metered, MeasureOptions, MeasurementSummary};
+use crate::measure::{
+    measure_adopted_metered, measure_metered, summary_fast_metered, MeasureOptions,
+    MeasurementSummary,
+};
 use crate::resource::ResourceKind;
 use crate::transform::{
     fu_seq::sequentialize_fus_metered, reg_seq::sequentialize_registers_metered,
@@ -471,7 +474,37 @@ pub fn allocate_budgeted(
                             false
                         }
                     };
-                    meas = measure_metered(&mut ctx, opts, meter);
+                    // A committed (spill-free) step already re-measured the
+                    // base through the engine's delta matchers and kill
+                    // selector; adopt that summary instead of rebuilding
+                    // every resource from scratch. Fitting resources get a
+                    // placeholder decomposition nobody reads; only the
+                    // still-excessive ones are measured for real.
+                    meas = match engine.as_ref() {
+                        Some(e) if committed => {
+                            let adopted = measure_adopted_metered(
+                                &mut ctx,
+                                e.base_kills().clone(),
+                                &e.base_summary(),
+                                opts,
+                                meter,
+                            );
+                            if config.paranoid_measure {
+                                let scratch = measure_metered(&mut ctx, opts, meter);
+                                assert_eq!(
+                                    adopted.summary(),
+                                    scratch.summary(),
+                                    "adopted fast measure disagrees with scratch measurement"
+                                );
+                                assert_eq!(
+                                    adopted.kills, scratch.kills,
+                                    "adopted kill map disagrees with scratch kill selection"
+                                );
+                            }
+                            adopted
+                        }
+                        _ => measure_metered(&mut ctx, opts, meter),
+                    };
                     if engine.is_some() {
                         if meas.fits() {
                             engine = None;

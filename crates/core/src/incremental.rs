@@ -25,10 +25,12 @@
 //! The register `CanReuse` relation is *not* monotone under edge
 //! insertion: `CanReuse(a, b) ⇔ b = Kill(a) ∨ Kill(a) ≤ b`, and adding
 //! edges can move `Kill(a)` (a use that was maximal may become an
-//! ancestor of another use). The engine therefore re-selects kills per
-//! probe — cheap next to matching — and resets exactly the rows whose
-//! killer moved; rows with an unchanged killer can only *gain* pairs,
-//! which the reachability delta enumerates.
+//! ancestor of another use). The engine therefore re-derives kills per
+//! probe through a maintained [`KillSelector`] — only producers whose
+//! maximal-use set intersects the reachability delta can change, so the
+//! common local probe is O(delta) — and resets exactly the matcher rows
+//! whose killer moved; rows with an unchanged killer can only *gain*
+//! pairs, which the reachability delta enumerates.
 //!
 //! Everything here is scoring-exact: every maximum matching of a
 //! relation has the same cardinality, so the incremental requirement
@@ -39,7 +41,7 @@
 //! every probe.
 
 use crate::ctx::AllocCtx;
-use crate::kill::{select_kills, select_kills_metered, KillMap, KillMode};
+use crate::kill::{select_kills, KillMap, KillMode, KillSelector};
 use crate::measure::{summary_fast, MeasurementSummary};
 use crate::resource::{Requirement, ResourceKind};
 use ursa_graph::bitset::BitSet;
@@ -339,7 +341,7 @@ impl ResState {
 pub struct IncrementalEngine {
     kill_mode: KillMode,
     paranoid: bool,
-    base_kills: KillMap,
+    selector: KillSelector,
     states: Vec<ResState>,
 }
 
@@ -360,7 +362,7 @@ impl IncrementalEngine {
         IncrementalEngine {
             kill_mode,
             paranoid,
-            base_kills: kills.clone(),
+            selector: KillSelector::prime(ctx, kills.clone(), kill_mode),
             states,
         }
     }
@@ -398,18 +400,24 @@ impl IncrementalEngine {
             txn.add_sequence_edge(ctx, from, to);
         }
         ctx.recompute_levels();
-        let new_kills = select_kills_metered(ctx, self.kill_mode, meter);
+        // Delta-driven kill selection: `None` means the probed edges
+        // cannot have moved any killer, so the base map is reused.
+        let probed_kills = self.selector.probe_metered(ctx, txn.deltas(), meter);
 
         let mut requirements = Vec::with_capacity(self.states.len());
         let mut undos = Vec::with_capacity(self.states.len());
-        for state in &mut self.states {
-            let undo = state.apply(ctx, &self.base_kills, &new_kills, txn.deltas(), meter);
-            requirements.push(Requirement {
-                resource: state.resource,
-                capacity: state.capacity,
-                required: state.required(),
-            });
-            undos.push(undo);
+        {
+            let base_kills = self.selector.kills();
+            let new_kills = probed_kills.as_ref().unwrap_or(base_kills);
+            for state in &mut self.states {
+                let undo = state.apply(ctx, base_kills, new_kills, txn.deltas(), meter);
+                requirements.push(Requirement {
+                    resource: state.resource,
+                    capacity: state.capacity,
+                    required: state.required(),
+                });
+                undos.push(undo);
+            }
         }
         let summary = MeasurementSummary { requirements };
         let critical_path = ctx.critical_path();
@@ -417,6 +425,15 @@ impl IncrementalEngine {
         // charge(0) consumes nothing but reports whether the meter is
         // already exhausted.
         if self.paranoid && meter.charge(0) {
+            let scratch_kills = select_kills(ctx, self.kill_mode);
+            assert_eq!(
+                *probed_kills
+                    .as_ref()
+                    .unwrap_or_else(|| self.selector.kills()),
+                scratch_kills,
+                "ParanoidMeasure: incremental kill selection disagrees with scratch \
+                 after adding {edges:?} (incremental left, scratch right)"
+            );
             let scratch = summary_fast(ctx, self.kill_mode);
             assert_eq!(
                 summary, scratch,
@@ -454,16 +471,52 @@ impl IncrementalEngine {
             txn.add_sequence_edge(ctx, from, to);
         }
         ctx.recompute_levels();
-        let new_kills = select_kills(ctx, self.kill_mode);
-        for state in &mut self.states {
-            // Adoption is never budget-stopped: the committed engine
-            // state must stay scoring-exact against the new base.
-            let _ = state.apply(ctx, &self.base_kills, &new_kills, txn.deltas(), &Unmetered);
-            state.rebase_kills(&new_kills);
+        // Adoption is never budget-stopped: the committed engine state
+        // must stay scoring-exact against the new base.
+        let probed_kills = self.selector.probe_metered(ctx, txn.deltas(), &Unmetered);
+        {
+            let base_kills = self.selector.kills();
+            let new_kills = probed_kills.as_ref().unwrap_or(base_kills);
+            for state in &mut self.states {
+                let _ = state.apply(ctx, base_kills, new_kills, txn.deltas(), &Unmetered);
+                if probed_kills.is_some() {
+                    state.rebase_kills(new_kills);
+                }
+            }
         }
-        self.base_kills = new_kills;
+        self.selector.advance(ctx, probed_kills);
+        // Hammock delta: the adopted edges only disturb their upstream /
+        // downstream cones, so the base analysis (captured at `begin`,
+        // before the insertions invalidated the handle) is patched
+        // instead of re-analyzed, and installed in the memo cache so the
+        // adopted round's measurement — and every trial clone of this
+        // context — hits it without a fresh whole-DAG analysis.
+        let base_hammocks = txn.saved_hammocks.clone();
+        let inserted: Vec<(NodeId, NodeId)> = txn.journal.iter().map(|(e, _)| *e).collect();
         txn.commit();
+        if let (Some(base), false) = (base_hammocks, inserted.is_empty()) {
+            let updated = std::sync::Arc::new(
+                base.apply_edges(ctx.ddg().dag(), &inserted)
+                    .expect("anchored DAG stays single-root/leaf and acyclic under adoption"),
+            );
+            if self.paranoid {
+                let fresh = ursa_graph::hammock::HammockAnalysis::analyze(ctx.ddg().dag())
+                    .expect("anchored DAG analyzes");
+                assert_eq!(
+                    *updated, fresh,
+                    "ParanoidMeasure: hammock delta disagrees with a fresh analysis \
+                     after adopting {edges:?} (delta left, fresh right)"
+                );
+            }
+            ctx.install_hammocks(updated);
+        }
         if self.paranoid {
+            assert_eq!(
+                *self.selector.kills(),
+                select_kills(ctx, self.kill_mode),
+                "ParanoidMeasure: committed kill selection disagrees with scratch \
+                 after adopting {edges:?} (incremental left, scratch right)"
+            );
             let scratch = summary_fast(ctx, self.kill_mode);
             assert_eq!(
                 self.base_summary(),
@@ -477,7 +530,7 @@ impl IncrementalEngine {
     /// The kill map of the current base context, as maintained by
     /// adoption commits (equals `select_kills` on the base context).
     pub fn base_kills(&self) -> &KillMap {
-        &self.base_kills
+        self.selector.kills()
     }
 
     /// The requirement counts of the base context itself (no edges), as

@@ -16,6 +16,7 @@ use crate::ctx::AllocCtx;
 use crate::fault::{self, FaultKind, FaultSite};
 use ursa_graph::dag::NodeId;
 use ursa_graph::meter::{Unmetered, WorkMeter};
+use ursa_graph::reach::ReachDelta;
 
 /// How `Kill()` is chosen for values with several candidate killers.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -30,7 +31,7 @@ pub enum KillMode {
 }
 
 /// The chosen killer for every value-producing node.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct KillMap {
     kill: Vec<Option<NodeId>>,
 }
@@ -62,12 +63,31 @@ pub fn select_kills(ctx: &AllocCtx<'_>, mode: KillMode) -> KillMap {
 /// kill, so the map stays valid; only the min-cover sharing optimality
 /// degrades.
 pub fn select_kills_metered(ctx: &AllocCtx<'_>, mode: KillMode, meter: &dyn WorkMeter) -> KillMap {
+    trip_kill_fault(meter);
+    let n = ctx.ddg().dag().node_count();
+    let (mut kill, pending) = collect_pending(ctx);
+    resolve_pending(&mut kill, pending, n, mode, meter);
+    KillMap { kill }
+}
+
+fn trip_kill_fault(meter: &dyn WorkMeter) {
     if let Some(plan) = fault::trip(FaultSite::KillSelect) {
         match plan.kind {
             FaultKind::Panic => fault::trip_panic(FaultSite::KillSelect),
             _ => meter.starve(),
         }
     }
+}
+
+/// Producers whose maximal-use set still has several members, each
+/// with that set, in `value_nodes` order.
+type PendingCovers = Vec<(NodeId, Vec<NodeId>)>;
+
+/// Walks every producer, writing the forced kills (live-out / unused →
+/// exit, single maximal use → that use) into the returned vector and
+/// collecting the producers whose maximal-use set still has several
+/// members, in `value_nodes` order.
+fn collect_pending(ctx: &AllocCtx<'_>) -> (Vec<Option<NodeId>>, PendingCovers) {
     let ddg = ctx.ddg();
     let reach = ctx.reach();
     let n = ddg.dag().node_count();
@@ -104,7 +124,17 @@ pub fn select_kills_metered(ctx: &AllocCtx<'_>, mode: KillMode, meter: &dyn Work
             pending.push((p, maximal));
         }
     }
+    (kill, pending)
+}
 
+/// Resolves the multi-candidate producers according to `mode`.
+fn resolve_pending(
+    kill: &mut [Option<NodeId>],
+    pending: Vec<(NodeId, Vec<NodeId>)>,
+    n: usize,
+    mode: KillMode,
+    meter: &dyn WorkMeter,
+) {
     match mode {
         KillMode::Naive => {
             for (p, mut maximal) in pending {
@@ -112,9 +142,159 @@ pub fn select_kills_metered(ctx: &AllocCtx<'_>, mode: KillMode, meter: &dyn Work
                 kill[p.index()] = Some(maximal[0]);
             }
         }
-        KillMode::MinCover => greedy_min_cover(&mut kill, pending, n, meter),
+        KillMode::MinCover => greedy_min_cover(kill, pending, n, meter),
     }
-    KillMap { kill }
+}
+
+/// Incrementally maintained kill selection (ROADMAP item 1a).
+///
+/// A probed sequence edge changes reachability only along the pairs a
+/// [`ReachDelta`] enumerates, and a producer's maximal-use set can only
+/// *shrink* under edge insertion (a use that was already dominated stays
+/// dominated). So a producer `p` is affected by a probe iff some delta
+/// pair `(s, d)` has `s` in `p`'s maximal set and `d` among `p`'s uses —
+/// exactly the condition for a member to become non-maximal. The
+/// selector keeps the multi-candidate producers and an inverted index
+/// from nodes to the sets containing them; a probe re-filters only the
+/// affected sets and reruns the greedy cover over the surviving
+/// multi-candidate producers (cover choices interact globally, so the
+/// cover itself is never patched piecemeal). When no set is affected —
+/// the common case for a local edge — the probe is O(delta) and returns
+/// the base map unchanged.
+///
+/// Decision-neutrality: the recomputed sets equal what a scratch
+/// [`select_kills`] would collect (filtering the old set against the
+/// full use list under current reachability is exact, by shrink-only),
+/// and the cover input preserves `value_nodes` order, so the resulting
+/// map is byte-identical to the scratch one. The engine's paranoid mode
+/// asserts this per probe.
+#[derive(Clone, Debug)]
+pub struct KillSelector {
+    mode: KillMode,
+    kills: KillMap,
+    /// Producers whose maximal-use set still has several members, in
+    /// `value_nodes` order.
+    pending: Vec<(NodeId, Vec<NodeId>)>,
+    /// Node index → indices into `pending` whose maximal set contains
+    /// that node.
+    users: Vec<Vec<u32>>,
+}
+
+impl KillSelector {
+    /// Builds the maintained state for `ctx`, whose current kill map is
+    /// `kills` (as computed by [`select_kills`] with the same `mode`).
+    pub fn prime(ctx: &AllocCtx<'_>, kills: KillMap, mode: KillMode) -> Self {
+        let (_, pending) = collect_pending(ctx);
+        let users = Self::build_users(&pending, ctx.ddg().dag().node_count());
+        KillSelector {
+            mode,
+            kills,
+            pending,
+            users,
+        }
+    }
+
+    fn build_users(pending: &[(NodeId, Vec<NodeId>)], n: usize) -> Vec<Vec<u32>> {
+        let mut users: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (pi, (_, maximal)) in pending.iter().enumerate() {
+            for &u in maximal {
+                users[u.index()].push(pi as u32);
+            }
+        }
+        users
+    }
+
+    /// The kill map of the base (committed) context.
+    pub fn kills(&self) -> &KillMap {
+        &self.kills
+    }
+
+    /// Number of producers currently holding several kill candidates.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The kill map for the probed context (`ctx` with the edges whose
+    /// reachability deltas are `deltas` applied), or `None` when it is
+    /// unchanged from [`KillSelector::kills`]. Never mutates the
+    /// selector, so interleaved probes and rollbacks are stateless.
+    pub fn probe_metered<'d>(
+        &self,
+        ctx: &AllocCtx<'_>,
+        deltas: impl Iterator<Item = &'d ReachDelta>,
+        meter: &dyn WorkMeter,
+    ) -> Option<KillMap> {
+        trip_kill_fault(meter);
+        let ddg = ctx.ddg();
+        let reach = ctx.reach();
+        let mut affected = vec![false; self.pending.len()];
+        let mut any = false;
+        for delta in deltas {
+            for (s, d) in delta.pairs() {
+                for &pi in &self.users[s.index()] {
+                    let p = self.pending[pi as usize].0;
+                    if !affected[pi as usize] && d != s && ddg.uses_of(p).contains(&d) {
+                        affected[pi as usize] = true;
+                        any = true;
+                    }
+                }
+            }
+        }
+        if !any {
+            return None;
+        }
+        let n = ddg.dag().node_count();
+        let mut kill = self.kills.kill.clone();
+        // Re-filter the affected sets against the *full* use list under
+        // current reachability — exact because non-maximal uses stay
+        // non-maximal — then resolve all still-multi producers the way
+        // the scratch pass would (newly-single sets get their only
+        // member directly; the cover reruns globally).
+        let mut still_multi: Vec<(NodeId, Vec<NodeId>)> = Vec::with_capacity(self.pending.len());
+        for (pi, (p, m_old)) in self.pending.iter().enumerate() {
+            let m: Vec<NodeId> = if affected[pi] {
+                let uses = ddg.uses_of(*p);
+                m_old
+                    .iter()
+                    .copied()
+                    .filter(|&u| !uses.iter().any(|&v| v != u && reach.reaches(u, v)))
+                    .collect()
+            } else {
+                m_old.clone()
+            };
+            debug_assert!(!m.is_empty(), "maximal sets shrink but never empty");
+            if let [only] = m[..] {
+                kill[p.index()] = Some(only);
+            } else {
+                still_multi.push((*p, m));
+            }
+        }
+        resolve_pending(&mut kill, still_multi, n, self.mode, meter);
+        Some(KillMap { kill })
+    }
+
+    /// Adopts a committed edit: `new_kills` is the map
+    /// [`KillSelector::probe_metered`] returned for the now-permanent
+    /// edges (`None` when the probe reported no change). Shrinks every
+    /// maintained set under the committed reachability and drops the
+    /// ones that became single-candidate.
+    pub fn advance(&mut self, ctx: &AllocCtx<'_>, new_kills: Option<KillMap>) {
+        let Some(kills) = new_kills else {
+            // No set was affected: reachability among all maximal
+            // members and their co-uses is unchanged, so the maintained
+            // state is already exact for the committed context.
+            return;
+        };
+        self.kills = kills;
+        let ddg = ctx.ddg();
+        let reach = ctx.reach();
+        self.pending.retain_mut(|(p, m)| {
+            let uses = ddg.uses_of(*p);
+            m.retain(|&u| !uses.iter().any(|&v| v != u && reach.reaches(u, v)));
+            m.len() > 1
+        });
+        self.users = Self::build_users(&self.pending, ctx.ddg().dag().node_count());
+    }
 }
 
 /// Greedy minimum cover over the values with several candidate killers,
@@ -254,6 +434,89 @@ mod tests {
         let store = ctx.ddg().dag().node(3);
         assert_eq!(kills.kill_of(store), None);
         assert_eq!(kills.kill_of(ctx.ddg().entry()), None);
+    }
+
+    /// Probing any single legal edge through the selector must produce
+    /// exactly what a scratch `select_kills` on the edited context does,
+    /// and the selector must stay byte-stable across interleaved probes.
+    #[test]
+    fn selector_probe_matches_scratch_on_every_edge() {
+        for mode in [KillMode::MinCover, KillMode::Naive] {
+            let mut ctx = ctx_of(
+                "v0 = const 1\n\
+                 v1 = const 2\n\
+                 v2 = add v0, v1\n\
+                 v3 = mul v0, v1\n\
+                 v4 = add v0, 7\n\
+                 store a[0], v2\n\
+                 store a[1], v3\n\
+                 store a[2], v4\n",
+            );
+            let base = select_kills(&ctx, mode);
+            let selector = KillSelector::prime(&ctx, base.clone(), mode);
+            let n = ctx.ddg().dag().node_count();
+            for a in 0..n as u32 {
+                for b in 0..n as u32 {
+                    let (a, b) = (NodeId(a), NodeId(b));
+                    if a == b || ctx.reach().reaches(a, b) || ctx.reach().would_cycle(a, b) {
+                        continue;
+                    }
+                    let mut txn = crate::incremental::CtxTxn::begin(&ctx);
+                    if !txn.add_sequence_edge(&mut ctx, a, b) {
+                        txn.rollback(&mut ctx);
+                        continue;
+                    }
+                    let probed = selector
+                        .probe_metered(&ctx, txn.deltas(), &Unmetered)
+                        .unwrap_or_else(|| base.clone());
+                    let scratch = select_kills(&ctx, mode);
+                    assert_eq!(probed, scratch, "{mode:?} edge {a} -> {b}");
+                    txn.rollback(&mut ctx);
+                    // Statelessness: after rollback, a no-edge re-prime
+                    // agrees with the live selector.
+                    assert_eq!(select_kills(&ctx, mode), base, "{mode:?} rollback");
+                }
+            }
+        }
+    }
+
+    /// `advance` keeps the maintained sets exact across a chain of
+    /// committed edits.
+    #[test]
+    fn selector_advance_tracks_committed_edits() {
+        let mut ctx = ctx_of(
+            "v0 = const 1\n\
+             v1 = const 2\n\
+             v2 = add v0, v1\n\
+             v3 = mul v0, v1\n\
+             store a[0], v2\n\
+             store a[1], v3\n",
+        );
+        let mode = KillMode::MinCover;
+        let base = select_kills(&ctx, mode);
+        let mut selector = KillSelector::prime(&ctx, base, mode);
+        // Commit two edits in sequence, advancing after each.
+        let edits = [(4, 5), (2, 3)]; // v2 -> v3 producers, then v0 -> v1
+        for (a, b) in edits {
+            let (a, b) = (NodeId(a), NodeId(b));
+            if ctx.reach().reaches(a, b) || ctx.reach().would_cycle(a, b) {
+                continue;
+            }
+            let mut txn = crate::incremental::CtxTxn::begin(&ctx);
+            assert!(txn.add_sequence_edge(&mut ctx, a, b));
+            let probed = selector.probe_metered(&ctx, txn.deltas(), &Unmetered);
+            selector.advance(&ctx, probed);
+            txn.commit();
+            assert_eq!(
+                *selector.kills(),
+                select_kills(&ctx, mode),
+                "after committing {a} -> {b}"
+            );
+            // The re-primed state must agree with the advanced one.
+            let fresh = KillSelector::prime(&ctx, selector.kills().clone(), mode);
+            assert_eq!(fresh.pending, selector.pending);
+            assert_eq!(fresh.users, selector.users);
+        }
     }
 
     #[test]

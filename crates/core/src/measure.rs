@@ -322,6 +322,55 @@ pub fn measure_metered(
     Measurement { resources, kills }
 }
 
+/// Measurement of an *adopted* context whose kill map and requirement
+/// counts the incremental engine already maintains exactly (its commit
+/// path asserts both against scratch under `ParanoidMeasure`). Only
+/// resources that exceed their capacity get a real staged decomposition
+/// — those are the ones `find_excessive` will consult; fitting
+/// resources carry a [`ChainDecomposition::singletons`] placeholder,
+/// which no reduce-loop consumer reads (`find_excessive` returns before
+/// touching a fitting resource's chains). Callers that need minimum
+/// witnesses for every resource — `minimality_gaps` diagnostics — must
+/// use [`measure_metered`] instead.
+///
+/// An armed `Measure` fault (chaos harness) invalidates the trusted
+/// summary, so that path falls back to the full per-resource
+/// measurement with the poisoned row applied, exactly like
+/// [`measure_metered`].
+pub fn measure_adopted_metered(
+    ctx: &mut AllocCtx<'_>,
+    kills: KillMap,
+    summary: &MeasurementSummary,
+    options: MeasureOptions,
+    meter: &dyn WorkMeter,
+) -> Measurement {
+    let mut poison_row = trip_measure_fault(meter);
+    if poison_row.is_some() {
+        let resources = ResourceKind::all_for(ctx.machine())
+            .into_iter()
+            .map(|r| measure_resource_inner(ctx, &kills, r, options, meter, poison_row.take()))
+            .collect();
+        return Measurement { resources, kills };
+    }
+    let resources = summary
+        .requirements
+        .iter()
+        .map(|req| {
+            if req.fits() {
+                ResourceMeasure {
+                    requirement: *req,
+                    decomposition: ursa_graph::chains::ChainDecomposition::singletons(
+                        &ctx.resource_nodes(req.resource),
+                    ),
+                }
+            } else {
+                measure_resource_inner(ctx, &kills, req.resource, options, meter, None)
+            }
+        })
+        .collect();
+    Measurement { resources, kills }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

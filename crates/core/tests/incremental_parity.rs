@@ -103,6 +103,130 @@ fn random_traces_integrated() {
     }
 }
 
+/// Interleaved probe/commit/rollback statelessness of the journaled
+/// kill selector: after any mix of probed-and-rolled-back transactions
+/// and committed edges, the maintained [`KillMap`] must equal a scratch
+/// `select_kills` of the context, and a freshly primed selector must
+/// probe the next edge to the same answer as the long-lived one.
+#[test]
+fn kill_selector_journal_is_stateless_across_interleaving() {
+    use ursa_core::kill::KillSelector;
+    use ursa_core::{select_kills, AllocCtx, CtxTxn, KillMode};
+    use ursa_graph::meter::Unmetered;
+
+    let program = random_block(
+        11,
+        RandomShape {
+            ops: 40,
+            ..RandomShape::default()
+        },
+    );
+    let ddg = DependenceDag::from_entry_block(&program);
+    let machine = Machine::homogeneous(4, 8);
+    let mut ctx = AllocCtx::new(ddg, &machine);
+    for mode in [KillMode::MinCover, KillMode::Naive] {
+        let mut selector = KillSelector::prime(&ctx, select_kills(&ctx, mode), mode);
+        let order = ctx.ddg().dag().topo_order().expect("acyclic");
+        let legal: Vec<_> = order
+            .iter()
+            .flat_map(|&u| order.iter().map(move |&v| (u, v)))
+            .filter(|&(u, v)| u != v && !ctx.reach().reaches(u, v) && !ctx.would_cycle(u, v))
+            .take(12)
+            .collect();
+        for (step, &(u, v)) in legal.iter().enumerate() {
+            if ctx.reach().reaches(u, v) || ctx.would_cycle(u, v) {
+                continue; // an earlier committed edge implied or blocked it
+            }
+            // Probe and roll back: the base map must be untouched.
+            let mut txn = CtxTxn::begin(&ctx);
+            txn.add_sequence_edge(&mut ctx, u, v);
+            let probed = selector.probe_metered(&ctx, txn.deltas(), &Unmetered);
+            let probed_map = probed.clone().unwrap_or_else(|| selector.kills().clone());
+            assert_eq!(
+                probed_map,
+                select_kills(&ctx, mode),
+                "step {step} ({mode:?}): probe disagrees with scratch"
+            );
+            txn.rollback(&mut ctx);
+            assert_eq!(
+                *selector.kills(),
+                select_kills(&ctx, mode),
+                "step {step} ({mode:?}): rollback leaked into the base map"
+            );
+            // Commit every other edge for real and advance the journal.
+            if step % 2 == 0 {
+                ctx.add_sequence_edge(u, v);
+                selector.advance(&ctx, probed);
+                assert_eq!(
+                    *selector.kills(),
+                    select_kills(&ctx, mode),
+                    "step {step} ({mode:?}): advanced map diverged from scratch"
+                );
+                let fresh = KillSelector::prime(&ctx, select_kills(&ctx, mode), mode);
+                assert_eq!(
+                    fresh.pending_len(),
+                    selector.pending_len(),
+                    "step {step} ({mode:?}): journal shape diverged from a fresh prime"
+                );
+            }
+        }
+    }
+}
+
+/// Interleaved probe/commit statelessness of the hammock cache: engine
+/// probes roll the installed analysis back, and every committed batch
+/// installs a delta-updated analysis equal to a from-scratch
+/// [`HammockAnalysis::analyze`] of the adopted DAG.
+#[test]
+fn hammock_cache_is_stateless_across_interleaving() {
+    use ursa_core::{select_kills, AllocCtx, IncrementalEngine, KillMode};
+    use ursa_graph::hammock::HammockAnalysis;
+
+    let program = random_block(
+        13,
+        RandomShape {
+            ops: 40,
+            ..RandomShape::default()
+        },
+    );
+    let ddg = DependenceDag::from_entry_block(&program);
+    let machine = Machine::homogeneous(2, 4);
+    let mut ctx = AllocCtx::new(ddg, &machine);
+    let kills = select_kills(&ctx, KillMode::MinCover);
+    // Paranoid mode: every commit cross-checks the delta-updated
+    // analysis against a fresh analyze() internally as well.
+    let mut engine = IncrementalEngine::new(&ctx, &kills, KillMode::MinCover, true);
+    let order = ctx.ddg().dag().topo_order().expect("acyclic");
+    let legal: Vec<_> = order
+        .iter()
+        .flat_map(|&u| order.iter().map(move |&v| (u, v)))
+        .filter(|&(u, v)| u != v && !ctx.reach().reaches(u, v) && !ctx.would_cycle(u, v))
+        .take(8)
+        .collect();
+    let mut expected = HammockAnalysis::analyze(ctx.ddg().dag()).expect("anchored DAG");
+    for (step, &(u, v)) in legal.iter().enumerate() {
+        if ctx.reach().reaches(u, v) || ctx.would_cycle(u, v) {
+            continue;
+        }
+        // A probe must leave the installed analysis untouched.
+        let _ = engine.probe(&mut ctx, &[(u, v)]);
+        assert_eq!(
+            *ctx.hammocks(),
+            expected,
+            "step {step}: probe rollback leaked hammock state"
+        );
+        if step % 2 == 0 {
+            engine.commit(&mut ctx, &[(u, v)]);
+            expected = HammockAnalysis::analyze(ctx.ddg().dag()).expect("anchored DAG");
+            assert_eq!(
+                *ctx.hammocks(),
+                expected,
+                "step {step}: committed delta analysis differs from scratch"
+            );
+        }
+    }
+}
+
 #[test]
 fn interleaved_probe_revert_probe_is_stateless() {
     // Re-running the same allocation twice with one engine-enabled run

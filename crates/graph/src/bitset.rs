@@ -332,6 +332,17 @@ impl BitMatrix {
         self.bits[i * self.words_per_row + j / WORD_BITS] & (1 << (j % WORD_BITS)) != 0
     }
 
+    /// Clears every entry of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn clear_row(&mut self, i: usize) {
+        assert!(i < self.n, "row {i} out of bounds for {}", self.n);
+        let range = self.row_range(i);
+        self.bits[range].fill(0);
+    }
+
     /// ORs row `src` into row `dst` (`dst |= src`). Used to propagate
     /// reachability along an edge.
     pub fn or_row_into(&mut self, src: usize, dst: usize) {

@@ -32,6 +32,17 @@ pub struct ChainDecomposition {
 }
 
 impl ChainDecomposition {
+    /// The trivial decomposition with every node its own chain. Always a
+    /// valid chain partition, but a *minimum* witness only when the
+    /// nodes are pairwise independent — callers that skip the matching
+    /// (a resource already known to fit) use it as a placeholder whose
+    /// chains are never consulted.
+    pub fn singletons(nodes: &[NodeId]) -> Self {
+        ChainDecomposition {
+            chains: nodes.iter().map(|&v| vec![v]).collect(),
+        }
+    }
+
     /// Number of chains — the measured resource requirement.
     pub fn num_chains(&self) -> usize {
         self.chains.len()

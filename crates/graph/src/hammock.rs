@@ -138,10 +138,15 @@ fn intersect(
 /// assert!(h.pairs().contains(&(NodeId(0), NodeId(3))));
 /// assert!(h.nesting(NodeId(1)) > h.nesting(NodeId(4)));
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HammockAnalysis {
     root: NodeId,
     leaf: NodeId,
+    /// Immediate dominators (kept so [`HammockAnalysis::apply_edges`]
+    /// can restrict recomputation to the cone a new edge reaches).
+    idom: Vec<Option<NodeId>>,
+    /// Immediate postdominators (reversed-graph counterpart of `idom`).
+    ipdom: Vec<Option<NodeId>>,
     /// `dom.get(x, u)` ⇔ `u` dominates `x` (reflexive).
     dom: BitMatrix,
     /// `pdom.get(x, v)` ⇔ `v` postdominates `x` (reflexive).
@@ -227,6 +232,263 @@ impl HammockAnalysis {
         Ok(HammockAnalysis {
             root,
             leaf,
+            idom,
+            ipdom,
+            dom,
+            pdom,
+            nesting,
+            pairs,
+            regions,
+        })
+    }
+
+    /// Re-derives the analysis after `edges` were inserted into the
+    /// graph this analysis was computed from. `g` is the
+    /// *post-insertion* DAG; the result equals
+    /// `HammockAnalysis::analyze(g)` exactly (same pair order, same
+    /// regions) but only recomputes what an edge can actually change:
+    ///
+    /// - a new edge `(u, v)` creates paths that *end* in `{v} ∪
+    ///   descendants(v)` and *start* in `{u} ∪ ancestors(u)`, so
+    ///   dominator rows can differ only inside the downstream cone and
+    ///   postdominator rows only inside the upstream cone;
+    /// - inside the downstream cone one pass in topological order is
+    ///   exact, because every predecessor's immediate dominator is
+    ///   final when a node is visited (outside-cone values cannot have
+    ///   changed, inside-cone values were just recomputed);
+    /// - a hammock pair `(a, b)` is affected only when `a`'s
+    ///   postdominator row or `b`'s dominator row changed, so nesting
+    ///   levels and regions of untouched nodes are patched by the
+    ///   removed/added pair lists instead of being recounted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`AnalyzeHammockError`]s `analyze` would.
+    pub fn apply_edges(
+        &self,
+        g: &Dag,
+        edges: &[(NodeId, NodeId)],
+    ) -> Result<Self, AnalyzeHammockError> {
+        let n = g.node_count();
+        if edges.is_empty() {
+            return Ok(self.clone());
+        }
+        if n != self.nesting.len() {
+            // The node set changed since the base analysis; there is
+            // nothing sound to reuse.
+            return HammockAnalysis::analyze(g);
+        }
+        // Same shape checks as `analyze`, so error behaviour matches.
+        let Some(topo) = g.topo_order() else {
+            return Err(AnalyzeHammockError::Cyclic);
+        };
+        let roots = g.roots();
+        let [root] = roots[..] else {
+            return Err(AnalyzeHammockError::RootNotUnique(roots.len()));
+        };
+        let leaves = g.leaves();
+        let [leaf] = leaves[..] else {
+            return Err(AnalyzeHammockError::LeafNotUnique(leaves.len()));
+        };
+        debug_assert_eq!(
+            (root, leaf),
+            (self.root, self.leaf),
+            "edge insertion cannot move the anchors"
+        );
+
+        // Cones the new edges can influence.
+        let mut down = BitSet::new(n);
+        let mut up = BitSet::new(n);
+        for &(u, v) in edges {
+            down.insert(v.index());
+            down.union_with(&g.descendants(v));
+            up.insert(u.index());
+            up.union_with(&g.ancestors(u));
+        }
+
+        let mut topo_number = vec![usize::MAX; n];
+        for (i, &v) in topo.iter().enumerate() {
+            topo_number[v.index()] = i;
+        }
+        // `intersect` only needs a numbering that decreases along idom
+        // chains (a dominator precedes its dominatee in every
+        // topological order), so topo numbers substitute for the RPO
+        // numbers `analyze` uses.
+        let mut idom = self.idom.clone();
+        for &v in &topo {
+            if v == root || !down.contains(v.index()) {
+                continue;
+            }
+            let mut new_idom: Option<NodeId> = None;
+            for p in g.preds(v) {
+                if idom[p.index()].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(cur, p, &idom, &topo_number),
+                });
+            }
+            idom[v.index()] = new_idom;
+        }
+        let mut rtopo_number = vec![usize::MAX; n];
+        for (i, &v) in topo.iter().rev().enumerate() {
+            rtopo_number[v.index()] = i;
+        }
+        let mut ipdom = self.ipdom.clone();
+        for &v in topo.iter().rev() {
+            if v == leaf || !up.contains(v.index()) {
+                continue;
+            }
+            // Predecessors in the reversed graph are successors here.
+            let mut new_ipdom: Option<NodeId> = None;
+            for p in g.succs(v) {
+                if ipdom[p.index()].is_none() {
+                    continue;
+                }
+                new_ipdom = Some(match new_ipdom {
+                    None => p,
+                    Some(cur) => intersect(cur, p, &ipdom, &rtopo_number),
+                });
+            }
+            ipdom[v.index()] = new_ipdom;
+        }
+
+        // Rebuild exactly the matrix rows the cones cover, walking the
+        // new idom chains the way `dominance_matrix` does.
+        let mut dom = self.dom.clone();
+        for x in down.iter() {
+            dom.clear_row(x);
+            let mut cur = NodeId::from(x);
+            loop {
+                dom.set(x, cur.index());
+                match idom[cur.index()] {
+                    Some(p) if p != cur => cur = p,
+                    _ => break,
+                }
+            }
+        }
+        let mut pdom = self.pdom.clone();
+        for x in up.iter() {
+            pdom.clear_row(x);
+            let mut cur = NodeId::from(x);
+            loop {
+                pdom.set(x, cur.index());
+                match ipdom[cur.index()] {
+                    Some(p) if p != cur => cur = p,
+                    _ => break,
+                }
+            }
+        }
+
+        // Pairs: rescanning all (u, v) cells is two bit tests each and
+        // reproduces `analyze`'s ascending order for free.
+        let mut pairs = Vec::new();
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && dom.get(v, u) && pdom.get(u, v) {
+                    pairs.push((NodeId::from(u), NodeId::from(v)));
+                }
+            }
+        }
+
+        // Diff against the base pairs (both ascending) to patch the
+        // nesting counters of untouched nodes by ±1 instead of
+        // recounting every pair.
+        let mut removed: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut added: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut old_index: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+        {
+            let (mut i, mut j) = (0, 0);
+            while i < self.pairs.len() || j < pairs.len() {
+                match (self.pairs.get(i), pairs.get(j)) {
+                    (Some(&a), Some(&b)) if a == b => {
+                        old_index.insert(a, i);
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(&a), Some(&b)) if a < b => {
+                        removed.push(a);
+                        i += 1;
+                    }
+                    (Some(_), Some(&b)) => {
+                        added.push(b);
+                        j += 1;
+                    }
+                    (Some(&a), None) => {
+                        removed.push(a);
+                        i += 1;
+                    }
+                    (None, Some(&b)) => {
+                        added.push(b);
+                        j += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+        }
+
+        let mut touched = down.clone();
+        touched.union_with(&up);
+        let mut nesting = self.nesting.clone();
+        let strictly_inside = |x: usize, u: NodeId, v: NodeId| {
+            x != u.index() && x != v.index() && dom.get(x, u.index()) && pdom.get(x, v.index())
+        };
+        for (x, level) in nesting.iter_mut().enumerate() {
+            if touched.contains(x) {
+                // Rows of x changed; recount from scratch.
+                *level = pairs
+                    .iter()
+                    .filter(|&&(u, v)| strictly_inside(x, u, v))
+                    .count() as u32;
+            } else {
+                // Rows of x are byte-identical to the base, so only the
+                // pair set difference can move the count.
+                for &(u, v) in &removed {
+                    if strictly_inside(x, u, v) {
+                        *level -= 1;
+                    }
+                }
+                for &(u, v) in &added {
+                    if strictly_inside(x, u, v) {
+                        *level += 1;
+                    }
+                }
+            }
+        }
+
+        // Regions: surviving pairs reuse the base bitset with the
+        // touched nodes' membership re-tested; new pairs scan fresh.
+        let regions = pairs
+            .iter()
+            .map(|&(u, v)| {
+                if let Some(&oi) = old_index.get(&(u, v)) {
+                    let mut r = self.regions[oi].clone();
+                    for x in touched.iter() {
+                        if dom.get(x, u.index()) && pdom.get(x, v.index()) {
+                            r.insert(x);
+                        } else {
+                            r.remove(x);
+                        }
+                    }
+                    r
+                } else {
+                    let mut r = BitSet::new(n);
+                    for x in 0..n {
+                        if dom.get(x, u.index()) && pdom.get(x, v.index()) {
+                            r.insert(x);
+                        }
+                    }
+                    r
+                }
+            })
+            .collect();
+
+        Ok(HammockAnalysis {
+            root,
+            leaf,
+            idom,
+            ipdom,
             dom,
             pdom,
             nesting,
@@ -373,6 +635,19 @@ impl HammockCache {
         }
         memo.insert(key, Arc::clone(&analysis));
         Ok(analysis)
+    }
+
+    /// Memoizes `analysis` under `key` (a [`Dag::fingerprint`]), as if
+    /// it had been computed by [`HammockCache::analyze`]. Lets callers
+    /// that derived an analysis by other means — notably
+    /// [`HammockAnalysis::apply_edges`] after an adopted edit — make it
+    /// available to later lookups.
+    pub fn insert(&self, key: u64, analysis: Arc<HammockAnalysis>) {
+        let mut memo = self.memo.lock().expect("hammock cache lock");
+        if memo.len() >= 64 {
+            memo.clear();
+        }
+        memo.insert(key, analysis);
     }
 
     /// Number of memoized analyses.
@@ -554,6 +829,114 @@ mod tests {
         let back = cache.analyze(&g).unwrap();
         assert!(Arc::ptr_eq(&base, &back));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn apply_edges_matches_fresh_analysis_on_nested() {
+        let mut g = nested();
+        let base = HammockAnalysis::analyze(&g).unwrap();
+        // An edge inside the inner diamond: breaks the (1,4) sibling
+        // structure locally.
+        g.add_edge(NodeId(2), NodeId(3), EdgeKind::Sequence);
+        let delta = base.apply_edges(&g, &[(NodeId(2), NodeId(3))]).unwrap();
+        let fresh = HammockAnalysis::analyze(&g).unwrap();
+        assert_eq!(delta, fresh);
+    }
+
+    #[test]
+    fn apply_edges_handles_cross_region_and_batched_edges() {
+        let mut g = nested();
+        let base = HammockAnalysis::analyze(&g).unwrap();
+        // One edge from the bypass into the diamond, one inside it —
+        // applied as a single batch, as a commit would.
+        let edges = [(NodeId(6), NodeId(4)), (NodeId(2), NodeId(3))];
+        for &(a, b) in &edges {
+            g.add_edge(a, b, EdgeKind::Sequence);
+        }
+        let delta = base.apply_edges(&g, &edges).unwrap();
+        let fresh = HammockAnalysis::analyze(&g).unwrap();
+        assert_eq!(delta, fresh);
+    }
+
+    #[test]
+    fn apply_edges_with_no_edges_is_identity() {
+        let g = nested();
+        let base = HammockAnalysis::analyze(&g).unwrap();
+        assert_eq!(base.apply_edges(&g, &[]).unwrap(), base);
+    }
+
+    /// Randomized equivalence: layered anchored DAGs, a few inserted
+    /// forward edges, delta application must equal fresh analysis.
+    #[test]
+    fn apply_edges_matches_fresh_analysis_randomized() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            // splitmix64, hand-rolled to keep the test hermetic.
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        for case in 0..40 {
+            let interior = 8 + (case % 17);
+            let n = interior + 2; // + synthetic root and leaf
+            let root = NodeId(0);
+            let leaf = NodeId((n - 1) as u32);
+            let mut g = Dag::new(n);
+            // Random forward edges between interior nodes 1..n-1.
+            for a in 1..n - 1 {
+                for b in (a + 1)..(n - 1) {
+                    if next() % 100 < 25 {
+                        g.add_edge(NodeId(a as u32), NodeId(b as u32), EdgeKind::Data);
+                    }
+                }
+            }
+            // Anchor: root feeds every source, every sink feeds leaf.
+            for x in 1..n - 1 {
+                let x_id = NodeId(x as u32);
+                if g.preds(x_id).next().is_none() {
+                    g.add_edge(root, x_id, EdgeKind::Data);
+                }
+                if g.succs(x_id).next().is_none() {
+                    g.add_edge(x_id, leaf, EdgeKind::Data);
+                }
+            }
+            let base = HammockAnalysis::analyze(&g).unwrap();
+            // Insert 1..=3 fresh forward edges between interior nodes.
+            let mut edges = Vec::new();
+            let mut guard = 0;
+            while edges.len() < 1 + (case % 3) && guard < 200 {
+                guard += 1;
+                let a = 1 + (next() as usize % interior);
+                let b = 1 + (next() as usize % interior);
+                let (a, b) = (a.min(b), a.max(b));
+                if a == b {
+                    continue;
+                }
+                let (a, b) = (NodeId(a as u32), NodeId(b as u32));
+                // Forward in node order is acyclic by construction of
+                // the generator; skip pre-existing duplicates.
+                if g.succs(a).any(|s| s == b) {
+                    continue;
+                }
+                g.add_edge(a, b, EdgeKind::Sequence);
+                edges.push((a, b));
+            }
+            let delta = base.apply_edges(&g, &edges).unwrap();
+            let fresh = HammockAnalysis::analyze(&g).unwrap();
+            assert_eq!(delta, fresh, "case {case}: {edges:?}");
+        }
+    }
+
+    #[test]
+    fn cache_insert_serves_later_lookups() {
+        let g = nested();
+        let cache = HammockCache::new();
+        let analysis = Arc::new(HammockAnalysis::analyze(&g).unwrap());
+        cache.insert(g.fingerprint(), Arc::clone(&analysis));
+        let hit = cache.analyze(&g).unwrap();
+        assert!(Arc::ptr_eq(&analysis, &hit));
     }
 
     #[test]

@@ -713,10 +713,10 @@ mod tests {
         // A long alternating structure that needs several phases.
         let n = 12;
         let mut adj = vec![Vec::new(); n];
-        for l in 0..n {
+        for (l, row) in adj.iter_mut().enumerate() {
             for r in 0..n {
                 if (l + r) % 3 != 1 {
-                    adj[l].push(r);
+                    row.push(r);
                 }
             }
         }

@@ -10,14 +10,19 @@
 # itself under test and needs no jq/python on the runner.
 #
 # Usage: tools/check_perf.sh [--threshold RATIO] [--update] [repo-root]
+#        tools/check_perf.sh --compare A.json B.json
 #   --threshold 1.25   gate ratio handed to perf_compare
 #   --update           re-measure and overwrite the committed baseline
 #                      (for deliberate, reviewed refreshes after a
 #                      genuine speedup — never run this in CI)
+#   --compare A B      no re-measuring, no gate: print per-series
+#                      speedup ratios between two recorded tables
+#                      (regenerates EXPERIMENTS.md numbers mechanically)
 set -euo pipefail
 
 threshold=1.25
 update=0
+compare=0
 while :; do
     case "${1:-}" in
     --threshold)
@@ -28,9 +33,26 @@ while :; do
         update=1
         shift
         ;;
+    --compare)
+        compare=1
+        shift
+        ;;
     *) break ;;
     esac
 done
+
+if [ "$compare" -eq 1 ]; then
+    if [ $# -ne 2 ]; then
+        echo "usage: tools/check_perf.sh --compare A.json B.json" >&2
+        exit 2
+    fi
+    a="$(realpath "$1")"
+    b="$(realpath "$2")"
+    root="$(cd "$(dirname "$0")/.." && pwd)"
+    cd "$root"
+    cargo build --release --offline -q -p ursa-bench --bin perf_compare
+    exec ./target/release/perf_compare --ratios "$a" "$b"
+fi
 
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 cd "$root"
