@@ -238,5 +238,57 @@ fn main() {
         }
     }
 
+    // The schedule-quality analyzer (ursa-lint::bounds) next to the
+    // compile it annotates: `analyze/*` times one bounds pass (DDG
+    // build + Dilworth register requirement + FU occupancy +
+    // spill-traffic scan) over an already-compiled kernel, `compile/*`
+    // is the matching full-pipeline denominator. The README's ≤5%
+    // `--bounds` overhead claim is the analyze/compile ratio of the
+    // dct8 rows (fig2 is the microscopic end, where the analyzer costs
+    // about one extra `fig2_measure` — tiny in absolute terms, but the
+    // 23 µs compile makes any ratio meaningless). dct8 runs on (4,32)
+    // rather than T8's (4,16): same analysis, but the denominator stays
+    // ~1 s instead of the ~8 s spill-heavy compile, which would drown
+    // the rest of the perf gate.
+    {
+        use ursa_lint::{analyze_quality, BoundsOptions};
+        use ursa_sched::{try_compile_with, CompileStrategy, PipelineOptions};
+        use ursa_workloads::kernels::kernel_suite;
+        let kernels: Vec<_> = kernel_suite()
+            .into_iter()
+            .filter(|k| k.name == "fig2" || k.name == "dct8")
+            .collect();
+        for kernel in &kernels {
+            let machine = if kernel.name == "dct8" {
+                Machine::homogeneous(4, 32)
+            } else {
+                Machine::homogeneous(4, 16)
+            };
+            let trace = ursa_ir::Trace::entry();
+            let compiled = try_compile_with(
+                &kernel.program,
+                &trace,
+                &machine,
+                CompileStrategy::Ursa(Default::default()),
+                &PipelineOptions::default(),
+            )
+            .expect("kernel compiles");
+            runner.bench(&format!("lint_bounds/analyze/{}", kernel.name), || {
+                let ddg = DependenceDag::from_entry_block(&kernel.program);
+                analyze_quality(&ddg, &machine, &compiled, BoundsOptions::default())
+            });
+            runner.bench(&format!("lint_bounds/compile/{}", kernel.name), || {
+                try_compile_with(
+                    &kernel.program,
+                    &trace,
+                    &machine,
+                    CompileStrategy::Ursa(Default::default()),
+                    &PipelineOptions::default(),
+                )
+                .expect("kernel compiles")
+            });
+        }
+    }
+
     runner.finish();
 }

@@ -21,6 +21,7 @@
 //! stress --machine vliw2r3        # filter machines by name substring
 //! stress --strategy ursa-phased   # filter strategies by name
 //! stress --programs               # multi-block CFGs through the whole-program driver
+//! stress --quality                # third oracle: bounds-based quality lints (counted)
 //! stress --chaos                  # fault injection: programs × fault plans
 //! stress --chaos --plans 8        # fault plans per (seed, machine, strategy)
 //! stress --chaos --fault-seed 7   # base seed for the fault-plan derivation
@@ -36,6 +37,12 @@
 //! plus the boundary hand-off contract), the dynamic side is
 //! `check_program_equivalence` (sequential reference vs. the stitched
 //! unit schedules on one seeded input).
+//!
+//! **Quality mode** (`--quality`) runs the schedule-quality analyzer
+//! (`ursa-lint::bounds`, the `U03xx` family) as a **third oracle** over
+//! every successful compile: quality warnings are counted and reported
+//! in the summary but never fail a case — suboptimality is not a
+//! miscompile, and the dual correctness oracles keep the final word.
 //!
 //! **Chaos mode** arms one seeded [`ursa_core::FaultPlan`] per case
 //! (allocation refusals, poisoned matching rows, widening-cap hits,
@@ -53,7 +60,7 @@ use std::process::ExitCode;
 use ursa_core::{Strategy, UrsaConfig};
 use ursa_ir::ddg::DependenceDag;
 use ursa_ir::Trace;
-use ursa_lint::{lint_program, validate_translation};
+use ursa_lint::{analyze_quality, lint_program, validate_translation, BoundsOptions};
 use ursa_machine::Machine;
 use ursa_rng::Rng;
 use ursa_sched::{
@@ -70,6 +77,7 @@ struct Options {
     machine_filter: Option<String>,
     strategy_filter: Option<String>,
     programs: bool,
+    quality: bool,
     chaos: bool,
     fault_seed: u64,
     plans: u64,
@@ -85,6 +93,7 @@ fn parse_args() -> Result<Options, String> {
         machine_filter: None,
         strategy_filter: None,
         programs: false,
+        quality: false,
         chaos: false,
         fault_seed: 0,
         plans: 8,
@@ -111,6 +120,7 @@ fn parse_args() -> Result<Options, String> {
             "--machine" => opts.machine_filter = Some(take("--machine")?),
             "--strategy" => opts.strategy_filter = Some(take("--strategy")?),
             "--programs" => opts.programs = true,
+            "--quality" => opts.quality = true,
             "--chaos" => opts.chaos = true,
             "--fault-seed" => {
                 opts.fault_seed = take("--fault-seed")?
@@ -142,8 +152,9 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: stress [--seeds A..B] [--validate] [--paranoid-measure] \
-                            [--machine NAME] [--strategy NAME] [--programs] [--chaos] \
-                            [--fault-seed N] [--plans N] [--deadline-ms N] [--max-steps N]"
+                            [--machine NAME] [--strategy NAME] [--programs] [--quality] \
+                            [--chaos] [--fault-seed N] [--plans N] [--deadline-ms N] \
+                            [--max-steps N]"
                         .to_string(),
                 )
             }
@@ -223,16 +234,18 @@ fn cfg_shape_for(seed: u64) -> CfgShape {
 }
 
 enum CaseResult {
-    Pass,
+    Pass {
+        /// Quality-mode third oracle: `U03xx` warnings observed on this
+        /// verified-correct compile. Counted, never failing.
+        quality_warnings: u64,
+    },
     /// The strategy refused the input for an expected, typed reason
     /// (Goodman–Hsu cannot spill, so honest overflow refusals count).
     Refused,
     /// Chaos mode: the injected fault surfaced as a typed
     /// [`CompileError`] — exactly the contract. `internal` marks a
     /// synthetic panic converted by the isolation boundary.
-    Typed {
-        internal: bool,
-    },
+    Typed { internal: bool },
     Fail {
         why: String,
         /// The static validator rejected the code.
@@ -259,6 +272,7 @@ fn run_case(
     strategy: &CompileStrategy,
     opts: &PipelineOptions,
     chaos: bool,
+    quality: bool,
 ) -> CaseResult {
     let program = random_block(seed, shape_for(seed));
     let trace = Trace::entry();
@@ -340,9 +354,33 @@ fn run_case(
         Ok(Err(e)) => Some(format!("differential check ({strategy_name}): {e}")),
         Ok(Ok(())) => None,
     };
+    // Oracle 3 (quality mode, advisory): the bounds-based schedule
+    // quality analyzer on the untransformed DAG. Warnings are counted,
+    // never a failure — only a panic in the analyzer itself is a bug.
+    // The analyzer replays measurement code, so an armed fault plan
+    // must be cleared first (as `lint_program` does in programs mode).
+    let quality_warnings = if quality {
+        if chaos {
+            let _ = ursa_core::fault::disarm();
+        }
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            let ddg = DependenceDag::build(&program, &trace);
+            let (_, diags) = analyze_quality(&ddg, machine, &compiled, BoundsOptions::default());
+            diags
+                .iter()
+                .filter(|d| d.severity() == ursa_lint::Severity::Warning)
+                .count() as u64
+        }));
+        match run {
+            Err(_) => return CaseResult::fail("panic during quality analysis"),
+            Ok(n) => n,
+        }
+    } else {
+        0
+    };
     let static_errs = static_verdict.as_ref().filter(|e| !e.is_empty());
     match (static_errs, dynamic_err) {
-        (None, None) => CaseResult::Pass,
+        (None, None) => CaseResult::Pass { quality_warnings },
         (Some(se), None) => CaseResult::Fail {
             why: format!(
                 "static validator rejected, dynamic oracle passed (ORACLE DISAGREEMENT): {}",
@@ -383,6 +421,11 @@ fn run_program_case(
     opts: &PipelineOptions,
     chaos: bool,
 ) -> CaseResult {
+    // Quality mode rides on `opts.bounds` here: `lint_program` already
+    // runs the bounds analyzer per unit when it is set, so the third
+    // oracle is the same lint pass, read twice — errors fail the case,
+    // `U03xx` warnings are only counted. Prepass skips the static
+    // oracle entirely, so its quality count is 0 by construction.
     let program = random_cfg(seed, cfg_shape_for(seed));
     let gh = matches!(strategy, CompileStrategy::GoodmanHsu);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -417,20 +460,34 @@ fn run_program_case(
     // boundary hand-off contract (U0201/U0202). Prepass code is
     // pre-colored before its DAG exists, so the validator cannot map
     // its live-ins; skip it there, as in single-block mode.
+    let mut quality_warnings = 0u64;
     let static_verdict: Option<Vec<String>> = if matches!(strategy, CompileStrategy::Prepass) {
         None
     } else {
         let run = catch_unwind(AssertUnwindSafe(|| {
-            lint_program(&program, &sched, machine, strategy, opts)
+            let report = lint_program(&program, &sched, machine, strategy, opts);
+            let quality = report
+                .diagnostics
+                .iter()
+                .filter(|d| {
+                    d.severity() == ursa_lint::Severity::Warning
+                        && d.code.as_str().starts_with("U03")
+                })
+                .count() as u64;
+            let errors = report
                 .diagnostics
                 .iter()
                 .filter(|d| d.severity() == ursa_lint::Severity::Error)
                 .map(|d| d.to_string())
-                .collect::<Vec<String>>()
+                .collect::<Vec<String>>();
+            (errors, quality)
         }));
         match run {
             Err(_) => return CaseResult::fail("panic during whole-program lint"),
-            Ok(errors) => Some(errors),
+            Ok((errors, quality)) => {
+                quality_warnings = quality;
+                Some(errors)
+            }
         }
     };
     // Oracle 2: differential execution of the stitched unit schedules
@@ -458,7 +515,7 @@ fn run_program_case(
     };
     let static_errs = static_verdict.as_ref().filter(|e| !e.is_empty());
     match (static_errs, dynamic_err) {
-        (None, None) => CaseResult::Pass,
+        (None, None) => CaseResult::Pass { quality_warnings },
         (Some(se), None) => CaseResult::Fail {
             why: format!(
                 "static validator rejected, dynamic oracle passed (ORACLE DISAGREEMENT): {}",
@@ -509,12 +566,17 @@ fn main() -> ExitCode {
         // Chaos plans include synthetic panics; the pipeline must
         // convert them to typed errors at the trace boundary.
         isolate: opts.chaos,
+        // Quality mode: programs-mode lint_program picks this up and
+        // runs the bounds analyzer per unit (zero slack — every gap
+        // over the certificate is counted).
+        bounds: if opts.quality { Some(0) } else { None },
         ..Default::default()
     };
     let plans = if opts.chaos { opts.plans } else { 1 };
     let (mut cases, mut refusals, mut failures) = (0u64, 0u64, 0u64);
     let (mut static_rejects, mut disagreements) = (0u64, 0u64);
     let (mut typed_errors, mut isolated_panics) = (0u64, 0u64);
+    let (mut quality_total, mut quality_flagged_cases) = (0u64, 0u64);
     for seed in opts.seeds.clone() {
         for machine in &machines {
             if let Some(f) = &opts.machine_filter {
@@ -540,13 +602,24 @@ fn main() -> ExitCode {
                     let result = if opts.programs {
                         run_program_case(seed, machine, name, strategy, &pipeline, opts.chaos)
                     } else {
-                        run_case(seed, machine, name, strategy, &pipeline, opts.chaos)
+                        run_case(
+                            seed,
+                            machine,
+                            name,
+                            strategy,
+                            &pipeline,
+                            opts.chaos,
+                            opts.quality,
+                        )
                     };
                     // A plan whose site was never reached stays armed;
                     // clear it so it cannot leak into the next case.
                     let _ = ursa_core::fault::disarm();
                     match result {
-                        CaseResult::Pass => {}
+                        CaseResult::Pass { quality_warnings } => {
+                            quality_total += quality_warnings;
+                            quality_flagged_cases += u64::from(quality_warnings > 0);
+                        }
                         CaseResult::Refused => refusals += 1,
                         CaseResult::Typed { internal } => {
                             typed_errors += 1;
@@ -561,6 +634,7 @@ fn main() -> ExitCode {
                             static_rejects += u64::from(static_reject);
                             disagreements += u64::from(disagreement);
                             let programs = if opts.programs { " --programs" } else { "" };
+                            let quality = if opts.quality { " --quality" } else { "" };
                             let validate = if opts.validate { " --validate" } else { "" };
                             let paranoid = if opts.paranoid_measure {
                                 " --paranoid-measure"
@@ -594,7 +668,7 @@ fn main() -> ExitCode {
                             println!(
                                 "  repro: cargo run --release -p ursa-bench --bin stress -- \
                                  --seeds {seed}..{} --machine {} --strategy \
-                                 {name}{programs}{validate}{paranoid}{budget}{chaos}",
+                                 {name}{programs}{quality}{validate}{paranoid}{budget}{chaos}",
                                 seed + 1,
                                 machine.name(),
                             );
@@ -618,10 +692,18 @@ fn main() -> ExitCode {
     } else {
         ""
     };
+    let quality_note = if opts.quality {
+        format!(
+            ", {quality_total} quality warnings on {quality_flagged_cases} cases \
+             (advisory, third oracle)"
+        )
+    } else {
+        String::new()
+    };
     println!(
         "stress: {cases} cases{mode} over seeds {}..{}, {refusals} typed refusals, \
          {failures} failures ({static_rejects} static rejects, {disagreements} oracle \
-         disagreements){chaos_note}",
+         disagreements){chaos_note}{quality_note}",
         opts.seeds.start, opts.seeds.end
     );
     if failures > 0 {

@@ -1,0 +1,219 @@
+//! Machine-independent lower-bound certificates for schedule quality.
+//!
+//! URSA's allocation machinery already computes everything needed to
+//! bound what *any* legal schedule of a dependence DAG can achieve:
+//!
+//! * the **critical path** — the weighted longest path through the DAG
+//!   (no schedule finishes sooner);
+//! * the **Dilworth chain-cover requirement** per resource — the
+//!   minimum chain decomposition of the `CanReuse` DAG (Theorem 1: the
+//!   worst case any schedule can demand, so a fitting requirement
+//!   certifies that spill code was avoidable);
+//! * the **functional-unit occupancy bound** per class —
+//!   `⌈Σ occupancy / units⌉` busy cycles have to go *somewhere*.
+//!
+//! [`schedule_bounds`] packages the three into a [`ScheduleBounds`]
+//! certificate. `ursa-lint`'s quality analyzer compares emitted
+//! schedules against it (diagnostics `U0301`–`U0305`), and the
+//! evaluation records the heuristic-vs-bound gap (EXPERIMENTS.md T8).
+//! The bounds are computed on the *untransformed* DAG: they certify the
+//! source program, not the allocator's sequence-edge-laden rewrite.
+
+use crate::ctx::AllocCtx;
+use crate::kill::KillMode;
+use crate::measure::summary_fast;
+use crate::resource::{Requirement, ResourceKind};
+use ursa_ir::ddg::{DependenceDag, NodeKind};
+use ursa_machine::{FuClass, Machine, OpKind};
+
+/// The busy-cycle bound for one functional-unit class.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FuOccupancyBound {
+    /// The class.
+    pub class: FuClass,
+    /// Operations routed to this class.
+    pub ops: usize,
+    /// Total cycles those operations occupy a unit of the class.
+    pub busy: u64,
+    /// Units of this class the machine provides.
+    pub units: u32,
+}
+
+impl FuOccupancyBound {
+    /// `⌈busy / units⌉` — no schedule can drain the class's work in
+    /// fewer cycles.
+    pub fn bound(&self) -> u64 {
+        if self.units == 0 {
+            0
+        } else {
+            self.busy.div_ceil(u64::from(self.units))
+        }
+    }
+}
+
+/// Lower-bound certificates over all legal schedules of one DAG.
+#[derive(Clone, Debug)]
+pub struct ScheduleBounds {
+    /// Weighted critical-path length in cycles.
+    pub critical_path: u64,
+    /// The Dilworth chain-cover register requirement vs. the file size.
+    pub registers: Requirement,
+    /// Per-class occupancy bounds, in machine declaration order.
+    pub occupancy: Vec<FuOccupancyBound>,
+}
+
+impl ScheduleBounds {
+    /// The schedule-length lower bound: the critical path or the
+    /// tightest per-class occupancy bound, whichever is larger.
+    pub fn length_bound(&self) -> u64 {
+        self.occupancy
+            .iter()
+            .map(FuOccupancyBound::bound)
+            .fold(self.critical_path, u64::max)
+    }
+
+    /// `true` when the register requirement fits the register file —
+    /// the certificate that no legal schedule needs spill code.
+    pub fn registers_fit(&self) -> bool {
+        self.registers.fits()
+    }
+}
+
+/// Computes the lower-bound certificates for `ddg` on `machine`.
+///
+/// The register requirement reuses the measurement machinery
+/// (`select_kills` + a plain Hopcroft–Karp chain cover over the
+/// `CanReuse` relation); the critical path comes from the weighted
+/// level analysis; the occupancy bounds are a single pass over the
+/// DAG's FU-occupying nodes.
+///
+/// # Examples
+///
+/// ```
+/// use ursa_core::schedule_bounds;
+/// use ursa_ir::ddg::DependenceDag;
+/// use ursa_machine::Machine;
+/// use ursa_workloads::paper::figure2_block;
+///
+/// let p = figure2_block();
+/// let ddg = DependenceDag::from_entry_block(&p);
+/// let b = schedule_bounds(&ddg, &Machine::homogeneous(2, 16));
+/// assert_eq!(b.critical_path, 5);
+/// assert_eq!(b.registers.required, 5);
+/// // 11 unit-occupancy ops over 2 FUs: ⌈11/2⌉ = 6 beats the path.
+/// assert_eq!(b.length_bound(), 6);
+/// ```
+pub fn schedule_bounds(ddg: &DependenceDag, machine: &Machine) -> ScheduleBounds {
+    let ctx = AllocCtx::new(ddg.clone(), machine);
+    bounds_from_ctx(&ctx)
+}
+
+/// [`schedule_bounds`] over an existing allocation context (the DAG it
+/// holds is measured as-is).
+pub fn bounds_from_ctx(ctx: &AllocCtx<'_>) -> ScheduleBounds {
+    let machine = ctx.machine();
+    let summary = summary_fast(ctx, KillMode::default());
+    let registers = summary.of(ResourceKind::Registers).unwrap_or(Requirement {
+        resource: ResourceKind::Registers,
+        capacity: machine.registers(),
+        required: 0,
+    });
+    let mut occupancy: Vec<FuOccupancyBound> = machine
+        .fu_classes()
+        .iter()
+        .map(|&(class, units)| FuOccupancyBound {
+            class,
+            ops: 0,
+            busy: 0,
+            units,
+        })
+        .collect();
+    for n in ctx.ddg().fu_nodes() {
+        let (class, busy) = match ctx.ddg().kind(n) {
+            NodeKind::Op { instr, .. } => {
+                (machine.instr_class(instr), machine.instr_occupancy(instr))
+            }
+            NodeKind::Branch { .. } => (
+                machine.class_of(OpKind::Branch),
+                machine.occupancy_of(OpKind::Branch),
+            ),
+            _ => continue,
+        };
+        if let Some(o) = occupancy.iter_mut().find(|o| o.class == class) {
+            o.ops += 1;
+            o.busy += busy;
+        }
+    }
+    ScheduleBounds {
+        critical_path: ctx.critical_path(),
+        registers,
+        occupancy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_ir::parser::parse;
+
+    fn bounds_for(src: &str, machine: &Machine) -> ScheduleBounds {
+        let p = parse(src).unwrap();
+        let ddg = DependenceDag::from_entry_block(&p);
+        schedule_bounds(&ddg, machine)
+    }
+
+    #[test]
+    fn chain_is_bounded_by_its_path() {
+        // A pure dependence chain: cp = 4, one value live at a time
+        // (plus its successor's operands) — registers requirement small.
+        let b = bounds_for(
+            "v0 = load a[0]\n\
+             v1 = mul v0, 2\n\
+             v2 = add v1, 1\n\
+             store a[1], v2\n",
+            &Machine::homogeneous(4, 16),
+        );
+        assert_eq!(b.critical_path, 4);
+        // 4 ops over 4 units: occupancy bound 1 — the path dominates.
+        assert_eq!(b.length_bound(), 4);
+        assert!(b.registers_fit());
+    }
+
+    #[test]
+    fn occupancy_dominates_on_a_scalar_machine() {
+        let b = bounds_for(
+            "v0 = load a[0]\n\
+             v1 = mul v0, 2\n\
+             v2 = mul v0, 3\n\
+             v3 = add v1, v2\n\
+             store a[1], v3\n",
+            &Machine::homogeneous(1, 16),
+        );
+        // 5 ops on one unit: no schedule beats 5 cycles.
+        let occ: u64 = b
+            .occupancy
+            .iter()
+            .map(FuOccupancyBound::bound)
+            .max()
+            .unwrap();
+        assert_eq!(occ, 5);
+        assert_eq!(b.length_bound(), 5);
+    }
+
+    #[test]
+    fn classed_machine_splits_occupancy_by_class() {
+        let m = Machine::classic_vliw();
+        let b = bounds_for(
+            "v0 = load a[0]\n\
+             v1 = mul v0, 2\n\
+             v2 = add v1, 3\n\
+             store a[1], v2\n",
+            &m,
+        );
+        let total_ops: usize = b.occupancy.iter().map(|o| o.ops).sum();
+        assert_eq!(total_ops, 4);
+        for o in &b.occupancy {
+            assert_eq!(o.units, m.fu_count(o.class));
+        }
+    }
+}

@@ -38,6 +38,7 @@
 //! assert!(outcome.final_measurement.fits(&machine));
 //! ```
 
+pub mod bounds;
 pub mod budget;
 pub mod ctx;
 pub mod driver;
@@ -50,6 +51,7 @@ pub mod resource;
 pub mod reuse;
 pub mod transform;
 
+pub use bounds::{bounds_from_ctx, schedule_bounds, FuOccupancyBound, ScheduleBounds};
 pub use budget::{BudgetCause, CompileBudget};
 pub use ctx::AllocCtx;
 pub use driver::{

@@ -1,0 +1,507 @@
+//! Schedule-quality analysis against lower-bound certificates.
+//!
+//! [`analyze_quality`] compares one compiled trace against the
+//! machine-independent bounds `ursa-core` computes on the
+//! *untransformed* dependence DAG ([`ursa_core::schedule_bounds`]):
+//! the weighted critical path, the Dilworth chain-cover register
+//! requirement, and the per-FU-class occupancy bound. The findings are
+//! the `U03xx` diagnostic family:
+//!
+//! * `U0301` — the schedule is longer than the largest bound by more
+//!   than the configured slack (provably suboptimal);
+//! * `U0302` — spill code was emitted although the register
+//!   requirement fits the file (the paper's Theorem 1 bounds *all*
+//!   schedules, so some legal schedule needed no spills);
+//! * `U0303` — spill traffic that is provably redundant: the stored
+//!   value is a constant (rematerializable in place), or a reload's
+//!   register is redefined or unread ever after (final register
+//!   contents are unobservable — only memory is compared);
+//! * `U0304` — a `__boundary` hand-off store whose cell is dead on
+//!   every successor unit (computed by `lint_program`, which has the
+//!   liveness; [`dead_boundary_stores`] does the word scan);
+//! * `U0305` — a note carrying the raw per-unit gap numbers.
+//!
+//! All `U03xx` findings except the `U0305` note are **warnings**, not
+//! errors: a bound violation proves the schedule is *suboptimal*, never
+//! that it is *wrong* — correctness is the validator's (`U00xx`) job.
+
+use crate::diag::{Code, Diagnostic};
+use ursa_core::{schedule_bounds, ScheduleBounds};
+use ursa_ir::ddg::DependenceDag;
+use ursa_ir::instr::Instr;
+use ursa_ir::value::Operand;
+use ursa_machine::Machine;
+use ursa_sched::{is_spill_symbol, Compiled, SlotOp, VliwProgram, BOUNDARY_SYMBOL};
+
+/// Knobs for the quality analysis.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BoundsOptions {
+    /// Cycles of headroom above the schedule-length lower bound before
+    /// `U0301` fires. `0` reports every provably suboptimal schedule.
+    pub slack: u64,
+}
+
+/// The per-unit quality record behind the `U0305` note and the JSON
+/// telemetry (EXPERIMENTS.md T8).
+#[derive(Clone, Debug)]
+pub struct UnitQuality {
+    /// The lower-bound certificates of the unit's DAG.
+    pub bounds: ScheduleBounds,
+    /// Achieved schedule length in cycles (including latency drain).
+    pub schedule_length: u64,
+    /// Spill stores emitted.
+    pub spill_stores: usize,
+    /// Spill reloads emitted.
+    pub spill_loads: usize,
+}
+
+impl UnitQuality {
+    /// `schedule_length − length_bound`: the provable optimality gap.
+    pub fn gap(&self) -> u64 {
+        self.schedule_length
+            .saturating_sub(self.bounds.length_bound())
+    }
+
+    /// The machine-readable form for `--format=json` and T8.
+    pub fn to_json_value(&self) -> ursa_json::Value {
+        let occupancy_bound = self
+            .bounds
+            .occupancy
+            .iter()
+            .map(|o| o.bound())
+            .max()
+            .unwrap_or(0);
+        ursa_json::Value::object([
+            (
+                "schedule_length",
+                ursa_json::Value::from(self.schedule_length),
+            ),
+            (
+                "length_bound",
+                ursa_json::Value::from(self.bounds.length_bound()),
+            ),
+            ("gap", ursa_json::Value::from(self.gap())),
+            (
+                "critical_path",
+                ursa_json::Value::from(self.bounds.critical_path),
+            ),
+            ("occupancy_bound", ursa_json::Value::from(occupancy_bound)),
+            (
+                "reg_required",
+                ursa_json::Value::from(self.bounds.registers.required),
+            ),
+            (
+                "reg_capacity",
+                ursa_json::Value::from(self.bounds.registers.capacity),
+            ),
+            ("spill_stores", ursa_json::Value::from(self.spill_stores)),
+            ("spill_loads", ursa_json::Value::from(self.spill_loads)),
+        ])
+    }
+}
+
+/// Runs the quality analysis for one compiled trace: returns the
+/// quality record and the `U0301`/`U0302`/`U0303`/`U0305` findings.
+///
+/// `ddg` must be the **untransformed** DAG of the source trace — the
+/// bounds certify the program, not the allocator's rewrite.
+pub fn analyze_quality(
+    ddg: &DependenceDag,
+    machine: &Machine,
+    compiled: &Compiled,
+    opts: BoundsOptions,
+) -> (UnitQuality, Vec<Diagnostic>) {
+    let bounds = schedule_bounds(ddg, machine);
+    let quality = UnitQuality {
+        schedule_length: compiled.stats.schedule_length,
+        spill_stores: compiled.stats.spill_stores,
+        spill_loads: compiled.stats.spill_loads,
+        bounds,
+    };
+    let mut diags = Vec::new();
+
+    let bound = quality.bounds.length_bound();
+    if quality.schedule_length > bound + opts.slack {
+        diags.push(
+            Diagnostic::new(
+                Code::ScheduleExceedsBound,
+                format!(
+                    "schedule length {} exceeds the lower bound {} by {} cycle(s) \
+                     (slack {})",
+                    quality.schedule_length,
+                    bound,
+                    quality.schedule_length - bound,
+                    opts.slack
+                ),
+            )
+            .note(format!(
+                "critical path {}, occupancy bound {}",
+                quality.bounds.critical_path,
+                quality
+                    .bounds
+                    .occupancy
+                    .iter()
+                    .map(|o| o.bound())
+                    .max()
+                    .unwrap_or(0)
+            )),
+        );
+    }
+
+    let spills = quality.spill_stores + quality.spill_loads;
+    if spills > 0 && quality.bounds.registers_fit() {
+        diags.push(
+            Diagnostic::new(
+                Code::AvoidableSpill,
+                format!(
+                    "{} spill op(s) emitted although the register requirement {} \
+                     fits the {}-register file",
+                    spills, quality.bounds.registers.required, quality.bounds.registers.capacity
+                ),
+            )
+            .note(
+                "the Dilworth requirement bounds every legal schedule: \
+                 some schedule of this trace needs no spills",
+            ),
+        );
+    }
+
+    diags.extend(redundant_spill_traffic(&compiled.vliw));
+
+    diags.push(
+        Diagnostic::new(
+            Code::OptimalityGap,
+            format!(
+                "length {} vs bound {} (gap {}); registers {}/{}; {} spill op(s)",
+                quality.schedule_length,
+                bound,
+                quality.gap(),
+                quality.bounds.registers.required,
+                quality.bounds.registers.capacity,
+                spills
+            ),
+        )
+        .note(format!(
+            "critical path {}; occupancy {}",
+            quality.bounds.critical_path,
+            quality
+                .bounds
+                .occupancy
+                .iter()
+                .map(|o| format!("{:?}:⌈{}/{}⌉={}", o.class, o.busy, o.units, o.bound()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )),
+    );
+
+    (quality, diags)
+}
+
+/// Scans emitted words for provably redundant spill traffic (`U0303`):
+/// spill stores of constant-defined registers (rematerializable) and
+/// spill reloads whose destination is redefined or never read again.
+///
+/// The `__boundary` hand-off area is exempt — its stores implement the
+/// cross-unit ABI and are judged by the liveness-aware `U0304` check
+/// instead.
+pub fn redundant_spill_traffic(vliw: &VliwProgram) -> Vec<Diagnostic> {
+    let nregs = vliw.num_regs as usize;
+    let spill_base = |base: ursa_ir::value::SymbolId| -> bool {
+        vliw.symbols
+            .get(base.0 as usize)
+            .is_some_and(|s| is_spill_symbol(s) && s != BOUNDARY_SYMBOL)
+    };
+    // Per physical register: was the last def a constant, and is there
+    // a spill reload into it that nothing has read yet?
+    let mut const_def: Vec<Option<i64>> = vec![None; nregs];
+    let mut pending_reload: Vec<Option<u64>> = vec![None; nregs];
+    let mut diags = Vec::new();
+    for (cycle, word) in vliw.words.iter().enumerate() {
+        let cycle = cycle as u64;
+        // Reads of a word see state from before the word: handle every
+        // slot's uses first, then apply the defs.
+        for mop in word {
+            let uses: Vec<u32> = match &mop.op {
+                SlotOp::Instr(i) => i.uses().iter().map(|r| r.0).collect(),
+                SlotOp::Branch { cond, .. } => cond.as_reg().map(|r| r.0).into_iter().collect(),
+            };
+            for r in uses {
+                if let Some(slot) = pending_reload.get_mut(r as usize) {
+                    *slot = None;
+                }
+            }
+            if let SlotOp::Instr(Instr::Store { mem, src }) = &mop.op {
+                if spill_base(mem.base) {
+                    if let Operand::Reg(r) = src {
+                        if let Some(Some(value)) = const_def.get(r.0 as usize) {
+                            diags.push(
+                                Diagnostic::new(
+                                    Code::RedundantSpillTraffic,
+                                    format!(
+                                        "spill store of register r{} holding constant {}: \
+                                         rematerializable in place",
+                                        r.0, value
+                                    ),
+                                )
+                                .at_cycle(cycle),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        for mop in word {
+            let SlotOp::Instr(instr) = &mop.op else {
+                continue;
+            };
+            let Some(dst) = instr.def() else { continue };
+            let d = dst.0 as usize;
+            if d >= nregs {
+                continue;
+            }
+            if let Some(reload_cycle) = pending_reload[d].take() {
+                diags.push(
+                    Diagnostic::new(
+                        Code::RedundantSpillTraffic,
+                        format!(
+                            "spill reload into register r{} at cycle {reload_cycle} is \
+                             redefined before any read",
+                            dst.0
+                        ),
+                    )
+                    .at_cycle(reload_cycle),
+                );
+            }
+            const_def[d] = match instr {
+                Instr::Const { value, .. } => Some(*value),
+                _ => None,
+            };
+            if let Instr::Load { mem, .. } = instr {
+                if spill_base(mem.base) {
+                    pending_reload[d] = Some(cycle);
+                }
+            }
+        }
+    }
+    for (r, reload_cycle) in pending_reload.iter().enumerate() {
+        if let Some(c) = reload_cycle {
+            diags.push(
+                Diagnostic::new(
+                    Code::RedundantSpillTraffic,
+                    format!(
+                        "spill reload into register r{r} is never read again \
+                         (final register contents are unobservable)"
+                    ),
+                )
+                .at_cycle(*c),
+            );
+        }
+    }
+    diags
+}
+
+/// Finds `__boundary` stores to cells outside `live_cells` — the word
+/// scan behind the `U0304` check. Returns `(cycle, cell)` pairs.
+///
+/// `live_cells[r]` must be `true` when boundary cell `r` (= virtual
+/// register `r`) is live into **some** off-unit successor; a store to
+/// any other cell is pure dead cross-unit traffic.
+pub fn dead_boundary_stores(vliw: &VliwProgram, live_cells: &[bool]) -> Vec<(u64, u32)> {
+    let boundary = vliw.symbols.iter().position(|s| s == BOUNDARY_SYMBOL);
+    let Some(boundary) = boundary else {
+        return Vec::new();
+    };
+    let mut dead = Vec::new();
+    for (cycle, word) in vliw.words.iter().enumerate() {
+        for mop in word {
+            let SlotOp::Instr(Instr::Store { mem, .. }) = &mop.op else {
+                continue;
+            };
+            if mem.base.0 as usize != boundary {
+                continue;
+            }
+            let Operand::Imm(cell) = mem.index else {
+                continue;
+            };
+            let cell = cell as u32;
+            if !live_cells.get(cell as usize).copied().unwrap_or(false) {
+                dead.push((cycle as u64, cell));
+            }
+        }
+    }
+    dead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ursa_ir::parser::parse;
+    use ursa_machine::Machine;
+    use ursa_sched::{compile_entry_block, CompileStrategy, MachineOp};
+    use ursa_workloads::paper::{expected, figure2_block, FIGURE2_SOURCE};
+
+    fn fig2_compiled(machine: &Machine) -> (DependenceDag, Compiled) {
+        let p = parse(FIGURE2_SOURCE).unwrap();
+        let ddg = DependenceDag::from_entry_block(&p);
+        let compiled = compile_entry_block(&p, machine, CompileStrategy::Ursa(Default::default()));
+        (ddg, compiled)
+    }
+
+    #[test]
+    fn figure2_bounds_match_the_paper() {
+        let machine = Machine::homogeneous(4, 16);
+        let p = figure2_block();
+        let ddg = DependenceDag::from_entry_block(&p);
+        let b = schedule_bounds(&ddg, &machine);
+        assert_eq!(b.critical_path, u64::from(expected::CRITICAL_PATH));
+        assert_eq!(b.registers.required, expected::REG_REQUIREMENT);
+        // 11 ops over 4 FUs: ⌈11/4⌉ = 3 — the path dominates.
+        assert_eq!(b.length_bound(), u64::from(expected::CRITICAL_PATH));
+    }
+
+    #[test]
+    fn roomy_compile_is_quality_clean_modulo_the_note() {
+        let machine = Machine::homogeneous(4, 16);
+        let (ddg, compiled) = fig2_compiled(&machine);
+        let (quality, diags) = analyze_quality(&ddg, &machine, &compiled, BoundsOptions::default());
+        assert!(
+            diags.iter().all(|d| d.code == Code::OptimalityGap),
+            "unexpected quality findings: {diags:?}"
+        );
+        assert_eq!(quality.gap(), 0, "fig2 on (4,16) schedules at the bound");
+    }
+
+    #[test]
+    fn padded_schedule_trips_u0301() {
+        let machine = Machine::homogeneous(4, 16);
+        let (ddg, mut compiled) = fig2_compiled(&machine);
+        // Hand-pad the schedule with three empty words.
+        compiled
+            .vliw
+            .words
+            .extend([Vec::new(), Vec::new(), Vec::new()]);
+        compiled.stats.schedule_length += 3;
+        let (_, diags) = analyze_quality(&ddg, &machine, &compiled, BoundsOptions::default());
+        assert!(diags.iter().any(|d| d.code == Code::ScheduleExceedsBound));
+        // ... but a slack of 3 absorbs the padding.
+        let (_, diags) = analyze_quality(&ddg, &machine, &compiled, BoundsOptions { slack: 3 });
+        assert!(!diags.iter().any(|d| d.code == Code::ScheduleExceedsBound));
+    }
+
+    #[test]
+    fn forced_spill_on_fitting_kernel_trips_u0302() {
+        let machine = Machine::homogeneous(4, 16);
+        let (ddg, mut compiled) = fig2_compiled(&machine);
+        // Pretend the allocator spilled anyway: requirement 5 fits 16.
+        compiled.stats.spill_stores = 1;
+        compiled.stats.spill_loads = 1;
+        let (_, diags) = analyze_quality(&ddg, &machine, &compiled, BoundsOptions::default());
+        assert!(diags.iter().any(|d| d.code == Code::AvoidableSpill));
+    }
+
+    #[test]
+    fn tight_file_spills_are_not_avoidable() {
+        // Requirement 5 does not fit 3 registers: spills are justified,
+        // U0302 must stay quiet.
+        let machine = Machine::homogeneous(2, 3);
+        let (ddg, compiled) = fig2_compiled(&machine);
+        assert!(compiled.stats.spill_stores + compiled.stats.spill_loads > 0);
+        let (quality, diags) = analyze_quality(&ddg, &machine, &compiled, BoundsOptions::default());
+        assert!(!quality.bounds.registers_fit());
+        assert!(!diags.iter().any(|d| d.code == Code::AvoidableSpill));
+    }
+
+    #[test]
+    fn const_spill_and_dead_reload_trip_u0303() {
+        use ursa_ir::value::{MemRef, SymbolId, VirtualReg};
+        let mut vliw = VliwProgram {
+            symbols: vec!["a".to_string(), "__spill".to_string()],
+            num_regs: 4,
+            ..Default::default()
+        };
+        let fu = (ursa_machine::FuClass::Alu, 0);
+        let slot = |i: Instr| MachineOp {
+            op: SlotOp::Instr(i),
+            fu,
+        };
+        vliw.words = vec![
+            vec![slot(Instr::Const {
+                dst: VirtualReg(0),
+                value: 7,
+            })],
+            // Spill the constant: rematerializable.
+            vec![slot(Instr::Store {
+                mem: MemRef::new(SymbolId(1), 0i64),
+                src: Operand::Reg(VirtualReg(0)),
+            })],
+            // Reload it, then never read r1 again: dead reload.
+            vec![slot(Instr::Load {
+                dst: VirtualReg(1),
+                mem: MemRef::new(SymbolId(1), 0i64),
+            })],
+        ];
+        let diags = redundant_spill_traffic(&vliw);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.code == Code::RedundantSpillTraffic));
+        assert!(diags.iter().any(|d| d.message.contains("rematerializable")));
+        assert!(diags.iter().any(|d| d.message.contains("never read")));
+    }
+
+    #[test]
+    fn read_reload_is_not_redundant() {
+        use ursa_ir::value::{MemRef, SymbolId, VirtualReg};
+        let mut vliw = VliwProgram {
+            symbols: vec!["a".to_string(), "__spill".to_string()],
+            num_regs: 4,
+            ..Default::default()
+        };
+        let fu = (ursa_machine::FuClass::Alu, 0);
+        let slot = |i: Instr| MachineOp {
+            op: SlotOp::Instr(i),
+            fu,
+        };
+        vliw.words = vec![
+            vec![slot(Instr::Load {
+                dst: VirtualReg(1),
+                mem: MemRef::new(SymbolId(1), 0i64),
+            })],
+            vec![slot(Instr::Store {
+                mem: MemRef::new(SymbolId(0), 0i64),
+                src: Operand::Reg(VirtualReg(1)),
+            })],
+        ];
+        assert!(redundant_spill_traffic(&vliw).is_empty());
+    }
+
+    #[test]
+    fn boundary_store_scan_respects_liveness() {
+        use ursa_ir::value::{MemRef, SymbolId, VirtualReg};
+        let mut vliw = VliwProgram {
+            symbols: vec!["a".to_string(), BOUNDARY_SYMBOL.to_string()],
+            num_regs: 4,
+            ..Default::default()
+        };
+        let fu = (ursa_machine::FuClass::Alu, 0);
+        vliw.words = vec![vec![
+            MachineOp {
+                op: SlotOp::Instr(Instr::Store {
+                    mem: MemRef::new(SymbolId(1), 0i64),
+                    src: Operand::Reg(VirtualReg(0)),
+                }),
+                fu,
+            },
+            MachineOp {
+                op: SlotOp::Instr(Instr::Store {
+                    mem: MemRef::new(SymbolId(1), 1i64),
+                    src: Operand::Reg(VirtualReg(1)),
+                }),
+                fu: (ursa_machine::FuClass::Alu, 1),
+            },
+        ]];
+        // Cell 0 live somewhere, cell 1 dead everywhere.
+        let dead = dead_boundary_stores(&vliw, &[true, false]);
+        assert_eq!(dead, vec![(0, 1)]);
+        // The boundary area is exempt from the spill-traffic scan.
+        assert!(redundant_spill_traffic(&vliw).is_empty());
+    }
+}

@@ -33,8 +33,9 @@ impl fmt::Display for Severity {
 
 /// The diagnostic-code registry. `U00xx` codes are validator errors,
 /// `U01xx` codes are lint findings, `U02xx` codes are whole-program
-/// boundary-handoff errors. Codes are stable: they are never renumbered
-/// or reused.
+/// boundary-handoff errors, `U03xx` codes are schedule-quality findings
+/// against the lower-bound certificates (see [`crate::bounds`]). Codes
+/// are stable: they are never renumbered or reused.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Code {
     /// A register holding a live value was overwritten before its last
@@ -92,11 +93,30 @@ pub enum Code {
     /// a register value would have to survive a unit switch, which the
     /// boundary hand-off contract forbids.
     ClobberedLiveOut,
+    /// The emitted schedule is longer than the largest lower bound
+    /// (critical path / FU occupancy) by more than the configured
+    /// slack: provably suboptimal.
+    ScheduleExceedsBound,
+    /// Spill code was emitted although the Dilworth register
+    /// requirement fits the register file: some legal schedule needed
+    /// no spills at all.
+    AvoidableSpill,
+    /// A spill store/load pair whose traffic is provably redundant: the
+    /// spilled value is a constant (rematerializable in place) or the
+    /// reloaded register is never read again.
+    RedundantSpillTraffic,
+    /// A `__boundary` hand-off store whose cell is dead on every
+    /// successor unit: pure cross-unit traffic.
+    DeadBoundaryStore,
+    /// Per-unit optimality-gap report carrying the raw bound numbers
+    /// (schedule length vs. critical path / occupancy / register
+    /// requirement).
+    OptimalityGap,
 }
 
 impl Code {
     /// Every code, for registry listings.
-    pub const ALL: [Code; 19] = [
+    pub const ALL: [Code; 24] = [
         Code::ClobberedLiveRegister,
         Code::WrongOperandValue,
         Code::ReadBeforeCommit,
@@ -116,6 +136,11 @@ impl Code {
         Code::SpillSymbolCollision,
         Code::MissingCompensation,
         Code::ClobberedLiveOut,
+        Code::ScheduleExceedsBound,
+        Code::AvoidableSpill,
+        Code::RedundantSpillTraffic,
+        Code::DeadBoundaryStore,
+        Code::OptimalityGap,
     ];
 
     /// The stable code string, e.g. `"U0001"`.
@@ -140,7 +165,17 @@ impl Code {
             Code::SpillSymbolCollision => "U0106",
             Code::MissingCompensation => "U0201",
             Code::ClobberedLiveOut => "U0202",
+            Code::ScheduleExceedsBound => "U0301",
+            Code::AvoidableSpill => "U0302",
+            Code::RedundantSpillTraffic => "U0303",
+            Code::DeadBoundaryStore => "U0304",
+            Code::OptimalityGap => "U0305",
         }
+    }
+
+    /// Parses a stable code string (`"U0301"`) back into the code.
+    pub fn parse(s: &str) -> Option<Code> {
+        Code::ALL.iter().copied().find(|c| c.as_str() == s)
     }
 
     /// The kebab-case name, e.g. `"clobbered-live-register"`.
@@ -165,6 +200,11 @@ impl Code {
             Code::SpillSymbolCollision => "spill-symbol-collision",
             Code::MissingCompensation => "missing-compensation",
             Code::ClobberedLiveOut => "clobbered-live-out",
+            Code::ScheduleExceedsBound => "schedule-exceeds-bound",
+            Code::AvoidableSpill => "avoidable-spill",
+            Code::RedundantSpillTraffic => "redundant-spill-traffic",
+            Code::DeadBoundaryStore => "dead-boundary-store",
+            Code::OptimalityGap => "optimality-gap",
         }
     }
 
@@ -189,8 +229,12 @@ impl Code {
             | Code::RedundantSpillPair
             | Code::NonMinimalChainDecomposition
             | Code::InconsistentMachine
-            | Code::SpillSymbolCollision => Severity::Warning,
-            Code::RegisterPressureHotspot => Severity::Note,
+            | Code::SpillSymbolCollision
+            | Code::ScheduleExceedsBound
+            | Code::AvoidableSpill
+            | Code::RedundantSpillTraffic
+            | Code::DeadBoundaryStore => Severity::Warning,
+            Code::RegisterPressureHotspot | Code::OptimalityGap => Severity::Note,
         }
     }
 }
@@ -250,6 +294,29 @@ impl Diagnostic {
     /// The severity (the code's default).
     pub fn severity(&self) -> Severity {
         self.code.severity()
+    }
+
+    /// The machine-readable form for `--format=json`.
+    pub fn to_json_value(&self) -> ursa_json::Value {
+        let mut fields = vec![
+            ("code", ursa_json::Value::from(self.code.as_str())),
+            ("name", ursa_json::Value::from(self.code.name())),
+            (
+                "severity",
+                ursa_json::Value::from(self.severity().to_string()),
+            ),
+            ("message", ursa_json::Value::from(self.message.as_str())),
+        ];
+        if let Some(c) = self.cycle {
+            fields.push(("cycle", ursa_json::Value::from(c)));
+        }
+        if !self.notes.is_empty() {
+            fields.push((
+                "notes",
+                ursa_json::Value::array(self.notes.iter().map(|n| n.as_str().into())),
+            ));
+        }
+        ursa_json::Value::object(fields)
     }
 }
 
@@ -330,6 +397,17 @@ impl LintReport {
     pub fn has(&self, code: Code) -> bool {
         self.diagnostics.iter().any(|d| d.code == code)
     }
+
+    /// The number of diagnostics carrying `code`.
+    pub fn count(&self, code: Code) -> usize {
+        self.diagnostics.iter().filter(|d| d.code == code).count()
+    }
+
+    /// The machine-readable form for `--format=json`: an array of
+    /// diagnostic objects.
+    pub fn to_json_value(&self) -> ursa_json::Value {
+        ursa_json::Value::array(self.diagnostics.iter().map(Diagnostic::to_json_value))
+    }
 }
 
 impl fmt::Display for LintReport {
@@ -363,6 +441,17 @@ mod tests {
         assert_eq!(Code::ClobberedLiveOut.as_str(), "U0202");
         assert_eq!(Code::MissingCompensation.severity(), Severity::Error);
         assert_eq!(Code::ClobberedLiveOut.severity(), Severity::Error);
+        assert_eq!(Code::ScheduleExceedsBound.as_str(), "U0301");
+        assert_eq!(Code::ScheduleExceedsBound.name(), "schedule-exceeds-bound");
+        assert_eq!(Code::AvoidableSpill.as_str(), "U0302");
+        assert_eq!(Code::RedundantSpillTraffic.as_str(), "U0303");
+        assert_eq!(Code::DeadBoundaryStore.as_str(), "U0304");
+        assert_eq!(Code::OptimalityGap.as_str(), "U0305");
+        assert_eq!(Code::ScheduleExceedsBound.severity(), Severity::Warning);
+        assert_eq!(Code::AvoidableSpill.severity(), Severity::Warning);
+        assert_eq!(Code::OptimalityGap.severity(), Severity::Note);
+        assert_eq!(Code::parse("U0302"), Some(Code::AvoidableSpill));
+        assert_eq!(Code::parse("U9999"), None);
     }
 
     #[test]
@@ -391,5 +480,26 @@ mod tests {
         assert!(s.contains("clobbered-live-register"));
         assert!(s.contains("(cycle 7)"));
         assert!(s.contains("note: defined at cycle 2"));
+    }
+
+    #[test]
+    fn json_form_round_trips() {
+        let mut r = LintReport::new();
+        r.push(
+            Diagnostic::new(
+                Code::AvoidableSpill,
+                "2 spill stores, requirement 5 fits 16",
+            )
+            .at_cycle(3)
+            .note("requirement computed on the untransformed DAG"),
+        );
+        let text = r.to_json_value().to_string_pretty();
+        let v = ursa_json::parse(&text).unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("code").unwrap().as_str(), Some("U0302"));
+        assert_eq!(arr[0].get("severity").unwrap().as_str(), Some("warning"));
+        assert_eq!(arr[0].get("cycle").unwrap().as_u64(), Some(3));
+        assert_eq!(arr[0].get("notes").unwrap().as_array().unwrap().len(), 1);
     }
 }

@@ -23,6 +23,13 @@
 //!   off-unit edge commits its live values to the `__boundary` area, and
 //!   no unit expects a register to survive a unit switch. Violations are
 //!   `U02xx` errors.
+//! * **Schedule-quality analysis** ([`bounds`]) compares emitted code
+//!   against the lower-bound certificates `ursa-core` computes on the
+//!   untransformed dependence DAG (weighted critical path, Dilworth
+//!   register requirement, per-FU-class occupancy) and flags provable
+//!   suboptimality and redundant spill/boundary traffic. Findings are
+//!   `U03xx` warnings plus the `U0305` gap note; enabled by the
+//!   `--bounds[=slack]` flag / `PipelineOptions::bounds`.
 //!
 //! # Code registry
 //!
@@ -47,6 +54,11 @@
 //! | U0106 | spill-symbol-collision         | warning  |
 //! | U0201 | missing-compensation           | error    |
 //! | U0202 | clobbered-live-out             | error    |
+//! | U0301 | schedule-exceeds-bound         | warning  |
+//! | U0302 | avoidable-spill                | warning  |
+//! | U0303 | redundant-spill-traffic        | warning  |
+//! | U0304 | dead-boundary-store            | warning  |
+//! | U0305 | optimality-gap                 | note     |
 //!
 //! # Examples
 //!
@@ -78,14 +90,18 @@
 //! assert!(!report.fails_at(LintLevel::Deny), "{report}");
 //! ```
 
+pub mod bounds;
 pub mod diag;
 pub mod passes;
 pub mod pipeline;
 pub mod validator;
 pub mod vn;
 
+pub use bounds::{analyze_quality, dead_boundary_stores, BoundsOptions, UnitQuality};
 pub use diag::{Code, Diagnostic, LintLevel, LintReport, Severity};
 pub use passes::{default_passes, LintContext, LintPass};
-pub use pipeline::{lint_compiled, lint_compiled_with, lint_program, try_compile_linted};
+pub use pipeline::{
+    lint_compiled, lint_compiled_opts, lint_compiled_with, lint_program, try_compile_linted,
+};
 pub use validator::{validate_translation, ValidationResult};
 pub use vn::{ValueNumbering, Vn, VnOperand};

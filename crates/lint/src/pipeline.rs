@@ -8,6 +8,7 @@
 //! honors [`PipelineOptions::lint`]: at `Allow` no linting runs at all;
 //! the caller decides pass/fail from [`LintReport::fails_at`].
 
+use crate::bounds::BoundsOptions;
 use crate::diag::{Code, Diagnostic, LintReport};
 use crate::passes::{default_passes, LintContext};
 use crate::validator::validate_translation;
@@ -62,6 +63,41 @@ pub fn lint_compiled_with(
     compiled: &Compiled,
     ddg_opts: DdgOptions,
 ) -> LintReport {
+    lint_compiled_inner(program, trace, machine, strategy, compiled, ddg_opts, None)
+}
+
+/// [`lint_compiled_with`] driven by [`PipelineOptions`]: takes the
+/// DAG-construction options from `opts.ddg` and, when `opts.bounds` is
+/// set, appends the schedule-quality analysis (`U0301`/`U0302`/`U0303`
+/// warnings + the `U0305` gap note) with that slack.
+pub fn lint_compiled_opts(
+    program: &Program,
+    trace: &Trace,
+    machine: &Machine,
+    strategy: &CompileStrategy,
+    compiled: &Compiled,
+    opts: &PipelineOptions,
+) -> LintReport {
+    lint_compiled_inner(
+        program,
+        trace,
+        machine,
+        strategy,
+        compiled,
+        opts.ddg,
+        opts.bounds,
+    )
+}
+
+fn lint_compiled_inner(
+    program: &Program,
+    trace: &Trace,
+    machine: &Machine,
+    strategy: &CompileStrategy,
+    compiled: &Compiled,
+    ddg_opts: DdgOptions,
+    bounds: Option<u64>,
+) -> LintReport {
     let mut report = LintReport::new();
     let original = DependenceDag::build_with(program, trace, ddg_opts);
     if !matches!(strategy, CompileStrategy::Prepass) {
@@ -81,6 +117,11 @@ pub fn lint_compiled_with(
     };
     for pass in default_passes() {
         pass.run(&cx, &mut report);
+    }
+    if let Some(slack) = bounds {
+        let (_, diags) =
+            crate::bounds::analyze_quality(&original, machine, compiled, BoundsOptions { slack });
+        report.extend(diags);
     }
     report
 }
@@ -106,7 +147,7 @@ pub fn try_compile_linted(
     let report = if opts.lint == LintLevel::Allow {
         LintReport::new()
     } else {
-        lint_compiled_with(program, trace, machine, &strategy, &compiled, opts.ddg)
+        lint_compiled_opts(program, trace, machine, &strategy, &compiled, opts)
     };
     Ok((compiled, report))
 }
@@ -140,6 +181,15 @@ fn stores_to_boundary(vliw: &VliwProgram, r: usize, limit: Option<usize>) -> boo
 ///   live-ins. Registers do not survive a unit switch: every cross-unit
 ///   value must arrive through the boundary area.
 ///
+/// When `opts.bounds` is set, the per-unit replay additionally runs the
+/// schedule-quality analysis (`U0301`/`U0302`/`U0303`/`U0305` against
+/// each unit's compensated DAG) and a liveness-aware boundary check:
+///
+/// * **U0304 dead-boundary-store** — a `__boundary[r]` store in a unit
+///   none of whose off-unit successors has `v r` live on entry: the
+///   cell is never reloaded on any path, so the store is pure
+///   cross-unit traffic.
+///
 /// `program` is the *original* program — liveness for the hand-off
 /// checks is computed on it, exactly as [`ursa_sched::compensate`] did.
 pub fn lint_program(
@@ -155,13 +205,14 @@ pub fn lint_program(
     let lv = liveness(program);
     for unit in &sched.units {
         let head = unit.trace.blocks[0];
-        let unit_report = lint_compiled_with(
+        let unit_report = lint_compiled_inner(
             &sched.compensated,
             &unit.trace,
             machine,
             strategy,
             &unit.compiled,
             ddg_opts,
+            opts.bounds,
         );
         // Two per-unit findings are expected shapes at program level:
         // the driver itself appended `__boundary` to the compensated
@@ -241,6 +292,29 @@ pub fn lint_program(
                     regs.join(", ")
                 ),
             ));
+        }
+        if opts.bounds.is_some() {
+            let mut live_cells: Vec<bool> = Vec::new();
+            for target in unit.successor_blocks() {
+                for r in lv.live_in[target].iter() {
+                    if r >= live_cells.len() {
+                        live_cells.resize(r + 1, false);
+                    }
+                    live_cells[r] = true;
+                }
+            }
+            for (cycle, cell) in crate::bounds::dead_boundary_stores(vliw, &live_cells) {
+                report.push(
+                    Diagnostic::new(
+                        Code::DeadBoundaryStore,
+                        format!(
+                            "unit headed by block {head} stores {BOUNDARY_SYMBOL}[{cell}] \
+                             but v{cell} is dead on every off-unit successor"
+                        ),
+                    )
+                    .at_cycle(cycle),
+                );
+            }
         }
     }
     report
@@ -358,6 +432,102 @@ mod tests {
         assert!(
             report.has(Code::MissingCompensation),
             "stripped stores must be reported:\n{report}"
+        );
+    }
+
+    #[test]
+    fn bounds_flow_through_the_pipeline_options() {
+        let program = figure2_block();
+        let trace = Trace::single(0);
+        let machine = Machine::homogeneous(4, 16);
+        let opts = PipelineOptions {
+            lint: LintLevel::Warn,
+            bounds: Some(0),
+            ..Default::default()
+        };
+        let (_, report) = try_compile_linted(
+            &program,
+            &trace,
+            &machine,
+            CompileStrategy::Ursa(Default::default()),
+            &opts,
+        )
+        .unwrap();
+        assert!(
+            report.has(Code::OptimalityGap),
+            "bounds analysis must emit the gap note:\n{report}"
+        );
+        // Without the flag the quality family stays silent.
+        let opts = PipelineOptions {
+            lint: LintLevel::Warn,
+            ..Default::default()
+        };
+        let (_, report) = try_compile_linted(
+            &program,
+            &trace,
+            &machine,
+            CompileStrategy::Ursa(Default::default()),
+            &opts,
+        )
+        .unwrap();
+        assert!(!report.has(Code::OptimalityGap));
+    }
+
+    #[test]
+    fn whole_program_bounds_are_quality_clean() {
+        let p = ursa_ir::parser::parse(LOOP).unwrap();
+        let machine = Machine::homogeneous(2, 4);
+        let opts = PipelineOptions {
+            bounds: Some(0),
+            ..Default::default()
+        };
+        let strategy = CompileStrategy::Ursa(Default::default());
+        let sched = ursa_sched::program::try_compile_program(&p, &machine, strategy.clone(), &opts)
+            .unwrap();
+        let report = lint_program(&p, &sched, &machine, &strategy, &opts);
+        assert!(
+            !report.has(Code::AvoidableSpill)
+                && !report.has(Code::RedundantSpillTraffic)
+                && !report.has(Code::DeadBoundaryStore),
+            "driver-produced boundary traffic must be justified:\n{report}"
+        );
+        assert!(report.has(Code::OptimalityGap), "one note per unit");
+    }
+
+    #[test]
+    fn injected_dead_boundary_store_is_reported() {
+        let p = ursa_ir::parser::parse(LOOP).unwrap();
+        let machine = Machine::homogeneous(2, 4);
+        let opts = PipelineOptions {
+            bounds: Some(0),
+            ..Default::default()
+        };
+        let strategy = CompileStrategy::Postpass;
+        let mut sched =
+            ursa_sched::program::try_compile_program(&p, &machine, strategy.clone(), &opts)
+                .unwrap();
+        // Sabotage: store a dead cell (v63 exists nowhere) to the
+        // boundary area in the entry unit's first word.
+        let entry = sched.entry_unit();
+        let unit = &mut sched.units[entry];
+        let boundary = unit
+            .compiled
+            .vliw
+            .symbols
+            .iter()
+            .position(|s| s == BOUNDARY_SYMBOL)
+            .expect("loop programs compensate through the boundary area");
+        unit.compiled.vliw.words[0].push(ursa_sched::vliw::MachineOp {
+            op: SlotOp::Instr(Instr::Store {
+                mem: ursa_ir::value::MemRef::new(ursa_ir::value::SymbolId(boundary as u32), 63i64),
+                src: Operand::Imm(0),
+            }),
+            fu: (ursa_machine::FuClass::Universal, 1),
+        });
+        let report = lint_program(&p, &sched, &machine, &strategy, &opts);
+        assert!(
+            report.has(Code::DeadBoundaryStore),
+            "dead boundary store must be reported:\n{report}"
         );
     }
 

@@ -63,7 +63,7 @@ pub use patch::{patch_spills, try_patch_spills, PatchStats};
 pub use prepass::{prepass_allocate, try_prepass_allocate, PrepassStats};
 pub use program::{
     compensate, compile_program, try_compile_program, units_for_strategy, CompiledUnit,
-    ProgramSchedule, BOUNDARY_SYMBOL,
+    ProgramSchedule, UnitSummary, BOUNDARY_SYMBOL,
 };
 pub use schedule::{list_schedule, try_list_schedule, Schedule, ScheduledOp};
 pub use validate::{is_spill_symbol, Stage, ValidationError, SPILL_PREFIX};
@@ -163,6 +163,11 @@ pub struct PipelineOptions {
     /// How `ursa-lint` treats diagnostics for this compilation (pure
     /// data here; see [`LintLevel`]).
     pub lint: LintLevel,
+    /// Run the schedule-quality analysis against the lower-bound
+    /// certificates (`ursa-lint` `U03xx` family), with this many cycles
+    /// of slack above the schedule-length bound before `U0301` fires.
+    /// `None` disables the analysis (pure data here, like `lint`).
+    pub bounds: Option<u64>,
     /// Wall-clock budget for the whole compilation (one
     /// [`CompileBudget`] shared by every ladder rung). `None` means no
     /// deadline.

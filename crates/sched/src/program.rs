@@ -66,6 +66,38 @@ pub struct CompiledUnit {
     pub fallthrough: Option<usize>,
 }
 
+impl CompiledUnit {
+    /// The CFG block heading this unit.
+    pub fn head(&self) -> usize {
+        self.trace.blocks[0]
+    }
+
+    /// Every CFG block control can transfer to when leaving this unit
+    /// (branch targets first, then the fallthrough). These are the
+    /// blocks whose liveness judges the unit's boundary stores.
+    pub fn successor_blocks(&self) -> impl Iterator<Item = usize> + '_ {
+        self.exits.iter().copied().chain(self.fallthrough)
+    }
+}
+
+/// The per-unit numbers the schedule-quality analyzer reads: one row
+/// per unit, cheap to collect and stable to print.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UnitSummary {
+    /// The unit's head block.
+    pub head: usize,
+    /// Blocks covered by the unit's trace.
+    pub blocks: usize,
+    /// Achieved schedule length in cycles (including latency drain).
+    pub schedule_length: u64,
+    /// Spill stores emitted in the unit.
+    pub spill_stores: usize,
+    /// Spill reloads emitted in the unit.
+    pub spill_loads: usize,
+    /// Total operations emitted in the unit.
+    pub ops: usize,
+}
+
 /// A whole program compiled unit-by-unit.
 #[derive(Clone, Debug)]
 pub struct ProgramSchedule {
@@ -123,6 +155,21 @@ impl ProgramSchedule {
             .iter()
             .map(|u| u.compiled.stats.memory_traffic)
             .sum()
+    }
+
+    /// One [`UnitSummary`] row per unit, in unit order.
+    pub fn unit_summaries(&self) -> Vec<UnitSummary> {
+        self.units
+            .iter()
+            .map(|u| UnitSummary {
+                head: u.head(),
+                blocks: u.trace.blocks.len(),
+                schedule_length: u.compiled.stats.schedule_length,
+                spill_stores: u.compiled.stats.spill_stores,
+                spill_loads: u.compiled.stats.spill_loads,
+                ops: u.compiled.stats.ops,
+            })
+            .collect()
     }
 }
 

@@ -20,6 +20,8 @@
 //! ursac program.tac --no-fallback          # fail instead of degrading
 //! ursac program.tac --lint                 # static lint, warn level
 //! ursac program.tac --lint=deny            # lint warnings fail too
+//! ursac program.tac --bounds               # quality analysis (U03xx)
+//! ursac program.tac --bounds=2             # ... with 2 cycles of slack
 //! ursac program.tac --dot-annotated        # DOT + pressure/lint colors
 //! ursac program.tac --deadline-ms 2000     # wall-clock compile budget
 //! ursac program.tac --max-steps 1000000    # cooperative work-step cap
@@ -48,7 +50,7 @@ use ursa::ir::dot::{to_dot, to_dot_annotated, DotAnnotation};
 use ursa::ir::program::Program;
 use ursa::ir::unroll::{find_self_loop, unroll_self_loop};
 use ursa::ir::{parse, Trace};
-use ursa::lint::{lint_compiled, lint_program, Severity};
+use ursa::lint::{lint_compiled, lint_compiled_opts, lint_program, Severity};
 use ursa::machine::Machine;
 use ursa::sched::{
     try_compile_program, try_compile_with, CompileError, CompileStrategy, LintLevel,
@@ -74,6 +76,7 @@ struct Options {
     max_iterations: Option<usize>,
     no_fallback: bool,
     lint: LintLevel,
+    bounds: Option<u64>,
     dot_annotated: bool,
     deadline_ms: Option<u64>,
     max_steps: Option<u64>,
@@ -98,6 +101,7 @@ fn parse_args() -> Result<Options, String> {
         max_iterations: None,
         no_fallback: false,
         lint: LintLevel::Allow,
+        bounds: None,
         dot_annotated: false,
         deadline_ms: None,
         max_steps: None,
@@ -163,12 +167,17 @@ fn parse_args() -> Result<Options, String> {
                 )
             }
             "--lint" => opts.lint = LintLevel::Warn,
+            "--bounds" => opts.bounds = Some(0),
             "--dot-annotated" => opts.dot_annotated = true,
             "--whole-program" => opts.whole_program = true,
             other if other.starts_with("--lint=") => {
                 let level = &other["--lint=".len()..];
                 opts.lint = LintLevel::parse(level)
                     .ok_or_else(|| format!("--lint: unknown level '{level}'"))?;
+            }
+            other if other.starts_with("--bounds=") => {
+                let slack = &other["--bounds=".len()..];
+                opts.bounds = Some(slack.parse().map_err(|e| format!("--bounds: {e}"))?);
             }
             "--help" | "-h" => return Err("usage: ursac <file.tac> [options]".to_string()),
             other if other.starts_with('-') => return Err(format!("unknown option '{other}'")),
@@ -185,6 +194,11 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.machine_file.is_some() && (opts.classic || opts.pipelined) {
         return Err("--machine conflicts with --classic/--pipelined".to_string());
+    }
+    // The quality analysis reports through the lint battery; asking for
+    // it implies at least warn-level linting.
+    if opts.bounds.is_some() && opts.lint == LintLevel::Allow {
+        opts.lint = LintLevel::Warn;
     }
     Ok(opts)
 }
@@ -396,6 +410,7 @@ fn main() -> ExitCode {
         validate: opts.validate,
         no_fallback: opts.no_fallback,
         lint: opts.lint,
+        bounds: opts.bounds,
         deadline: opts.deadline_ms.map(std::time::Duration::from_millis),
         max_steps: opts.max_steps,
         // An armed fault plan may inject a synthetic panic; isolate it
@@ -473,7 +488,8 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if opts.lint != LintLevel::Allow {
-        let report = lint_compiled(&program, &trace, &machine, &strategy, &compiled);
+        let report =
+            lint_compiled_opts(&program, &trace, &machine, &strategy, &compiled, &pipeline);
         eprint!("{report}");
         if report.fails_at(opts.lint) {
             eprintln!("ursac: lint failed at level '{}'", opts.lint);

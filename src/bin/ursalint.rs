@@ -8,34 +8,54 @@
 //! ursalint prog.tac other.tac         # lint files at warn level
 //! ursalint --builtin paper            # the paper's figure-2 + kernels
 //! ursalint --deny prog.tac            # warnings fail too (CI gate)
+//! ursalint --deny=U0302,U0304 p.tac   # promote only these codes
 //! ursalint --level allow prog.tac     # report only, never fail
+//! ursalint --bounds prog.tac          # quality analysis (U03xx family)
+//! ursalint --bounds=2 prog.tac        # ... with 2 cycles of slack
+//! ursalint --format=json prog.tac     # machine-readable output
 //! ursalint --strategy spill-only ...  # one strategy instead of the set
 //! ursalint --fus 2 --regs 4 prog.tac  # one machine instead of the menu
 //! ursalint --machine m.json prog.tac  # machine from JSON
 //! ```
 //!
 //! Default strategy set: the four URSA ladder disciplines (integrated,
-//! phased, phased-fu-first, spill-only) plus postpass patching. Default
-//! machine menu: homogeneous 4×16, homogeneous 2×3 (tight — forces
-//! spills), and the classed classic VLIW.
+//! phased, phased-fu-first, spill-only) plus postpass patching; prepass
+//! and goodman-hsu are selectable with `--strategy` but not in the
+//! default battery (prepass skips the validator, GH refuses tight
+//! files). Default machine menu: homogeneous 4×16, homogeneous 2×3
+//! (tight — forces spills), and the classed classic VLIW.
 //!
-//! Exit status: 0 when every compilation is clean at the chosen level,
-//! 1 when any fails it (or fails to compile), 2 on usage errors.
+//! Exit status: 0 when every compilation is clean at the chosen level
+//! (a bare `--deny` fails on any warning; `--deny=CODE,...` promotes
+//! only the listed codes, whatever their default severity), 1 when any
+//! compilation fails it (or fails to compile), 2 on usage errors.
 
 use std::process::ExitCode;
 use ursa::core::{Strategy, UrsaConfig};
+use ursa::ir::ddg::DependenceDag;
 use ursa::ir::unroll::find_self_loop;
 use ursa::ir::{parse, Program, Trace};
-use ursa::lint::{lint_compiled, LintLevel, LintReport};
+use ursa::lint::bounds::{analyze_quality, BoundsOptions};
+use ursa::lint::{lint_compiled_opts, Code, LintLevel, LintReport};
 use ursa::machine::Machine;
-use ursa::sched::{try_compile, CompileStrategy};
+use ursa::sched::{try_compile, CompileStrategy, PipelineOptions};
+
 use ursa::workloads::kernels::kernel_suite;
 use ursa::workloads::paper::figure2_block;
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Format {
+    Text,
+    Json,
+}
 
 struct Options {
     files: Vec<String>,
     builtin: Vec<String>,
     level: LintLevel,
+    deny_codes: Vec<Code>,
+    bounds: Option<u64>,
+    format: Format,
     strategy: Option<String>,
     fus: Option<u32>,
     regs: Option<u32>,
@@ -49,6 +69,9 @@ fn parse_args() -> Result<Options, String> {
         files: Vec::new(),
         builtin: Vec::new(),
         level: LintLevel::Warn,
+        deny_codes: Vec::new(),
+        bounds: None,
+        format: Format::Text,
         strategy: None,
         fus: None,
         regs: None,
@@ -69,6 +92,10 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or_else(|| format!("--level: unknown level '{name}'"))?;
             }
             "--deny" => opts.level = LintLevel::Deny,
+            "--bounds" => opts.bounds = Some(0),
+            "--format" => {
+                opts.format = parse_format(&take("--format")?)?;
+            }
             "--strategy" => opts.strategy = Some(take("--strategy")?),
             "--fus" => opts.fus = Some(take("--fus")?.parse().map_err(|e| format!("--fus: {e}"))?),
             "--regs" => {
@@ -83,9 +110,26 @@ fn parse_args() -> Result<Options, String> {
             "--machine" => opts.machine_file = Some(take("--machine")?),
             "--help" | "-h" => {
                 return Err("usage: ursalint [files.tac ...] [--builtin paper] \
-                            [--level allow|warn|deny | --deny] [--strategy NAME] \
+                            [--level allow|warn|deny | --deny[=CODES]] [--bounds[=SLACK]] \
+                            [--format text|json] [--strategy NAME] \
                             [--fus N --regs N | --classic | --pipelined | --machine FILE]"
                     .to_string())
+            }
+            other if other.starts_with("--deny=") => {
+                for code in other["--deny=".len()..].split(',') {
+                    let parsed = Code::parse(code.trim())
+                        .ok_or_else(|| format!("--deny: unknown code '{code}'"))?;
+                    opts.deny_codes.push(parsed);
+                }
+            }
+            other if other.starts_with("--bounds=") => {
+                let slack = other["--bounds=".len()..]
+                    .parse()
+                    .map_err(|e| format!("--bounds: {e}"))?;
+                opts.bounds = Some(slack);
+            }
+            other if other.starts_with("--format=") => {
+                opts.format = parse_format(&other["--format=".len()..])?;
             }
             other if other.starts_with('-') => return Err(format!("unknown option '{other}'")),
             file => opts.files.push(file.to_string()),
@@ -94,7 +138,25 @@ fn parse_args() -> Result<Options, String> {
     if opts.files.is_empty() && opts.builtin.is_empty() {
         return Err("no inputs (give .tac files or --builtin paper; try --help)".to_string());
     }
+    if !opts.deny_codes.is_empty() && opts.bounds.is_none() {
+        // Denying a U03xx code without the analysis would silently pass.
+        if opts
+            .deny_codes
+            .iter()
+            .any(|c| c.as_str().starts_with("U03"))
+        {
+            opts.bounds = Some(0);
+        }
+    }
     Ok(opts)
+}
+
+fn parse_format(name: &str) -> Result<Format, String> {
+    match name {
+        "text" => Ok(Format::Text),
+        "json" => Ok(Format::Json),
+        other => Err(format!("--format: unknown format '{other}' (text, json)")),
+    }
 }
 
 /// The programs to lint: named `(label, program)` pairs.
@@ -161,23 +223,33 @@ fn strategy_set(opts: &Options) -> Result<Vec<(String, CompileStrategy)>, String
             ..UrsaConfig::default()
         })
     };
-    let all: Vec<(&str, CompileStrategy)> = vec![
+    let default: Vec<(&str, CompileStrategy)> = vec![
         ("integrated", ursa(Strategy::Integrated)),
         ("phased", ursa(Strategy::Phased)),
         ("phased-fu-first", ursa(Strategy::PhasedFuFirst)),
         ("spill-only", ursa(Strategy::SpillOnly)),
         ("postpass", CompileStrategy::Postpass),
     ];
+    // Selectable but not in the default battery: prepass skips the
+    // validator, goodman-hsu refuses tight register files.
+    let extra: Vec<(&str, CompileStrategy)> = vec![
+        ("prepass", CompileStrategy::Prepass),
+        ("goodman-hsu", CompileStrategy::GoodmanHsu),
+    ];
     match &opts.strategy {
-        None => Ok(all.into_iter().map(|(n, s)| (n.to_string(), s)).collect()),
-        Some(name) => all
+        None => Ok(default
             .into_iter()
+            .map(|(n, s)| (n.to_string(), s))
+            .collect()),
+        Some(name) => default
+            .into_iter()
+            .chain(extra)
             .find(|(n, _)| n == name)
             .map(|(n, s)| vec![(n.to_string(), s)])
             .ok_or_else(|| {
                 format!(
                     "--strategy: unknown '{name}' (integrated, phased, phased-fu-first, \
-                     spill-only, postpass)"
+                     spill-only, postpass, prepass, goodman-hsu)"
                 )
             }),
     }
@@ -212,10 +284,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let pipeline = PipelineOptions {
+        lint: opts.level,
+        bounds: opts.bounds,
+        ..Default::default()
+    };
 
     let mut checked = 0usize;
     let mut findings = 0usize;
     let mut failed = false;
+    let mut json_rows: Vec<ursa::json::Value> = Vec::new();
     for (label, program) in &programs {
         // Same trace choice as ursac: the self-loop body when one
         // exists, else the entry block.
@@ -232,14 +310,43 @@ fn main() -> ExitCode {
                     }
                 };
                 checked += 1;
-                let report = lint_compiled(program, &trace, machine, strategy, &compiled);
-                print_report(label, machine, sname, &report);
+                let report =
+                    lint_compiled_opts(program, &trace, machine, strategy, &compiled, &pipeline);
+                if opts.format == Format::Json {
+                    let mut fields = vec![
+                        ("program", ursa::json::Value::from(label.as_str())),
+                        ("machine", ursa::json::Value::from(machine.to_string())),
+                        ("strategy", ursa::json::Value::from(sname.as_str())),
+                        (
+                            "schedule_length",
+                            ursa::json::Value::from(compiled.stats.schedule_length),
+                        ),
+                        ("diagnostics", report.to_json_value()),
+                    ];
+                    if let Some(slack) = opts.bounds {
+                        let ddg = DependenceDag::build_with(program, &trace, pipeline.ddg);
+                        let (quality, _) =
+                            analyze_quality(&ddg, machine, &compiled, BoundsOptions { slack });
+                        fields.push(("quality", quality.to_json_value()));
+                    }
+                    json_rows.push(ursa::json::Value::object(fields));
+                } else {
+                    print_report(label, machine, sname, &report);
+                }
                 findings += report.diagnostics.len();
-                if report.fails_at(opts.level) {
+                if report.fails_at(opts.level)
+                    || report
+                        .diagnostics
+                        .iter()
+                        .any(|d| opts.deny_codes.contains(&d.code))
+                {
                     failed = true;
                 }
             }
         }
+    }
+    if opts.format == Format::Json {
+        println!("{}", ursa::json::Value::array(json_rows).to_string_pretty());
     }
     eprintln!(
         "ursalint: {checked} compilation(s) checked, {findings} finding(s), level '{}'",

@@ -53,6 +53,7 @@
 pub use ursa_core as core;
 pub use ursa_graph as graph;
 pub use ursa_ir as ir;
+pub use ursa_json as json;
 pub use ursa_lint as lint;
 pub use ursa_machine as machine;
 pub use ursa_sched as sched;

@@ -371,3 +371,99 @@ fn chaos_seed_never_panics() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// ursalint: exit codes, per-code deny promotion, and JSON output.
+
+fn ursalint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ursalint"))
+}
+
+#[test]
+fn ursalint_clean_file_exits_zero_at_warn() {
+    let input = write_temp("lint_clean.tac", SMALL);
+    let out = ursalint()
+        .arg(&input)
+        .args(["--fus", "2", "--regs", "8"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+}
+
+#[test]
+fn ursalint_usage_errors_exit_two() {
+    let out = ursalint().arg("--bogus-flag").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // An unknown code in --deny= is a usage error, not a lint failure.
+    let input = write_temp("lint_usage.tac", SMALL);
+    let out = ursalint().arg(&input).arg("--deny=U9999").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", stderr_of(&out));
+}
+
+/// Per-code promotion semantics: `--deny=CODE` fails the run when the
+/// code fires regardless of its severity, and passes when it does not.
+/// `U0305` (the per-unit gap note, emitted whenever bounds run) gives
+/// the deterministic "fires" case; `U0301` on a pure dependence chain
+/// (every schedule meets the critical path, gap 0) the "does not".
+/// Listing a `U03xx` code also auto-enables the bounds analysis.
+#[test]
+fn ursalint_deny_promotes_a_quality_code_to_failure() {
+    let input = write_temp("lint_promote.tac", SMALL);
+    let machine = ["--fus", "2", "--regs", "8"];
+    let fired = ursalint()
+        .arg(&input)
+        .args(machine)
+        .arg("--deny=U0305")
+        .output()
+        .unwrap();
+    assert_eq!(fired.status.code(), Some(1), "{}", stderr_of(&fired));
+    let quiet = ursalint()
+        .arg(&input)
+        .args(machine)
+        .arg("--deny=U0301")
+        .output()
+        .unwrap();
+    assert_eq!(quiet.status.code(), Some(0), "{}", stderr_of(&quiet));
+    // Without promotion the same bounds run stays advisory.
+    let advisory = ursalint()
+        .arg(&input)
+        .args(machine)
+        .arg("--bounds")
+        .output()
+        .unwrap();
+    assert_eq!(advisory.status.code(), Some(0), "{}", stderr_of(&advisory));
+}
+
+#[test]
+fn ursalint_json_output_is_machine_readable() {
+    let input = write_temp("lint_json.tac", SMALL);
+    let out = ursalint()
+        .arg(&input)
+        .args(["--fus", "2", "--regs", "8", "--bounds", "--format=json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value = ursa::json::parse(&stdout).expect("stdout is valid JSON");
+    let rows = value.as_array().expect("a row per compilation");
+    assert!(!rows.is_empty());
+    for row in rows {
+        assert!(row.get("program").is_some());
+        assert!(row.get("strategy").is_some());
+        assert!(row.get("diagnostics").is_some());
+        let quality = row.get("quality").expect("--bounds adds certificates");
+        assert!(quality.get("schedule_length").is_some());
+        assert!(quality.get("length_bound").is_some());
+    }
+}
+
+#[test]
+fn ursac_bounds_flag_smoke() {
+    let input = write_temp("bounds_ok.tac", SMALL);
+    let out = ursac().arg(&input).arg("--bounds").output().unwrap();
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let out = ursac().arg(&input).arg("--bounds=3").output().unwrap();
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let out = ursac().arg(&input).arg("--bounds=many").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "bad slack is a usage error");
+}

@@ -1,0 +1,231 @@
+//! Miscompile-injection tests for the whole-program lint
+//! (`ursa::lint::lint_program`) — the program-scale analog of
+//! `tests/lint_injection.rs`. Each test compiles a multi-block CFG
+//! through the whole-program driver, checks the clean schedule lints
+//! clean at deny level, then corrupts the stitched units in a way the
+//! boundary hand-off contract must catch:
+//!
+//! * a single dropped `__boundary` store → `U0201` missing-compensation,
+//! * a unit claiming a register live-in → `U0202` clobbered-live-out,
+//! * an injected store to a dead boundary cell → `U0304`
+//!   dead-boundary-store (quality layer, needs `bounds`).
+
+use ursa::ir::instr::Instr;
+use ursa::ir::parser::parse;
+use ursa::ir::value::{MemRef, Operand, SymbolId, VirtualReg};
+use ursa::ir::Program;
+use ursa::lint::{lint_program, Code, LintLevel};
+use ursa::machine::{FuClass, Machine};
+use ursa::sched::{
+    try_compile_program, CompileStrategy, MachineOp, PipelineOptions, ProgramSchedule, SlotOp,
+    BOUNDARY_SYMBOL,
+};
+
+/// A counted loop around a diamond: values cross every unit boundary
+/// (the accumulator v1 and induction variable v0 survive the back
+/// edge, v2 crosses the diamond), so compensation stores are load-
+/// bearing on every off-unit edge.
+const DIAMOND_LOOP: &str = "\
+    block entry:\n\
+    v0 = const 0\n\
+    v1 = const 0\n\
+    jmp head\n\
+    block head @ 8:\n\
+    v2 = load a[v0]\n\
+    v3 = cmplt v2, 50\n\
+    br v3, small, big\n\
+    block small:\n\
+    v4 = mul v2, 2\n\
+    v1 = add v1, v4\n\
+    jmp next\n\
+    block big:\n\
+    v1 = add v1, v2\n\
+    jmp next\n\
+    block next:\n\
+    store b[v0], v1\n\
+    v0 = add v0, 1\n\
+    v5 = cmplt v0, 8\n\
+    br v5, head, done\n\
+    block done:\n\
+    store c[0], v1\n\
+    ret\n";
+
+fn compile(
+    program: &Program,
+    machine: &Machine,
+    strategy: &CompileStrategy,
+    opts: &PipelineOptions,
+) -> ProgramSchedule {
+    try_compile_program(program, machine, strategy.clone(), opts)
+        .unwrap_or_else(|e| panic!("{}: {e}", strategy.name()))
+}
+
+/// Every `(unit, word, slot)` holding a `__boundary` store.
+fn boundary_store_sites(sched: &ProgramSchedule) -> Vec<(usize, usize, usize)> {
+    let mut sites = Vec::new();
+    for (u, unit) in sched.units.iter().enumerate() {
+        let vliw = &unit.compiled.vliw;
+        for (w, word) in vliw.words.iter().enumerate() {
+            for (s, op) in word.iter().enumerate() {
+                if let SlotOp::Instr(Instr::Store { mem, .. }) = &op.op {
+                    if vliw.symbols.get(mem.base.index()).map(String::as_str)
+                        == Some(BOUNDARY_SYMBOL)
+                    {
+                        sites.push((u, w, s));
+                    }
+                }
+            }
+        }
+    }
+    sites
+}
+
+/// The clean whole-program schedule is correctness-clean at deny level
+/// and free of actionable quality findings (avoidable spills,
+/// redundant spill traffic, dead boundary stores) for every strategy
+/// in the default battery — the baseline every injection below
+/// perturbs. `U0301` length gaps on individual units are allowed:
+/// some baselines honestly miss the certificate, which is exactly the
+/// advisory finding the quality layer exists to report.
+#[test]
+fn diamond_loop_lints_clean_on_every_strategy() {
+    let program = parse(DIAMOND_LOOP).unwrap();
+    let machine = Machine::homogeneous(2, 4);
+    let plain = PipelineOptions::default();
+    let bounds_on = PipelineOptions {
+        bounds: Some(0),
+        ..Default::default()
+    };
+    let strategies = [
+        CompileStrategy::Ursa(Default::default()),
+        CompileStrategy::Postpass,
+        CompileStrategy::Prepass,
+        CompileStrategy::GoodmanHsu,
+    ];
+    for strategy in strategies {
+        let sched = compile(&program, &machine, &strategy, &plain);
+        assert!(
+            !boundary_store_sites(&sched).is_empty(),
+            "{}: the loop must compensate through the boundary area",
+            strategy.name()
+        );
+        let report = lint_program(&program, &sched, &machine, &strategy, &plain);
+        assert!(
+            !report.fails_at(LintLevel::Deny),
+            "{} fails deny-level lint:\n{report}",
+            strategy.name()
+        );
+        let quality = lint_program(&program, &sched, &machine, &strategy, &bounds_on);
+        for code in [
+            Code::AvoidableSpill,
+            Code::RedundantSpillTraffic,
+            Code::DeadBoundaryStore,
+        ] {
+            assert!(
+                !quality.has(code),
+                "{}: unexpected {code:?}:\n{quality}",
+                strategy.name()
+            );
+        }
+        assert!(
+            quality.has(Code::OptimalityGap),
+            "{}: one gap note per unit expected",
+            strategy.name()
+        );
+    }
+}
+
+/// Dropping one boundary store severs one value's hand-off; some
+/// candidate site must be reported as missing compensation (a cell can
+/// be stored redundantly, so the search tries every site).
+#[test]
+fn dropped_boundary_store_is_rejected_as_u0201() {
+    let program = parse(DIAMOND_LOOP).unwrap();
+    let machine = Machine::homogeneous(2, 4);
+    let opts = PipelineOptions::default();
+    let strategy = CompileStrategy::Postpass;
+    let clean = compile(&program, &machine, &strategy, &opts);
+    assert!(
+        !lint_program(&program, &clean, &machine, &strategy, &opts).has(Code::MissingCompensation)
+    );
+    let sites = boundary_store_sites(&clean);
+    assert!(!sites.is_empty());
+    let mut attempts = 0usize;
+    for (u, w, s) in sites {
+        attempts += 1;
+        let mut sched = compile(&program, &machine, &strategy, &opts);
+        sched.units[u].compiled.vliw.words[w].remove(s);
+        if lint_program(&program, &sched, &machine, &strategy, &opts).has(Code::MissingCompensation)
+        {
+            return;
+        }
+    }
+    panic!("no dropped boundary store produced U0201 in {attempts} attempts");
+}
+
+/// A unit that declares a register live-in expects a value to survive
+/// a unit switch in a register — the ABI says none do.
+#[test]
+fn injected_register_live_in_is_rejected_as_u0202() {
+    let program = parse(DIAMOND_LOOP).unwrap();
+    let machine = Machine::homogeneous(2, 4);
+    let opts = PipelineOptions::default();
+    let strategy = CompileStrategy::Ursa(Default::default());
+    let mut sched = compile(&program, &machine, &strategy, &opts);
+    assert!(!lint_program(&program, &sched, &machine, &strategy, &opts).has(Code::ClobberedLiveOut));
+    sched.units[0]
+        .compiled
+        .vliw
+        .live_in
+        .push((0, VirtualReg(1)));
+    let report = lint_program(&program, &sched, &machine, &strategy, &opts);
+    assert!(
+        report.has(Code::ClobberedLiveOut),
+        "register live-in must be reported:\n{report}"
+    );
+}
+
+/// A store to a boundary cell no successor reads is pure cross-unit
+/// traffic; the quality layer (bounds on) must flag it, and the base
+/// correctness layer must not (the schedule is still correct).
+#[test]
+fn injected_dead_boundary_store_is_rejected_as_u0304() {
+    let program = parse(DIAMOND_LOOP).unwrap();
+    let machine = Machine::homogeneous(2, 4);
+    let bounds_on = PipelineOptions {
+        bounds: Some(0),
+        ..Default::default()
+    };
+    let strategy = CompileStrategy::Postpass;
+    let mut sched = compile(&program, &machine, &strategy, &bounds_on);
+    let entry = sched.entry_unit();
+    let unit = &mut sched.units[entry];
+    let boundary = unit
+        .compiled
+        .vliw
+        .symbols
+        .iter()
+        .position(|s| s == BOUNDARY_SYMBOL)
+        .expect("the entry unit hands v0/v1 to the loop");
+    // A fresh trailing word keeps the injection free of unit-slot
+    // conflicts (the entry unit's existing words may use every FU).
+    unit.compiled.vliw.words.push(vec![MachineOp {
+        op: SlotOp::Instr(Instr::Store {
+            mem: MemRef::new(SymbolId(boundary as u32), 63i64),
+            src: Operand::Imm(0),
+        }),
+        fu: (FuClass::Universal, 1),
+    }]);
+    let report = lint_program(&program, &sched, &machine, &strategy, &bounds_on);
+    assert!(
+        report.has(Code::DeadBoundaryStore),
+        "dead boundary store must be reported:\n{report}"
+    );
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.severity() == ursa::lint::Severity::Error),
+        "a dead store is waste, not a miscompile:\n{report}"
+    );
+}

@@ -109,4 +109,39 @@ proptest! {
         let s = list_schedule(&out.ddg, &machine);
         prop_assert!(s.validate(&out.ddg, &machine).is_ok());
     }
+
+    /// The quality certificates are genuine lower bounds: for any
+    /// random block, on machines from scalar to wide, no
+    /// pipeline-produced schedule ever beats `length_bound()` — the
+    /// contract `U0301` (and the exact-solver pruning of ROADMAP
+    /// item 3) is built on.
+    #[test]
+    fn bounds_never_exceed_achieved_length(seed in 0u64..1_000, shape in arb_shape()) {
+        use ursa::core::schedule_bounds;
+        let program = random_block(seed, shape);
+        let ddg = DependenceDag::from_entry_block(&program);
+        for machine in [
+            Machine::homogeneous(1, 8),
+            Machine::homogeneous(2, 4),
+            Machine::homogeneous(4, 16),
+            Machine::classic_vliw(),
+        ] {
+            let bounds = schedule_bounds(&ddg, &machine);
+            for strategy in [
+                CompileStrategy::Ursa(UrsaConfig::default()),
+                CompileStrategy::Postpass,
+            ] {
+                let name = strategy.name();
+                let compiled = compile_entry_block(&program, &machine, strategy);
+                prop_assert!(
+                    bounds.length_bound() <= compiled.stats.schedule_length,
+                    "[{} on {}] bound {} exceeds achieved {}",
+                    name,
+                    machine,
+                    bounds.length_bound(),
+                    compiled.stats.schedule_length,
+                );
+            }
+        }
+    }
 }

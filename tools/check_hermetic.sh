@@ -93,6 +93,10 @@ fi
 
 echo "OK: all Cargo.toml dependencies are in-tree path dependencies"
 
+# The lint-code registry tripwire rides along: pure grep, no build, and
+# the same "tools/CI match on stable codes" contract this script guards.
+"$(dirname "$0")/check_lint_codes.sh" "$root"
+
 if [ "$with_build" -eq 1 ]; then
     echo "building the stress harness offline..."
     cargo build --release --offline -p ursa-bench --bin stress

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Drift tripwire for the stable lint-code registry. The single source
+# of truth is `Code::as_str` in crates/lint/src/diag.rs; codes are
+# append-only and tools/CI match on them, so the human-facing tables
+# must never disagree with it:
+#
+#   1. completeness — every registry code appears in the README code
+#      table and in the crates/lint/src/lib.rs module-doc registry;
+#   2. no ghosts — every `U0xxx` token mentioned in README.md,
+#      DESIGN.md, or crates/lint/src/lib.rs names a real registry code
+#      (a renamed or deleted code cannot linger in prose).
+#
+# Pure grep/sort, no toolchain needed; run by tools/check_hermetic.sh
+# and the CI hermetic job.
+#
+# Usage: tools/check_lint_codes.sh [repo-root]
+set -euo pipefail
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root"
+
+registry_src=crates/lint/src/diag.rs
+docs_complete=(README.md crates/lint/src/lib.rs)
+docs_no_ghosts=(README.md DESIGN.md crates/lint/src/lib.rs)
+
+# The authoritative list: only the `Code::Variant => "U0xxx"` match
+# arms of as_str, not test assertions or prose.
+registry=$(grep -o '=> "U0[0-9][0-9][0-9]"' "$registry_src" |
+    grep -o 'U0[0-9][0-9][0-9]' | sort -u)
+if [ -z "$registry" ]; then
+    echo "FAIL: no registry codes found in $registry_src" >&2
+    exit 1
+fi
+
+status=0
+
+for doc in "${docs_complete[@]}"; do
+    missing=$(comm -23 <(echo "$registry") \
+        <(grep -o 'U0[0-9][0-9][0-9]' "$doc" | sort -u))
+    if [ -n "$missing" ]; then
+        echo "FAIL: $doc is missing registry codes:" >&2
+        echo "$missing" | sed 's/^/  /' >&2
+        status=1
+    fi
+done
+
+for doc in "${docs_no_ghosts[@]}"; do
+    ghosts=$(comm -13 <(echo "$registry") \
+        <(grep -o 'U0[0-9][0-9][0-9]' "$doc" | sort -u))
+    if [ -n "$ghosts" ]; then
+        echo "FAIL: $doc mentions codes absent from $registry_src:" >&2
+        echo "$ghosts" | sed 's/^/  /' >&2
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "      update the doc tables (or diag.rs) so they agree;" >&2
+    echo "      codes are append-only — see DESIGN.md section 8" >&2
+    exit 1
+fi
+
+echo "OK: lint-code tables agree with the diag.rs registry" \
+    "($(echo "$registry" | wc -l) codes)"
